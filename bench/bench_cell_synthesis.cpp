@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Reproduces Tables 2-4: deriving cell Hamiltonians by solving the
+ * system of (in)equalities (the paper's MiniZinc step, here an in-repo
+ * simplex LP).
+ *
+ *  - Table 2: the AND system is solvable with no ancillas.
+ *  - Table 4's premise: the XOR system is unsolvable with no ancillas.
+ *  - Table 3: exactly 8 of the 16 one-ancilla augmentations of XOR
+ *    make the system solvable.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qac/cells/synthesizer.h"
+
+namespace {
+
+using namespace qac;
+using cells::GateType;
+
+void
+printTables234()
+{
+    std::printf("--- Table 2: the AND inequality system ---\n");
+    auto and_tt = cells::TruthTable::forGate(GateType::AND);
+    auto and_cell =
+        cells::synthesizeWithPattern(and_tt, 0, {0, 0, 0, 0});
+    if (and_cell) {
+        std::printf("solvable with 0 ancillas: k = %.3f, gap = %.3f\n",
+                    and_cell->groundEnergy, and_cell->gap);
+        std::printf("coefficients (h_Y h_A h_B | J_YA J_YB J_AB): "
+                    "%.2f %.2f %.2f | %.2f %.2f %.2f\n",
+                    and_cell->H.linear(0), and_cell->H.linear(1),
+                    and_cell->H.linear(2), and_cell->H.quadratic(0, 1),
+                    and_cell->H.quadratic(0, 2),
+                    and_cell->H.quadratic(1, 2));
+        std::printf("(the paper's example solution has k = -3 with "
+                    "unbounded coefficients)\n");
+    }
+
+    std::printf("\n--- Table 4 premise: XOR without ancillas ---\n");
+    auto xor_tt = cells::TruthTable::forGate(GateType::XOR);
+    auto xor0 = cells::synthesizeWithPattern(xor_tt, 0, {0, 0, 0, 0});
+    std::printf("solvable: %s (paper: \"only XOR and XNOR lead to an "
+                "unsolvable system\")\n",
+                xor0 ? "YES (BUG!)" : "no");
+
+    std::printf("\n--- Table 3: one-ancilla augmentations of XOR ---\n");
+    size_t n = cells::countSolvablePatterns(xor_tt, 1);
+    std::printf("solvable augmentations: %zu of 16 (paper: \"one of "
+                "the eight possible ways\")\n",
+                n);
+    auto xor1 = cells::synthesizeWithPattern(xor_tt, 1, {0, 1, 0, 0});
+    if (xor1)
+        std::printf("the paper's Table 3 pattern (a = F,T,F,F): "
+                    "k = %.3f, gap = %.3f\n",
+                    xor1->groundEnergy, xor1->gap);
+
+    std::printf("\n--- Sweep: all 16 two-input functions ---\n");
+    std::printf("%-6s %-10s %-8s\n", "f", "ancillas", "gap");
+    for (int f = 0; f < 16; ++f) {
+        cells::TruthTable tt;
+        tt.numInputs = 2;
+        tt.output = {(f & 1) != 0, (f & 2) != 0, (f & 4) != 0,
+                     (f & 8) != 0};
+        cells::SynthesisOptions opts;
+        opts.maxAncillas = 1;
+        auto cell = cells::synthesizeCell(tt, opts);
+        std::printf("%-6d %-10zu %-8.3f\n", f,
+                    cell ? cell->numAncillas : 99,
+                    cell ? cell->gap : 0.0);
+    }
+    std::printf("\n");
+}
+
+void
+BM_SynthesizeAnd(benchmark::State &state)
+{
+    auto tt = cells::TruthTable::forGate(GateType::AND);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cells::synthesizeWithPattern(tt, 0, {0, 0, 0, 0}));
+}
+BENCHMARK(BM_SynthesizeAnd);
+
+void
+BM_SynthesizeXorWithAncillaSearch(benchmark::State &state)
+{
+    auto tt = cells::TruthTable::forGate(GateType::XOR);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cells::synthesizeCell(tt));
+}
+BENCHMARK(BM_SynthesizeXorWithAncillaSearch);
+
+void
+BM_SynthesizeMux(benchmark::State &state)
+{
+    // 3-input cell: 256 candidate 1-ancilla patterns, LP each.
+    auto tt = cells::TruthTable::forGate(GateType::MUX);
+    cells::SynthesisOptions opts;
+    opts.maxAncillas = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cells::synthesizeCell(tt, opts));
+}
+BENCHMARK(BM_SynthesizeMux)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTables234();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Reproduces Section 6.2 (execution time): microseconds per returned
+ * solution for the annealer vs the classical constraint solver on the
+ * Listing 7 / Listing 8 map-coloring problem.
+ *
+ *   paper: D-Wave 2000Q 734 us/solution (1M anneals of 20 us, incl.
+ *   HTTPS and queuing) vs Chuffed 1798 us/solution.
+ *
+ * Our substrate is a software annealer, so absolute numbers differ;
+ * the paper's point — "the performance of our approach is not
+ * necessarily worse than that of a classical solver" — is what the
+ * same-order-of-magnitude comparison here tests.  Like the paper's
+ * Chuffed run, the CSP baseline returns a guaranteed-correct solution
+ * every time while the annealer samples (and some samples are
+ * invalid), so us-per-VALID-solution is also reported.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "qac/core/compiler.h"
+#include "qac/core/program.h"
+#include "qac/csp/csp.h"
+
+namespace {
+
+using namespace qac;
+
+const char *kAustralia = R"(
+module australia (NSW, QLD, SA, VIC, WA, NT, ACT, valid);
+  input [1:0] NSW, QLD, SA, VIC, WA, NT, ACT;
+  output valid;
+  assign valid = WA != NT && WA != SA && NT != SA && NT != QLD &&
+                 SA != QLD && SA != NSW && SA != VIC && QLD != NSW &&
+                 NSW != VIC && NSW != ACT;
+endmodule
+)";
+
+/** Listing 8's model. */
+csp::Model
+australiaCsp()
+{
+    csp::Model m;
+    uint32_t nsw = m.addVariable("NSW", 1, 4);
+    uint32_t qld = m.addVariable("QLD", 1, 4);
+    uint32_t sa = m.addVariable("SA", 1, 4);
+    uint32_t vic = m.addVariable("VIC", 1, 4);
+    uint32_t wa = m.addVariable("WA", 1, 4);
+    uint32_t nt = m.addVariable("NT", 1, 4);
+    uint32_t act = m.addVariable("ACT", 1, 4);
+    m.notEqual(wa, nt);
+    m.notEqual(wa, sa);
+    m.notEqual(nt, sa);
+    m.notEqual(nt, qld);
+    m.notEqual(sa, qld);
+    m.notEqual(sa, nsw);
+    m.notEqual(sa, vic);
+    m.notEqual(qld, nsw);
+    m.notEqual(nsw, vic);
+    m.notEqual(nsw, act);
+    return m;
+}
+
+void
+printExecutionTimeTable()
+{
+    using clock = std::chrono::steady_clock;
+    std::printf("--- Section 6.2: execution time, map coloring ---\n");
+
+    // Annealer side: compile once, run many anneals, count solutions.
+    core::CompileOptions opts;
+    opts.top = "australia";
+    core::Executable prog(core::compile(kAustralia, opts));
+    prog.pinDirective("valid := true");
+    core::Executable::RunOptions ro;
+    ro.num_reads = 2000;
+    ro.sweeps = 256;
+    ro.reduce = true;
+
+    auto t0 = clock::now();
+    auto rr = prog.run(ro);
+    auto t1 = clock::now();
+    double total_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    uint64_t valid_reads = 0;
+    for (auto *c : rr.validCandidates())
+        valid_reads += c->occurrences;
+    double us_per_read = total_us / rr.total_reads;
+    double us_per_valid =
+        valid_reads ? total_us / valid_reads : 0.0;
+
+    // CSP side: Listing 8 solved repeatedly with randomized value
+    // orders (the paper re-ran Chuffed 100,000 times; scale down but
+    // measure the same per-solution quantity).
+    csp::Model model = australiaCsp();
+    const int csp_runs = 20000;
+    auto t2 = clock::now();
+    size_t found = 0;
+    for (int k = 0; k < csp_runs; ++k) {
+        csp::Solver::Params p;
+        p.seed = static_cast<uint64_t>(k + 1);
+        csp::Solver solver(p);
+        if (solver.solve(model))
+            ++found;
+    }
+    auto t3 = clock::now();
+    double csp_us =
+        std::chrono::duration<double, std::micro>(t3 - t2).count() /
+        found;
+
+    std::printf("%-34s %12s %14s\n", "solver", "us/solution",
+                "paper");
+    std::printf("%-34s %12.1f %14s\n",
+                "QAC annealer (per anneal read)", us_per_read, "734");
+    std::printf("%-34s %12.1f %14s\n",
+                "QAC annealer (per valid read)", us_per_valid, "-");
+    std::printf("%-34s %12.1f %14s\n", "CSP baseline (Listing 8)",
+                csp_us, "1798");
+    std::printf("annealer valid fraction: %.2f over %llu reads; "
+                "distinct colorings sampled: %zu\n",
+                rr.validFraction(),
+                static_cast<unsigned long long>(rr.total_reads),
+                rr.validCandidates().size());
+    std::printf("(paper's caveat holds here too: the CSP result is "
+                "always correct and identical,\n the annealer samples "
+                "the solution space stochastically)\n\n");
+}
+
+void
+BM_AnnealerPerRead(benchmark::State &state)
+{
+    core::CompileOptions opts;
+    opts.top = "australia";
+    core::Executable prog(core::compile(kAustralia, opts));
+    prog.pinDirective("valid := true");
+    core::Executable::RunOptions ro;
+    ro.num_reads = 200;
+    ro.sweeps = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        ro.seed += 1;
+        auto rr = prog.run(ro);
+        benchmark::DoNotOptimize(rr);
+    }
+    state.SetItemsProcessed(state.iterations() * ro.num_reads);
+}
+BENCHMARK(BM_AnnealerPerRead)->Arg(128)->Arg(256)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_CspSolve(benchmark::State &state)
+{
+    csp::Model model = australiaCsp();
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        csp::Solver::Params p;
+        p.seed = seed++;
+        csp::Solver solver(p);
+        benchmark::DoNotOptimize(solver.solve(model));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CspSolve);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printExecutionTimeTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The qbsolv path (paper §4.3 / Appendix A): problems too large for
+ * the hardware are split into subproblems that fit.  Compares direct
+ * SA against qbsolv-style decomposition (exact subsolves) on random
+ * Ising instances, and demonstrates dispatching subproblems through
+ * the minor-embedded "hardware" path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "qac/anneal/chainflip.h"
+#include "qac/anneal/exact.h"
+#include "qac/anneal/qbsolv.h"
+#include "qac/anneal/simulated.h"
+#include "qac/chimera/chimera.h"
+#include "qac/embed/embed_model.h"
+#include "qac/embed/minorminer.h"
+#include "qac/util/rng.h"
+
+namespace {
+
+using namespace qac;
+
+ising::IsingModel
+randomSparseModel(Rng &rng, size_t n, size_t degree = 4)
+{
+    ising::IsingModel m(n);
+    for (uint32_t i = 0; i < n; ++i)
+        m.addLinear(i, rng.uniform() * 2 - 1);
+    for (uint32_t i = 0; i < n; ++i) {
+        for (size_t k = 0; k < degree / 2; ++k) {
+            uint32_t j = static_cast<uint32_t>(rng.below(n));
+            if (i != j)
+                m.addQuadratic(i, j, rng.uniform() * 2 - 1);
+        }
+    }
+    return m;
+}
+
+void
+printDecompositionQuality()
+{
+    std::printf("--- qbsolv decomposition vs direct SA "
+                "(random sparse Ising) ---\n");
+    std::printf("%6s %14s %14s %14s\n", "vars", "SA best",
+                "qbsolv best", "winner");
+    Rng rng(31);
+    for (size_t n : {40u, 80u, 160u, 320u}) {
+        ising::IsingModel m = randomSparseModel(rng, n);
+        anneal::SimulatedAnnealer::Params sp;
+        sp.num_reads = 20;
+        sp.sweeps = 512;
+        sp.greedy_polish = true;
+        sp.seed = 3;
+        double sa = anneal::SimulatedAnnealer(sp).sample(m)
+                        .best().energy;
+        anneal::QbsolvSolver::Params qp;
+        qp.subproblem_size = 24;
+        qp.outer_iterations =
+            static_cast<uint32_t>(8 * n / 24 + 16);
+        qp.restarts = 4;
+        qp.seed = 3;
+        double qb = anneal::QbsolvSolver(qp).sample(m).best().energy;
+        std::printf("%6zu %14.3f %14.3f %14s\n", n, sa, qb,
+                    qb < sa - 1e-9 ? "qbsolv"
+                                   : (sa < qb - 1e-9 ? "SA" : "tie"));
+    }
+    std::printf("(full-view SA retains an edge at these sizes; the "
+                "decomposer's value is\n solving problems that exceed "
+                "the device, demonstrated below)\n\n");
+}
+
+void
+printHardwareDispatch()
+{
+    std::printf("--- qbsolv dispatching subproblems to embedded "
+                "'hardware' ---\n");
+    Rng rng(32);
+    ising::IsingModel m = randomSparseModel(rng, 60);
+    auto hw = chimera::chimeraGraph(4); // a small C4 'device'
+
+    size_t dispatched = 0;
+    anneal::QbsolvSolver::Params qp;
+    qp.subproblem_size = 12;
+    qp.outer_iterations = 8;
+    qp.restarts = 2;
+    anneal::QbsolvSolver solver(qp);
+    solver.setSubSolver([&](const ising::IsingModel &sub) {
+        // Embed the subproblem on the C4 device and chain-flip anneal,
+        // exactly qbsolv's D-Wave dispatch.
+        ++dispatched;
+        std::vector<std::pair<uint32_t, uint32_t>> edges;
+        for (const auto &t : sub.quadraticTerms())
+            edges.emplace_back(t.i, t.j);
+        embed::EmbedParams ep;
+        ep.tries = 4;
+        auto emb = embed::findEmbedding(edges, sub.numVars(), hw, ep);
+        if (!emb) // fallback: exact
+            return anneal::ExactSolver().solve(sub)
+                .ground_states.front();
+        auto em = embed::embedModel(sub, *emb, hw);
+        anneal::ChainFlipAnnealer::Params cp;
+        cp.num_reads = 10;
+        cp.sweeps = 128;
+        auto set = anneal::ChainFlipAnnealer(cp, em.dense_chains)
+                       .sample(em.physical);
+        return em.unembed(set.best().spins);
+    });
+    auto set = solver.sample(m);
+    std::printf("60-variable problem solved through a C4 device: "
+                "best E = %.3f over %zu hardware dispatches\n\n",
+                set.best().energy, dispatched);
+}
+
+void
+BM_QbsolvRandom(benchmark::State &state)
+{
+    Rng rng(33);
+    ising::IsingModel m =
+        randomSparseModel(rng, static_cast<size_t>(state.range(0)));
+    anneal::QbsolvSolver::Params qp;
+    qp.subproblem_size = 20;
+    qp.outer_iterations = 16;
+    qp.restarts = 2;
+    for (auto _ : state) {
+        qp.seed += 1;
+        benchmark::DoNotOptimize(
+            anneal::QbsolvSolver(qp).sample(m));
+    }
+}
+BENCHMARK(BM_QbsolvRandom)->Arg(80)->Arg(160)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_SaRandom(benchmark::State &state)
+{
+    Rng rng(33);
+    ising::IsingModel m =
+        randomSparseModel(rng, static_cast<size_t>(state.range(0)));
+    anneal::SimulatedAnnealer::Params sp;
+    sp.num_reads = 20;
+    sp.sweeps = 512;
+    sp.greedy_polish = true;
+    for (auto _ : state) {
+        sp.seed += 1;
+        benchmark::DoNotOptimize(
+            anneal::SimulatedAnnealer(sp).sample(m));
+    }
+}
+BENCHMARK(BM_SaRandom)->Arg(80)->Arg(160)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printDecompositionQuality();
+    printHardwareDispatch();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Sequential logic via time-to-space unrolling (paper Section 4.3.3,
+ * Listing 3): the 6-bit counter is replicated per time step, and can
+ * then be run backward *through time* — given the final count, the
+ * annealer reconstructs the control inputs that produced it.
+ */
+
+#include <cstdio>
+
+#include "qac/core/compiler.h"
+#include "qac/core/program.h"
+#include "qac/util/logging.h"
+
+namespace {
+
+// Listing 3, verbatim.
+const char *kCount = R"(
+module count (clk, inc, reset, out);
+  input clk;
+  input inc;
+  input reset;
+  output [5:0] out;
+  reg [5:0] var;
+  always @(posedge clk)
+    if (reset)
+      var <= 0;
+    else
+      if (inc)
+        var <= var + 1;
+  assign out = var;
+endmodule
+)";
+
+} // namespace
+
+int
+main()
+{
+    using namespace qac;
+    using qac::format;
+
+    const size_t steps = 4;
+    core::CompileOptions opts;
+    opts.top = "count";
+    opts.unroll_steps = steps;
+    core::CompileResult compiled = core::compile(kCount, opts);
+
+    std::printf("counter unrolled for %zu steps: %zu gates, "
+                "%zu logical variables\n",
+                steps, compiled.stats.gates,
+                compiled.stats.logical_vars);
+    std::printf("(\"trading the program's time dimension for a second "
+                "spatial dimension\n  exacts a heavy toll in qubit "
+                "count\" -- Section 4.3.3)\n\n");
+
+    core::Executable prog(std::move(compiled));
+
+    // Backward through time: start at 0, end at 3 after 4 steps with
+    // no resets.  Which step inputs achieve that?  (One step must not
+    // increment.)
+    prog.pinPort("var@0", 0);
+    prog.pinPort(format("var@%zu", steps), 3);
+    for (size_t t = 0; t < steps; ++t)
+        prog.pinPort(format("reset@%zu", t), 0);
+
+    core::Executable::RunOptions ro;
+    ro.num_reads = 400;
+    ro.sweeps = 512;
+    auto rr = prog.run(ro);
+    if (!rr.hasValid()) {
+        std::printf("no valid control sequence found\n");
+        return 1;
+    }
+    std::printf("control sequences reaching count 3 in %zu steps:\n",
+                steps);
+    size_t shown = 0;
+    for (const auto *c : rr.validCandidates()) {
+        std::printf("  inc = [");
+        for (size_t t = 0; t < steps; ++t)
+            std::printf("%llu%s",
+                        static_cast<unsigned long long>(
+                            prog.portValue(*c, format("inc@%zu", t))),
+                        t + 1 < steps ? ", " : "");
+        std::printf("]  counts:");
+        for (size_t t = 0; t <= steps; ++t)
+            std::printf(" %llu",
+                        static_cast<unsigned long long>(prog.portValue(
+                            *c, t < steps ? format("out@%zu", t)
+                                          : format("var@%zu", t))));
+        std::printf("\n");
+        if (++shown >= 4)
+            break;
+    }
+    std::printf("(every sequence has exactly one idle step)\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "qac/anneal/chainflip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qac/anneal/descent.h"
+#include "qac/anneal/simulated.h"
+#include "qac/util/logging.h"
+#include "qac/util/rng.h"
+
+namespace qac::anneal {
+
+SampleSet
+ChainFlipAnnealer::sample(const ising::IsingModel &model) const
+{
+    const size_t n = model.numVars();
+    SampleSet out;
+    if (n == 0) {
+        out.finalize();
+        return out;
+    }
+
+    auto [b0, b1] = SimulatedAnnealer::defaultBetaRange(model);
+    if (params_.beta_initial > 0)
+        b0 = params_.beta_initial;
+    if (params_.beta_final > 0)
+        b1 = params_.beta_final;
+
+    const auto &adj = model.adjacency();
+
+    // Precompute each chain's internal couplings; flipping the whole
+    // chain leaves them unchanged, so the summed single-flip deltas
+    // must be corrected by +4 J sigma_i sigma_j per internal edge.
+    struct InternalEdge
+    {
+        uint32_t i, j;
+        double w;
+    };
+    std::vector<std::vector<InternalEdge>> internal(chains_.size());
+    for (size_t c = 0; c < chains_.size(); ++c) {
+        std::vector<bool> member(n, false);
+        for (uint32_t q : chains_[c])
+            member[q] = true;
+        for (uint32_t q : chains_[c])
+            for (const auto &[r, w] : adj[q])
+                if (member[r] && q < r)
+                    internal[c].push_back({q, r, w});
+    }
+
+    const uint32_t sweeps = std::max<uint32_t>(1, params_.sweeps);
+    double ratio =
+        (sweeps > 1) ? std::pow(b1 / b0, 1.0 / (sweeps - 1)) : 1.0;
+    Rng master(params_.seed);
+
+    for (uint32_t read = 0; read < params_.num_reads; ++read) {
+        Rng rng = master.fork();
+        ising::SpinVector spins(n);
+        for (auto &s : spins)
+            s = rng.spin();
+
+        double beta = b0;
+        for (uint32_t sw = 0; sw < sweeps; ++sw, beta *= ratio) {
+            // Composite chain moves.
+            for (size_t c = 0; c < chains_.size(); ++c) {
+                double delta = 0.0;
+                for (uint32_t q : chains_[c])
+                    delta += model.flipDelta(spins, q);
+                for (const auto &e : internal[c])
+                    delta += 4.0 * e.w * spins[e.i] * spins[e.j];
+                if (delta <= 0.0 ||
+                    rng.uniform() < std::exp(-beta * delta)) {
+                    for (uint32_t q : chains_[c])
+                        spins[q] = static_cast<ising::Spin>(-spins[q]);
+                }
+            }
+            // Single-qubit relaxation.
+            for (uint32_t i = 0; i < n; ++i) {
+                double local = model.linear(i);
+                for (const auto &[j, w] : adj[i])
+                    local += w * spins[j];
+                double delta = -2.0 * spins[i] * local;
+                if (delta <= 0.0 ||
+                    rng.uniform() < std::exp(-beta * delta))
+                    spins[i] = static_cast<ising::Spin>(-spins[i]);
+            }
+        }
+        if (params_.greedy_polish)
+            greedyDescent(model, spins);
+        out.add(spins, model.energy(spins));
+    }
+    out.finalize();
+    return out;
+}
+
+} // namespace qac::anneal

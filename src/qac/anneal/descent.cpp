@@ -1,0 +1,44 @@
+#include "qac/anneal/descent.h"
+
+namespace qac::anneal {
+
+double
+greedyDescent(const ising::IsingModel &model, ising::SpinVector &spins)
+{
+    const auto &adj = model.adjacency();
+    const size_t n = model.numVars();
+    double gained = 0.0;
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (uint32_t i = 0; i < n; ++i) {
+            double local = model.linear(i);
+            for (const auto &[j, w] : adj[i])
+                local += w * spins[j];
+            double delta = -2.0 * spins[i] * local;
+            if (delta < -1e-12) {
+                spins[i] = static_cast<ising::Spin>(-spins[i]);
+                gained += delta;
+                improved = true;
+            }
+        }
+    }
+    return gained;
+}
+
+SampleSet
+polish(const ising::IsingModel &model, const SampleSet &in)
+{
+    SampleSet out;
+    for (const auto &s : in.samples()) {
+        ising::SpinVector spins = s.spins;
+        greedyDescent(model, spins);
+        double e = model.energy(spins);
+        for (uint32_t k = 0; k < s.num_occurrences; ++k)
+            out.add(spins, e);
+    }
+    out.finalize();
+    return out;
+}
+
+} // namespace qac::anneal

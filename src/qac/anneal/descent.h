@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Greedy steepest-descent polish for sampler output.
+ */
+
+#ifndef QAC_ANNEAL_DESCENT_H
+#define QAC_ANNEAL_DESCENT_H
+
+#include "qac/anneal/sampleset.h"
+#include "qac/ising/model.h"
+
+namespace qac::anneal {
+
+/**
+ * Flip spins while any single flip lowers the energy.
+ * @return total energy improvement (<= 0).
+ */
+double greedyDescent(const ising::IsingModel &model,
+                     ising::SpinVector &spins);
+
+/** Apply greedyDescent to every sample; returns a re-finalized set. */
+SampleSet polish(const ising::IsingModel &model, const SampleSet &in);
+
+} // namespace qac::anneal
+
+#endif // QAC_ANNEAL_DESCENT_H

@@ -1,0 +1,65 @@
+#include "qac/anneal/exact.h"
+
+#include <cmath>
+
+#include "qac/util/logging.h"
+
+namespace qac::anneal {
+
+ExactResult
+ExactSolver::solve(const ising::IsingModel &model) const
+{
+    const size_t n = model.numVars();
+    if (n > params_.max_vars)
+        fatal("ExactSolver: %zu variables exceeds the limit of %zu", n,
+              params_.max_vars);
+
+    ExactResult res;
+    ising::SpinVector spins(n, -1);
+    if (n == 0) {
+        res.min_energy = 0.0;
+        res.ground_states.push_back(spins);
+        return res;
+    }
+
+    const auto &adj = model.adjacency();
+    (void)adj; // built once so flipDelta is O(deg)
+
+    double energy = model.energy(spins);
+    res.min_energy = energy;
+    res.ground_states.push_back(spins);
+
+    auto consider = [&](double e) {
+        if (e < res.min_energy - params_.tol) {
+            res.min_energy = e;
+            res.ground_states.clear();
+            res.ground_states.push_back(spins);
+            res.truncated = false;
+        } else if (std::abs(e - res.min_energy) <= params_.tol) {
+            if (res.ground_states.size() < params_.max_ground_states)
+                res.ground_states.push_back(spins);
+            else
+                res.truncated = true;
+        }
+    };
+
+    // Gray-code walk: step k flips the lowest set bit index of k.
+    const uint64_t total = uint64_t{1} << n;
+    for (uint64_t k = 1; k < total; ++k) {
+        uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(k));
+        energy += model.flipDelta(spins, bit);
+        spins[bit] = static_cast<ising::Spin>(-spins[bit]);
+        consider(energy);
+    }
+    return res;
+}
+
+double
+ExactSolver::minEnergy(const ising::IsingModel &model) const
+{
+    // solve() without storing states would save memory; ground-state
+    // lists are small in practice, so reuse it.
+    return solve(model).min_energy;
+}
+
+} // namespace qac::anneal

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Exhaustive ground-state enumeration for small Ising models.
+ *
+ * Gray-code enumeration with incremental energy updates; the reference
+ * oracle every stochastic sampler is tested against.
+ */
+
+#ifndef QAC_ANNEAL_EXACT_H
+#define QAC_ANNEAL_EXACT_H
+
+#include "qac/anneal/sampleset.h"
+#include "qac/ising/model.h"
+
+namespace qac::anneal {
+
+struct ExactResult
+{
+    double min_energy = 0.0;
+    /** All minimizing assignments (capped at max_ground_states). */
+    std::vector<ising::SpinVector> ground_states;
+    bool truncated = false;
+};
+
+class ExactSolver
+{
+  public:
+    struct Params
+    {
+        size_t max_vars = 28;
+        size_t max_ground_states = 4096;
+        double tol = 1e-9;
+    };
+
+    ExactSolver() = default;
+    explicit ExactSolver(Params params) : params_(params) {}
+
+    /** Enumerate all 2^n assignments. Fatal when n > max_vars. */
+    ExactResult solve(const ising::IsingModel &model) const;
+
+    /** Global minimum energy only. */
+    double minEnergy(const ising::IsingModel &model) const;
+
+  private:
+    Params params_{};
+};
+
+} // namespace qac::anneal
+
+#endif // QAC_ANNEAL_EXACT_H

@@ -1,0 +1,122 @@
+#include "qac/anneal/qbsolv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qac/anneal/descent.h"
+#include "qac/anneal/exact.h"
+#include "qac/util/logging.h"
+#include "qac/util/rng.h"
+
+namespace qac::anneal {
+
+ising::IsingModel
+clampModel(const ising::IsingModel &model,
+           const std::vector<uint32_t> &keep,
+           const ising::SpinVector &spins, double *offset)
+{
+    std::vector<uint32_t> dense(model.numVars(), UINT32_MAX);
+    for (uint32_t k = 0; k < keep.size(); ++k)
+        dense[keep[k]] = k;
+
+    ising::IsingModel sub(keep.size());
+    double off = 0.0;
+    for (uint32_t i = 0; i < model.numVars(); ++i) {
+        double h = model.linear(i);
+        if (h == 0.0)
+            continue;
+        if (dense[i] != UINT32_MAX)
+            sub.addLinear(dense[i], h);
+        else
+            off += h * spins[i];
+    }
+    for (const auto &t : model.quadraticTerms()) {
+        bool in_i = dense[t.i] != UINT32_MAX;
+        bool in_j = dense[t.j] != UINT32_MAX;
+        if (in_i && in_j)
+            sub.addQuadratic(dense[t.i], dense[t.j], t.value);
+        else if (in_i)
+            sub.addLinear(dense[t.i], t.value * spins[t.j]);
+        else if (in_j)
+            sub.addLinear(dense[t.j], t.value * spins[t.i]);
+        else
+            off += t.value * spins[t.i] * spins[t.j];
+    }
+    if (offset)
+        *offset = off;
+    return sub;
+}
+
+SampleSet
+QbsolvSolver::sample(const ising::IsingModel &model) const
+{
+    const size_t n = model.numVars();
+    SampleSet out;
+    if (n == 0) {
+        out.finalize();
+        return out;
+    }
+
+    SubSolver sub = sub_;
+    if (!sub) {
+        sub = [](const ising::IsingModel &m) {
+            return ExactSolver().solve(m).ground_states.front();
+        };
+    }
+
+    const size_t sub_n = std::max<size_t>(2, params_.subproblem_size);
+    Rng master(params_.seed);
+
+    for (uint32_t restart = 0; restart < params_.restarts; ++restart) {
+        Rng rng = master.fork();
+        ising::SpinVector spins(n);
+        for (auto &s : spins)
+            s = rng.spin();
+        greedyDescent(model, spins);
+
+        for (uint32_t iter = 0; iter < params_.outer_iterations;
+             ++iter) {
+            if (n <= sub_n) {
+                // The whole problem fits: one shot.
+                spins = sub(model);
+                break;
+            }
+            // Rank variables by |flip delta|: the most "strained"
+            // variables lead the subproblem (qbsolv's impact rule),
+            // topped up with random fill for diversification.
+            std::vector<std::pair<double, uint32_t>> impact(n);
+            for (uint32_t i = 0; i < n; ++i)
+                impact[i] = {-std::abs(model.flipDelta(spins, i)), i};
+            std::sort(impact.begin(), impact.end());
+            std::vector<uint32_t> keep;
+            size_t lead = sub_n / 2;
+            for (size_t k = 0; k < lead; ++k)
+                keep.push_back(impact[k].second);
+            while (keep.size() < sub_n) {
+                uint32_t v = static_cast<uint32_t>(rng.below(n));
+                if (std::find(keep.begin(), keep.end(), v) == keep.end())
+                    keep.push_back(v);
+            }
+
+            ising::IsingModel clamped = clampModel(model, keep, spins);
+            ising::SpinVector sub_spins = sub(clamped);
+            if (sub_spins.size() != keep.size())
+                panic("qbsolv sub-solver returned %zu spins for %zu "
+                      "variables",
+                      sub_spins.size(), keep.size());
+
+            double before = model.energy(spins);
+            ising::SpinVector candidate = spins;
+            for (size_t k = 0; k < keep.size(); ++k)
+                candidate[keep[k]] = sub_spins[k];
+            greedyDescent(model, candidate);
+            if (model.energy(candidate) <= before)
+                spins = std::move(candidate);
+        }
+        out.add(spins, model.energy(spins));
+    }
+    out.finalize();
+    return out;
+}
+
+} // namespace qac::anneal

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A qbsolv-style decomposing solver (paper, Section 4.3 and Appendix
+ * A): "run them indirectly through qbsolv, which can split large
+ * problems into sub-problems that fit on the D-Wave hardware."
+ *
+ * Algorithm (after Booth, Dahl, Furtney, Reinhardt 2016/2017): keep a
+ * full-size working assignment; repeatedly select a subset of at most
+ * `subproblem_size` variables — those with the largest energy impact,
+ * plus random fill — clamp the rest, solve the induced sub-Ising
+ * exactly or with a sub-sampler, and accept improvements.  Tabu-style
+ * random restarts escape local minima.  The sub-solver is pluggable so
+ * the subproblem can be dispatched to "hardware" (an embedded
+ * chain-flip anneal) exactly the way qbsolv dispatches to a D-Wave.
+ */
+
+#ifndef QAC_ANNEAL_QBSOLV_H
+#define QAC_ANNEAL_QBSOLV_H
+
+#include <functional>
+
+#include "qac/anneal/sampleset.h"
+#include "qac/ising/model.h"
+
+namespace qac::anneal {
+
+class QbsolvSolver
+{
+  public:
+    struct Params
+    {
+        /** Largest subproblem handed to the sub-solver (the paper's
+         *  hardware could fit ~2048 qubits; default keeps the exact
+         *  sub-solver fast). */
+        size_t subproblem_size = 20;
+        uint32_t outer_iterations = 16; ///< improvement rounds
+        uint32_t restarts = 4;          ///< random restarts
+        uint64_t seed = 1;
+    };
+
+    /**
+     * Sub-solver callback: minimize the given (clamped) sub-model and
+     * return a spin assignment.  Defaults to exact enumeration.
+     */
+    using SubSolver =
+        std::function<ising::SpinVector(const ising::IsingModel &)>;
+
+    QbsolvSolver() = default;
+    explicit QbsolvSolver(Params params) : params_(params) {}
+
+    void setSubSolver(SubSolver sub) { sub_ = std::move(sub); }
+
+    /** Minimize @p model; returns one sample per restart. */
+    SampleSet sample(const ising::IsingModel &model) const;
+
+  private:
+    Params params_{};
+    SubSolver sub_;
+};
+
+/**
+ * Clamp all variables outside @p keep to the values in @p spins,
+ * producing the induced sub-model over keep (in keep order) and the
+ * constant energy offset of the clamped part.
+ */
+ising::IsingModel
+clampModel(const ising::IsingModel &model,
+           const std::vector<uint32_t> &keep,
+           const ising::SpinVector &spins, double *offset = nullptr);
+
+} // namespace qac::anneal
+
+#endif // QAC_ANNEAL_QBSOLV_H

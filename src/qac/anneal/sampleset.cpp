@@ -1,0 +1,77 @@
+#include "qac/anneal/sampleset.h"
+
+#include <algorithm>
+
+#include "qac/util/logging.h"
+
+namespace qac::anneal {
+
+void
+SampleSet::add(const ising::SpinVector &spins, double energy)
+{
+    ++total_reads_;
+    auto [it, inserted] = index_.emplace(spins, samples_.size());
+    if (inserted) {
+        samples_.push_back({spins, energy, 1});
+    } else {
+        ++samples_[it->second].num_occurrences;
+    }
+    finalized_ = false;
+}
+
+void
+SampleSet::finalize()
+{
+    // Sort by energy, remapping the dedup index.
+    std::vector<size_t> order(samples_.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return samples_[a].energy < samples_[b].energy;
+    });
+    std::vector<Sample> sorted;
+    sorted.reserve(samples_.size());
+    for (size_t i : order)
+        sorted.push_back(std::move(samples_[i]));
+    samples_ = std::move(sorted);
+    index_.clear();
+    for (size_t i = 0; i < samples_.size(); ++i)
+        index_.emplace(samples_[i].spins, i);
+    finalized_ = true;
+}
+
+const Sample &
+SampleSet::best() const
+{
+    if (samples_.empty())
+        panic("SampleSet::best on an empty set");
+    if (!finalized_)
+        panic("SampleSet::best before finalize()");
+    return samples_.front();
+}
+
+std::vector<const Sample *>
+SampleSet::lowestBand(double tol) const
+{
+    std::vector<const Sample *> out;
+    if (samples_.empty())
+        return out;
+    double e0 = best().energy;
+    for (const auto &s : samples_)
+        if (s.energy <= e0 + tol)
+            out.push_back(&s);
+    return out;
+}
+
+double
+SampleSet::groundFraction(double tol) const
+{
+    if (total_reads_ == 0)
+        return 0.0;
+    uint64_t hits = 0;
+    for (const Sample *s : lowestBand(tol))
+        hits += s->num_occurrences;
+    return static_cast<double>(hits) / static_cast<double>(total_reads_);
+}
+
+} // namespace qac::anneal

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Aggregated sampler output.
+ *
+ * "All quantum computers are fundamentally stochastic devices" (Section
+ * 5.4), so qmasm "can run a program arbitrarily many times and report
+ * statistics on the results" — SampleSet is that report: distinct
+ * solutions with occurrence counts, sorted by energy.
+ */
+
+#ifndef QAC_ANNEAL_SAMPLESET_H
+#define QAC_ANNEAL_SAMPLESET_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "qac/ising/model.h"
+
+namespace qac::anneal {
+
+struct Sample
+{
+    ising::SpinVector spins;
+    double energy = 0.0;
+    uint32_t num_occurrences = 0;
+};
+
+/** Distinct samples with counts, ordered by ascending energy. */
+class SampleSet
+{
+  public:
+    /** Record one read (duplicates aggregate). */
+    void add(const ising::SpinVector &spins, double energy);
+
+    /** Sort ascending by energy. Call after the last add(). */
+    void finalize();
+
+    bool empty() const { return samples_.empty(); }
+    size_t size() const { return samples_.size(); }
+    uint64_t totalReads() const { return total_reads_; }
+
+    /** Lowest-energy sample (finalize() first). Fatal when empty. */
+    const Sample &best() const;
+
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Samples within @p tol of the best energy. */
+    std::vector<const Sample *> lowestBand(double tol = 1e-9) const;
+
+    /** Fraction of reads that landed in the lowest band. */
+    double groundFraction(double tol = 1e-9) const;
+
+  private:
+    std::vector<Sample> samples_;
+    std::map<ising::SpinVector, size_t> index_;
+    uint64_t total_reads_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace qac::anneal
+
+#endif // QAC_ANNEAL_SAMPLESET_H

@@ -1,0 +1,99 @@
+#include "qac/anneal/simulated.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qac/anneal/descent.h"
+#include "qac/util/logging.h"
+
+namespace qac::anneal {
+
+std::pair<double, double>
+SimulatedAnnealer::defaultBetaRange(const ising::IsingModel &model)
+{
+    // Hot end: the largest possible |delta E| flips with probability
+    // ~1/2.  Cold end: the smallest nonzero field barely flips.
+    double max_local = 0.0;
+    double min_scale = std::numeric_limits<double>::infinity();
+    const auto &adj = model.adjacency();
+    for (uint32_t i = 0; i < model.numVars(); ++i) {
+        double local = std::abs(model.linear(i));
+        if (local > 0)
+            min_scale = std::min(min_scale, local);
+        for (const auto &[j, w] : adj[i]) {
+            (void)j;
+            local += std::abs(w);
+            if (w != 0.0)
+                min_scale = std::min(min_scale, std::abs(w));
+        }
+        max_local = std::max(max_local, local);
+    }
+    if (max_local <= 0.0)
+        return {0.1, 1.0};
+    if (!std::isfinite(min_scale))
+        min_scale = max_local;
+    double beta_hot = std::log(2.0) / (2.0 * max_local);
+    double beta_cold = std::log(100.0) / (2.0 * min_scale);
+    if (beta_cold <= beta_hot)
+        beta_cold = beta_hot * 10.0;
+    return {beta_hot, beta_cold};
+}
+
+SampleSet
+SimulatedAnnealer::sample(const ising::IsingModel &model) const
+{
+    const size_t n = model.numVars();
+    SampleSet out;
+    if (n == 0) {
+        out.finalize();
+        return out;
+    }
+
+    auto [b0, b1] = defaultBetaRange(model);
+    if (params_.beta_initial > 0)
+        b0 = params_.beta_initial;
+    if (params_.beta_final > 0)
+        b1 = params_.beta_final;
+
+    const uint32_t sweeps = std::max<uint32_t>(1, params_.sweeps);
+    // Geometric beta schedule.
+    std::vector<double> betas(sweeps);
+    double ratio = (sweeps > 1)
+                       ? std::pow(b1 / b0, 1.0 / (sweeps - 1))
+                       : 1.0;
+    double b = b0;
+    for (uint32_t s = 0; s < sweeps; ++s) {
+        betas[s] = b;
+        b *= ratio;
+    }
+
+    const auto &adj = model.adjacency();
+    Rng master(params_.seed);
+
+    for (uint32_t read = 0; read < params_.num_reads; ++read) {
+        Rng rng = master.fork();
+        ising::SpinVector spins(n);
+        for (auto &s : spins)
+            s = rng.spin();
+
+        for (uint32_t s = 0; s < sweeps; ++s) {
+            double beta = betas[s];
+            for (uint32_t i = 0; i < n; ++i) {
+                double local = model.linear(i);
+                for (const auto &[j, w] : adj[i])
+                    local += w * spins[j];
+                double delta = -2.0 * spins[i] * local;
+                if (delta <= 0.0 ||
+                    rng.uniform() < std::exp(-beta * delta))
+                    spins[i] = static_cast<ising::Spin>(-spins[i]);
+            }
+        }
+        if (params_.greedy_polish)
+            greedyDescent(model, spins);
+        out.add(spins, model.energy(spins));
+    }
+    out.finalize();
+    return out;
+}
+
+} // namespace qac::anneal

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Metropolis simulated annealing (Kirkpatrick et al. 1983).
+ *
+ * The paper notes the generated H(sigma) "can be minimized in software
+ * on conventional computers using, e.g., simulated annealing" (Section
+ * 2) — this sampler is QAC's workhorse classical substitute for the
+ * D-Wave 2000Q.
+ */
+
+#ifndef QAC_ANNEAL_SIMULATED_H
+#define QAC_ANNEAL_SIMULATED_H
+
+#include "qac/anneal/sampleset.h"
+#include "qac/ising/model.h"
+#include "qac/util/rng.h"
+
+namespace qac::anneal {
+
+class SimulatedAnnealer
+{
+  public:
+    struct Params
+    {
+        uint32_t num_reads = 100;  ///< independent anneals
+        uint32_t sweeps = 256;     ///< full-lattice sweeps per anneal
+        /** Inverse-temperature schedule endpoints; 0 = auto-derived
+         *  from the model's energy scales (neal-style). */
+        double beta_initial = 0.0;
+        double beta_final = 0.0;
+        uint64_t seed = 1;
+        bool greedy_polish = false; ///< steepest-descent after each read
+    };
+
+    SimulatedAnnealer() = default;
+    explicit SimulatedAnnealer(Params params) : params_(params) {}
+
+    SampleSet sample(const ising::IsingModel &model) const;
+
+    /** The (beta_initial, beta_final) pair auto-derivation. */
+    static std::pair<double, double>
+    defaultBetaRange(const ising::IsingModel &model);
+
+  private:
+    Params params_{};
+};
+
+} // namespace qac::anneal
+
+#endif // QAC_ANNEAL_SIMULATED_H

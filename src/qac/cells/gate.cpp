@@ -1,0 +1,98 @@
+#include "qac/cells/gate.h"
+
+#include <array>
+
+#include "qac/util/logging.h"
+
+namespace qac::cells {
+
+namespace {
+
+const std::array<GateInfo, kNumGateTypes> &
+table()
+{
+    static const std::array<GateInfo, kNumGateTypes> infos = {{
+        {GateType::BUF, "BUF", {"A"}, "Y", false},
+        {GateType::NOT, "NOT", {"A"}, "Y", false},
+        {GateType::AND, "AND", {"A", "B"}, "Y", false},
+        {GateType::OR, "OR", {"A", "B"}, "Y", false},
+        {GateType::NAND, "NAND", {"A", "B"}, "Y", false},
+        {GateType::NOR, "NOR", {"A", "B"}, "Y", false},
+        {GateType::XOR, "XOR", {"A", "B"}, "Y", false},
+        {GateType::XNOR, "XNOR", {"A", "B"}, "Y", false},
+        {GateType::MUX, "MUX", {"A", "B", "S"}, "Y", false},
+        {GateType::AOI3, "AOI3", {"A", "B", "C"}, "Y", false},
+        {GateType::OAI3, "OAI3", {"A", "B", "C"}, "Y", false},
+        {GateType::AOI4, "AOI4", {"A", "B", "C", "D"}, "Y", false},
+        {GateType::OAI4, "OAI4", {"A", "B", "C", "D"}, "Y", false},
+        {GateType::DFF_P, "DFF_P", {"D"}, "Q", true},
+        {GateType::DFF_N, "DFF_N", {"D"}, "Q", true},
+    }};
+    return infos;
+}
+
+} // namespace
+
+const GateInfo &
+gateInfo(GateType type)
+{
+    const auto &infos = table();
+    size_t idx = static_cast<size_t>(type);
+    if (idx >= infos.size())
+        panic("gateInfo: bad gate type %zu", idx);
+    return infos[idx];
+}
+
+GateType
+gateTypeByName(const std::string &name)
+{
+    for (const auto &info : table())
+        if (name == info.name)
+            return info.type;
+    fatal("unknown gate type '%s'", name.c_str());
+}
+
+bool
+evalGate(GateType type, uint32_t bits)
+{
+    const bool a = bits & 1;
+    const bool b = bits & 2;
+    const bool c = bits & 4;
+    const bool d = bits & 8;
+    switch (type) {
+      case GateType::BUF:
+        return a;
+      case GateType::NOT:
+        return !a;
+      case GateType::AND:
+        return a && b;
+      case GateType::OR:
+        return a || b;
+      case GateType::NAND:
+        return !(a && b);
+      case GateType::NOR:
+        return !(a || b);
+      case GateType::XOR:
+        return a != b;
+      case GateType::XNOR:
+        return a == b;
+      case GateType::MUX:
+        // inputs (A, B, S): Y = S ? B : A
+        return c ? b : a;
+      case GateType::AOI3:
+        return !((a && b) || c);
+      case GateType::OAI3:
+        return !((a || b) && c);
+      case GateType::AOI4:
+        return !((a && b) || (c && d));
+      case GateType::OAI4:
+        return !((a || b) && (c || d));
+      case GateType::DFF_P:
+      case GateType::DFF_N:
+        panic("evalGate called on sequential gate %s",
+              gateInfo(type).name);
+    }
+    panic("evalGate: bad gate type");
+}
+
+} // namespace qac::cells

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Gate vocabulary: the cell set the paper's ABC flow targets.
+ *
+ * "The particular gates chosen for inclusion ... correspond to the set of
+ * gates considered by default by the ABC optimizer" (Section 4.3.2,
+ * Table 5): NOT, AND, OR, NAND, NOR, XOR, XNOR, 2:1 MUX, AOI3, OAI3,
+ * AOI4, OAI4, and positive/negative edge-triggered D flip-flops.  BUF is
+ * included as a netlist convenience (it lowers to a QMASM chain).
+ */
+
+#ifndef QAC_CELLS_GATE_H
+#define QAC_CELLS_GATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qac::cells {
+
+/** Cell types understood by the tech mapper and the QMASM backend. */
+enum class GateType : uint8_t {
+    BUF,   ///< Y = A (becomes a chain, not a macro)
+    NOT,   ///< Y = !A
+    AND,   ///< Y = A & B
+    OR,    ///< Y = A | B
+    NAND,  ///< Y = !(A & B)
+    NOR,   ///< Y = !(A | B)
+    XOR,   ///< Y = A ^ B
+    XNOR,  ///< Y = !(A ^ B)
+    MUX,   ///< Y = S ? B : A
+    AOI3,  ///< Y = !((A & B) | C)
+    OAI3,  ///< Y = !((A | B) & C)
+    AOI4,  ///< Y = !((A & B) | (C & D))
+    OAI4,  ///< Y = !((A | B) & (C | D))
+    DFF_P, ///< Q = D at posedge (time-unrolled; Section 4.3.3)
+    DFF_N, ///< Q = D at negedge (same treatment)
+};
+
+/** Number of distinct GateType values. */
+constexpr size_t kNumGateTypes = 15;
+
+/** Static metadata for one gate type. */
+struct GateInfo
+{
+    GateType type;
+    const char *name;                    ///< e.g. "AOI3"
+    std::vector<std::string> inputs;     ///< port names in argument order
+    const char *output;                  ///< "Y", or "Q" for flip-flops
+    bool sequential;                     ///< true for DFFs
+};
+
+/** Metadata lookup. */
+const GateInfo &gateInfo(GateType type);
+
+/** Look a gate type up by name ("AND", "DFF_P", ...). Fatal if unknown. */
+GateType gateTypeByName(const std::string &name);
+
+/**
+ * Combinational evaluation.  Bit k of @p input_bits is the k'th input in
+ * gateInfo(type).inputs order.  Panics for sequential gates.
+ */
+bool evalGate(GateType type, uint32_t input_bits);
+
+} // namespace qac::cells
+
+#endif // QAC_CELLS_GATE_H

@@ -1,0 +1,392 @@
+#include "qac/cells/stdcell.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <optional>
+
+#include "qac/util/logging.h"
+
+namespace qac::cells {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct LinTerm
+{
+    int i;
+    double w;
+};
+
+struct QuadTerm
+{
+    int i;
+    int j;
+    double w;
+};
+
+CellHamiltonian
+makeCell(GateType type, std::vector<std::string> names,
+         std::initializer_list<LinTerm> lin,
+         std::initializer_list<QuadTerm> quad)
+{
+    CellHamiltonian cell;
+    cell.type = type;
+    cell.varNames = std::move(names);
+    cell.H.resize(cell.varNames.size());
+    for (const auto &t : lin)
+        cell.H.addLinear(static_cast<uint32_t>(t.i), t.w);
+    for (const auto &t : quad)
+        cell.H.addQuadratic(static_cast<uint32_t>(t.i),
+                            static_cast<uint32_t>(t.j), t.w);
+    return cell;
+}
+
+/** Add @p sub's Hamiltonian into @p cell, mapping sub spin i to
+ *  cell spin var_map[i]. */
+void
+addMapped(CellHamiltonian &cell, const CellHamiltonian &sub,
+          const std::vector<uint32_t> &var_map)
+{
+    for (uint32_t i = 0; i < sub.H.numVars(); ++i) {
+        double h = sub.H.linear(i);
+        if (h != 0.0)
+            cell.H.addLinear(var_map[i], h);
+    }
+    for (const auto &t : sub.H.quadraticTerms())
+        cell.H.addQuadratic(var_map[t.i], var_map[t.j], t.value);
+}
+
+} // namespace
+
+size_t
+CellHamiltonian::varIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < varNames.size(); ++i)
+        if (varNames[i] == name)
+            return i;
+    fatal("cell %s has no spin named '%s'", gateInfo(type).name,
+          name.c_str());
+}
+
+size_t
+CellHamiltonian::numAncillas() const
+{
+    size_t n = 0;
+    for (const auto &name : varNames)
+        if (!name.empty() && name[0] == '$')
+            ++n;
+    return n;
+}
+
+bool
+verifyCell(CellHamiltonian &cell, std::string *error)
+{
+    const GateInfo &info = gateInfo(cell.type);
+    const size_t num_in = info.inputs.size();
+    const size_t num_vars = cell.varNames.size();
+
+    // Map functional roles to spin indices.
+    const size_t out_idx = cell.varIndex(info.output);
+    std::vector<size_t> in_idx(num_in);
+    for (size_t k = 0; k < num_in; ++k)
+        in_idx[k] = cell.varIndex(info.inputs[k]);
+    std::vector<size_t> anc_idx;
+    for (size_t i = 0; i < num_vars; ++i)
+        if (!cell.varNames[i].empty() && cell.varNames[i][0] == '$')
+            anc_idx.push_back(i);
+    if (1 + num_in + anc_idx.size() != num_vars) {
+        if (error)
+            *error = "spin roles do not partition the variables";
+        return false;
+    }
+
+    // The DFF "truth table" is the identity relation Q = D.
+    auto valid = [&](uint32_t in_bits, bool y) {
+        if (info.sequential)
+            return y == static_cast<bool>(in_bits & 1);
+        return evalGate(cell.type, in_bits) == y;
+    };
+
+    const size_t num_anc = anc_idx.size();
+    double k_energy = std::numeric_limits<double>::quiet_NaN();
+    double min_invalid = std::numeric_limits<double>::infinity();
+
+    ising::SpinVector spins(num_vars, -1);
+    for (uint32_t row = 0; row < (1u << (num_in + 1)); ++row) {
+        const bool y = row & 1;
+        const uint32_t in_bits = row >> 1;
+        spins[out_idx] = ising::boolToSpin(y);
+        for (size_t kk = 0; kk < num_in; ++kk)
+            spins[in_idx[kk]] = ising::boolToSpin((in_bits >> kk) & 1);
+        double m = std::numeric_limits<double>::infinity();
+        for (uint32_t abits = 0; abits < (1u << num_anc); ++abits) {
+            for (size_t a = 0; a < num_anc; ++a)
+                spins[anc_idx[a]] = ising::boolToSpin((abits >> a) & 1);
+            m = std::min(m, cell.H.energy(spins));
+        }
+        if (valid(in_bits, y)) {
+            if (std::isnan(k_energy)) {
+                k_energy = m;
+            } else if (std::abs(m - k_energy) > kEps) {
+                if (error)
+                    *error = format(
+                        "valid rows disagree on ground energy: %g vs %g",
+                        k_energy, m);
+                return false;
+            }
+        } else {
+            min_invalid = std::min(min_invalid, m);
+        }
+    }
+    if (min_invalid <= k_energy + kEps) {
+        if (error)
+            *error = format("invalid row at %g not above ground %g",
+                            min_invalid, k_energy);
+        return false;
+    }
+    cell.groundEnergy = k_energy;
+    cell.gap = min_invalid - k_energy;
+    return true;
+}
+
+CellHamiltonian
+paperCell(GateType type)
+{
+    // Literal transcriptions of Table 5.  Spin order follows the paper's
+    // argument lists.  Fractions are written exactly.
+    const double k12 = 1.0 / 2.0;
+    const double k13 = 1.0 / 3.0;
+    const double k14 = 1.0 / 4.0;
+    const double k16 = 1.0 / 6.0;
+    const double k112 = 1.0 / 12.0;
+
+    switch (type) {
+      case GateType::NOT:
+        // H(Y,A) = sigma_A sigma_Y
+        return makeCell(type, {"Y", "A"}, {}, {{0, 1, 1.0}});
+      case GateType::AND:
+        return makeCell(type, {"Y", "A", "B"},
+                        {{1, -k12}, {2, -k12}, {0, 1.0}},
+                        {{1, 2, k12}, {1, 0, -1.0}, {2, 0, -1.0}});
+      case GateType::OR:
+        return makeCell(type, {"Y", "A", "B"},
+                        {{1, k12}, {2, k12}, {0, -1.0}},
+                        {{1, 2, k12}, {1, 0, -1.0}, {2, 0, -1.0}});
+      case GateType::NAND:
+        return makeCell(type, {"Y", "A", "B"},
+                        {{1, -k12}, {2, -k12}, {0, -1.0}},
+                        {{1, 2, k12}, {1, 0, 1.0}, {2, 0, 1.0}});
+      case GateType::NOR:
+        return makeCell(type, {"Y", "A", "B"},
+                        {{1, k12}, {2, k12}, {0, 1.0}},
+                        {{1, 2, k12}, {1, 0, 1.0}, {2, 0, 1.0}});
+      case GateType::XOR:
+        // H(Y,A,B,a)
+        return makeCell(type, {"Y", "A", "B", "$a"},
+                        {{1, k12}, {2, -k12}, {0, -k12}, {3, 1.0}},
+                        {{1, 2, -k12},
+                         {1, 0, -k12},
+                         {1, 3, 1.0},
+                         {2, 0, k12},
+                         {2, 3, -1.0},
+                         {0, 3, -1.0}});
+      case GateType::XNOR:
+        return makeCell(type, {"Y", "A", "B", "$a"},
+                        {{1, k12}, {2, -k12}, {0, k12}, {3, 1.0}},
+                        {{1, 2, -k12},
+                         {1, 0, k12},
+                         {1, 3, 1.0},
+                         {2, 0, -k12},
+                         {2, 3, -1.0},
+                         {0, 3, 1.0}});
+      case GateType::MUX:
+        // H(Y,S,A,B,a); logic Y = (S & B) | (!S & A)
+        return makeCell(
+            type, {"Y", "S", "A", "B", "$a"},
+            {{1, k12}, {2, k14}, {3, -k14}, {0, k12}, {4, 1.0}},
+            {{1, 2, k14},
+             {1, 3, -k14},
+             {1, 0, k12},
+             {1, 4, 1.0},
+             {2, 3, k12},
+             {2, 0, -k12},
+             {2, 4, k12},
+             {3, 0, -1.0},
+             {3, 4, -k12},
+             {0, 4, 1.0}});
+      case GateType::AOI3:
+        // H(Y,A,B,C,a); Y = !((A & B) | C)
+        return makeCell(
+            type, {"Y", "A", "B", "C", "$a"},
+            {{2, -k13}, {3, k13}, {0, 2.0 * k13}, {4, -2.0 * k13}},
+            {{1, 2, k13},
+             {1, 3, k13},
+             {1, 0, k13},
+             {1, 4, k13},
+             {2, 0, -k13},
+             {2, 4, 1.0},
+             {3, 0, 1.0},
+             {3, 4, -k13},
+             {0, 4, -1.0}});
+      case GateType::OAI3:
+        // H(Y,A,B,C,a); Y = !((A | B) & C)
+        return makeCell(
+            type, {"Y", "A", "B", "C", "$a"},
+            {{1, -k14}, {3, -3.0 * k14}, {0, -k12}, {4, -k12}},
+            {{1, 3, 3.0 * k14},
+             {1, 0, k12},
+             {1, 4, k12},
+             {2, 0, k14},
+             {2, 4, -k14},
+             {3, 0, 1.0},
+             {3, 4, 1.0},
+             {0, 4, k14}});
+      case GateType::AOI4:
+        // H(Y,A,B,C,D,a,b); Y = !((A & B) | (C & D))
+        return makeCell(
+            type, {"Y", "A", "B", "C", "D", "$a", "$b"},
+            {{1, -k16},
+             {2, -k16},
+             {3, -5.0 * k112},
+             {4, k14},
+             {0, -5.0 * k112},
+             {5, -7.0 * k112},
+             {6, k16}},
+            {{1, 2, k16},      {1, 3, k13},
+             {1, 4, -k112},    {1, 0, k12},
+             {1, 5, k13},      {1, 6, -k14},
+             {2, 3, k13},      {2, 4, -k112},
+             {2, 0, k12},      {2, 5, k13},
+             {2, 6, -k14},     {3, 4, -k13},
+             {3, 0, 11.0 * k112}, {3, 5, 11.0 * k112},
+             {3, 6, -5.0 * k112}, {4, 0, -k13},
+             {4, 5, -7.0 * k112}, {4, 6, k13},
+             {0, 5, 1.0},      {0, 6, -2.0 * k13},
+             {5, 6, -7.0 * k112}});
+      case GateType::OAI4:
+        // H(Y,A,B,C,D,a,b); Y = !((A | B) & (C | D))
+        return makeCell(
+            type, {"Y", "A", "B", "C", "D", "$a", "$b"},
+            {{1, 2.0 * k13},
+             {2, -k13},
+             {3, -k13},
+             {4, -k13},
+             {0, -k13},
+             {5, -1.0},
+             {6, -1.0}},
+            {{1, 2, -k13},
+             {1, 0, k13},
+             {1, 5, -k13},
+             {1, 6, -1.0},
+             {2, 6, 2.0 * k13},
+             {3, 4, k13},
+             {3, 0, 2.0 * k13},
+             {3, 5, 2.0 * k13},
+             {4, 0, 2.0 * k13},
+             {4, 5, 2.0 * k13},
+             {0, 5, 1.0},
+             {0, 6, -k13},
+             {5, 6, k13}});
+      case GateType::DFF_P:
+      case GateType::DFF_N:
+        // H(Q,D) = -sigma_Q sigma_D
+        return makeCell(type, {"Q", "D"}, {}, {{0, 1, -1.0}});
+      case GateType::BUF:
+        fatal("BUF has no cell Hamiltonian; it lowers to a chain");
+    }
+    panic("paperCell: bad gate type");
+}
+
+CellHamiltonian
+composedCell(GateType type)
+{
+    // Compose from verified 2-input cells per Section 4.3.5: summing
+    // penalty functions whose minimizing sets intersect yields a penalty
+    // function for the composition; internal wires become ancillas.
+    auto compose = [](GateType type, std::vector<std::string> names,
+                      std::initializer_list<
+                          std::pair<GateType, std::vector<uint32_t>>>
+                          parts) {
+        CellHamiltonian cell;
+        cell.type = type;
+        cell.varNames = std::move(names);
+        cell.H.resize(cell.varNames.size());
+        for (const auto &[sub_type, var_map] : parts)
+            addMapped(cell, standardCell(sub_type), var_map);
+        return cell;
+    };
+
+    switch (type) {
+      case GateType::XNOR:
+        // XNOR(Y;A,B) = NOT(Y; n) + XOR(n; A, B)
+        // XOR spins: {Y,A,B,$a} -> {n,A,B,$xa}; NOT spins {Y,A}->{Y,n}.
+        return compose(type, {"Y", "A", "B", "$n", "$xa"},
+                       {{GateType::XOR, {3, 1, 2, 4}},
+                        {GateType::NOT, {0, 3}}});
+      case GateType::MUX:
+        // Y = OR(AND(S,B), AND(!S,A))
+        // spins: Y=0 A=1 B=2 S=3 $ns=4 $n1=5 $n2=6 (+ any sub-ancilla)
+        return compose(type, {"Y", "A", "B", "S", "$ns", "$n1", "$n2"},
+                       {{GateType::NOT, {4, 3}},
+                        {GateType::AND, {5, 3, 2}},
+                        {GateType::AND, {6, 4, 1}},
+                        {GateType::OR, {0, 5, 6}}});
+      case GateType::AOI3:
+        // Y = NOR(AND(A,B), C): spins Y=0 A=1 B=2 C=3 $n=4
+        return compose(type, {"Y", "A", "B", "C", "$n"},
+                       {{GateType::AND, {4, 1, 2}},
+                        {GateType::NOR, {0, 4, 3}}});
+      case GateType::OAI3:
+        return compose(type, {"Y", "A", "B", "C", "$n"},
+                       {{GateType::OR, {4, 1, 2}},
+                        {GateType::NAND, {0, 4, 3}}});
+      case GateType::AOI4:
+        // Y = NOR(AND(A,B), AND(C,D))
+        return compose(type, {"Y", "A", "B", "C", "D", "$n1", "$n2"},
+                       {{GateType::AND, {5, 1, 2}},
+                        {GateType::AND, {6, 3, 4}},
+                        {GateType::NOR, {0, 5, 6}}});
+      case GateType::OAI4:
+        return compose(type, {"Y", "A", "B", "C", "D", "$n1", "$n2"},
+                       {{GateType::OR, {5, 1, 2}},
+                        {GateType::OR, {6, 3, 4}},
+                        {GateType::NAND, {0, 5, 6}}});
+      default:
+        fatal("no composed construction for gate %s",
+              gateInfo(type).name);
+    }
+}
+
+const CellHamiltonian &
+standardCell(GateType type)
+{
+    static std::array<std::optional<CellHamiltonian>, kNumGateTypes> cache;
+    // Recursive: composedCell() re-enters standardCell() for sub-cells.
+    static std::recursive_mutex mtx;
+    std::lock_guard<std::recursive_mutex> lock(mtx);
+
+    size_t idx = static_cast<size_t>(type);
+    if (cache[idx])
+        return *cache[idx];
+    if (type == GateType::BUF)
+        fatal("BUF has no cell Hamiltonian; it lowers to a chain");
+
+    CellHamiltonian cell = paperCell(type);
+    std::string err;
+    if (!verifyCell(cell, &err)) {
+        warn("Table 5 entry for %s failed verification (%s); "
+             "using composed construction",
+             gateInfo(type).name, err.c_str());
+        cell = composedCell(type);
+        if (!verifyCell(cell, &err))
+            panic("composed cell for %s failed verification: %s",
+                  gateInfo(type).name, err.c_str());
+    }
+    cache[idx] = std::move(cell);
+    return *cache[idx];
+}
+
+} // namespace qac::cells

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The standard-cell library: each gate as a quadratic pseudo-Boolean
+ * penalty function (paper, Table 5).
+ *
+ * A cell Hamiltonian is minimized exactly on assignments that form a
+ * valid input/output relation of the gate; ancilla spins are minimized
+ * over (Section 4.3.2).  This header provides
+ *   - the paper's literal Table 5 coefficients (paperCell), and
+ *   - the verified library used by the compiler (standardCell), which
+ *     falls back to a composed construction (Section 4.3.5 style) for
+ *     any literal entry that fails exhaustive verification.
+ */
+
+#ifndef QAC_CELLS_STDCELL_H
+#define QAC_CELLS_STDCELL_H
+
+#include <string>
+#include <vector>
+
+#include "qac/cells/gate.h"
+#include "qac/ising/model.h"
+
+namespace qac::cells {
+
+/** A gate rendered as a penalty Hamiltonian over named spins. */
+struct CellHamiltonian
+{
+    GateType type = GateType::NOT;
+    /**
+     * varNames[i] names spin i of H.  The output port ("Y"/"Q") and all
+     * input ports of gateInfo(type) appear exactly once; any name
+     * beginning with '$' is an ancilla (internal) spin.
+     */
+    std::vector<std::string> varNames;
+    ising::IsingModel H;
+
+    /** Filled in by verifyCell(). */
+    double groundEnergy = 0.0;
+    /** Energy of the lowest invalid row minus groundEnergy. */
+    double gap = 0.0;
+
+    /** Index of @p name in varNames. Fatal if absent. */
+    size_t varIndex(const std::string &name) const;
+
+    size_t numAncillas() const;
+};
+
+/**
+ * Exhaustively check that @p cell is a correct penalty function for its
+ * gate: all valid (output, inputs) rows reach the same minimum k when
+ * minimized over ancillas, and every invalid row stays strictly above k.
+ * On success fills cell.groundEnergy and cell.gap.
+ *
+ * @param error if non-null, receives a diagnostic on failure
+ */
+bool verifyCell(CellHamiltonian &cell, std::string *error = nullptr);
+
+/** The literal Table 5 entry for @p type (not yet verified). */
+CellHamiltonian paperCell(GateType type);
+
+/**
+ * Build @p type by summing simpler verified cells with internal nets
+ * (the Section 4.3.5 composition rule), e.g.
+ * AOI4 = NOR(AND(A,B), AND(C,D)) with the two AND outputs as ancillas.
+ * Only defined for XNOR, MUX, AOI3, OAI3, AOI4, OAI4.
+ */
+CellHamiltonian composedCell(GateType type);
+
+/**
+ * The verified library entry for @p type, cached for the process
+ * lifetime.  BUF has no cell (it lowers to a chain) and is rejected.
+ */
+const CellHamiltonian &standardCell(GateType type);
+
+} // namespace qac::cells
+
+#endif // QAC_CELLS_STDCELL_H

@@ -1,0 +1,111 @@
+#include "qac/core/compiler.h"
+
+#include "qac/edif/reader.h"
+#include "qac/edif/writer.h"
+#include "qac/netlist/opt.h"
+#include "qac/qmasm/stdcell_lib.h"
+#include "qac/util/logging.h"
+#include "qac/util/strings.h"
+
+namespace qac::core {
+
+CompileResult
+compile(const std::string &verilog_source, const CompileOptions &opts)
+{
+    CompileResult res;
+    res.stats.verilog_lines = countLines(verilog_source);
+
+    // 1. Synthesis (the Yosys step).
+    verilog::SynthOptions sopts;
+    sopts.top_params = opts.top_params;
+    netlist::Netlist nl =
+        verilog::synthesizeSource(verilog_source, opts.top, sopts);
+
+    // 2. Sequential unrolling (Section 4.3.3).
+    if (nl.isSequential()) {
+        if (opts.unroll_steps == 0)
+            fatal("module '%s' is sequential; set unroll_steps",
+                  opts.top.c_str());
+        nl = netlist::unrollSequential(nl, opts.unroll_steps,
+                                       opts.unroll);
+    }
+
+    // 3. ABC-style optimization and technology mapping.
+    if (opts.optimize)
+        netlist::optimize(nl);
+    if (opts.do_techmap) {
+        netlist::techMap(nl, opts.techmap);
+        if (opts.optimize)
+            netlist::optimize(nl);
+    }
+
+    // 4. EDIF emission and re-ingestion: the pipeline genuinely passes
+    // through the interchange format, as the paper's does.
+    res.edif_text = edif::writeEdif(nl);
+    res.stats.edif_lines = countLines(res.edif_text);
+    res.netlist = edif::readEdif(res.edif_text);
+
+    // 5. edif2qmasm.
+    res.qmasm_program = qmasm::netlistToQmasm(res.netlist);
+    {
+        // Count the main program without the standard-cell macros, the
+        // way Section 6.1 reports "736 lines of QMASM (excluding the
+        // 232 lines in the standard-cell library)".
+        qmasm::Program main_only;
+        main_only.statements = res.qmasm_program.statements;
+        res.stats.qmasm_lines = main_only.lineCount();
+        res.stats.stdcell_lines = countLines(qmasm::stdcellText());
+    }
+
+    // 6. Assembly to the logical Ising model.
+    res.assembled = qmasm::assemble(res.qmasm_program, opts.assemble);
+    res.stats.gates = res.netlist.numGates();
+    res.stats.logical_vars = res.assembled.model.numVars();
+    res.stats.logical_terms = res.assembled.model.numTerms();
+
+    // 7. Minor embedding for hardware targets (Section 4.4).
+    if (opts.target == Target::Chimera) {
+        chimera::HardwareGraph hw =
+            chimera::chimeraGraph(opts.chimera_size);
+        chimera::applyDropout(hw, opts.qubit_dropout, opts.embed.seed);
+
+        std::vector<std::pair<uint32_t, uint32_t>> edges;
+        for (const auto &t : res.assembled.model.quadraticTerms())
+            edges.emplace_back(t.i, t.j);
+        auto emb = embed::findEmbedding(
+            edges, res.assembled.model.numVars(), hw, opts.embed);
+        if (!emb && opts.assemble.merge_chains) {
+            // High-fanout nets merge into hub variables whose degree
+            // can defeat the embedding heuristic.  Fall back to
+            // qmasm's unmerged-chain form: more logical variables,
+            // but degree bounded by the cell arity, which embeds far
+            // more easily.
+            warn("embedding the merged model failed; retrying with "
+                 "unmerged chains");
+            qmasm::AssembleOptions unmerged = opts.assemble;
+            unmerged.merge_chains = false;
+            res.assembled = qmasm::assemble(res.qmasm_program, unmerged);
+            res.stats.logical_vars = res.assembled.model.numVars();
+            res.stats.logical_terms = res.assembled.model.numTerms();
+            edges.clear();
+            for (const auto &t : res.assembled.model.quadraticTerms())
+                edges.emplace_back(t.i, t.j);
+            emb = embed::findEmbedding(
+                edges, res.assembled.model.numVars(), hw, opts.embed);
+        }
+        if (!emb)
+            fatal("could not embed %zu logical variables into C%u",
+                  res.assembled.model.numVars(), opts.chimera_size);
+        res.embedding = std::move(*emb);
+        res.embedded = embed::embedModel(res.assembled.model,
+                                         *res.embedding, hw,
+                                         opts.embed_model);
+        res.hardware = std::move(hw);
+        res.stats.physical_qubits = res.embedded->numPhysicalQubits();
+        res.stats.physical_terms = res.embedded->physical.numTerms();
+        res.stats.max_chain_length = res.embedding->maxChainLength();
+    }
+    return res;
+}
+
+} // namespace qac::core

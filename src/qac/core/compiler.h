@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The end-to-end compiler driver (paper, Section 4): Verilog ->
+ * gate netlist (synthesis + ABC-style optimization + tech mapping) ->
+ * EDIF -> QMASM -> logical Ising model -> (optionally) minor-embedded
+ * physical Ising model for a Chimera-topology annealer.
+ *
+ * Every intermediate artifact is retained on the result so the paper's
+ * Section 6.1 static-properties experiment (lines of Verilog / EDIF /
+ * QMASM, logical variables, physical qubits, term counts) reads
+ * directly off one compile() call.
+ */
+
+#ifndef QAC_CORE_COMPILER_H
+#define QAC_CORE_COMPILER_H
+
+#include <optional>
+#include <string>
+
+#include "qac/chimera/chimera.h"
+#include "qac/embed/embed_model.h"
+#include "qac/embed/minorminer.h"
+#include "qac/netlist/netlist.h"
+#include "qac/netlist/techmap.h"
+#include "qac/netlist/unroll.h"
+#include "qac/qmasm/assemble.h"
+#include "qac/qmasm/edif2qmasm.h"
+#include "qac/verilog/synth.h"
+
+namespace qac::core {
+
+/** Where the compiled model should be able to run. */
+enum class Target {
+    Logical, ///< all-to-all couplings: stop after assembly
+    Chimera, ///< minor-embed onto a Chimera graph (the D-Wave 2000Q)
+};
+
+struct CompileOptions
+{
+    std::string top;                 ///< top module name
+    verilog::ParamEnv top_params;    ///< parameter overrides
+
+    /** Time steps for sequential designs (Section 4.3.3); 0 means the
+     *  design must be purely combinational. */
+    size_t unroll_steps = 0;
+    netlist::UnrollOptions unroll;
+
+    bool optimize = true;
+    bool do_techmap = true;
+    netlist::TechMapOptions techmap;
+
+    qmasm::AssembleOptions assemble;
+
+    Target target = Target::Logical;
+    uint32_t chimera_size = 16;      ///< C_m; 16 = D-Wave 2000Q
+    double qubit_dropout = 0.0;      ///< random inactive-qubit fraction
+    embed::EmbedParams embed;
+    embed::EmbedModelOptions embed_model;
+};
+
+/** All artifacts of one compilation. */
+struct CompileResult
+{
+    netlist::Netlist netlist;        ///< optimized, mapped, unrolled
+    std::string edif_text;
+    qmasm::Program qmasm_program;
+    qmasm::Assembled assembled;      ///< logical model + symbol table
+
+    /** Populated for Target::Chimera. */
+    std::optional<chimera::HardwareGraph> hardware;
+    std::optional<embed::Embedding> embedding;
+    std::optional<embed::EmbeddedModel> embedded;
+
+    struct Stats
+    {
+        size_t verilog_lines = 0;
+        size_t edif_lines = 0;
+        size_t qmasm_lines = 0;      ///< main program, stdcell excluded
+        size_t stdcell_lines = 0;
+        size_t gates = 0;
+        size_t logical_vars = 0;
+        size_t logical_terms = 0;
+        size_t physical_qubits = 0;  ///< 0 for Target::Logical
+        size_t physical_terms = 0;
+        size_t max_chain_length = 0;
+    };
+    Stats stats;
+};
+
+/** Compile Verilog source through the full pipeline. */
+CompileResult compile(const std::string &verilog_source,
+                      const CompileOptions &opts);
+
+} // namespace qac::core
+
+#endif // QAC_CORE_COMPILER_H

@@ -1,0 +1,102 @@
+#include "qac/core/pins.h"
+
+#include <cctype>
+
+#include "qac/qmasm/edif2qmasm.h"
+#include "qac/util/logging.h"
+#include "qac/util/strings.h"
+
+namespace qac::core {
+
+std::vector<PinSpec>
+pinsForPort(const netlist::Netlist &nl, const std::string &port,
+            uint64_t value)
+{
+    const netlist::Port *p = nl.findPort(port);
+    if (!p)
+        fatal("pin: no port named '%s'", port.c_str());
+    std::vector<PinSpec> pins;
+    for (size_t i = 0; i < p->bits.size(); ++i)
+        pins.push_back({qmasm::portBitSymbol(*p, i),
+                        static_cast<bool>((value >> i) & 1)});
+    return pins;
+}
+
+std::vector<PinSpec>
+parsePinDirective(const std::string &directive,
+                  const netlist::Netlist &nl)
+{
+    // Form: <port>[range]? := <value>
+    size_t sep = directive.find(":=");
+    if (sep == std::string::npos)
+        fatal("pin directive '%s' lacks ':='", directive.c_str());
+    std::string lhs = trim(directive.substr(0, sep));
+    std::string rhs = trim(directive.substr(sep + 2));
+
+    // Split the optional range off the port name.
+    std::string port = lhs;
+    int msb = -1, lsb = -1;
+    size_t lb = lhs.find('[');
+    if (lb != std::string::npos) {
+        if (lhs.back() != ']')
+            fatal("pin directive '%s': malformed range",
+                  directive.c_str());
+        port = lhs.substr(0, lb);
+        std::string range = lhs.substr(lb + 1,
+                                       lhs.size() - lb - 2);
+        size_t colon = range.find(':');
+        if (colon == std::string::npos) {
+            msb = lsb = std::stoi(range);
+        } else {
+            msb = std::stoi(range.substr(0, colon));
+            lsb = std::stoi(range.substr(colon + 1));
+        }
+        if (msb < lsb)
+            fatal("pin directive '%s': inverted range",
+                  directive.c_str());
+    }
+
+    const netlist::Port *p = nl.findPort(port);
+    if (!p)
+        fatal("pin: no port named '%s'", port.c_str());
+    if (msb < 0) {
+        msb = static_cast<int>(p->bits.size()) - 1;
+        lsb = 0;
+    }
+    if (msb >= static_cast<int>(p->bits.size()))
+        fatal("pin: range [%d:%d] exceeds port '%s' width %zu", msb, lsb,
+              port.c_str(), p->bits.size());
+    size_t width = static_cast<size_t>(msb - lsb + 1);
+
+    // Decode the value.
+    uint64_t value = 0;
+    std::string rl = toLower(rhs);
+    bool all_binary = !rhs.empty() &&
+        rhs.find_first_not_of("01") == std::string::npos;
+    if (rl == "true") {
+        value = 1;
+    } else if (rl == "false") {
+        value = 0;
+    } else if (all_binary && rhs.size() == width) {
+        // MSB-first binary string.
+        for (char c : rhs)
+            value = (value << 1) | static_cast<uint64_t>(c - '0');
+    } else {
+        // Decimal.
+        for (char c : rhs) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                fatal("pin: cannot parse value '%s'", rhs.c_str());
+            value = value * 10 + static_cast<uint64_t>(c - '0');
+        }
+    }
+
+    std::vector<PinSpec> pins;
+    for (size_t i = 0; i < width; ++i) {
+        size_t bit = static_cast<size_t>(lsb) + i;
+        pins.push_back({qmasm::portBitSymbol(*p, bit),
+                        static_cast<bool>((value >> i) & 1)});
+    }
+    return pins;
+}
+
+} // namespace qac::core

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * qmasm-style --pin directives (paper, Section 4.3.6 / Section 5.3):
+ *
+ *   --pin="C[7:0] := 10001111"
+ *   --pin="valid := true"
+ *   --pin="A[3:0] := 1101"
+ *
+ * Binary digit strings are MSB-first, matching the written range.
+ */
+
+#ifndef QAC_CORE_PINS_H
+#define QAC_CORE_PINS_H
+
+#include <string>
+#include <vector>
+
+#include "qac/netlist/netlist.h"
+
+namespace qac::core {
+
+/** One resolved single-bit pin. */
+struct PinSpec
+{
+    std::string symbol; ///< e.g. "C[3]" or "valid"
+    bool value = false;
+};
+
+/**
+ * Parse a pin directive against @p nl's port table.
+ * Accepted value forms: a binary string as wide as the pinned range,
+ * "true"/"false" for single bits, or a decimal integer.
+ */
+std::vector<PinSpec> parsePinDirective(const std::string &directive,
+                                       const netlist::Netlist &nl);
+
+/** Pins binding an entire port to an integer value (LSB = bit 0). */
+std::vector<PinSpec> pinsForPort(const netlist::Netlist &nl,
+                                 const std::string &port,
+                                 uint64_t value);
+
+} // namespace qac::core
+
+#endif // QAC_CORE_PINS_H

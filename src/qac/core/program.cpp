@@ -1,0 +1,280 @@
+#include "qac/core/program.h"
+
+#include <algorithm>
+
+#include "qac/anneal/chainflip.h"
+#include "qac/anneal/descent.h"
+#include "qac/anneal/exact.h"
+#include "qac/anneal/pathintegral.h"
+#include "qac/anneal/qbsolv.h"
+#include "qac/anneal/simulated.h"
+#include "qac/embed/roof_duality.h"
+#include "qac/netlist/simulate.h"
+#include "qac/util/logging.h"
+
+namespace qac::core {
+
+Executable::Executable(CompileResult compiled)
+    : compiled_(std::move(compiled))
+{}
+
+void
+Executable::pinPort(const std::string &port, uint64_t value)
+{
+    for (auto &p : pinsForPort(compiled_.netlist, port, value))
+        pins_.push_back(std::move(p));
+}
+
+void
+Executable::pinBit(const std::string &symbol, bool value)
+{
+    if (!compiled_.assembled.hasSymbol(symbol))
+        fatal("pin: unknown symbol '%s'", symbol.c_str());
+    pins_.push_back({symbol, value});
+}
+
+void
+Executable::pinDirective(const std::string &directive)
+{
+    for (auto &p : parsePinDirective(directive, compiled_.netlist))
+        pins_.push_back(std::move(p));
+}
+
+void
+Executable::clearPins()
+{
+    pins_.clear();
+}
+
+ising::IsingModel
+Executable::pinnedModel() const
+{
+    ising::IsingModel model = compiled_.assembled.model;
+    const auto &adj = model.adjacency();
+    for (const auto &pin : pins_) {
+        uint32_t v = compiled_.assembled.var(pin.symbol);
+        // Strong enough to dominate the variable's local energy: the
+        // pinned value then holds in every ground state and the
+        // roof-duality pass can elide the qubit (Section 4.4).
+        double mass = std::abs(compiled_.assembled.model.linear(v));
+        for (const auto &[j, w] : adj[v]) {
+            (void)j;
+            mass += std::abs(w);
+        }
+        double strength = mass + 1.0;
+        model.addLinear(v, pin.value ? -strength : strength);
+    }
+    return model;
+}
+
+bool
+Executable::RunResult::hasValid() const
+{
+    for (const auto &c : candidates)
+        if (c.valid)
+            return true;
+    return false;
+}
+
+const Executable::Candidate &
+Executable::RunResult::bestValid() const
+{
+    for (const auto &c : candidates)
+        if (c.valid)
+            return c;
+    fatal("no valid candidate in run result");
+}
+
+std::vector<const Executable::Candidate *>
+Executable::RunResult::validCandidates() const
+{
+    std::vector<const Candidate *> out;
+    for (const auto &c : candidates)
+        if (c.valid)
+            out.push_back(&c);
+    return out;
+}
+
+double
+Executable::RunResult::validFraction() const
+{
+    if (total_reads == 0)
+        return 0.0;
+    uint64_t hits = 0;
+    for (const auto &c : candidates)
+        if (c.valid)
+            hits += c.occurrences;
+    return static_cast<double>(hits) /
+        static_cast<double>(total_reads);
+}
+
+Executable::RunResult
+Executable::run(const RunOptions &opts) const
+{
+    ising::IsingModel logical = pinnedModel();
+
+    // Optional a-priori elision.
+    embed::FixResult fix;
+    const ising::IsingModel *to_solve = &logical;
+    if (opts.reduce) {
+        fix = embed::fixVariables(logical);
+        to_solve = &fix.reduced;
+    }
+
+    // Optional physical realization.
+    std::optional<embed::EmbeddedModel> em;
+    if (opts.use_physical) {
+        if (!compiled_.hardware)
+            fatal("run: use_physical requires a Chimera-target compile");
+        if (opts.reduce || !compiled_.embedding) {
+            // The variable set changed (or no embedding was computed):
+            // embed the model actually being solved.
+            std::vector<std::pair<uint32_t, uint32_t>> edges;
+            for (const auto &t : to_solve->quadraticTerms())
+                edges.emplace_back(t.i, t.j);
+            auto emb = embed::findEmbedding(edges, to_solve->numVars(),
+                                            *compiled_.hardware,
+                                            opts.embed_params);
+            if (!emb)
+                fatal("run: embedding failed");
+            em = embed::embedModel(*to_solve, *emb,
+                                   *compiled_.hardware);
+        } else {
+            em = embed::embedModel(*to_solve, *compiled_.embedding,
+                                   *compiled_.hardware);
+        }
+    }
+    const ising::IsingModel &sample_model =
+        em ? em->physical : *to_solve;
+
+    // Sample.
+    anneal::SampleSet set;
+    switch (opts.solver) {
+      case SolverKind::SimulatedAnnealing: {
+        if (em) {
+            // Embedded landscapes need composite chain moves; plain
+            // single-flip SA cannot cross the chain barriers the
+            // quantum annealer tunnels through.
+            anneal::ChainFlipAnnealer::Params p;
+            p.num_reads = opts.num_reads;
+            p.sweeps = opts.sweeps;
+            p.seed = opts.seed;
+            set = anneal::ChainFlipAnnealer(p, em->dense_chains)
+                      .sample(sample_model);
+            break;
+        }
+        anneal::SimulatedAnnealer::Params p;
+        p.num_reads = opts.num_reads;
+        p.sweeps = opts.sweeps;
+        p.seed = opts.seed;
+        p.greedy_polish = true; // mirrors D-Wave postprocessing
+        set = anneal::SimulatedAnnealer(p).sample(sample_model);
+        break;
+      }
+      case SolverKind::PathIntegral: {
+        anneal::PathIntegralAnnealer::Params p;
+        p.num_reads = opts.num_reads;
+        p.sweeps = opts.sweeps;
+        p.seed = opts.seed;
+        set = anneal::PathIntegralAnnealer(p).sample(sample_model);
+        break;
+      }
+      case SolverKind::Exact: {
+        anneal::ExactSolver solver;
+        auto res = solver.solve(sample_model);
+        for (const auto &gs : res.ground_states)
+            set.add(gs, res.min_energy);
+        set.finalize();
+        break;
+      }
+      case SolverKind::Qbsolv: {
+        anneal::QbsolvSolver::Params p;
+        p.restarts = std::max<uint32_t>(1, opts.num_reads / 25);
+        p.outer_iterations = std::max<uint32_t>(8, opts.sweeps / 32);
+        p.seed = opts.seed;
+        set = anneal::QbsolvSolver(p).sample(sample_model);
+        break;
+      }
+    }
+
+    // Map each sample back to logical space and validate.
+    RunResult out;
+    out.total_reads = set.totalReads();
+    out.vars_sampled = sample_model.numVars();
+    out.vars_fixed = opts.reduce ? fix.numFixed() : 0;
+
+    std::map<ising::SpinVector, size_t> dedup;
+    for (const auto &s : set.samples()) {
+        size_t breaks = 0;
+        ising::SpinVector solved =
+            em ? em->unembed(s.spins, &breaks) : s.spins;
+        if (em) {
+            // Repair chain-break damage in logical space — the
+            // classical postprocessing D-Wave systems apply by default.
+            anneal::greedyDescent(*to_solve, solved);
+        }
+        ising::SpinVector full =
+            opts.reduce ? fix.lift(solved) : solved;
+        auto [it, inserted] =
+            dedup.emplace(full, out.candidates.size());
+        if (!inserted) {
+            out.candidates[it->second].occurrences +=
+                s.num_occurrences;
+            continue;
+        }
+        Candidate c;
+        c.logical_spins = full;
+        c.energy = logical.energy(full);
+        c.occurrences = s.num_occurrences;
+        c.chain_breaks = breaks;
+        c.values = compiled_.assembled.visibleValues(full);
+        bool ok = compiled_.assembled.checkAsserts(full);
+        for (const auto &pin : pins_) {
+            if (compiled_.assembled.symbolValue(full, pin.symbol) !=
+                pin.value)
+                ok = false;
+        }
+        c.valid = ok;
+        out.candidates.push_back(std::move(c));
+    }
+    std::stable_sort(out.candidates.begin(), out.candidates.end(),
+                     [](const Candidate &a, const Candidate &b) {
+                         return a.energy < b.energy;
+                     });
+    return out;
+}
+
+uint64_t
+Executable::portValue(const Candidate &c, const std::string &port) const
+{
+    const netlist::Port *p = compiled_.netlist.findPort(port);
+    if (!p)
+        fatal("portValue: no port named '%s'", port.c_str());
+    uint64_t value = 0;
+    for (size_t i = 0; i < p->bits.size(); ++i) {
+        std::string sym = qmasm::portBitSymbol(*p, i);
+        auto it = c.values.find(sym);
+        if (it == c.values.end())
+            fatal("portValue: symbol '%s' missing from candidate",
+                  sym.c_str());
+        if (it->second)
+            value |= (uint64_t{1} << i);
+    }
+    return value;
+}
+
+std::map<std::string, uint64_t>
+Executable::evaluate(const std::map<std::string, uint64_t> &inputs) const
+{
+    netlist::Simulator sim(compiled_.netlist);
+    for (const auto &[name, value] : inputs)
+        sim.setInput(name, value);
+    sim.eval();
+    std::map<std::string, uint64_t> out;
+    for (const auto &p : compiled_.netlist.ports())
+        if (p.dir == netlist::PortDir::Output)
+            out[p.name] = sim.output(p.name);
+    return out;
+}
+
+} // namespace qac::core

@@ -1,0 +1,235 @@
+#include "qac/csp/csp.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "qac/util/logging.h"
+#include "qac/util/rng.h"
+
+namespace qac::csp {
+
+uint32_t
+Model::addVariable(const std::string &name, int lo, int hi)
+{
+    if (hi < lo || hi - lo >= 64)
+        fatal("csp: domain [%d, %d] unsupported", lo, hi);
+    vars_.push_back({name, lo, hi});
+    return static_cast<uint32_t>(vars_.size() - 1);
+}
+
+void
+Model::notEqual(uint32_t a, uint32_t b)
+{
+    cons_.push_back({ConKind::NotEqual, a, b, 0});
+}
+
+void
+Model::equal(uint32_t a, uint32_t b)
+{
+    cons_.push_back({ConKind::Equal, a, b, 0});
+}
+
+void
+Model::assign(uint32_t a, int value)
+{
+    cons_.push_back({ConKind::Assign, a, a, value});
+}
+
+const std::string &
+Model::varName(uint32_t v) const
+{
+    return vars_[v].name;
+}
+
+uint32_t
+Model::varByName(const std::string &name) const
+{
+    for (uint32_t v = 0; v < vars_.size(); ++v)
+        if (vars_[v].name == name)
+            return v;
+    fatal("csp: no variable named '%s'", name.c_str());
+}
+
+namespace {
+
+/** Search state: domains as bitmasks relative to each var's lo. */
+class Search
+{
+  public:
+    Search(const Model &model, const Solver::Params &params)
+        : model_(model), params_(params),
+          rng_(params.seed ? params.seed : 1)
+    {
+        domains_.reserve(model.numVars());
+        for (const auto &v : model.vars()) {
+            int width = v.hi - v.lo + 1;
+            domains_.push_back(width == 64
+                                   ? ~uint64_t{0}
+                                   : (uint64_t{1} << width) - 1);
+        }
+        // Adjacency: constraints touching each variable.
+        touching_.resize(model.numVars());
+        for (size_t c = 0; c < model.cons().size(); ++c) {
+            const auto &con = model.cons()[c];
+            touching_[con.a].push_back(c);
+            if (con.b != con.a)
+                touching_[con.b].push_back(c);
+        }
+        // Apply Assign constraints up front.
+        for (const auto &con : model.cons()) {
+            if (con.kind == Model::ConKind::Assign) {
+                int off = con.value - model.vars()[con.a].lo;
+                uint64_t mask =
+                    (off >= 0 && off < 64) ? (uint64_t{1} << off) : 0;
+                domains_[con.a] &= mask;
+            }
+        }
+    }
+
+    uint64_t nodes() const { return nodes_; }
+
+    /**
+     * Enumerate solutions; invokes @p sink per solution, stops when the
+     * sink returns false or the node budget runs out.
+     */
+    template <typename Sink>
+    bool
+    enumerate(Sink &&sink)
+    {
+        // Propagate from any variable that starts out singleton (e.g.
+        // via Assign constraints) before searching; otherwise a fully
+        // pre-assigned model would report a "solution" unchecked.
+        std::vector<std::pair<uint32_t, uint64_t>> root_trail;
+        for (uint32_t v = 0; v < domains_.size(); ++v) {
+            if (domains_[v] == 0)
+                return true; // trivially unsatisfiable
+            if (std::popcount(domains_[v]) == 1 &&
+                !propagate(v, root_trail))
+                return true;
+        }
+        return descend(sink);
+    }
+
+  private:
+    const Model &model_;
+    const Solver::Params &params_;
+    Rng rng_;
+    std::vector<uint64_t> domains_;
+    std::vector<std::vector<size_t>> touching_;
+    uint64_t nodes_ = 0;
+
+    bool
+    propagate(uint32_t var, std::vector<std::pair<uint32_t, uint64_t>>
+                                &trail)
+    {
+        // Forward checking from a now-singleton variable.
+        uint64_t d = domains_[var];
+        int value_off = std::countr_zero(d);
+        for (size_t ci : touching_[var]) {
+            const auto &con = model_.cons()[ci];
+            if (con.kind == Model::ConKind::Assign)
+                continue;
+            uint32_t other = (con.a == var) ? con.b : con.a;
+            if (other == var)
+                continue;
+            int value = model_.vars()[var].lo + value_off;
+            int other_off = value - model_.vars()[other].lo;
+            uint64_t bit = (other_off >= 0 && other_off < 64)
+                               ? (uint64_t{1} << other_off)
+                               : 0;
+            uint64_t nd = domains_[other];
+            if (con.kind == Model::ConKind::NotEqual)
+                nd &= ~bit;
+            else
+                nd &= bit;
+            if (nd != domains_[other]) {
+                trail.emplace_back(other, domains_[other]);
+                domains_[other] = nd;
+                if (nd == 0)
+                    return false;
+                if (std::popcount(nd) == 1 && !propagate(other, trail))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    template <typename Sink>
+    bool
+    descend(Sink &&sink)
+    {
+        if (++nodes_ > params_.max_nodes)
+            return false;
+        // MRV: smallest unassigned domain (popcount > 1).
+        uint32_t pick = UINT32_MAX;
+        int best = 65;
+        for (uint32_t v = 0; v < domains_.size(); ++v) {
+            int pc = std::popcount(domains_[v]);
+            if (pc > 1 && pc < best) {
+                best = pc;
+                pick = v;
+            }
+        }
+        if (pick == UINT32_MAX) {
+            // All singleton: report.
+            Solution sol;
+            sol.values.resize(domains_.size());
+            for (uint32_t v = 0; v < domains_.size(); ++v)
+                sol.values[v] = model_.vars()[v].lo +
+                    std::countr_zero(domains_[v]);
+            return sink(sol);
+        }
+
+        // Value order (optionally randomized).
+        std::vector<int> offsets;
+        uint64_t d = domains_[pick];
+        while (d) {
+            offsets.push_back(std::countr_zero(d));
+            d &= d - 1;
+        }
+        if (params_.seed)
+            rng_.shuffle(offsets);
+
+        for (int off : offsets) {
+            std::vector<std::pair<uint32_t, uint64_t>> trail;
+            trail.emplace_back(pick, domains_[pick]);
+            domains_[pick] = uint64_t{1} << off;
+            bool ok = propagate(pick, trail);
+            if (ok && !descend(sink))
+                return false;
+            for (auto it = trail.rbegin(); it != trail.rend(); ++it)
+                domains_[it->first] = it->second;
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+std::optional<Solution>
+Solver::solve(const Model &model)
+{
+    Search search(model, params_);
+    std::optional<Solution> found;
+    search.enumerate([&](const Solution &s) {
+        found = s;
+        return false; // stop at the first solution
+    });
+    nodes_ = search.nodes();
+    return found;
+}
+
+size_t
+Solver::countSolutions(const Model &model, size_t limit)
+{
+    Search search(model, params_);
+    size_t count = 0;
+    search.enumerate([&](const Solution &) {
+        ++count;
+        return count < limit;
+    });
+    nodes_ = search.nodes();
+    return count;
+}
+
+} // namespace qac::csp

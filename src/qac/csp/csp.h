@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A small finite-domain constraint solver — QAC's stand-in for the
+ * MiniZinc/Chuffed baseline of the paper's Section 6.2 timing study
+ * (Listing 8: integer variables with pairwise disequality constraints,
+ * "solve satisfy").
+ *
+ * Features: integer variables with interval domains (<= 64 values),
+ * equality/disequality/equality-to-constant constraints, forward
+ * checking, and MRV-ordered backtracking search.  Deliberately in the
+ * same spirit as a lazy-clause-generation solver's front end, scaled to
+ * the workloads QAC benchmarks.
+ */
+
+#ifndef QAC_CSP_CSP_H
+#define QAC_CSP_CSP_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qac::csp {
+
+/** A constraint model: variables + constraints. */
+class Model
+{
+  public:
+    /** Add a variable with domain [lo, hi] (hi - lo < 64). */
+    uint32_t addVariable(const std::string &name, int lo, int hi);
+
+    void notEqual(uint32_t a, uint32_t b);
+    void equal(uint32_t a, uint32_t b);
+    void assign(uint32_t a, int value);
+
+    size_t numVars() const { return vars_.size(); }
+    const std::string &varName(uint32_t v) const;
+    uint32_t varByName(const std::string &name) const;
+
+    struct Var
+    {
+        std::string name;
+        int lo, hi;
+    };
+    enum class ConKind { NotEqual, Equal, Assign };
+    struct Con
+    {
+        ConKind kind;
+        uint32_t a, b;
+        int value;
+    };
+
+    const std::vector<Var> &vars() const { return vars_; }
+    const std::vector<Con> &cons() const { return cons_; }
+
+  private:
+    std::vector<Var> vars_;
+    std::vector<Con> cons_;
+};
+
+struct Solution
+{
+    std::vector<int> values; ///< one per variable
+};
+
+/** Backtracking solver with forward checking and MRV. */
+class Solver
+{
+  public:
+    struct Params
+    {
+        uint64_t max_nodes = 10'000'000;
+        /** Randomize value order (for solution sampling); 0 = off. */
+        uint64_t seed = 0;
+    };
+
+    Solver() = default;
+    explicit Solver(Params params) : params_(params) {}
+
+    /** First solution, or nullopt if unsatisfiable / node limit hit. */
+    std::optional<Solution> solve(const Model &model);
+
+    /** Count solutions up to @p limit. */
+    size_t countSolutions(const Model &model, size_t limit);
+
+    /** Search nodes expanded by the last call. */
+    uint64_t nodesExplored() const { return nodes_; }
+
+  private:
+    Params params_{};
+    uint64_t nodes_ = 0;
+};
+
+} // namespace qac::csp
+
+#endif // QAC_CSP_CSP_H

@@ -1,0 +1,324 @@
+#include "qac/edif/reader.h"
+
+#include <map>
+#include <optional>
+
+#include "qac/util/logging.h"
+#include "qac/util/strings.h"
+
+namespace qac::edif {
+
+namespace {
+
+using netlist::NetId;
+using sexpr::Node;
+
+/** Case-insensitive keyword comparison (EDIF keywords vary in case). */
+bool
+isKw(const std::string &head, const char *kw)
+{
+    return toLower(head) == toLower(kw);
+}
+
+/**
+ * An EDIF "nameDef" is either a bare identifier or
+ * (rename ident "original").  Returns (ident, display-name).
+ */
+std::pair<std::string, std::string>
+readName(const Node &n)
+{
+    if (n.isAtom())
+        return {n.text(), n.text()};
+    if (n.isList() && isKw(n.head(), "rename") && n.size() >= 3)
+        return {n[1].text(), n[2].text()};
+    fatal("edif: malformed name definition");
+}
+
+/** Find the first child list whose head is @p kw. */
+const Node *
+childByHead(const Node &n, const char *kw)
+{
+    for (const auto &c : n.items())
+        if (c.isList() && isKw(c.head(), kw))
+            return &c;
+    return nullptr;
+}
+
+struct PortInfo
+{
+    std::string ident;
+    std::string display;
+    bool is_input = false;
+};
+
+struct CellInfo
+{
+    std::string ident;
+    std::string display;
+    std::vector<PortInfo> ports;
+    const Node *contents = nullptr;
+};
+
+struct Reader
+{
+    netlist::Netlist nl;
+    std::map<std::string, CellInfo> cells; // ident -> info
+    std::map<std::string, NetId> net_by_name;
+
+    void
+    readLibrary(const Node &lib)
+    {
+        for (const auto &item : lib.items()) {
+            if (!item.isList() || !isKw(item.head(), "cell"))
+                continue;
+            CellInfo ci;
+            auto [ident, display] = readName(item[1]);
+            ci.ident = ident;
+            ci.display = display;
+            const Node *view = childByHead(item, "view");
+            if (!view)
+                fatal("edif: cell %s has no view", ident.c_str());
+            const Node *iface = childByHead(*view, "interface");
+            if (!iface)
+                fatal("edif: cell %s has no interface", ident.c_str());
+            for (const auto &p : iface->items()) {
+                if (!p.isList() || !isKw(p.head(), "port"))
+                    continue;
+                PortInfo pi;
+                auto [pid, pdisp] = readName(p[1]);
+                pi.ident = pid;
+                pi.display = pdisp;
+                const Node *dir = childByHead(p, "direction");
+                if (!dir || dir->size() < 2)
+                    fatal("edif: port %s has no direction", pid.c_str());
+                pi.is_input = isKw((*dir)[1].text(), "INPUT");
+                ci.ports.push_back(std::move(pi));
+            }
+            ci.contents = childByHead(*view, "contents");
+            cells[ci.ident] = std::move(ci);
+        }
+    }
+
+    NetId
+    netFor(const std::string &display_name)
+    {
+        auto it = net_by_name.find(display_name);
+        if (it != net_by_name.end())
+            return it->second;
+        NetId id = nl.newNet(display_name);
+        net_by_name.emplace(display_name, id);
+        return id;
+    }
+
+    netlist::Netlist
+    run(const Node &root)
+    {
+        if (!root.isList() || !isKw(root.head(), "edif"))
+            fatal("edif: top-level expression is not (edif ...)");
+        for (const auto &item : root.items())
+            if (item.isList() && isKw(item.head(), "library"))
+                readLibrary(item);
+
+        // Locate the top cell via the (design ...) stanza, falling back
+        // to the last declared cell with contents.
+        std::string top_ident;
+        if (const Node *design = childByHead(root, "design")) {
+            const Node *cref = childByHead(*design, "cellRef");
+            if (cref && cref->size() >= 2)
+                top_ident = readName((*cref)[1]).first;
+        }
+        if (top_ident.empty()) {
+            for (const auto &[ident, ci] : cells)
+                if (ci.contents)
+                    top_ident = ident;
+        }
+        auto top_it = cells.find(top_ident);
+        if (top_it == cells.end() || !top_it->second.contents)
+            fatal("edif: cannot find a top cell with contents");
+        const CellInfo &top = top_it->second;
+
+        nl.setName(top.display);
+        buildTop(top);
+        nl.check();
+        return std::move(nl);
+    }
+
+    void
+    buildTop(const CellInfo &top)
+    {
+        // Pass 1: instances.
+        struct Inst
+        {
+            const CellInfo *cell;
+            // port ident -> net (filled by pass 2)
+            std::map<std::string, NetId> conns;
+        };
+        std::map<std::string, Inst> insts;
+        for (const auto &item : top.contents->items()) {
+            if (!item.isList() || !isKw(item.head(), "instance"))
+                continue;
+            auto [iname, idisp] = readName(item[1]);
+            (void)idisp;
+            const Node *vref = childByHead(item, "viewRef");
+            const Node *cref = vref ? childByHead(*vref, "cellRef")
+                                    : childByHead(item, "cellRef");
+            if (!cref || cref->size() < 2)
+                fatal("edif: instance %s has no cellRef", iname.c_str());
+            std::string cell_ident = readName((*cref)[1]).first;
+            auto cit = cells.find(cell_ident);
+            if (cit == cells.end())
+                fatal("edif: instance %s references unknown cell %s",
+                      iname.c_str(), cell_ident.c_str());
+            insts[iname] = Inst{&cit->second, {}};
+        }
+
+        // Top port bits: ident -> (display name, direction).
+        std::map<std::string, PortInfo> top_ports;
+        for (const auto &p : top.ports)
+            top_ports[p.ident] = p;
+        std::map<std::string, NetId> top_port_net;
+
+        // Pass 2: nets.
+        for (const auto &item : top.contents->items()) {
+            if (!item.isList() || !isKw(item.head(), "net"))
+                continue;
+            auto [nid, ndisp] = readName(item[1]);
+            (void)nid;
+            NetId net = netFor(ndisp);
+            const Node *joined = childByHead(item, "joined");
+            if (!joined)
+                continue;
+            for (const auto &ref : joined->items()) {
+                if (!ref.isList() || !isKw(ref.head(), "portRef"))
+                    continue;
+                std::string port_ident = readName(ref[1]).first;
+                const Node *iref = childByHead(ref, "instanceRef");
+                if (iref) {
+                    std::string inst = readName((*iref)[1]).first;
+                    auto iit = insts.find(inst);
+                    if (iit == insts.end())
+                        fatal("edif: net %s references unknown instance "
+                              "%s",
+                              ndisp.c_str(), inst.c_str());
+                    iit->second.conns[port_ident] = net;
+                } else {
+                    if (!top_ports.count(port_ident))
+                        fatal("edif: net %s references unknown top port "
+                              "%s",
+                              ndisp.c_str(), port_ident.c_str());
+                    top_port_net[port_ident] = net;
+                }
+            }
+        }
+
+        // Materialize constants, then gates.
+        for (auto &[iname, inst] : insts) {
+            const std::string &cell = inst.cell->ident;
+            if (cell == "GND" || cell == "VCC") {
+                auto it = inst.conns.find("Y");
+                if (it != inst.conns.end()) {
+                    NetId target = (cell == "GND") ? netlist::kConst0
+                                                   : netlist::kConst1;
+                    remapNet(it->second, target, insts, top_port_net);
+                }
+                continue;
+            }
+            cells::GateType type = cells::gateTypeByName(cell);
+            const auto &info = cells::gateInfo(type);
+            std::vector<NetId> ins;
+            for (const auto &pin : info.inputs) {
+                auto it = inst.conns.find(pin);
+                if (it == inst.conns.end())
+                    fatal("edif: instance %s input %s unconnected",
+                          iname.c_str(), pin.c_str());
+                ins.push_back(it->second);
+            }
+            auto oit = inst.conns.find(info.output);
+            if (oit == inst.conns.end())
+                fatal("edif: instance %s output unconnected",
+                      iname.c_str());
+            nl.addGate(type, std::move(ins), oit->second);
+        }
+
+        // Group top port bits into buses by display name "base[i]".
+        struct BusBit
+        {
+            size_t index;
+            NetId net;
+        };
+        std::map<std::string, std::vector<BusBit>> buses;
+        std::vector<std::pair<std::string, bool>> scalar_order;
+        for (const auto &p : top.ports) {
+            auto nit = top_port_net.find(p.ident);
+            NetId net = (nit != top_port_net.end()) ? nit->second
+                                                    : nl.newNet(p.display);
+            std::string base = p.display;
+            size_t idx = 0;
+            bool is_bus = false;
+            size_t lb = p.display.rfind('[');
+            if (lb != std::string::npos && p.display.back() == ']') {
+                is_bus = true;
+                base = p.display.substr(0, lb);
+                idx = static_cast<size_t>(std::stoul(
+                    p.display.substr(lb + 1,
+                                     p.display.size() - lb - 2)));
+            }
+            if (is_bus) {
+                if (!buses.count(base))
+                    scalar_order.emplace_back(base, p.is_input);
+                buses[base].push_back({idx, net});
+            } else {
+                if (!buses.count(base))
+                    scalar_order.emplace_back(base, p.is_input);
+                buses[base].push_back({0, net});
+            }
+        }
+        for (const auto &[base, is_input] : scalar_order) {
+            auto &bits = buses[base];
+            std::vector<NetId> ordered(bits.size(), netlist::kConst0);
+            for (const auto &b : bits) {
+                if (b.index >= ordered.size())
+                    fatal("edif: port %s has non-contiguous bit %zu",
+                          base.c_str(), b.index);
+                ordered[b.index] = b.net;
+            }
+            nl.addPortOver(base,
+                           is_input ? netlist::PortDir::Input
+                                    : netlist::PortDir::Output,
+                           std::move(ordered));
+        }
+    }
+
+    /** Rewrite all recorded uses of @p from to @p to (constants). */
+    template <typename Insts, typename TopPorts>
+    void
+    remapNet(NetId from, NetId to, Insts &insts, TopPorts &top_port_net)
+    {
+        for (auto &[iname, inst] : insts) {
+            (void)iname;
+            for (auto &[port, net] : inst.conns)
+                if (net == from)
+                    net = to;
+        }
+        for (auto &[port, net] : top_port_net)
+            if (net == from)
+                net = to;
+    }
+};
+
+} // namespace
+
+netlist::Netlist
+fromSExpr(const Node &root)
+{
+    Reader r;
+    return r.run(root);
+}
+
+netlist::Netlist
+readEdif(const std::string &edif_text)
+{
+    return fromSExpr(sexpr::parse(edif_text));
+}
+
+} // namespace qac::edif

@@ -1,0 +1,222 @@
+#include "qac/edif/writer.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "qac/util/logging.h"
+
+namespace qac::edif {
+
+namespace {
+
+using netlist::NetId;
+using sexpr::Node;
+
+Node
+atom(const std::string &s)
+{
+    return Node::atom(s);
+}
+
+/** (rename ident "original") when the name needs sanitizing. */
+Node
+named(const std::string &name)
+{
+    std::string clean = sanitizeIdent(name);
+    if (clean == name)
+        return atom(name);
+    return Node::list({atom("rename"), atom(clean), Node::string(name)});
+}
+
+Node
+portDecl(const std::string &name, bool is_input)
+{
+    return Node::list({atom("port"), named(name),
+                       Node::list({atom("direction"),
+                                   atom(is_input ? "INPUT" : "OUTPUT")})});
+}
+
+/** DEVICE-library cell declaration for a gate type. */
+Node
+deviceCell(const std::string &cell_name,
+           const std::vector<std::string> &inputs,
+           const std::string &output)
+{
+    Node iface = Node::list({atom("interface")});
+    for (const auto &in : inputs)
+        iface.append(portDecl(in, true));
+    iface.append(portDecl(output, false));
+    return Node::list(
+        {atom("cell"), atom(cell_name),
+         Node::list({atom("cellType"), atom("GENERIC")}),
+         Node::list({atom("view"), atom("netlist"),
+                     Node::list({atom("viewType"), atom("NETLIST")}),
+                     iface})});
+}
+
+Node
+portRef(const std::string &port, const std::string &instance)
+{
+    if (instance.empty())
+        return Node::list({atom("portRef"), named(port)});
+    return Node::list({atom("portRef"), named(port),
+                       Node::list({atom("instanceRef"), atom(instance)})});
+}
+
+} // namespace
+
+std::string
+sanitizeIdent(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+            out += c;
+        else
+            out += '_';
+    }
+    if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+        out = "id_" + out;
+    return out;
+}
+
+sexpr::Node
+toSExpr(const netlist::Netlist &nl)
+{
+    using cells::GateType;
+
+    // Which device cells does this design use?
+    std::set<std::string> used_cells;
+    for (const auto &g : nl.gates())
+        used_cells.insert(cells::gateInfo(g.type).name);
+    auto fan = nl.fanoutCounts();
+    bool use_gnd = fan[netlist::kConst0] > 0;
+    bool use_vcc = fan[netlist::kConst1] > 0;
+
+    Node device = Node::list({atom("library"), atom("DEVICE"),
+                              Node::list({atom("edifLevel"), atom("0")}),
+                              Node::list({atom("technology"),
+                                          Node::list({atom(
+                                              "numberDefinition")})})});
+    for (const auto &name : used_cells) {
+        GateType t = cells::gateTypeByName(name);
+        const auto &info = cells::gateInfo(t);
+        device.append(deviceCell(name, info.inputs, info.output));
+    }
+    if (use_gnd)
+        device.append(deviceCell("GND", {}, "Y"));
+    if (use_vcc)
+        device.append(deviceCell("VCC", {}, "Y"));
+
+    // Interface of the top cell.
+    Node iface = Node::list({atom("interface")});
+    for (const auto &p : nl.ports()) {
+        for (size_t i = 0; i < p.bits.size(); ++i) {
+            std::string bit_name =
+                p.bits.size() == 1 ? p.name
+                                   : format("%s[%zu]", p.name.c_str(), i);
+            iface.append(
+                portDecl(bit_name, p.dir == netlist::PortDir::Input));
+        }
+    }
+
+    // Instances.
+    Node contents = Node::list({atom("contents")});
+    std::vector<std::string> inst_names(nl.numGates());
+    for (size_t gi = 0; gi < nl.numGates(); ++gi) {
+        const auto &g = nl.gates()[gi];
+        inst_names[gi] = format("id%05zu", gi);
+        contents.append(Node::list(
+            {atom("instance"), atom(inst_names[gi]),
+             Node::list({atom("viewRef"), atom("netlist"),
+                         Node::list({atom("cellRef"),
+                                     atom(cells::gateInfo(g.type).name),
+                                     Node::list({atom("libraryRef"),
+                                                 atom("DEVICE")})})})}));
+    }
+    if (use_gnd)
+        contents.append(Node::list(
+            {atom("instance"), atom("const0"),
+             Node::list({atom("viewRef"), atom("netlist"),
+                         Node::list({atom("cellRef"), atom("GND"),
+                                     Node::list({atom("libraryRef"),
+                                                 atom("DEVICE")})})})}));
+    if (use_vcc)
+        contents.append(Node::list(
+            {atom("instance"), atom("const1"),
+             Node::list({atom("viewRef"), atom("netlist"),
+                         Node::list({atom("cellRef"), atom("VCC"),
+                                     Node::list({atom("libraryRef"),
+                                                 atom("DEVICE")})})})}));
+
+    // Connectivity: one (net ...) per used net, joining every endpoint.
+    std::map<NetId, std::vector<Node>> joins;
+    for (size_t gi = 0; gi < nl.numGates(); ++gi) {
+        const auto &g = nl.gates()[gi];
+        const auto &info = cells::gateInfo(g.type);
+        for (size_t k = 0; k < g.inputs.size(); ++k)
+            joins[g.inputs[k]].push_back(
+                portRef(info.inputs[k], inst_names[gi]));
+        joins[g.output].push_back(portRef(info.output, inst_names[gi]));
+    }
+    if (use_gnd)
+        joins[netlist::kConst0].push_back(portRef("Y", "const0"));
+    if (use_vcc)
+        joins[netlist::kConst1].push_back(portRef("Y", "const1"));
+    for (const auto &p : nl.ports()) {
+        for (size_t i = 0; i < p.bits.size(); ++i) {
+            std::string bit_name =
+                p.bits.size() == 1 ? p.name
+                                   : format("%s[%zu]", p.name.c_str(), i);
+            joins[p.bits[i]].push_back(portRef(bit_name, ""));
+        }
+    }
+
+    for (auto &[net, refs] : joins) {
+        if (refs.size() < 2 && !(net == netlist::kConst0 ||
+                                 net == netlist::kConst1))
+            continue; // dangling net: nothing to join
+        Node joined = Node::list({atom("joined")});
+        for (auto &r : refs)
+            joined.append(std::move(r));
+        contents.append(Node::list(
+            {atom("net"), named(nl.netName(net)), joined}));
+    }
+
+    Node design_lib = Node::list(
+        {atom("library"), atom("DESIGN"),
+         Node::list({atom("edifLevel"), atom("0")}),
+         Node::list(
+             {atom("technology"), Node::list({atom("numberDefinition")})}),
+         Node::list(
+             {atom("cell"), named(nl.name()),
+              Node::list({atom("cellType"), atom("GENERIC")}),
+              Node::list({atom("view"), atom("netlist"),
+                          Node::list({atom("viewType"), atom("NETLIST")}),
+                          iface, contents})})});
+
+    return Node::list(
+        {atom("edif"), named(nl.name()),
+         Node::list({atom("edifVersion"), atom("2"), atom("0"),
+                     atom("0")}),
+         Node::list({atom("edifLevel"), atom("0")}),
+         Node::list({atom("keywordMap"),
+                     Node::list({atom("keywordLevel"), atom("0")})}),
+         Node::list({atom("comment"),
+                     Node::string("generated by QAC edif writer")}),
+         device, design_lib,
+         Node::list(
+             {atom("design"), named(nl.name()),
+              Node::list({atom("cellRef"), named(nl.name()),
+                          Node::list({atom("libraryRef"),
+                                      atom("DESIGN")})})})});
+}
+
+std::string
+writeEdif(const netlist::Netlist &nl)
+{
+    return toSExpr(nl).toString(/*pretty=*/true) + "\n";
+}
+
+} // namespace qac::edif

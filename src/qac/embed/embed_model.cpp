@@ -1,0 +1,124 @@
+#include "qac/embed/embed_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "qac/util/logging.h"
+
+namespace qac::embed {
+
+ising::SpinVector
+EmbeddedModel::unembed(const ising::SpinVector &phys,
+                       size_t *broken_chains) const
+{
+    ising::SpinVector logical(dense_chains.size(), -1);
+    size_t broken = 0;
+    for (size_t v = 0; v < dense_chains.size(); ++v) {
+        int up = 0;
+        for (uint32_t k : dense_chains[v])
+            up += (phys[k] > 0) ? 1 : -1;
+        if (std::abs(up) != static_cast<int>(dense_chains[v].size()))
+            ++broken;
+        if (up > 0)
+            logical[v] = 1;
+        else if (up < 0)
+            logical[v] = -1;
+        else
+            logical[v] = phys[dense_chains[v][0]]; // tie: first qubit
+    }
+    if (broken_chains)
+        *broken_chains = broken;
+    return logical;
+}
+
+ising::SpinVector
+EmbeddedModel::embedSolution(const ising::SpinVector &logical) const
+{
+    ising::SpinVector phys(phys_qubits.size(), -1);
+    for (size_t v = 0; v < dense_chains.size(); ++v)
+        for (uint32_t k : dense_chains[v])
+            phys[k] = logical[v];
+    return phys;
+}
+
+EmbeddedModel
+embedModel(const ising::IsingModel &logical, const Embedding &emb,
+           const chimera::HardwareGraph &hw,
+           const EmbedModelOptions &opts)
+{
+    if (emb.chains.size() != logical.numVars())
+        fatal("embedModel: embedding has %zu chains for %zu variables",
+              emb.chains.size(), logical.numVars());
+
+    EmbeddedModel out;
+    out.embedding = emb;
+
+    // Dense re-indexing of used qubits.
+    std::unordered_map<uint32_t, uint32_t> dense;
+    for (const auto &chain : emb.chains) {
+        for (uint32_t q : chain) {
+            if (dense.emplace(q, out.phys_qubits.size()).second)
+                out.phys_qubits.push_back(q);
+        }
+    }
+    out.dense_chains.resize(emb.chains.size());
+    for (size_t v = 0; v < emb.chains.size(); ++v)
+        for (uint32_t q : emb.chains[v])
+            out.dense_chains[v].push_back(dense.at(q));
+
+    double chain_str = opts.chain_strength;
+    if (chain_str <= 0.0) {
+        double mj = logical.maxAbsQuadratic();
+        double mh = logical.maxAbsLinear();
+        chain_str = mj > 0 ? 2.0 * mj : (mh > 0 ? 2.0 * mh : 2.0);
+    }
+    out.chain_strength = chain_str;
+
+    out.physical.resize(out.phys_qubits.size());
+
+    // Linear terms spread over the chain.
+    for (uint32_t v = 0; v < logical.numVars(); ++v) {
+        double h = logical.linear(v);
+        if (h == 0.0)
+            continue;
+        const auto &chain = out.dense_chains[v];
+        double share = h / static_cast<double>(chain.size());
+        for (uint32_t k : chain)
+            out.physical.addLinear(k, share);
+    }
+
+    // Quadratic terms spread over available inter-chain couplers.
+    for (const auto &t : logical.quadraticTerms()) {
+        std::vector<std::pair<uint32_t, uint32_t>> couplers;
+        for (uint32_t qa : emb.chains[t.i])
+            for (uint32_t qb : emb.chains[t.j])
+                if (hw.hasEdge(qa, qb))
+                    couplers.emplace_back(dense.at(qa), dense.at(qb));
+        if (couplers.empty())
+            fatal("embedModel: logical edge (%u, %u) has no physical "
+                  "coupler",
+                  t.i, t.j);
+        double share = t.value / static_cast<double>(couplers.size());
+        for (const auto &[ka, kb] : couplers)
+            out.physical.addQuadratic(ka, kb, share);
+    }
+
+    // Intra-chain ferromagnetic couplers along a spanning structure:
+    // every hardware edge inside the chain (denser = more robust).
+    for (const auto &chain : emb.chains) {
+        for (size_t a = 0; a < chain.size(); ++a) {
+            for (size_t b = a + 1; b < chain.size(); ++b) {
+                if (hw.hasEdge(chain[a], chain[b]))
+                    out.physical.addQuadratic(dense.at(chain[a]),
+                                              dense.at(chain[b]),
+                                              -chain_str);
+            }
+        }
+    }
+
+    if (opts.scale_to_range)
+        out.scale_factor = out.physical.scaleToRange(opts.range);
+    return out;
+}
+
+} // namespace qac::embed

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Build the physical Hamiltonian from a logical model plus an embedding
+ * (paper, Section 4.4), and map solutions back.
+ *
+ * Logical h_i spreads evenly over chain i's qubits; logical J_ij
+ * spreads evenly over the physical couplers between chains i and j;
+ * every intra-chain coupler gets -chain_strength.  Coefficients are
+ * then uniformly scaled into the hardware ranges h in [-2, 2], J in
+ * [-2, 1] ("qmasm scales coefficients to honor the hardware-supported
+ * ranges").  Solutions come back by majority vote over each chain.
+ */
+
+#ifndef QAC_EMBED_EMBED_MODEL_H
+#define QAC_EMBED_EMBED_MODEL_H
+
+#include "qac/chimera/hardware_graph.h"
+#include "qac/embed/embedding.h"
+#include "qac/ising/model.h"
+
+namespace qac::embed {
+
+struct EmbedModelOptions
+{
+    /** Ferromagnetic intra-chain strength; 0 = auto (2x max |J|). */
+    double chain_strength = 0.0;
+    /** Hardware coefficient box to scale into. */
+    ising::CoefficientRange range{};
+    /** Disable for an unscaled physical model (testing). */
+    bool scale_to_range = true;
+};
+
+/** The physical model over densely re-indexed active qubits. */
+class EmbeddedModel
+{
+  public:
+    /** Physical Hamiltonian; variable k is physical qubit
+     *  phys_qubits[k]. */
+    ising::IsingModel physical;
+    /** Dense index -> hardware qubit id. */
+    std::vector<uint32_t> phys_qubits;
+    /** chains in dense indices: dense_chains[v] lists dense vars. */
+    std::vector<std::vector<uint32_t>> dense_chains;
+    Embedding embedding; ///< in hardware qubit ids
+
+    double chain_strength = 0.0;
+    double scale_factor = 1.0;
+
+    size_t numPhysicalQubits() const { return phys_qubits.size(); }
+
+    /**
+     * Majority-vote a physical assignment back to logical variables.
+     * @param broken_chains if non-null, receives the count of chains
+     *        whose qubits disagreed
+     */
+    ising::SpinVector unembed(const ising::SpinVector &phys,
+                              size_t *broken_chains = nullptr) const;
+
+    /** Expand a logical assignment to a physical one (all chains
+     *  uniform); useful for energy cross-checks. */
+    ising::SpinVector embedSolution(const ising::SpinVector &logical)
+        const;
+};
+
+/** Construct the physical model. Fatal if the embedding is unusable. */
+EmbeddedModel embedModel(const ising::IsingModel &logical,
+                         const Embedding &emb,
+                         const chimera::HardwareGraph &hw,
+                         const EmbedModelOptions &opts = {});
+
+} // namespace qac::embed
+
+#endif // QAC_EMBED_EMBED_MODEL_H

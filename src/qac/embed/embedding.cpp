@@ -1,0 +1,96 @@
+#include "qac/embed/embedding.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "qac/util/logging.h"
+
+namespace qac::embed {
+
+size_t
+Embedding::totalQubits() const
+{
+    size_t n = 0;
+    for (const auto &c : chains)
+        n += c.size();
+    return n;
+}
+
+size_t
+Embedding::maxChainLength() const
+{
+    size_t m = 0;
+    for (const auto &c : chains)
+        m = std::max(m, c.size());
+    return m;
+}
+
+bool
+verifyEmbedding(const Embedding &emb,
+                const std::vector<std::pair<uint32_t, uint32_t>>
+                    &logical_edges,
+                const chimera::HardwareGraph &hw, std::string *error)
+{
+    auto fail = [&](std::string msg) {
+        if (error)
+            *error = std::move(msg);
+        return false;
+    };
+
+    std::unordered_set<uint32_t> used;
+    for (size_t v = 0; v < emb.chains.size(); ++v) {
+        const auto &chain = emb.chains[v];
+        if (chain.empty())
+            return fail(format("chain %zu is empty", v));
+        for (uint32_t q : chain) {
+            if (q >= hw.numNodes())
+                return fail(format("chain %zu uses bad qubit %u", v, q));
+            if (!hw.isActive(q))
+                return fail(
+                    format("chain %zu uses inactive qubit %u", v, q));
+            if (!used.insert(q).second)
+                return fail(format("qubit %u used by two chains", q));
+        }
+        // Connectivity: BFS within the chain.
+        std::unordered_set<uint32_t> members(chain.begin(), chain.end());
+        std::unordered_set<uint32_t> seen{chain[0]};
+        std::queue<uint32_t> q;
+        q.push(chain[0]);
+        while (!q.empty()) {
+            uint32_t u = q.front();
+            q.pop();
+            for (uint32_t w : hw.neighbors(u)) {
+                if (members.count(w) && !seen.count(w)) {
+                    seen.insert(w);
+                    q.push(w);
+                }
+            }
+        }
+        if (seen.size() != chain.size())
+            return fail(format("chain %zu is disconnected", v));
+    }
+
+    for (const auto &[a, b] : logical_edges) {
+        if (a >= emb.chains.size() || b >= emb.chains.size())
+            return fail("logical edge endpoint out of range");
+        bool backed = false;
+        for (uint32_t qa : emb.chains[a]) {
+            for (uint32_t qb : emb.chains[b]) {
+                if (hw.hasEdge(qa, qb)) {
+                    backed = true;
+                    break;
+                }
+            }
+            if (backed)
+                break;
+        }
+        if (!backed)
+            return fail(format("logical edge (%u, %u) has no physical "
+                               "coupler",
+                               a, b));
+    }
+    return true;
+}
+
+} // namespace qac::embed

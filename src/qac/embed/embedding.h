@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minor embeddings: logical variable -> connected chain of physical
+ * qubits (paper, Section 4.4).
+ *
+ * "Minor embedding works by replacing certain individual variables with
+ * two or more variables that are made equal to each other using
+ * negative-valued J coefficients."
+ */
+
+#ifndef QAC_EMBED_EMBEDDING_H
+#define QAC_EMBED_EMBEDDING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qac/chimera/hardware_graph.h"
+
+namespace qac::embed {
+
+/** chains[v] = the physical qubits representing logical variable v. */
+struct Embedding
+{
+    std::vector<std::vector<uint32_t>> chains;
+
+    size_t numLogical() const { return chains.size(); }
+    size_t totalQubits() const;
+    size_t maxChainLength() const;
+};
+
+/**
+ * Check that @p emb is a valid minor embedding of the given logical
+ * edge set into @p hw: chains are nonempty, disjoint, connected in the
+ * hardware graph, use only active qubits, and every logical edge is
+ * backed by at least one physical coupler between its two chains.
+ */
+bool verifyEmbedding(const Embedding &emb,
+                     const std::vector<std::pair<uint32_t, uint32_t>>
+                         &logical_edges,
+                     const chimera::HardwareGraph &hw,
+                     std::string *error = nullptr);
+
+} // namespace qac::embed
+
+#endif // QAC_EMBED_EMBEDDING_H

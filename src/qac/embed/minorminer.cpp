@@ -1,0 +1,388 @@
+#include "qac/embed/minorminer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "qac/util/logging.h"
+#include "qac/util/rng.h"
+
+namespace qac::embed {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class Embedder
+{
+  public:
+    Embedder(const std::vector<std::pair<uint32_t, uint32_t>> &edges,
+             size_t num_logical, const chimera::HardwareGraph &hw,
+             const EmbedParams &params)
+        : hw_(hw), params_(params), nbrs_(num_logical),
+          chains_(num_logical), usage_(hw.numNodes(), 0)
+    {
+        for (const auto &[a, b] : edges) {
+            if (a >= num_logical || b >= num_logical)
+                fatal("findEmbedding: edge endpoint out of range");
+            if (a == b)
+                continue;
+            nbrs_[a].push_back(b);
+            nbrs_[b].push_back(a);
+        }
+        for (auto &nb : nbrs_) {
+            std::sort(nb.begin(), nb.end());
+            nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+        }
+    }
+
+    std::optional<Embedding>
+    run()
+    {
+        Rng master(params_.seed);
+        for (uint32_t t = 0; t < params_.tries; ++t) {
+            Rng rng = master.fork();
+            // Each try already runs its own qubit-minimization rounds;
+            // take the first success rather than paying for every
+            // restart.
+            if (auto emb = tryOnce(rng))
+                return emb;
+        }
+        return std::nullopt;
+    }
+
+  private:
+    const chimera::HardwareGraph &hw_;
+    const EmbedParams &params_;
+    std::vector<std::vector<uint32_t>> nbrs_; ///< logical adjacency
+    std::vector<std::vector<uint32_t>> chains_;
+    std::vector<uint32_t> usage_;
+    uint32_t round_ = 0;
+    double noise_ = 0.2;
+
+    double
+    weight(uint32_t q) const
+    {
+        if (!hw_.isActive(q))
+            return kInf;
+        // The penalty base must exceed any possible fresh-path cost so
+        // that one overlapped qubit is always worse than any detour
+        // through unused qubits (CMR use |V|^usage).  Escalate mildly
+        // with the round to shake persistent overlaps.
+        double base = params_.overuse_base > 0.0
+                          ? params_.overuse_base
+                          : static_cast<double>(hw_.numNodes());
+        base *= static_cast<double>(1 + round_);
+        return std::pow(base, static_cast<double>(usage_[q]));
+    }
+
+    /**
+     * Multi-source Dijkstra from every qubit of @p sources.  dist[q] is
+     * the summed weight of the *interior* qubits on the cheapest path
+     * from the source set to q — q's own weight is excluded, so the
+     * caller can charge the root qubit exactly once across neighbors.
+     * pred[q] walks back toward the source set; is_source marks the
+     * source chain.
+     */
+    void
+    dijkstra(const std::vector<uint32_t> &sources,
+             std::vector<double> &dist, std::vector<uint32_t> &pred,
+             std::vector<bool> &is_source) const
+    {
+        const size_t n = hw_.numNodes();
+        dist.assign(n, kInf);
+        pred.assign(n, UINT32_MAX);
+        is_source.assign(n, false);
+        using Item = std::pair<double, uint32_t>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+        for (uint32_t s : sources) {
+            dist[s] = 0.0;
+            is_source[s] = true;
+            pq.emplace(0.0, s);
+        }
+        while (!pq.empty()) {
+            auto [d, u] = pq.top();
+            pq.pop();
+            if (d > dist[u])
+                continue;
+            // Entering v costs the weight of u (the hop's interior
+            // node), except when u is a source-chain qubit.
+            double wu = is_source[u] ? 0.0 : weight(u);
+            if (wu == kInf)
+                continue;
+            for (uint32_t v : hw_.neighbors(u)) {
+                if (!hw_.isActive(v) || is_source[v])
+                    continue;
+                double nd = d + wu;
+                if (nd < dist[v]) {
+                    dist[v] = nd;
+                    pred[v] = u;
+                    pq.emplace(nd, v);
+                }
+            }
+        }
+    }
+
+    void
+    tearOut(uint32_t v)
+    {
+        for (uint32_t q : chains_[v])
+            --usage_[q];
+        chains_[v].clear();
+    }
+
+    /** Append one qubit to an existing chain (no-op if present). */
+    void
+    addToChain(uint32_t u, uint32_t q)
+    {
+        auto &c = chains_[u];
+        if (std::find(c.begin(), c.end(), q) == c.end()) {
+            c.push_back(q);
+            ++usage_[q];
+        }
+    }
+
+    void
+    install(uint32_t v, std::vector<uint32_t> chain)
+    {
+        std::sort(chain.begin(), chain.end());
+        chain.erase(std::unique(chain.begin(), chain.end()), chain.end());
+        for (uint32_t q : chain)
+            ++usage_[q];
+        chains_[v] = std::move(chain);
+    }
+
+    /** Re-place vertex @p v given the current chains of its neighbors. */
+    bool
+    placeVertex(uint32_t v, Rng &rng)
+    {
+        tearOut(v);
+
+        std::vector<uint32_t> embedded_nbrs;
+        for (uint32_t u : nbrs_[v])
+            if (!chains_[u].empty())
+                embedded_nbrs.push_back(u);
+
+        if (embedded_nbrs.empty()) {
+            // Free placement: pick a random least-used active qubit.
+            uint32_t best = UINT32_MAX;
+            uint32_t best_use = UINT32_MAX;
+            uint64_t seen = 0;
+            for (uint32_t q = 0; q < hw_.numNodes(); ++q) {
+                if (!hw_.isActive(q))
+                    continue;
+                if (usage_[q] < best_use) {
+                    best_use = usage_[q];
+                    best = q;
+                    seen = 1;
+                } else if (usage_[q] == best_use) {
+                    // Reservoir-sample among ties.
+                    ++seen;
+                    if (rng.below(seen) == 0)
+                        best = q;
+                }
+            }
+            if (best == UINT32_MAX)
+                return false;
+            install(v, {best});
+            return true;
+        }
+
+        // One Dijkstra per embedded neighbor.
+        std::vector<std::vector<double>> dist(embedded_nbrs.size());
+        std::vector<std::vector<uint32_t>> pred(embedded_nbrs.size());
+        std::vector<std::vector<bool>> is_src(embedded_nbrs.size());
+        for (size_t k = 0; k < embedded_nbrs.size(); ++k)
+            dijkstra(chains_[embedded_nbrs[k]], dist[k], pred[k],
+                     is_src[k]);
+
+        // Root minimizing own weight + total interior connection cost.
+        // Costs carry multiplicative noise: the hardware graph is
+        // highly symmetric and many near-equal placements exist;
+        // deterministic selection reliably traps the search in local
+        // minima (e.g. a walled-in singleton chain whose only overlap
+        // spot never moves), while noisy selection lets the overlap
+        // wander until a re-placement cascade resolves it.
+        uint32_t root = UINT32_MAX;
+        double best_cost = kInf;
+        for (uint32_t q = 0; q < hw_.numNodes(); ++q) {
+            double w = weight(q);
+            if (w == kInf)
+                continue;
+            double c = w;
+            bool feasible = true;
+            for (size_t k = 0; k < embedded_nbrs.size(); ++k) {
+                // A root inside the neighbor's chain connects for free.
+                double d = is_src[k][q] ? 0.0 : dist[k][q];
+                if (d == kInf) {
+                    feasible = false;
+                    break;
+                }
+                c += d;
+            }
+            if (!feasible)
+                continue;
+            // Noise anneals away over the rounds: early exploration,
+            // late convergence.
+            c *= 1.0 + noise_ * rng.uniform();
+            if (c < best_cost) {
+                best_cost = c;
+                root = q;
+            }
+        }
+        if (root == UINT32_MAX)
+            return false;
+
+        // Chain = root plus the root-side half of each connection path;
+        // the neighbor-side half is donated to the neighbor's chain
+        // (CMR's path splitting).  Without the split, freshly placed
+        // vertices absorb entire paths and balloon while their
+        // neighbors stay as walled-in singletons.
+        std::vector<uint32_t> chain{root};
+        for (size_t k = 0; k < embedded_nbrs.size(); ++k) {
+            if (is_src[k][root])
+                continue;
+            std::vector<uint32_t> path; // root side first
+            uint32_t cur = root;
+            while (pred[k][cur] != UINT32_MAX) {
+                uint32_t nxt = pred[k][cur];
+                if (is_src[k][nxt])
+                    break; // reached the neighbor's chain
+                path.push_back(nxt);
+                cur = nxt;
+            }
+            size_t keep = (path.size() + 1) / 2;
+            for (size_t i = 0; i < keep; ++i)
+                chain.push_back(path[i]);
+            for (size_t i = keep; i < path.size(); ++i)
+                addToChain(embedded_nbrs[k], path[i]);
+        }
+        install(v, std::move(chain));
+        return true;
+    }
+
+    std::optional<Embedding>
+    tryOnce(Rng &rng)
+    {
+        for (auto &c : chains_)
+            c.clear();
+        std::fill(usage_.begin(), usage_.end(), 0);
+
+        std::vector<uint32_t> order(chains_.size());
+        for (uint32_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        // Place high-degree vertices first; random tie-break.
+        rng.shuffle(order);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                             return nbrs_[a].size() > nbrs_[b].size();
+                         });
+
+        std::optional<Embedding> feasible;
+        size_t feasible_qubits = SIZE_MAX;
+        uint32_t stale = 0;
+        size_t best_overfull = SIZE_MAX;
+        uint32_t no_progress = 0;
+
+        for (round_ = 0; round_ < params_.rounds; ++round_) {
+            noise_ = 0.2 / (1.0 + round_);
+
+            // Early rounds re-place everything.  Later rounds repair
+            // minimally: only the chains sitting on overfull qubits,
+            // so converged structure stays put; the logical
+            // neighborhood joins in only after repeated non-progress
+            // (widening the search), and a full re-place round fires
+            // as a last resort.
+            std::vector<uint32_t> to_place;
+            if (round_ < 3 || feasible || no_progress >= 8) {
+                to_place = order;
+                if (no_progress >= 8)
+                    no_progress = 0;
+            } else {
+                std::vector<bool> hit(chains_.size(), false);
+                for (uint32_t v = 0; v < chains_.size(); ++v)
+                    for (uint32_t q : chains_[v])
+                        if (usage_[q] > 1)
+                            hit[v] = true;
+                bool widen = no_progress >= 4;
+                for (uint32_t v = 0; v < chains_.size(); ++v) {
+                    if (!hit[v])
+                        continue;
+                    to_place.push_back(v);
+                    if (widen)
+                        for (uint32_t u : nbrs_[v])
+                            to_place.push_back(u);
+                }
+                std::sort(to_place.begin(), to_place.end());
+                to_place.erase(
+                    std::unique(to_place.begin(), to_place.end()),
+                    to_place.end());
+                if (to_place.empty())
+                    to_place = order;
+            }
+            rng.shuffle(to_place);
+
+            for (uint32_t v : to_place)
+                if (!placeVertex(v, rng))
+                    return feasible;
+
+            uint32_t max_use = 0;
+            size_t total = 0;
+            size_t overfull = 0;
+            for (uint32_t q = 0; q < usage_.size(); ++q) {
+                max_use = std::max(max_use, usage_[q]);
+                if (usage_[q] > 1)
+                    ++overfull;
+            }
+            for (const auto &c : chains_)
+                total += c.size();
+
+            if (overfull < best_overfull) {
+                best_overfull = overfull;
+                no_progress = 0;
+            } else {
+                ++no_progress;
+            }
+
+            if (max_use <= 1) {
+                if (total < feasible_qubits) {
+                    feasible_qubits = total;
+                    Embedding emb;
+                    emb.chains = chains_;
+                    feasible = std::move(emb);
+                    stale = 0;
+                } else {
+                    ++stale;
+                }
+                // A couple of non-improving feasible rounds: stop.
+                if (!params_.minimize_qubits || stale >= 2)
+                    break;
+            }
+        }
+        return feasible;
+    }
+};
+
+} // namespace
+
+std::optional<Embedding>
+findEmbedding(const std::vector<std::pair<uint32_t, uint32_t>>
+                  &logical_edges,
+              size_t num_logical, const chimera::HardwareGraph &hw,
+              const EmbedParams &params)
+{
+    if (num_logical == 0)
+        return Embedding{};
+    Embedder e(logical_edges, num_logical, hw, params);
+    auto emb = e.run();
+    if (emb) {
+        std::string err;
+        if (!verifyEmbedding(*emb, logical_edges, hw, &err))
+            panic("embedder produced an invalid embedding: %s",
+                  err.c_str());
+    }
+    return emb;
+}
+
+} // namespace qac::embed

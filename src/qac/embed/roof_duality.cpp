@@ -1,0 +1,90 @@
+#include "qac/embed/roof_duality.h"
+
+#include <cmath>
+#include <vector>
+
+#include "qac/util/logging.h"
+
+namespace qac::embed {
+
+ising::SpinVector
+FixResult::lift(const ising::SpinVector &reduced_spins) const
+{
+    size_t n = reduced_to_orig.size() + fixed.size();
+    ising::SpinVector out(n, -1);
+    for (const auto &[v, s] : fixed)
+        out[v] = s;
+    for (size_t k = 0; k < reduced_to_orig.size(); ++k)
+        out[reduced_to_orig[k]] = reduced_spins[k];
+    return out;
+}
+
+FixResult
+fixVariables(const ising::IsingModel &model)
+{
+    const size_t n = model.numVars();
+    // Working copies we can fold fixings into.
+    std::vector<double> h(n);
+    for (uint32_t i = 0; i < n; ++i)
+        h[i] = model.linear(i);
+    std::vector<std::vector<std::pair<uint32_t, double>>> adj(n);
+    for (const auto &t : model.quadraticTerms()) {
+        adj[t.i].emplace_back(t.j, t.value);
+        adj[t.j].emplace_back(t.i, t.value);
+    }
+
+    FixResult res;
+    std::vector<bool> is_fixed(n, false);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t i = 0; i < n; ++i) {
+            if (is_fixed[i])
+                continue;
+            double coupling_mass = 0.0;
+            for (const auto &[j, w] : adj[i])
+                if (!is_fixed[j])
+                    coupling_mass += std::abs(w);
+            if (h[i] == 0.0 || std::abs(h[i]) < coupling_mass - 1e-12)
+                continue;
+            // sigma_i = -sign(h_i) minimizes h_i sigma_i and can never
+            // lose more from the couplings than it gains; a global
+            // optimum with this value exists (weak persistency; strict
+            // dominance gives strong persistency).
+            ising::Spin s = (h[i] > 0) ? ising::Spin{-1} : ising::Spin{1};
+            is_fixed[i] = true;
+            res.fixed[i] = s;
+            // h[i] already includes J*s folds from earlier fixings, so
+            // each fixed-fixed coupling is charged exactly once here.
+            res.energy_offset += h[i] * s;
+            for (const auto &[j, w] : adj[i])
+                if (!is_fixed[j])
+                    h[j] += w * s;
+            changed = true;
+        }
+    }
+
+    // Build the reduced model.
+    std::vector<uint32_t> orig_to_reduced(n, UINT32_MAX);
+    for (uint32_t i = 0; i < n; ++i) {
+        if (!is_fixed[i]) {
+            orig_to_reduced[i] =
+                static_cast<uint32_t>(res.reduced_to_orig.size());
+            res.reduced_to_orig.push_back(i);
+        }
+    }
+    res.reduced.resize(res.reduced_to_orig.size());
+    for (uint32_t k = 0; k < res.reduced_to_orig.size(); ++k) {
+        double hv = h[res.reduced_to_orig[k]];
+        if (hv != 0.0)
+            res.reduced.addLinear(k, hv);
+    }
+    for (const auto &t : model.quadraticTerms()) {
+        if (!is_fixed[t.i] && !is_fixed[t.j])
+            res.reduced.addQuadratic(orig_to_reduced[t.i],
+                                     orig_to_reduced[t.j], t.value);
+    }
+    return res;
+}
+
+} // namespace qac::embed

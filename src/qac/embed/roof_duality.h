@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A-priori variable fixing ("roof duality" elision; paper, Section 4.4:
+ * "qmasm uses SAPI's implementation of roof duality [Hammer et al.
+ * 1984] to elide qubits whose final value can be determined a priori").
+ *
+ * Implementation note: QAC implements the *strong local persistency*
+ * subset of roof duality with cascading — a variable whose field
+ * magnitude dominates its total coupling magnitude is fixed to the
+ * field-preferred value, substituted into its neighbors, and the test
+ * repeats to a fixpoint.  This is sound (every fixing is satisfied by
+ * at least one global optimum, so the reduced model's minimum equals
+ * the original's) and captures the pipeline's dominant use case:
+ * propagating pinned program inputs/outputs through gate penalties.
+ * The full Hammer-Hansen-Simeone roof dual would fix a superset; the
+ * difference is measured (not assumed) in bench_static_properties.
+ */
+
+#ifndef QAC_EMBED_ROOF_DUALITY_H
+#define QAC_EMBED_ROOF_DUALITY_H
+
+#include <map>
+
+#include "qac/ising/model.h"
+
+namespace qac::embed {
+
+struct FixResult
+{
+    /** Original variable -> fixed spin value. */
+    std::map<uint32_t, ising::Spin> fixed;
+    /** Model over the surviving variables. */
+    ising::IsingModel reduced;
+    /** Reduced variable index -> original variable index. */
+    std::vector<uint32_t> reduced_to_orig;
+    /** E_original(x) = E_reduced(x') + energy_offset on the optimum. */
+    double energy_offset = 0.0;
+
+    /** Lift a reduced-model assignment to the original index space. */
+    ising::SpinVector lift(const ising::SpinVector &reduced_spins) const;
+
+    size_t numFixed() const { return fixed.size(); }
+};
+
+/** Run the fixing cascade on @p model. */
+FixResult fixVariables(const ising::IsingModel &model);
+
+} // namespace qac::embed
+
+#endif // QAC_EMBED_ROOF_DUALITY_H

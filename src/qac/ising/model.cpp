@@ -1,0 +1,219 @@
+#include "qac/ising/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qac/util/logging.h"
+
+namespace qac::ising {
+
+void
+IsingModel::resize(size_t n)
+{
+    if (n > h_.size()) {
+        h_.resize(n, 0.0);
+        adj_valid_ = false;
+    }
+}
+
+void
+IsingModel::addLinear(uint32_t i, double w)
+{
+    resize(static_cast<size_t>(i) + 1);
+    h_[i] += w;
+}
+
+void
+IsingModel::addQuadratic(uint32_t i, uint32_t j, double w)
+{
+    if (i == j)
+        panic("IsingModel: self-coupling J_%u,%u", i, j);
+    resize(static_cast<size_t>(std::max(i, j)) + 1);
+    j_[key(i, j)] += w;
+    adj_valid_ = false;
+}
+
+double
+IsingModel::linear(uint32_t i) const
+{
+    return i < h_.size() ? h_[i] : 0.0;
+}
+
+double
+IsingModel::quadratic(uint32_t i, uint32_t j) const
+{
+    auto it = j_.find(key(i, j));
+    return it == j_.end() ? 0.0 : it->second;
+}
+
+std::vector<QuadraticTerm>
+IsingModel::quadraticTerms() const
+{
+    std::vector<QuadraticTerm> terms;
+    terms.reserve(j_.size());
+    for (const auto &[k, v] : j_) {
+        if (v == 0.0)
+            continue;
+        terms.push_back({static_cast<uint32_t>(k >> 32),
+                         static_cast<uint32_t>(k & 0xffffffffu), v});
+    }
+    return terms;
+}
+
+std::vector<QuadraticTerm>
+IsingModel::sortedQuadraticTerms() const
+{
+    auto terms = quadraticTerms();
+    std::sort(terms.begin(), terms.end(),
+              [](const QuadraticTerm &a, const QuadraticTerm &b) {
+                  return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+              });
+    return terms;
+}
+
+double
+IsingModel::energy(const SpinVector &spins) const
+{
+    if (spins.size() != h_.size())
+        panic("IsingModel::energy: %zu spins for %zu variables",
+              spins.size(), h_.size());
+    double e = 0.0;
+    for (size_t i = 0; i < h_.size(); ++i)
+        e += h_[i] * spins[i];
+    for (const auto &[k, v] : j_) {
+        uint32_t i = static_cast<uint32_t>(k >> 32);
+        uint32_t j = static_cast<uint32_t>(k & 0xffffffffu);
+        e += v * spins[i] * spins[j];
+    }
+    return e;
+}
+
+size_t
+IsingModel::numTerms() const
+{
+    size_t n = 0;
+    for (double w : h_)
+        if (w != 0.0)
+            ++n;
+    for (const auto &[k, v] : j_) {
+        (void)k;
+        if (v != 0.0)
+            ++n;
+    }
+    return n;
+}
+
+double
+IsingModel::maxAbsLinear() const
+{
+    double m = 0.0;
+    for (double w : h_)
+        m = std::max(m, std::abs(w));
+    return m;
+}
+
+double
+IsingModel::maxAbsQuadratic() const
+{
+    double m = 0.0;
+    for (const auto &[k, v] : j_) {
+        (void)k;
+        m = std::max(m, std::abs(v));
+    }
+    return m;
+}
+
+void
+IsingModel::scale(double f)
+{
+    for (double &w : h_)
+        w *= f;
+    for (auto &[k, v] : j_) {
+        (void)k;
+        v *= f;
+    }
+    adj_valid_ = false;
+}
+
+double
+IsingModel::scaleToRange(const CoefficientRange &range)
+{
+    double f = 1.0;
+    for (size_t i = 0; i < h_.size(); ++i) {
+        if (h_[i] > 0 && range.h_max > 0)
+            f = std::min(f, range.h_max / h_[i]);
+        if (h_[i] < 0 && range.h_min < 0)
+            f = std::min(f, range.h_min / h_[i]);
+    }
+    for (const auto &[k, v] : j_) {
+        (void)k;
+        if (v > 0 && range.j_max > 0)
+            f = std::min(f, range.j_max / v);
+        if (v < 0 && range.j_min < 0)
+            f = std::min(f, range.j_min / v);
+    }
+    if (f < 1.0)
+        scale(f);
+    return f;
+}
+
+bool
+IsingModel::withinRange(const CoefficientRange &range) const
+{
+    for (double w : h_)
+        if (w < range.h_min - 1e-12 || w > range.h_max + 1e-12)
+            return false;
+    for (const auto &[k, v] : j_) {
+        (void)k;
+        if (v < range.j_min - 1e-12 || v > range.j_max + 1e-12)
+            return false;
+    }
+    return true;
+}
+
+const std::vector<std::vector<std::pair<uint32_t, double>>> &
+IsingModel::adjacency() const
+{
+    if (!adj_valid_) {
+        adj_.assign(h_.size(), {});
+        for (const auto &[k, v] : j_) {
+            if (v == 0.0)
+                continue;
+            uint32_t i = static_cast<uint32_t>(k >> 32);
+            uint32_t j = static_cast<uint32_t>(k & 0xffffffffu);
+            adj_[i].emplace_back(j, v);
+            adj_[j].emplace_back(i, v);
+        }
+        adj_valid_ = true;
+    }
+    return adj_;
+}
+
+double
+IsingModel::flipDelta(const SpinVector &spins, uint32_t i) const
+{
+    const auto &adj = adjacency();
+    double local = h_[i];
+    for (const auto &[nbr, w] : adj[i])
+        local += w * spins[nbr];
+    // Flipping sigma_i negates every term containing it.
+    return -2.0 * spins[i] * local;
+}
+
+bool
+IsingModel::operator==(const IsingModel &other) const
+{
+    if (h_ != other.h_)
+        return false;
+    auto a = sortedQuadraticTerms();
+    auto b = other.sortedQuadraticTerms();
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a[i].i != b[i].i || a[i].j != b[i].j ||
+            a[i].value != b[i].value)
+            return false;
+    return true;
+}
+
+} // namespace qac::ising

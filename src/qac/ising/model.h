@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The quadratic pseudo-Boolean function a quantum annealer minimizes.
+ *
+ * Implements Equation (2) of the paper:
+ *
+ *     H(sigma) = sum_i h_i sigma_i + sum_{i<j} J_ij sigma_i sigma_j
+ *
+ * with sigma_i in {-1, +1}.  Linear coefficients live in a dense vector;
+ * quadratic coefficients in a hash map keyed on the (i, j) pair with
+ * i < j normalized, plus a lazily built adjacency structure for samplers.
+ */
+
+#ifndef QAC_ISING_MODEL_H
+#define QAC_ISING_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "qac/ising/solution.h"
+
+namespace qac::ising {
+
+/** Hardware coefficient ranges of the D-Wave 2000Q (paper, Section 2). */
+struct CoefficientRange
+{
+    double h_min = -2.0;
+    double h_max = 2.0;
+    double j_min = -2.0;
+    double j_max = 1.0;
+};
+
+/** One quadratic term (i < j). */
+struct QuadraticTerm
+{
+    uint32_t i;
+    uint32_t j;
+    double value;
+};
+
+/** An Ising model: Equation (2). */
+class IsingModel
+{
+  public:
+    IsingModel() = default;
+    explicit IsingModel(size_t num_vars) : h_(num_vars, 0.0) {}
+
+    size_t numVars() const { return h_.size(); }
+
+    /** Ensure the model covers variables 0..n-1. */
+    void resize(size_t n);
+
+    /** Add @p w to h_i (resizing as needed). */
+    void addLinear(uint32_t i, double w);
+
+    /** Add @p w to J_ij, i != j (resizing as needed). */
+    void addQuadratic(uint32_t i, uint32_t j, double w);
+
+    double linear(uint32_t i) const;
+    double quadratic(uint32_t i, uint32_t j) const;
+
+    /** All nonzero quadratic terms, i < j, in unspecified order. */
+    std::vector<QuadraticTerm> quadraticTerms() const;
+
+    /** Sorted, deterministic variant of quadraticTerms(). */
+    std::vector<QuadraticTerm> sortedQuadraticTerms() const;
+
+    /** Evaluate H(sigma). @p spins must have numVars() entries. */
+    double energy(const SpinVector &spins) const;
+
+    /**
+     * Number of nonzero terms, linear + quadratic — the "terms" metric
+     * from the paper's Section 6.1 (312 logical -> 963±53 physical).
+     */
+    size_t numTerms() const;
+
+    double maxAbsLinear() const;
+    double maxAbsQuadratic() const;
+
+    /** Multiply every coefficient by @p f. */
+    void scale(double f);
+
+    /**
+     * Uniformly scale so all coefficients fit @p range, as qmasm does
+     * before targeting hardware (Section 4.4).  Scaling an Ising model by
+     * a positive constant preserves its argmin.
+     * @return the applied factor (<= 1).
+     */
+    double scaleToRange(const CoefficientRange &range);
+
+    /** True if every coefficient already lies inside @p range. */
+    bool withinRange(const CoefficientRange &range) const;
+
+    /**
+     * Adjacency view: for each variable, the (neighbor, J) list.  Built
+     * on first use and invalidated by mutation.
+     */
+    const std::vector<std::vector<std::pair<uint32_t, double>>> &
+    adjacency() const;
+
+    /** Per-variable energy delta for flipping spins[i]. */
+    double flipDelta(const SpinVector &spins, uint32_t i) const;
+
+    bool operator==(const IsingModel &other) const;
+
+  private:
+    static uint64_t
+    key(uint32_t i, uint32_t j)
+    {
+        if (i > j)
+            std::swap(i, j);
+        return (static_cast<uint64_t>(i) << 32) | j;
+    }
+
+    std::vector<double> h_;
+    std::unordered_map<uint64_t, double> j_;
+    mutable std::vector<std::vector<std::pair<uint32_t, double>>> adj_;
+    mutable bool adj_valid_ = false;
+};
+
+} // namespace qac::ising
+
+#endif // QAC_ISING_MODEL_H

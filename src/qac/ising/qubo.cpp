@@ -1,0 +1,130 @@
+#include "qac/ising/qubo.h"
+
+#include <algorithm>
+
+#include "qac/util/logging.h"
+
+namespace qac::ising {
+
+void
+QuboModel::resize(size_t n)
+{
+    if (n > a_.size())
+        a_.resize(n, 0.0);
+}
+
+void
+QuboModel::addLinear(uint32_t i, double w)
+{
+    resize(static_cast<size_t>(i) + 1);
+    a_[i] += w;
+}
+
+void
+QuboModel::addQuadratic(uint32_t i, uint32_t j, double w)
+{
+    if (i == j)
+        panic("QuboModel: self-coupling b_%u,%u", i, j);
+    resize(static_cast<size_t>(std::max(i, j)) + 1);
+    b_[key(i, j)] += w;
+}
+
+double
+QuboModel::linear(uint32_t i) const
+{
+    return i < a_.size() ? a_[i] : 0.0;
+}
+
+double
+QuboModel::quadratic(uint32_t i, uint32_t j) const
+{
+    auto it = b_.find(key(i, j));
+    return it == b_.end() ? 0.0 : it->second;
+}
+
+std::vector<QuadraticTerm>
+QuboModel::quadraticTerms() const
+{
+    std::vector<QuadraticTerm> terms;
+    terms.reserve(b_.size());
+    for (const auto &[k, v] : b_) {
+        if (v == 0.0)
+            continue;
+        terms.push_back({static_cast<uint32_t>(k >> 32),
+                         static_cast<uint32_t>(k & 0xffffffffu), v});
+    }
+    return terms;
+}
+
+double
+QuboModel::energy(const std::vector<uint8_t> &bits) const
+{
+    if (bits.size() != a_.size())
+        panic("QuboModel::energy: %zu bits for %zu variables", bits.size(),
+              a_.size());
+    double e = offset_;
+    for (size_t i = 0; i < a_.size(); ++i)
+        if (bits[i])
+            e += a_[i];
+    for (const auto &[k, v] : b_) {
+        uint32_t i = static_cast<uint32_t>(k >> 32);
+        uint32_t j = static_cast<uint32_t>(k & 0xffffffffu);
+        if (bits[i] && bits[j])
+            e += v;
+    }
+    return e;
+}
+
+IsingModel
+QuboModel::toIsing(double *offset_out) const
+{
+    // x_i = (1 + sigma_i) / 2:
+    //   a x        -> a/2 sigma + a/2
+    //   b x_i x_j  -> b/4 sigma_i sigma_j + b/4 sigma_i + b/4 sigma_j + b/4
+    IsingModel ising(numVars());
+    double offset = offset_;
+    for (uint32_t i = 0; i < a_.size(); ++i) {
+        if (a_[i] != 0.0) {
+            ising.addLinear(i, a_[i] / 2.0);
+            offset += a_[i] / 2.0;
+        }
+    }
+    for (const auto &[k, v] : b_) {
+        if (v == 0.0)
+            continue;
+        uint32_t i = static_cast<uint32_t>(k >> 32);
+        uint32_t j = static_cast<uint32_t>(k & 0xffffffffu);
+        ising.addQuadratic(i, j, v / 4.0);
+        ising.addLinear(i, v / 4.0);
+        ising.addLinear(j, v / 4.0);
+        offset += v / 4.0;
+    }
+    if (offset_out)
+        *offset_out = offset;
+    return ising;
+}
+
+QuboModel
+QuboModel::fromIsing(const IsingModel &ising)
+{
+    // sigma_i = 2 x_i - 1:
+    //   h sigma           -> 2h x - h
+    //   J sigma_i sigma_j -> 4J x_i x_j - 2J x_i - 2J x_j + J
+    QuboModel q(ising.numVars());
+    for (uint32_t i = 0; i < ising.numVars(); ++i) {
+        double h = ising.linear(i);
+        if (h != 0.0) {
+            q.addLinear(i, 2.0 * h);
+            q.addOffset(-h);
+        }
+    }
+    for (const auto &t : ising.quadraticTerms()) {
+        q.addQuadratic(t.i, t.j, 4.0 * t.value);
+        q.addLinear(t.i, -2.0 * t.value);
+        q.addLinear(t.j, -2.0 * t.value);
+        q.addOffset(t.value);
+    }
+    return q;
+}
+
+} // namespace qac::ising

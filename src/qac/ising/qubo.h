@@ -1,0 +1,69 @@
+/**
+ * @file
+ * QUBO form (0/1 variables) and conversion to/from the Ising form.
+ *
+ * The operations-research community uses x in {0,1} (paper, Section 2,
+ * footnote on the two conventions); roof duality is naturally expressed
+ * over QUBO, and hand-coded baselines (the unary map-coloring encoding of
+ * Section 6.1) are easier to write in it.  x = (sigma + 1) / 2.
+ */
+
+#ifndef QAC_ISING_QUBO_H
+#define QAC_ISING_QUBO_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "qac/ising/model.h"
+
+namespace qac::ising {
+
+/** Minimize  offset + sum_i a_i x_i + sum_{i<j} b_ij x_i x_j,  x in {0,1}. */
+class QuboModel
+{
+  public:
+    QuboModel() = default;
+    explicit QuboModel(size_t num_vars) : a_(num_vars, 0.0) {}
+
+    size_t numVars() const { return a_.size(); }
+    void resize(size_t n);
+
+    void addOffset(double w) { offset_ += w; }
+    void addLinear(uint32_t i, double w);
+    void addQuadratic(uint32_t i, uint32_t j, double w);
+
+    double offset() const { return offset_; }
+    double linear(uint32_t i) const;
+    double quadratic(uint32_t i, uint32_t j) const;
+
+    /** All nonzero quadratic terms (i < j). */
+    std::vector<QuadraticTerm> quadraticTerms() const;
+
+    /** Evaluate on a 0/1 assignment. */
+    double energy(const std::vector<uint8_t> &bits) const;
+
+    /** Convert to the equivalent Ising model; reports the energy offset
+     *  such that E_ising(sigma) + offset == E_qubo(x(sigma)). */
+    IsingModel toIsing(double *offset_out = nullptr) const;
+
+    /** Build from an Ising model (exact inverse of toIsing()). */
+    static QuboModel fromIsing(const IsingModel &ising);
+
+  private:
+    static uint64_t
+    key(uint32_t i, uint32_t j)
+    {
+        if (i > j)
+            std::swap(i, j);
+        return (static_cast<uint64_t>(i) << 32) | j;
+    }
+
+    double offset_ = 0.0;
+    std::vector<double> a_;
+    std::unordered_map<uint64_t, double> b_;
+};
+
+} // namespace qac::ising
+
+#endif // QAC_ISING_QUBO_H

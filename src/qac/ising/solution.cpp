@@ -1,0 +1,35 @@
+#include "qac/ising/solution.h"
+
+namespace qac::ising {
+
+SpinVector
+indexToSpins(uint64_t idx, size_t n)
+{
+    SpinVector spins(n, -1);
+    for (size_t b = 0; b < n; ++b)
+        if ((idx >> b) & 1)
+            spins[b] = 1;
+    return spins;
+}
+
+uint64_t
+spinsToIndex(const SpinVector &spins)
+{
+    uint64_t idx = 0;
+    for (size_t b = 0; b < spins.size(); ++b)
+        if (spins[b] > 0)
+            idx |= (uint64_t{1} << b);
+    return idx;
+}
+
+std::string
+toString(const SpinVector &spins)
+{
+    std::string s;
+    s.reserve(spins.size());
+    for (Spin sp : spins)
+        s += (sp > 0) ? '+' : '-';
+    return s;
+}
+
+} // namespace qac::ising

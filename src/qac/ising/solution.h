@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Spin-vector types shared by models and samplers.
+ *
+ * Variables are "physics Booleans": False = -1, True = +1 (paper,
+ * Section 2).
+ */
+
+#ifndef QAC_ISING_SOLUTION_H
+#define QAC_ISING_SOLUTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qac::ising {
+
+/** One spin: -1 (False) or +1 (True). */
+using Spin = int8_t;
+
+/** An assignment to every variable of a model. */
+using SpinVector = std::vector<Spin>;
+
+/** Map a spin to a conventional Boolean. */
+inline bool spinToBool(Spin s) { return s > 0; }
+
+/** Map a conventional Boolean to a spin. */
+inline Spin boolToSpin(bool b) { return b ? Spin{1} : Spin{-1}; }
+
+/**
+ * Enumerate index @p idx (0 .. 2^n-1) as a spin vector of length @p n;
+ * bit b of idx maps to spins[b], with 1-bits becoming +1.
+ */
+SpinVector indexToSpins(uint64_t idx, size_t n);
+
+/** Inverse of indexToSpins(). */
+uint64_t spinsToIndex(const SpinVector &spins);
+
+/** Render e.g. "+-++" for debugging. */
+std::string toString(const SpinVector &spins);
+
+} // namespace qac::ising
+
+#endif // QAC_ISING_SOLUTION_H

@@ -1,0 +1,179 @@
+#include "qac/netlist/netlist.h"
+
+#include <limits>
+#include <unordered_set>
+
+#include "qac/util/logging.h"
+
+namespace qac::netlist {
+
+Netlist::Netlist()
+{
+    newNet("$const0");
+    newNet("$const1");
+}
+
+NetId
+Netlist::newNet(const std::string &name)
+{
+    NetId id = static_cast<NetId>(net_names_.size());
+    net_names_.push_back(name.empty() ? format("$n%u", id) : name);
+    return id;
+}
+
+const std::string &
+Netlist::netName(NetId id) const
+{
+    if (id >= net_names_.size())
+        panic("netName: bad net id %u", id);
+    return net_names_[id];
+}
+
+void
+Netlist::setNetName(NetId id, const std::string &name)
+{
+    if (id >= net_names_.size())
+        panic("setNetName: bad net id %u", id);
+    net_names_[id] = name;
+}
+
+size_t
+Netlist::addGate(cells::GateType type, std::vector<NetId> inputs,
+                 NetId output)
+{
+    const auto &info = cells::gateInfo(type);
+    if (inputs.size() != info.inputs.size())
+        panic("gate %s given %zu inputs, wants %zu", info.name,
+              inputs.size(), info.inputs.size());
+    for (NetId in : inputs)
+        if (in >= net_names_.size())
+            panic("gate %s input net %u out of range", info.name, in);
+    if (output >= net_names_.size())
+        panic("gate %s output net %u out of range", info.name, output);
+    gates_.push_back({type, std::move(inputs), output});
+    return gates_.size() - 1;
+}
+
+Port &
+Netlist::addPort(const std::string &name, PortDir dir, size_t width)
+{
+    std::vector<NetId> bits(width);
+    for (size_t i = 0; i < width; ++i)
+        bits[i] = newNet(width == 1 ? name : format("%s[%zu]",
+                                                    name.c_str(), i));
+    return addPortOver(name, dir, std::move(bits));
+}
+
+Port &
+Netlist::addPortOver(const std::string &name, PortDir dir,
+                     std::vector<NetId> bits)
+{
+    if (findPort(name))
+        fatal("duplicate port '%s'", name.c_str());
+    ports_.push_back({name, dir, std::move(bits)});
+    return ports_.back();
+}
+
+const Port *
+Netlist::findPort(const std::string &name) const
+{
+    for (const auto &p : ports_)
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+Port *
+Netlist::findPort(const std::string &name)
+{
+    for (auto &p : ports_)
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
+size_t
+Netlist::countGates(cells::GateType type) const
+{
+    size_t n = 0;
+    for (const auto &g : gates_)
+        if (g.type == type)
+            ++n;
+    return n;
+}
+
+bool
+Netlist::isSequential() const
+{
+    for (const auto &g : gates_)
+        if (cells::gateInfo(g.type).sequential)
+            return true;
+    return false;
+}
+
+void
+Netlist::replaceNet(NetId from, NetId to)
+{
+    if (from == to)
+        return;
+    for (auto &g : gates_) {
+        for (auto &in : g.inputs)
+            if (in == from)
+                in = to;
+        if (g.output == from)
+            g.output = to;
+    }
+    for (auto &p : ports_)
+        for (auto &b : p.bits)
+            if (b == from)
+                b = to;
+}
+
+std::vector<uint32_t>
+Netlist::fanoutCounts() const
+{
+    std::vector<uint32_t> fan(numNets(), 0);
+    for (const auto &g : gates_)
+        for (NetId in : g.inputs)
+            ++fan[in];
+    for (const auto &p : ports_)
+        if (p.dir == PortDir::Output)
+            for (NetId b : p.bits)
+                ++fan[b];
+    return fan;
+}
+
+std::vector<size_t>
+Netlist::driverIndex() const
+{
+    std::vector<size_t> drv(numNets(), std::numeric_limits<size_t>::max());
+    for (size_t i = 0; i < gates_.size(); ++i) {
+        NetId out = gates_[i].output;
+        if (drv[out] != std::numeric_limits<size_t>::max())
+            panic("net %s driven by gates %zu and %zu",
+                  netName(out).c_str(), drv[out], i);
+        drv[out] = i;
+    }
+    return drv;
+}
+
+void
+Netlist::check() const
+{
+    auto drv = driverIndex(); // panics on multiple drivers
+    std::unordered_set<NetId> input_nets;
+    for (const auto &p : ports_)
+        if (p.dir == PortDir::Input)
+            for (NetId b : p.bits)
+                input_nets.insert(b);
+    for (const auto &g : gates_) {
+        if (g.output == kConst0 || g.output == kConst1)
+            panic("gate drives constant net");
+        if (input_nets.count(g.output))
+            panic("gate drives input-port net %s",
+                  netName(g.output).c_str());
+    }
+    (void)drv;
+}
+
+} // namespace qac::netlist

@@ -1,0 +1,350 @@
+#include "qac/netlist/opt.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "qac/util/logging.h"
+
+namespace qac::netlist {
+
+namespace {
+
+using cells::GateType;
+
+bool
+isConst(NetId n)
+{
+    return n == kConst0 || n == kConst1;
+}
+
+/** Compact away gates whose type was set to the tombstone marker. */
+struct FoldCtx
+{
+    Netlist &nl;
+    std::vector<bool> dead;
+    size_t changes = 0;
+
+    explicit FoldCtx(Netlist &nl_)
+        : nl(nl_), dead(nl_.gates().size(), false)
+    {}
+
+    /** Delete the gate, aliasing its output net to @p target. */
+    void
+    alias(size_t gi, NetId target)
+    {
+        NetId out = nl.gates()[gi].output;
+        dead[gi] = true;
+        nl.replaceNet(out, target);
+        ++changes;
+    }
+
+    /** Rewrite the gate in place. */
+    void
+    rewrite(size_t gi, GateType type, std::vector<NetId> inputs)
+    {
+        Gate &g = nl.gates()[gi];
+        g.type = type;
+        g.inputs = std::move(inputs);
+        ++changes;
+    }
+};
+
+void
+compact(Netlist &nl, const std::vector<bool> &dead)
+{
+    auto &gates = nl.gates();
+    size_t w = 0;
+    for (size_t r = 0; r < gates.size(); ++r) {
+        if (!dead[r]) {
+            if (w != r) // guard against self-move clearing the gate
+                gates[w] = std::move(gates[r]);
+            ++w;
+        }
+    }
+    gates.resize(w);
+}
+
+/** One constant-folding sweep. @return number of changes. */
+size_t
+foldOnce(Netlist &nl)
+{
+    FoldCtx ctx(nl);
+    auto drv = nl.driverIndex();
+
+    auto gateCount = nl.gates().size();
+    for (size_t gi = 0; gi < gateCount; ++gi) {
+        if (ctx.dead[gi])
+            continue;
+        // Copy: alias() may rewrite nets inside the vector we inspect.
+        Gate g = nl.gates()[gi];
+        const auto &info = cells::gateInfo(g.type);
+        if (info.sequential)
+            continue;
+
+        // Fully constant inputs: evaluate.
+        bool all_const = true;
+        uint32_t bits = 0;
+        for (size_t k = 0; k < g.inputs.size(); ++k) {
+            if (!isConst(g.inputs[k])) {
+                all_const = false;
+                break;
+            }
+            if (g.inputs[k] == kConst1)
+                bits |= (1u << k);
+        }
+        if (all_const) {
+            ctx.alias(gi, cells::evalGate(g.type, bits) ? kConst1
+                                                        : kConst0);
+            continue;
+        }
+
+        const NetId a = g.inputs.size() > 0 ? g.inputs[0] : kConst0;
+        const NetId b = g.inputs.size() > 1 ? g.inputs[1] : kConst0;
+        const NetId s = g.inputs.size() > 2 ? g.inputs[2] : kConst0;
+
+        switch (g.type) {
+          case GateType::BUF:
+            ctx.alias(gi, a);
+            break;
+          case GateType::NOT: {
+            // Double inversion: NOT(NOT(x)) = x.
+            size_t d = drv[a];
+            if (d != SIZE_MAX && !ctx.dead[d] &&
+                nl.gates()[d].type == GateType::NOT) {
+                ctx.alias(gi, nl.gates()[d].inputs[0]);
+            }
+            break;
+          }
+          case GateType::AND:
+            if (a == b)
+                ctx.alias(gi, a);
+            else if (a == kConst1)
+                ctx.alias(gi, b);
+            else if (b == kConst1)
+                ctx.alias(gi, a);
+            else if (a == kConst0 || b == kConst0)
+                ctx.alias(gi, kConst0);
+            break;
+          case GateType::OR:
+            if (a == b)
+                ctx.alias(gi, a);
+            else if (a == kConst0)
+                ctx.alias(gi, b);
+            else if (b == kConst0)
+                ctx.alias(gi, a);
+            else if (a == kConst1 || b == kConst1)
+                ctx.alias(gi, kConst1);
+            break;
+          case GateType::NAND:
+            if (a == kConst0 || b == kConst0)
+                ctx.alias(gi, kConst1);
+            else if (a == kConst1)
+                ctx.rewrite(gi, GateType::NOT, {b});
+            else if (b == kConst1 || a == b)
+                ctx.rewrite(gi, GateType::NOT, {a});
+            break;
+          case GateType::NOR:
+            if (a == kConst1 || b == kConst1)
+                ctx.alias(gi, kConst0);
+            else if (a == kConst0)
+                ctx.rewrite(gi, GateType::NOT, {b});
+            else if (b == kConst0 || a == b)
+                ctx.rewrite(gi, GateType::NOT, {a});
+            break;
+          case GateType::XOR:
+            if (a == b)
+                ctx.alias(gi, kConst0);
+            else if (a == kConst0)
+                ctx.alias(gi, b);
+            else if (b == kConst0)
+                ctx.alias(gi, a);
+            else if (a == kConst1)
+                ctx.rewrite(gi, GateType::NOT, {b});
+            else if (b == kConst1)
+                ctx.rewrite(gi, GateType::NOT, {a});
+            break;
+          case GateType::XNOR:
+            if (a == b)
+                ctx.alias(gi, kConst1);
+            else if (a == kConst1)
+                ctx.alias(gi, b);
+            else if (b == kConst1)
+                ctx.alias(gi, a);
+            else if (a == kConst0)
+                ctx.rewrite(gi, GateType::NOT, {b});
+            else if (b == kConst0)
+                ctx.rewrite(gi, GateType::NOT, {a});
+            break;
+          case GateType::MUX: // Y = S ? B : A
+            if (s == kConst0)
+                ctx.alias(gi, a);
+            else if (s == kConst1)
+                ctx.alias(gi, b);
+            else if (a == b)
+                ctx.alias(gi, a);
+            else if (a == kConst0 && b == kConst1)
+                ctx.alias(gi, s);
+            else if (a == kConst0)
+                ctx.rewrite(gi, GateType::AND, {b, s});
+            else if (b == kConst1)
+                ctx.rewrite(gi, GateType::OR, {a, s});
+            else if (a == kConst1 && b == kConst0)
+                ctx.rewrite(gi, GateType::NOT, {s});
+            break;
+          default:
+            // Complex cells (AOIx/OAIx) appear only post-techmap, after
+            // folding has already run; the all-const case above still
+            // covers them.
+            break;
+        }
+    }
+    compact(nl, ctx.dead);
+    return ctx.changes;
+}
+
+/** Canonicalize commutative input orders for hashing AND semantics. */
+void
+normalizeInputs(Gate &g)
+{
+    switch (g.type) {
+      case GateType::AND:
+      case GateType::OR:
+      case GateType::NAND:
+      case GateType::NOR:
+      case GateType::XOR:
+      case GateType::XNOR:
+        if (g.inputs[0] > g.inputs[1])
+            std::swap(g.inputs[0], g.inputs[1]);
+        break;
+      case GateType::AOI3: // (A & B) | C  — A,B commute
+      case GateType::OAI3: // (A | B) & C
+        if (g.inputs[0] > g.inputs[1])
+            std::swap(g.inputs[0], g.inputs[1]);
+        break;
+      case GateType::AOI4: // (A & B) | (C & D)
+      case GateType::OAI4: {
+        if (g.inputs[0] > g.inputs[1])
+            std::swap(g.inputs[0], g.inputs[1]);
+        if (g.inputs[2] > g.inputs[3])
+            std::swap(g.inputs[2], g.inputs[3]);
+        if (std::tie(g.inputs[0], g.inputs[1]) >
+            std::tie(g.inputs[2], g.inputs[3])) {
+            std::swap(g.inputs[0], g.inputs[2]);
+            std::swap(g.inputs[1], g.inputs[3]);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+size_t
+constantFold(Netlist &nl)
+{
+    size_t total = 0;
+    while (true) {
+        size_t c = foldOnce(nl);
+        total += c;
+        if (c == 0)
+            break;
+    }
+    return total;
+}
+
+size_t
+structuralHash(Netlist &nl)
+{
+    size_t total = 0;
+    while (true) {
+        for (auto &g : nl.gates())
+            normalizeInputs(g);
+        std::map<std::pair<int, std::vector<NetId>>, size_t> seen;
+        std::vector<bool> dead(nl.gates().size(), false);
+        size_t merged = 0;
+        for (size_t gi = 0; gi < nl.gates().size(); ++gi) {
+            Gate &g = nl.gates()[gi];
+            if (cells::gateInfo(g.type).sequential)
+                continue;
+            auto key = std::make_pair(static_cast<int>(g.type), g.inputs);
+            auto [it, inserted] = seen.emplace(key, gi);
+            if (!inserted) {
+                NetId keep = nl.gates()[it->second].output;
+                dead[gi] = true;
+                nl.replaceNet(g.output, keep);
+                ++merged;
+            }
+        }
+        compact(nl, dead);
+        total += merged;
+        if (merged == 0)
+            break;
+    }
+    return total;
+}
+
+size_t
+removeDeadGates(Netlist &nl)
+{
+    // A net is needed if an output port reads it; a gate is live if its
+    // output is needed; a live gate's inputs are needed.
+    std::vector<bool> needed(nl.numNets(), false);
+    for (const auto &p : nl.ports())
+        if (p.dir == PortDir::Output)
+            for (NetId b : p.bits)
+                needed[b] = true;
+
+    const auto &gates = nl.gates();
+    std::vector<bool> live(gates.size(), false);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t gi = 0; gi < gates.size(); ++gi) {
+            if (live[gi] || !needed[gates[gi].output])
+                continue;
+            live[gi] = true;
+            changed = true;
+            for (NetId in : gates[gi].inputs)
+                needed[in] = true;
+        }
+    }
+
+    std::vector<bool> dead(gates.size(), false);
+    size_t removed = 0;
+    for (size_t gi = 0; gi < gates.size(); ++gi) {
+        if (!live[gi]) {
+            dead[gi] = true;
+            ++removed;
+        }
+    }
+    compact(nl, dead);
+    return removed;
+}
+
+OptStats
+optimize(Netlist &nl)
+{
+    OptStats stats;
+    stats.gates_before = nl.numGates();
+    while (true) {
+        size_t round = 0;
+        size_t f = constantFold(nl);
+        size_t m = structuralHash(nl);
+        size_t d = removeDeadGates(nl);
+        stats.folded += f;
+        stats.merged += m;
+        stats.dead += d;
+        round = f + m + d;
+        ++stats.rounds;
+        if (round == 0)
+            break;
+    }
+    stats.gates_after = nl.numGates();
+    nl.check();
+    return stats;
+}
+
+} // namespace qac::netlist

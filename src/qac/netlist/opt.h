@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Netlist optimization passes.
+ *
+ * Plays the role ABC plays in the paper's flow ("with ABC providing
+ * additional code optimizations", Section 4.2).  Every gate saved is a
+ * qubit (or several) saved, and "with current quantum annealers
+ * providing on the order of 2000 qubits, wasting qubits would be
+ * unacceptable" (Section 4.1).
+ */
+
+#ifndef QAC_NETLIST_OPT_H
+#define QAC_NETLIST_OPT_H
+
+#include <cstddef>
+
+#include "qac/netlist/netlist.h"
+
+namespace qac::netlist {
+
+/** Counters reported by optimize(). */
+struct OptStats
+{
+    size_t gates_before = 0;
+    size_t gates_after = 0;
+    size_t folded = 0;   ///< gates removed/simplified by constant folding
+    size_t merged = 0;   ///< gates merged by structural hashing
+    size_t dead = 0;     ///< gates removed as unreachable
+    size_t rounds = 0;
+};
+
+/**
+ * Propagate constants and algebraic identities (AND(x,1) = x, XOR(x,x)
+ * = 0, double inversion, constant MUX selects, ...).
+ * @return number of gates eliminated or rewritten.
+ */
+size_t constantFold(Netlist &nl);
+
+/**
+ * Merge structurally identical gates (same type and inputs after
+ * commutative normalization).  @return number of gates merged away.
+ */
+size_t structuralHash(Netlist &nl);
+
+/** Remove gates whose outputs cannot reach any output port. */
+size_t removeDeadGates(Netlist &nl);
+
+/** Run the passes to a fixpoint. */
+OptStats optimize(Netlist &nl);
+
+} // namespace qac::netlist
+
+#endif // QAC_NETLIST_OPT_H

@@ -1,0 +1,165 @@
+#include "qac/netlist/simulate.h"
+
+#include <queue>
+
+#include "qac/util/logging.h"
+
+namespace qac::netlist {
+
+Simulator::Simulator(const Netlist &nl)
+    : nl_(nl), values_(nl.numNets(), false),
+      dff_state_(nl.numGates(), false)
+{
+    values_[kConst1] = true;
+    buildTopoOrder();
+    eval();
+}
+
+void
+Simulator::buildTopoOrder()
+{
+    // Kahn's algorithm over combinational gates.  DFF outputs are
+    // sources (their value comes from state, not from their D input).
+    const auto &gates = nl_.gates();
+    std::vector<size_t> pending(gates.size(), 0);
+    // net -> consumer gate indices
+    std::vector<std::vector<size_t>> consumers(nl_.numNets());
+    for (size_t gi = 0; gi < gates.size(); ++gi)
+        for (NetId in : gates[gi].inputs)
+            consumers[in].push_back(gi);
+
+    // A combinational gate waits on inputs driven by other combinational
+    // gates.
+    auto drv = nl_.driverIndex();
+    std::queue<size_t> ready;
+    for (size_t gi = 0; gi < gates.size(); ++gi) {
+        if (cells::gateInfo(gates[gi].type).sequential)
+            continue;
+        size_t waits = 0;
+        for (NetId in : gates[gi].inputs) {
+            size_t d = drv[in];
+            if (d != SIZE_MAX && !cells::gateInfo(gates[d].type).sequential)
+                ++waits;
+        }
+        pending[gi] = waits;
+        if (waits == 0)
+            ready.push(gi);
+    }
+
+    size_t comb_total = 0;
+    for (const auto &g : gates)
+        if (!cells::gateInfo(g.type).sequential)
+            ++comb_total;
+
+    topo_.clear();
+    while (!ready.empty()) {
+        size_t gi = ready.front();
+        ready.pop();
+        topo_.push_back(gi);
+        for (size_t ci : consumers[gates[gi].output]) {
+            if (cells::gateInfo(gates[ci].type).sequential)
+                continue;
+            if (--pending[ci] == 0)
+                ready.push(ci);
+        }
+    }
+    if (topo_.size() != comb_total)
+        fatal("netlist '%s' has a combinational cycle", nl_.name().c_str());
+}
+
+void
+Simulator::setInput(const std::string &name, uint64_t value)
+{
+    const Port &p = port(name, PortDir::Input);
+    for (size_t i = 0; i < p.bits.size(); ++i)
+        values_[p.bits[i]] = (value >> i) & 1;
+}
+
+void
+Simulator::setInputBits(const std::string &name,
+                        const std::vector<bool> &bits)
+{
+    const Port &p = port(name, PortDir::Input);
+    if (bits.size() != p.bits.size())
+        fatal("port '%s' is %zu bits wide, got %zu", name.c_str(),
+              p.bits.size(), bits.size());
+    for (size_t i = 0; i < p.bits.size(); ++i)
+        values_[p.bits[i]] = bits[i];
+}
+
+void
+Simulator::eval()
+{
+    const auto &gates = nl_.gates();
+    // Publish DFF state first.
+    for (size_t gi = 0; gi < gates.size(); ++gi)
+        if (cells::gateInfo(gates[gi].type).sequential)
+            values_[gates[gi].output] = dff_state_[gi];
+    values_[kConst0] = false;
+    values_[kConst1] = true;
+    for (size_t gi : topo_) {
+        const Gate &g = gates[gi];
+        uint32_t bits = 0;
+        for (size_t k = 0; k < g.inputs.size(); ++k)
+            if (values_[g.inputs[k]])
+                bits |= (1u << k);
+        values_[g.output] = cells::evalGate(g.type, bits);
+    }
+}
+
+void
+Simulator::step()
+{
+    const auto &gates = nl_.gates();
+    for (size_t gi = 0; gi < gates.size(); ++gi)
+        if (cells::gateInfo(gates[gi].type).sequential)
+            dff_state_[gi] = values_[gates[gi].inputs[0]];
+    eval();
+}
+
+void
+Simulator::reset()
+{
+    dff_state_.assign(dff_state_.size(), false);
+    eval();
+}
+
+uint64_t
+Simulator::output(const std::string &name) const
+{
+    const Port *p = nl_.findPort(name);
+    if (!p)
+        fatal("no port named '%s'", name.c_str());
+    if (p->bits.size() > 64)
+        fatal("port '%s' too wide for integer read", name.c_str());
+    uint64_t v = 0;
+    for (size_t i = 0; i < p->bits.size(); ++i)
+        if (values_[p->bits[i]])
+            v |= (uint64_t{1} << i);
+    return v;
+}
+
+std::vector<bool>
+Simulator::outputBits(const std::string &name) const
+{
+    const Port *p = nl_.findPort(name);
+    if (!p)
+        fatal("no port named '%s'", name.c_str());
+    std::vector<bool> bits(p->bits.size());
+    for (size_t i = 0; i < p->bits.size(); ++i)
+        bits[i] = values_[p->bits[i]];
+    return bits;
+}
+
+const Port &
+Simulator::port(const std::string &name, PortDir dir) const
+{
+    const Port *p = nl_.findPort(name);
+    if (!p)
+        fatal("no port named '%s'", name.c_str());
+    if (p->dir != dir)
+        fatal("port '%s' has the wrong direction", name.c_str());
+    return *p;
+}
+
+} // namespace qac::netlist

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Event-free levelized netlist simulation.
+ *
+ * Used three ways: (1) as the reference semantics the bit-blaster is
+ * tested against, (2) to verify annealer outputs by running NP-verifier
+ * programs forward on classical hardware (Section 5.2: "we can easily
+ * check a result by running the code forward"), and (3) inside tests to
+ * cross-check Ising ground states against circuit behaviour.
+ */
+
+#ifndef QAC_NETLIST_SIMULATE_H
+#define QAC_NETLIST_SIMULATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qac/netlist/netlist.h"
+
+namespace qac::netlist {
+
+/** Two-valued simulator over one Netlist. */
+class Simulator
+{
+  public:
+    explicit Simulator(const Netlist &nl);
+
+    /** Set an input port from the low bits of @p value. */
+    void setInput(const std::string &port, uint64_t value);
+
+    /** Set an input port bit-by-bit (bits[0] = LSB). */
+    void setInputBits(const std::string &port,
+                      const std::vector<bool> &bits);
+
+    /** Propagate through combinational logic (DFF state unchanged). */
+    void eval();
+
+    /** Latch every DFF (capture D into state), then eval(). */
+    void step();
+
+    /** Reset all DFF state to 0 and re-eval(). */
+    void reset();
+
+    /** Read an output (or any) port as an integer (width <= 64). */
+    uint64_t output(const std::string &port) const;
+
+    std::vector<bool> outputBits(const std::string &port) const;
+
+    bool netValue(NetId id) const { return values_[id]; }
+
+  private:
+    const Netlist &nl_;
+    std::vector<bool> values_;        ///< per-net current value
+    std::vector<bool> dff_state_;     ///< per-gate state (DFFs only)
+    std::vector<size_t> topo_;        ///< combinational gates, levelized
+
+    void buildTopoOrder();
+    const Port &port(const std::string &name, PortDir dir) const;
+};
+
+} // namespace qac::netlist
+
+#endif // QAC_NETLIST_SIMULATE_H

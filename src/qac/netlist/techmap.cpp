@@ -1,0 +1,167 @@
+#include "qac/netlist/techmap.h"
+
+#include "qac/util/logging.h"
+
+namespace qac::netlist {
+
+namespace {
+
+using cells::GateType;
+
+struct Mapper
+{
+    Netlist &nl;
+    const TechMapOptions &opts;
+    std::vector<uint32_t> fanout;
+    std::vector<size_t> drv;
+    std::vector<bool> dead;
+    size_t fused = 0;
+
+    Mapper(Netlist &nl_, const TechMapOptions &opts_)
+        : nl(nl_), opts(opts_), fanout(nl_.fanoutCounts()),
+          drv(nl_.driverIndex()), dead(nl_.gates().size(), false)
+    {}
+
+    /** The gate driving @p net, if it is alive, single-fanout, and of
+     *  type @p want. */
+    size_t
+    fusableDriver(NetId net, GateType want) const
+    {
+        if (fanout[net] != 1)
+            return SIZE_MAX;
+        size_t d = drv[net];
+        if (d == SIZE_MAX || dead[d] || nl.gates()[d].type != want)
+            return SIZE_MAX;
+        return d;
+    }
+
+    /**
+     * Try to rewrite NOT gate @p gi (whose input is driven by @p inner,
+     * an AND or OR) into a complex or fused cell.
+     */
+    void
+    tryFuse(size_t gi)
+    {
+        const Gate &inv = nl.gates()[gi];
+        NetId mid = inv.inputs[0];
+        size_t d_and = fusableDriver(mid, GateType::AND);
+        size_t d_or = fusableDriver(mid, GateType::OR);
+        size_t d_xor = fusableDriver(mid, GateType::XOR);
+
+        if (opts.use_complex_cells && d_or != SIZE_MAX) {
+            // NOT(OR(p, q)): look for AND-driven arms -> AOI4 / AOI3.
+            const Gate &org = nl.gates()[d_or];
+            NetId p = org.inputs[0], q = org.inputs[1];
+            size_t ap = fusableDriver(p, GateType::AND);
+            size_t aq = fusableDriver(q, GateType::AND);
+            if (ap != SIZE_MAX && aq != SIZE_MAX && ap != aq) {
+                // Y = !((a&b) | (c&d))
+                const Gate &ga = nl.gates()[ap];
+                const Gate &gb = nl.gates()[aq];
+                replace(gi, GateType::AOI4,
+                        {ga.inputs[0], ga.inputs[1], gb.inputs[0],
+                         gb.inputs[1]},
+                        {d_or, ap, aq});
+                return;
+            }
+            if (ap != SIZE_MAX || aq != SIZE_MAX) {
+                size_t a = (ap != SIZE_MAX) ? ap : aq;
+                NetId other = (ap != SIZE_MAX) ? q : p;
+                const Gate &ga = nl.gates()[a];
+                // Y = !((a&b) | c)
+                replace(gi, GateType::AOI3,
+                        {ga.inputs[0], ga.inputs[1], other}, {d_or, a});
+                return;
+            }
+        }
+        if (opts.use_complex_cells && d_and != SIZE_MAX) {
+            // NOT(AND(p, q)): look for OR-driven arms -> OAI4 / OAI3.
+            const Gate &ang = nl.gates()[d_and];
+            NetId p = ang.inputs[0], q = ang.inputs[1];
+            size_t op = fusableDriver(p, GateType::OR);
+            size_t oq = fusableDriver(q, GateType::OR);
+            if (op != SIZE_MAX && oq != SIZE_MAX && op != oq) {
+                const Gate &ga = nl.gates()[op];
+                const Gate &gb = nl.gates()[oq];
+                replace(gi, GateType::OAI4,
+                        {ga.inputs[0], ga.inputs[1], gb.inputs[0],
+                         gb.inputs[1]},
+                        {d_and, op, oq});
+                return;
+            }
+            if (op != SIZE_MAX || oq != SIZE_MAX) {
+                size_t o = (op != SIZE_MAX) ? op : oq;
+                NetId other = (op != SIZE_MAX) ? q : p;
+                const Gate &ga = nl.gates()[o];
+                // Y = !((a|b) & c)
+                replace(gi, GateType::OAI3,
+                        {ga.inputs[0], ga.inputs[1], other}, {d_and, o});
+                return;
+            }
+        }
+        if (opts.fuse_inverters) {
+            if (d_and != SIZE_MAX) {
+                replace(gi, GateType::NAND, nl.gates()[d_and].inputs,
+                        {d_and});
+                return;
+            }
+            if (d_or != SIZE_MAX) {
+                replace(gi, GateType::NOR, nl.gates()[d_or].inputs,
+                        {d_or});
+                return;
+            }
+            if (d_xor != SIZE_MAX) {
+                replace(gi, GateType::XNOR, nl.gates()[d_xor].inputs,
+                        {d_xor});
+                return;
+            }
+        }
+    }
+
+    /** Rewrite gate @p gi in place and mark @p consumed dead. */
+    void
+    replace(size_t gi, GateType type, std::vector<NetId> inputs,
+            std::initializer_list<size_t> consumed)
+    {
+        Gate &g = nl.gates()[gi];
+        // The consumed gates' output nets lose their single reader.
+        for (size_t ci : consumed) {
+            dead[ci] = true;
+            fanout[nl.gates()[ci].output] = 0;
+            ++fused;
+        }
+        g.type = type;
+        g.inputs = std::move(inputs);
+    }
+};
+
+} // namespace
+
+size_t
+techMap(Netlist &nl, const TechMapOptions &opts)
+{
+    if (!opts.fuse_inverters && !opts.use_complex_cells)
+        return 0;
+    Mapper m(nl, opts);
+    for (size_t gi = 0; gi < nl.gates().size(); ++gi) {
+        if (m.dead[gi])
+            continue;
+        if (nl.gates()[gi].type == GateType::NOT)
+            m.tryFuse(gi);
+    }
+    // Sweep the consumed gates.
+    auto &gates = nl.gates();
+    size_t w = 0;
+    for (size_t r = 0; r < gates.size(); ++r) {
+        if (!m.dead[r]) {
+            if (w != r) // guard against self-move clearing the gate
+                gates[w] = std::move(gates[r]);
+            ++w;
+        }
+    }
+    gates.resize(w);
+    nl.check();
+    return m.fused;
+}
+
+} // namespace qac::netlist

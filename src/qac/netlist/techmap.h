@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Technology mapping onto the Table 5 cell set.
+ *
+ * The synthesizer emits only simple gates (NOT/AND/OR/XOR/MUX/DFF).
+ * This pass fuses inverter trees into the complex ABC cells the paper's
+ * standard-cell library provides (NAND, NOR, XNOR, AOI3/OAI3/AOI4/OAI4),
+ * trading "reduced qubit count at the expense of increased compilation
+ * time" (Section 4.3.2).
+ */
+
+#ifndef QAC_NETLIST_TECHMAP_H
+#define QAC_NETLIST_TECHMAP_H
+
+#include <cstddef>
+
+#include "qac/netlist/netlist.h"
+
+namespace qac::netlist {
+
+struct TechMapOptions
+{
+    /** Fuse NOT(AND)/NOT(OR)/NOT(XOR) into NAND/NOR/XNOR. */
+    bool fuse_inverters = true;
+    /** Fuse AND-OR-invert / OR-AND-invert trees into AOIx/OAIx. */
+    bool use_complex_cells = true;
+};
+
+/** Apply the mapping in place. @return number of gates fused away. */
+size_t techMap(Netlist &nl, const TechMapOptions &opts = {});
+
+} // namespace qac::netlist
+
+#endif // QAC_NETLIST_TECHMAP_H

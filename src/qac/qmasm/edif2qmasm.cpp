@@ -1,0 +1,133 @@
+#include "qac/qmasm/edif2qmasm.h"
+
+#include <map>
+
+#include "qac/edif/reader.h"
+#include "qac/qmasm/stdcell_lib.h"
+#include "qac/util/logging.h"
+
+namespace qac::qmasm {
+
+namespace {
+
+using netlist::NetId;
+
+} // namespace
+
+std::string
+portBitSymbol(const netlist::Port &port, size_t bit)
+{
+    if (port.bits.size() == 1)
+        return port.name;
+    return format("%s[%zu]", port.name.c_str(), bit);
+}
+
+Program
+netlistToQmasm(const netlist::Netlist &nl, const Edif2QmasmOptions &opts)
+{
+    Program prog;
+    if (opts.with_stdcell_macros)
+        prog.macros = stdcellLibrary().macros;
+
+    {
+        Statement c;
+        c.kind = Statement::Kind::Comment;
+        c.text = "compiled from netlist '" + nl.name() +
+                 "' by qac edif2qmasm";
+        prog.statements.push_back(std::move(c));
+    }
+
+    // Endpoint symbols per net: instance pins and port-bit names.
+    std::map<NetId, std::vector<std::string>> endpoints;
+    // Port symbols first so they become the preferred chain anchors.
+    for (const auto &p : nl.ports())
+        for (size_t i = 0; i < p.bits.size(); ++i)
+            endpoints[p.bits[i]].push_back(portBitSymbol(p, i));
+
+    size_t used = 0;
+    for (size_t gi = 0; gi < nl.numGates(); ++gi) {
+        const auto &g = nl.gates()[gi];
+        const auto &info = cells::gateInfo(g.type);
+        if (g.type == cells::GateType::BUF) {
+            // A buffer is a bare wire: chain its two nets directly.
+            endpoints[g.inputs[0]];
+            endpoints[g.output];
+            continue;
+        }
+        std::string inst = format("$g%zu", used++);
+        Statement st;
+        st.kind = Statement::Kind::UseMacro;
+        st.sym1 = info.name;
+        st.sym2 = inst;
+        prog.statements.push_back(std::move(st));
+        for (size_t k = 0; k < g.inputs.size(); ++k)
+            endpoints[g.inputs[k]].push_back(inst + "." + info.inputs[k]);
+        endpoints[g.output].push_back(inst + "." + info.output);
+    }
+
+    // Buffers: alias their input and output nets by making the nets
+    // share a symbol list.  Simplest correct lowering: add an explicit
+    // chain between one endpoint symbol (or the net name) of each side.
+    auto net_anchor = [&](NetId n) -> std::string {
+        auto &eps = endpoints[n];
+        if (!eps.empty())
+            return eps.front();
+        return nl.netName(n);
+    };
+    for (const auto &g : nl.gates()) {
+        if (g.type != cells::GateType::BUF)
+            continue;
+        Statement st;
+        st.kind = Statement::Kind::Chain;
+        st.sym1 = net_anchor(g.output);
+        st.sym2 = net_anchor(g.inputs[0]);
+        prog.statements.push_back(std::move(st));
+    }
+
+    // Nets: constants become pins (Section 4.3.4), everything else a
+    // chain of "equal value" couplings (Section 4.3.1).
+    for (auto &[net, eps] : endpoints) {
+        if (net == netlist::kConst0 || net == netlist::kConst1) {
+            for (const auto &sym : eps) {
+                Statement st;
+                st.kind = Statement::Kind::Pin;
+                st.sym1 = sym;
+                st.pin_value = (net == netlist::kConst1);
+                prog.statements.push_back(std::move(st));
+            }
+            continue;
+        }
+        if (eps.size() < 2) {
+            // A dangling port bit (e.g. an unused input) must still
+            // exist as a free variable so results can report it: emit
+            // a zero-weight declaration.
+            if (eps.size() == 1) {
+                Statement st;
+                st.kind = Statement::Kind::Weight;
+                st.sym1 = eps[0];
+                st.value = 0.0;
+                prog.statements.push_back(std::move(st));
+            }
+            continue;
+        }
+        // Star pattern anchored at the first (preferably port) symbol.
+        for (size_t k = 1; k < eps.size(); ++k) {
+            Statement st;
+            st.kind = Statement::Kind::Chain;
+            st.sym1 = eps[0];
+            st.sym2 = eps[k];
+            prog.statements.push_back(std::move(st));
+        }
+    }
+
+    return prog;
+}
+
+Program
+edifToQmasm(const std::string &edif_text, const Edif2QmasmOptions &opts)
+{
+    netlist::Netlist nl = edif::readEdif(edif_text);
+    return netlistToQmasm(nl, opts);
+}
+
+} // namespace qac::qmasm

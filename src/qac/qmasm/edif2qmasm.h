@@ -1,0 +1,45 @@
+/**
+ * @file
+ * EDIF netlist -> QMASM translation (the paper's edif2qmasm tool,
+ * Section 4.3).
+ *
+ * "Our approach involves establishing a mapping from each gate type that
+ * can appear in a netlist to a relatively small quadratic pseudo-Boolean
+ * function, which is expressed as a QMASM macro.  These are instantiated
+ * for each cell specified by the netlist.  A net between cells is
+ * expressed as a bias for the two connected variables to have the same
+ * value."
+ */
+
+#ifndef QAC_QMASM_EDIF2QMASM_H
+#define QAC_QMASM_EDIF2QMASM_H
+
+#include <string>
+
+#include "qac/netlist/netlist.h"
+#include "qac/qmasm/program.h"
+
+namespace qac::qmasm {
+
+struct Edif2QmasmOptions
+{
+    /** Copy the standard-cell macros into the program (the effect of
+     *  '!include "stdcell.qmasm"').  When false the caller must merge
+     *  stdcellLibrary() macros before assembling. */
+    bool with_stdcell_macros = true;
+};
+
+/** Translate a gate netlist into a QMASM program. */
+Program netlistToQmasm(const netlist::Netlist &nl,
+                       const Edif2QmasmOptions &opts = {});
+
+/** Translate EDIF text (parsing it first). */
+Program edifToQmasm(const std::string &edif_text,
+                    const Edif2QmasmOptions &opts = {});
+
+/** Symbol naming for a port bit ("c[1]"; scalar ports keep their name). */
+std::string portBitSymbol(const netlist::Port &port, size_t bit);
+
+} // namespace qac::qmasm
+
+#endif // QAC_QMASM_EDIF2QMASM_H

@@ -1,0 +1,94 @@
+#include "qac/qmasm/expand.h"
+
+#include <cctype>
+
+#include "qac/util/logging.h"
+
+namespace qac::qmasm {
+
+namespace {
+
+bool
+isSymChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '$' || c == '.' || c == '[' || c == ']';
+}
+
+void
+expandInto(const Program &prog, const std::vector<Statement> &stmts,
+           const std::string &prefix, int depth,
+           std::vector<Statement> &out)
+{
+    if (depth > 32)
+        fatal("qmasm: macro recursion too deep");
+    for (const auto &st : stmts) {
+        switch (st.kind) {
+          case Statement::Kind::UseMacro: {
+            const Macro *m = prog.findMacro(st.sym1);
+            if (!m)
+                fatal("qmasm line %zu: unknown macro '%s'", st.line,
+                      st.sym1.c_str());
+            expandInto(prog, m->body, prefix + st.sym2 + ".", depth + 1,
+                       out);
+            break;
+          }
+          case Statement::Kind::Comment:
+            break; // comments don't survive expansion
+          case Statement::Kind::Assert: {
+            Statement copy = st;
+            copy.text = prefixAssertText(st.text, prefix);
+            out.push_back(std::move(copy));
+            break;
+          }
+          default: {
+            Statement copy = st;
+            if (!copy.sym1.empty())
+                copy.sym1 = prefix + copy.sym1;
+            if (!copy.sym2.empty())
+                copy.sym2 = prefix + copy.sym2;
+            out.push_back(std::move(copy));
+            break;
+          }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+prefixAssertText(const std::string &text, const std::string &prefix)
+{
+    if (prefix.empty())
+        return text;
+    std::string out;
+    size_t i = 0;
+    while (i < text.size()) {
+        char c = text[i];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '$') {
+            size_t start = i;
+            while (i < text.size() && isSymChar(text[i]))
+                ++i;
+            std::string sym = text.substr(start, i - start);
+            if (sym == "true" || sym == "false")
+                out += sym;
+            else
+                out += prefix + sym;
+        } else {
+            out += c;
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::vector<Statement>
+expand(const Program &prog)
+{
+    std::vector<Statement> out;
+    expandInto(prog, prog.statements, "", 0, out);
+    return out;
+}
+
+} // namespace qac::qmasm

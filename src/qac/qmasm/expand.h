@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Macro expansion: !use_macro instantiation with dotted-name scoping.
+ *
+ * "After instantiating AND3 with !use_macro AND3 my_and, one can refer
+ * to my_and.A, my_and.B, ... in larger expressions" (Section 4.3.5).
+ */
+
+#ifndef QAC_QMASM_EXPAND_H
+#define QAC_QMASM_EXPAND_H
+
+#include <vector>
+
+#include "qac/qmasm/program.h"
+
+namespace qac::qmasm {
+
+/**
+ * Expand every UseMacro statement (recursively) into its body with
+ * instance-prefixed symbols.  The result contains only primitive
+ * statements (weights, couplings, chains, aliases, pins, asserts).
+ */
+std::vector<Statement> expand(const Program &prog);
+
+/** Prefix every symbol token inside an assert expression. */
+std::string prefixAssertText(const std::string &text,
+                             const std::string &prefix);
+
+} // namespace qac::qmasm
+
+#endif // QAC_QMASM_EXPAND_H

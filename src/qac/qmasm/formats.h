@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Classical-solver interchange formats.
+ *
+ * qmasm "can also convert [programs] to various other formats for
+ * classical solution (e.g., a constraint problem for solution with
+ * MiniZinc), or run them indirectly through qbsolv" (Section 4.3).
+ * This module emits both: a MiniZinc model of the assembled
+ * Hamiltonian, and the qbsolv .qubo file format (reader included).
+ */
+
+#ifndef QAC_QMASM_FORMATS_H
+#define QAC_QMASM_FORMATS_H
+
+#include <string>
+
+#include "qac/ising/qubo.h"
+#include "qac/qmasm/assemble.h"
+
+namespace qac::qmasm {
+
+/**
+ * Render the assembled model as a MiniZinc minimization over +/-1
+ * variables, with an output item listing the visible symbols.
+ */
+std::string toMiniZinc(const Assembled &assembled);
+
+/**
+ * Render an arbitrary Ising model as MiniZinc (variables named x<i>).
+ */
+std::string isingToMiniZinc(const ising::IsingModel &model);
+
+/**
+ * The qbsolv .qubo file format:
+ *   c <comments>
+ *   p qubo 0 <maxDiagonals> <nDiagonals> <nElements>
+ *   <i> <i> <diagonal value>     (linear terms)
+ *   <i> <j> <value>              (i < j couplers)
+ */
+std::string toQuboFile(const ising::QuboModel &qubo);
+
+/** Parse a .qubo file back into a QuboModel. Fatal on malformed text. */
+ising::QuboModel parseQuboFile(const std::string &text);
+
+} // namespace qac::qmasm
+
+#endif // QAC_QMASM_FORMATS_H

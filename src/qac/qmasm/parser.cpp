@@ -1,0 +1,213 @@
+#include "qac/qmasm/parser.h"
+
+#include <cstdlib>
+
+#include "qac/util/logging.h"
+#include "qac/util/strings.h"
+
+namespace qac::qmasm {
+
+namespace {
+
+struct ParseCtx
+{
+    Program &prog;
+    const IncludeResolver &resolver;
+    Macro *open_macro = nullptr;
+    int depth = 0;
+
+    void
+    emit(Statement st)
+    {
+        if (open_macro)
+            open_macro->body.push_back(std::move(st));
+        else
+            prog.statements.push_back(std::move(st));
+    }
+};
+
+bool
+parseNumber(const std::string &tok, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(tok.c_str(), &end);
+    return end && *end == '\0' && end != tok.c_str();
+}
+
+bool
+parseBool(const std::string &tok, bool &out)
+{
+    std::string t = toLower(tok);
+    if (t == "true" || t == "1" || t == "+1") {
+        out = true;
+        return true;
+    }
+    if (t == "false" || t == "0" || t == "-1") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+void parseInto(ParseCtx &ctx, const std::string &text);
+
+void
+parseLine(ParseCtx &ctx, const std::string &raw, size_t lineno)
+{
+    // Strip comments.
+    std::string line = raw;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+        std::string comment = trim(line.substr(hash + 1));
+        line = line.substr(0, hash);
+        if (trim(line).empty()) {
+            if (!comment.empty()) {
+                Statement st;
+                st.kind = Statement::Kind::Comment;
+                st.text = comment;
+                st.line = lineno;
+                ctx.emit(st);
+            }
+            return;
+        }
+    }
+    line = trim(line);
+    if (line.empty())
+        return;
+
+    auto fields = splitWhitespace(line);
+    Statement st;
+    st.line = lineno;
+
+    // Directives.
+    if (fields[0] == "!begin_macro") {
+        if (fields.size() != 2)
+            fatal("qmasm line %zu: !begin_macro takes one name", lineno);
+        if (ctx.open_macro)
+            fatal("qmasm line %zu: nested macro definition", lineno);
+        ctx.prog.macros.push_back({fields[1], {}});
+        ctx.open_macro = &ctx.prog.macros.back();
+        return;
+    }
+    if (fields[0] == "!end_macro") {
+        if (!ctx.open_macro)
+            fatal("qmasm line %zu: !end_macro without !begin_macro",
+                  lineno);
+        if (fields.size() >= 2 && fields[1] != ctx.open_macro->name)
+            fatal("qmasm line %zu: !end_macro name mismatch", lineno);
+        ctx.open_macro = nullptr;
+        return;
+    }
+    if (fields[0] == "!use_macro") {
+        if (fields.size() != 3)
+            fatal("qmasm line %zu: !use_macro takes macro and instance "
+                  "names",
+                  lineno);
+        st.kind = Statement::Kind::UseMacro;
+        st.sym1 = fields[1];
+        st.sym2 = fields[2];
+        ctx.emit(std::move(st));
+        return;
+    }
+    if (fields[0] == "!include") {
+        if (ctx.open_macro)
+            fatal("qmasm line %zu: !include inside a macro", lineno);
+        std::string target = trim(line.substr(8));
+        if (target.size() >= 2 &&
+            ((target.front() == '"' && target.back() == '"') ||
+             (target.front() == '<' && target.back() == '>')))
+            target = target.substr(1, target.size() - 2);
+        if (!ctx.resolver)
+            fatal("qmasm line %zu: !include with no resolver", lineno);
+        auto body = ctx.resolver(target);
+        if (!body)
+            fatal("qmasm line %zu: cannot resolve include '%s'", lineno,
+                  target.c_str());
+        if (++ctx.depth > 16)
+            fatal("qmasm: include nesting too deep");
+        parseInto(ctx, *body);
+        --ctx.depth;
+        return;
+    }
+    if (fields[0] == "!assert" || fields[0] == "assert") {
+        st.kind = Statement::Kind::Assert;
+        st.text = trim(line.substr(line.find(fields[0]) +
+                                   fields[0].size()));
+        ctx.emit(std::move(st));
+        return;
+    }
+    if (fields[0][0] == '!')
+        fatal("qmasm line %zu: unknown directive '%s'", lineno,
+              fields[0].c_str());
+
+    // "A := value", "A = B", "A <-> B", "A w", "A B w".
+    if (fields.size() == 3 && fields[1] == ":=") {
+        st.kind = Statement::Kind::Pin;
+        st.sym1 = fields[0];
+        if (!parseBool(fields[2], st.pin_value))
+            fatal("qmasm line %zu: bad pin value '%s'", lineno,
+                  fields[2].c_str());
+        ctx.emit(std::move(st));
+        return;
+    }
+    if (fields.size() == 3 && fields[1] == "=") {
+        st.kind = Statement::Kind::Chain;
+        st.sym1 = fields[0];
+        st.sym2 = fields[2];
+        ctx.emit(std::move(st));
+        return;
+    }
+    if (fields.size() == 3 && fields[1] == "<->") {
+        st.kind = Statement::Kind::Alias;
+        st.sym1 = fields[0];
+        st.sym2 = fields[2];
+        ctx.emit(std::move(st));
+        return;
+    }
+    if (fields.size() == 2) {
+        st.kind = Statement::Kind::Weight;
+        st.sym1 = fields[0];
+        if (!parseNumber(fields[1], st.value))
+            fatal("qmasm line %zu: bad weight '%s'", lineno,
+                  fields[1].c_str());
+        ctx.emit(std::move(st));
+        return;
+    }
+    if (fields.size() == 3) {
+        st.kind = Statement::Kind::Coupling;
+        st.sym1 = fields[0];
+        st.sym2 = fields[1];
+        if (!parseNumber(fields[2], st.value))
+            fatal("qmasm line %zu: bad coupling strength '%s'", lineno,
+                  fields[2].c_str());
+        ctx.emit(std::move(st));
+        return;
+    }
+    fatal("qmasm line %zu: cannot parse '%s'", lineno, line.c_str());
+}
+
+void
+parseInto(ParseCtx &ctx, const std::string &text)
+{
+    size_t lineno = 0;
+    for (const auto &line : split(text, '\n')) {
+        ++lineno;
+        parseLine(ctx, line, lineno);
+    }
+}
+
+} // namespace
+
+Program
+parseProgram(const std::string &text, const IncludeResolver &resolver)
+{
+    Program prog;
+    ParseCtx ctx{prog, resolver};
+    parseInto(ctx, text);
+    if (ctx.open_macro)
+        fatal("qmasm: unterminated macro '%s'",
+              ctx.open_macro->name.c_str());
+    return prog;
+}
+
+} // namespace qac::qmasm

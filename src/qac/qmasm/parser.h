@@ -1,0 +1,25 @@
+/**
+ * @file
+ * QMASM text parser, with !include resolution.
+ */
+
+#ifndef QAC_QMASM_PARSER_H
+#define QAC_QMASM_PARSER_H
+
+#include <string>
+
+#include "qac/qmasm/program.h"
+
+namespace qac::qmasm {
+
+/**
+ * Parse QMASM source.  !include directives are resolved through
+ * @p resolver (both "file" and <file> forms); with no resolver an
+ * !include is a fatal error.
+ */
+Program parseProgram(const std::string &text,
+                     const IncludeResolver &resolver = {});
+
+} // namespace qac::qmasm
+
+#endif // QAC_QMASM_PARSER_H

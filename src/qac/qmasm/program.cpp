@@ -1,0 +1,86 @@
+#include "qac/qmasm/program.h"
+
+#include <cmath>
+
+#include "qac/util/logging.h"
+#include "qac/util/strings.h"
+
+namespace qac::qmasm {
+
+namespace {
+
+/** Shortest decimal that round-trips the coefficient. */
+std::string
+numToString(double v)
+{
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::string s = format("%.*g", prec, v);
+        if (std::stod(s) == v)
+            return s;
+    }
+    return format("%.17g", v);
+}
+
+} // namespace
+
+std::string
+Statement::toString() const
+{
+    switch (kind) {
+      case Kind::Weight:
+        return sym1 + " " + numToString(value);
+      case Kind::Coupling:
+        return sym1 + " " + sym2 + " " + numToString(value);
+      case Kind::Chain:
+        return sym1 + " = " + sym2;
+      case Kind::Alias:
+        return sym1 + " <-> " + sym2;
+      case Kind::Pin:
+        return sym1 + " := " + (pin_value ? "true" : "false");
+      case Kind::Assert:
+        return "assert " + text;
+      case Kind::UseMacro:
+        return "!use_macro " + sym1 + " " + sym2;
+      case Kind::Comment:
+        return "# " + text;
+    }
+    panic("Statement::toString: bad kind");
+}
+
+const Macro *
+Program::findMacro(const std::string &name) const
+{
+    for (const auto &m : macros)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+std::string
+Program::toString() const
+{
+    std::string out;
+    for (const auto &m : macros) {
+        out += "!begin_macro " + m.name + "\n";
+        for (const auto &s : m.body)
+            out += "  " + s.toString() + "\n";
+        out += "!end_macro " + m.name + "\n";
+    }
+    for (const auto &s : statements)
+        out += s.toString() + "\n";
+    return out;
+}
+
+size_t
+Program::lineCount() const
+{
+    return countLines(toString());
+}
+
+bool
+isInternalSymbol(const std::string &sym)
+{
+    return sym.find('$') != std::string::npos;
+}
+
+} // namespace qac::qmasm

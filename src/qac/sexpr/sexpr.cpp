@@ -1,0 +1,288 @@
+#include "qac/sexpr/sexpr.h"
+
+#include <cctype>
+
+#include "qac/util/logging.h"
+
+namespace qac::sexpr {
+
+Node
+Node::atom(std::string text)
+{
+    Node n;
+    n.kind_ = Kind::Atom;
+    n.text_ = std::move(text);
+    return n;
+}
+
+Node
+Node::string(std::string text)
+{
+    Node n;
+    n.kind_ = Kind::String;
+    n.text_ = std::move(text);
+    return n;
+}
+
+Node
+Node::list(std::vector<Node> items)
+{
+    Node n;
+    n.kind_ = Kind::List;
+    n.items_ = std::move(items);
+    return n;
+}
+
+const std::string &
+Node::text() const
+{
+    if (kind_ == Kind::List)
+        panic("sexpr: text() called on a list node");
+    return text_;
+}
+
+const std::vector<Node> &
+Node::items() const
+{
+    if (kind_ != Kind::List)
+        panic("sexpr: items() called on an atom node");
+    return items_;
+}
+
+std::vector<Node> &
+Node::items()
+{
+    if (kind_ != Kind::List)
+        panic("sexpr: items() called on an atom node");
+    return items_;
+}
+
+void
+Node::append(Node child)
+{
+    items().push_back(std::move(child));
+}
+
+std::string
+Node::head() const
+{
+    if (!isList() || items_.empty() || !items_[0].isAtom())
+        return "";
+    return items_[0].text_;
+}
+
+bool
+Node::operator==(const Node &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    if (kind_ == Kind::List)
+        return items_ == other.items_;
+    return text_ == other.text_;
+}
+
+namespace {
+
+void
+escapeString(const std::string &s, std::string &out)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+Node::print(std::string &out, bool pretty, int depth) const
+{
+    switch (kind_) {
+      case Kind::Atom:
+        out += text_;
+        return;
+      case Kind::String:
+        escapeString(text_, out);
+        return;
+      case Kind::List:
+        break;
+    }
+    // Small leaf lists print on one line; larger lists get one child per
+    // line, which matches the shape of Yosys EDIF output and makes the
+    // "lines of EDIF" metric of the paper's Section 6.1 meaningful.
+    bool leaf = true;
+    for (const Node &n : items_)
+        if (n.isList() && n.items_.size() > 3)
+            leaf = false;
+    if (items_.size() > 6)
+        leaf = false;
+    out += '(';
+    for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) {
+            if (pretty && !leaf) {
+                out += '\n';
+                out.append(static_cast<size_t>(depth + 1) * 2, ' ');
+            } else {
+                out += ' ';
+            }
+        }
+        items_[i].print(out, pretty, depth + 1);
+    }
+    out += ')';
+}
+
+std::string
+Node::toString(bool pretty) const
+{
+    std::string out;
+    print(out, pretty, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent s-expression reader with position tracking. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &src) : src_(src) {}
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos_ >= src_.size();
+    }
+
+    Node
+    readNode()
+    {
+        skipSpace();
+        if (pos_ >= src_.size())
+            fail("unexpected end of input");
+        char c = src_[pos_];
+        if (c == '(')
+            return readList();
+        if (c == ')')
+            fail("unbalanced ')'");
+        if (c == '"')
+            return readString();
+        return readAtom();
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        fatal("sexpr parse error at line %zu, column %zu: %s", line_, col_,
+              msg.c_str());
+    }
+
+    void
+    advance()
+    {
+        if (src_[pos_] == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        ++pos_;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < src_.size() &&
+               std::isspace(static_cast<unsigned char>(src_[pos_])))
+            advance();
+    }
+
+    Node
+    readList()
+    {
+        advance(); // consume '('
+        Node n = Node::list();
+        while (true) {
+            skipSpace();
+            if (pos_ >= src_.size())
+                fail("unterminated list");
+            if (src_[pos_] == ')') {
+                advance();
+                return n;
+            }
+            n.append(readNode());
+        }
+    }
+
+    Node
+    readString()
+    {
+        advance(); // consume '"'
+        std::string text;
+        while (true) {
+            if (pos_ >= src_.size())
+                fail("unterminated string");
+            char c = src_[pos_];
+            if (c == '"') {
+                advance();
+                return Node::string(text);
+            }
+            if (c == '\\') {
+                advance();
+                if (pos_ >= src_.size())
+                    fail("dangling escape");
+                c = src_[pos_];
+            }
+            text += c;
+            advance();
+        }
+    }
+
+    Node
+    readAtom()
+    {
+        std::string text;
+        while (pos_ < src_.size()) {
+            char c = src_[pos_];
+            if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+                c == ')' || c == '"')
+                break;
+            text += c;
+            advance();
+        }
+        return Node::atom(text);
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    size_t line_ = 1;
+    size_t col_ = 1;
+};
+
+} // namespace
+
+Node
+parse(const std::string &src)
+{
+    Reader r(src);
+    Node n = r.readNode();
+    if (!r.atEnd())
+        fatal("sexpr: trailing content after top-level expression");
+    return n;
+}
+
+std::vector<Node>
+parseAll(const std::string &src)
+{
+    Reader r(src);
+    std::vector<Node> out;
+    while (!r.atEnd())
+        out.push_back(r.readNode());
+    return out;
+}
+
+} // namespace qac::sexpr

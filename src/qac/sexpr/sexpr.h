@@ -1,0 +1,83 @@
+/**
+ * @file
+ * S-expression reader/printer.
+ *
+ * EDIF netlists are "a single, large s-expression, which makes it easy to
+ * parse mechanically" (paper, Section 4.2).  This module provides the
+ * generic s-expression layer; the EDIF semantics live in qac/edif.
+ */
+
+#ifndef QAC_SEXPR_SEXPR_H
+#define QAC_SEXPR_SEXPR_H
+
+#include <string>
+#include <vector>
+
+namespace qac::sexpr {
+
+/**
+ * One node of an s-expression tree: an atom (bare symbol or number), a
+ * quoted string, or a parenthesized list of child nodes.
+ */
+class Node
+{
+  public:
+    enum class Kind { Atom, String, List };
+
+    /** Construct an empty list. */
+    Node() : kind_(Kind::List) {}
+
+    static Node atom(std::string text);
+    static Node string(std::string text);
+    static Node list(std::vector<Node> items = {});
+
+    Kind kind() const { return kind_; }
+    bool isAtom() const { return kind_ == Kind::Atom; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isList() const { return kind_ == Kind::List; }
+
+    /** Atom or string payload. Panics on a list. */
+    const std::string &text() const;
+
+    /** Child nodes. Panics on an atom/string. */
+    const std::vector<Node> &items() const;
+    std::vector<Node> &items();
+
+    /** Append a child to a list node. */
+    void append(Node child);
+
+    size_t size() const { return items().size(); }
+    const Node &operator[](size_t i) const { return items()[i]; }
+
+    /**
+     * Head symbol of a list: the text of the first child if it is an
+     * atom, else "".  EDIF keywords are matched case-insensitively by the
+     * EDIF layer, not here.
+     */
+    std::string head() const;
+
+    /** Serialize. @p pretty adds newlines/indentation (EDIF style). */
+    std::string toString(bool pretty = false) const;
+
+    bool operator==(const Node &other) const;
+
+  private:
+    Kind kind_ = Kind::List;
+    std::string text_;
+    std::vector<Node> items_;
+
+    void print(std::string &out, bool pretty, int depth) const;
+};
+
+/**
+ * Parse a single s-expression from @p src.
+ * Throws FatalError (with line/column) on malformed input.
+ */
+Node parse(const std::string &src);
+
+/** Parse all top-level s-expressions in @p src. */
+std::vector<Node> parseAll(const std::string &src);
+
+} // namespace qac::sexpr
+
+#endif // QAC_SEXPR_SEXPR_H

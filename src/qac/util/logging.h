@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error reporting and status messages.
+ *
+ * Follows the gem5 convention: panic() flags an internal invariant
+ * violation (a bug in QAC itself) and aborts; fatal() flags a user error
+ * (bad input program, invalid option) and throws a recoverable exception
+ * so library embedders can catch it.  inform()/warn() are advisory.
+ */
+
+#ifndef QAC_UTIL_LOGGING_H
+#define QAC_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace qac {
+
+/** Exception thrown by fatal(): a user-caused, recoverable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable internal error (a QAC bug) and abort.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-caused error by throwing FatalError.
+ * Never returns normally.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an advisory warning to stderr. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr (suppressible). */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally enable/disable inform() output. @return previous setting. */
+bool setInformEnabled(bool enabled);
+
+} // namespace qac
+
+#endif // QAC_UTIL_LOGGING_H

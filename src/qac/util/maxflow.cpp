@@ -1,0 +1,116 @@
+#include "qac/util/maxflow.h"
+
+#include <limits>
+#include <queue>
+
+#include "qac/util/logging.h"
+
+namespace qac {
+
+namespace {
+constexpr double kEps = 1e-12;
+} // namespace
+
+MaxFlow::MaxFlow(size_t num_nodes)
+    : adj_(num_nodes)
+{}
+
+size_t
+MaxFlow::addEdge(size_t u, size_t v, double cap)
+{
+    if (u >= adj_.size() || v >= adj_.size())
+        panic("maxflow edge endpoint out of range");
+    size_t fwd = edges_.size();
+    edges_.push_back({v, cap, fwd + 1});
+    edges_.push_back({u, 0.0, fwd});
+    adj_[u].push_back(fwd);
+    adj_[v].push_back(fwd + 1);
+    return fwd;
+}
+
+bool
+MaxFlow::bfs(size_t s, size_t t)
+{
+    level_.assign(adj_.size(), -1);
+    std::queue<size_t> q;
+    level_[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+        size_t u = q.front();
+        q.pop();
+        for (size_t id : adj_[u]) {
+            const Edge &e = edges_[id];
+            if (e.cap > kEps && level_[e.to] < 0) {
+                level_[e.to] = level_[u] + 1;
+                q.push(e.to);
+            }
+        }
+    }
+    return level_[t] >= 0;
+}
+
+double
+MaxFlow::dfs(size_t u, size_t t, double pushed)
+{
+    if (u == t)
+        return pushed;
+    for (size_t &i = iter_[u]; i < adj_[u].size(); ++i) {
+        size_t id = adj_[u][i];
+        Edge &e = edges_[id];
+        if (e.cap > kEps && level_[e.to] == level_[u] + 1) {
+            double got = dfs(e.to, t, std::min(pushed, e.cap));
+            if (got > kEps) {
+                e.cap -= got;
+                edges_[e.rev].cap += got;
+                return got;
+            }
+        }
+    }
+    return 0.0;
+}
+
+double
+MaxFlow::solve(size_t s, size_t t)
+{
+    double flow = 0.0;
+    while (bfs(s, t)) {
+        iter_.assign(adj_.size(), 0);
+        while (true) {
+            double got =
+                dfs(s, t, std::numeric_limits<double>::infinity());
+            if (got <= kEps)
+                break;
+            flow += got;
+        }
+    }
+    return flow;
+}
+
+double
+MaxFlow::residual(size_t id) const
+{
+    return edges_[id].cap;
+}
+
+std::vector<bool>
+MaxFlow::reachableFrom(size_t s) const
+{
+    std::vector<bool> seen(adj_.size(), false);
+    std::queue<size_t> q;
+    seen[s] = true;
+    q.push(s);
+    while (!q.empty()) {
+        size_t u = q.front();
+        q.pop();
+        for (size_t id : adj_[u]) {
+            const Edge &e = edges_[id];
+            if (e.cap > kEps && !seen[e.to]) {
+                seen[e.to] = true;
+                q.push(e.to);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace qac

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dinic max-flow on small directed networks.
+ *
+ * Substrate for roof duality (Section 4.4 of the paper: "qmasm uses
+ * SAPI's implementation of roof duality to elide qubits whose final value
+ * can be determined a priori").  Roof duality reduces to an s-t max-flow
+ * computation on an implication network; see embed/roof_duality.cpp.
+ */
+
+#ifndef QAC_UTIL_MAXFLOW_H
+#define QAC_UTIL_MAXFLOW_H
+
+#include <cstddef>
+#include <vector>
+
+namespace qac {
+
+/** Dinic's algorithm with residual-graph queries. */
+class MaxFlow
+{
+  public:
+    explicit MaxFlow(size_t num_nodes);
+
+    /**
+     * Add a directed edge u -> v with capacity @p cap (and a zero-capacity
+     * reverse edge).  @return index of the forward edge.
+     */
+    size_t addEdge(size_t u, size_t v, double cap);
+
+    /** Compute the maximum s-t flow. */
+    double solve(size_t s, size_t t);
+
+    /** Residual capacity remaining on edge @p id (after solve()). */
+    double residual(size_t id) const;
+
+    /**
+     * Nodes reachable from @p s in the residual graph (the source side of
+     * a minimum cut when s is the flow source).  Call after solve().
+     */
+    std::vector<bool> reachableFrom(size_t s) const;
+
+    size_t numNodes() const { return adj_.size(); }
+
+  private:
+    struct Edge
+    {
+        size_t to;
+        double cap;
+        size_t rev; ///< index of the reverse edge in edges_
+    };
+
+    bool bfs(size_t s, size_t t);
+    double dfs(size_t u, size_t t, double pushed);
+
+    std::vector<Edge> edges_;
+    std::vector<std::vector<size_t>> adj_; ///< node -> edge indices
+    std::vector<int> level_;
+    std::vector<size_t> iter_;
+};
+
+} // namespace qac
+
+#endif // QAC_UTIL_MAXFLOW_H

@@ -1,0 +1,93 @@
+#include "qac/util/rng.h"
+
+namespace qac {
+
+namespace {
+
+/** splitmix64: seed expander recommended for xoshiro initialization. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53-bit mantissa from the top bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    // Lemire-style rejection-free-enough bounded draw; bias is negligible
+    // for the n used here, but reject to be exact.
+    if (n == 0)
+        return 0;
+    uint64_t threshold = (~n + 1) % n; // == 2^64 mod n
+    while (true) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    return lo + static_cast<int64_t>(
+        below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+int8_t
+Rng::spin()
+{
+    return (next() & 1) ? int8_t{1} : int8_t{-1};
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace qac

@@ -1,0 +1,245 @@
+#include "qac/util/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "qac/util/logging.h"
+
+namespace qac {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense simplex tableau.
+ *
+ * Layout: rows 0..m-1 are constraints, row m is the objective (stored
+ * negated so we pivot until no negative reduced costs remain).  Column
+ * n_total is the RHS.
+ */
+class Tableau
+{
+  public:
+    Tableau(size_t rows, size_t cols)
+        : m_(rows), n_(cols), a_((rows + 1) * (cols + 1), 0.0),
+          basis_(rows, 0)
+    {}
+
+    double &at(size_t r, size_t c) { return a_[r * (n_ + 1) + c]; }
+    double at(size_t r, size_t c) const { return a_[r * (n_ + 1) + c]; }
+    double &rhs(size_t r) { return a_[r * (n_ + 1) + n_]; }
+    double rhs(size_t r) const { return a_[r * (n_ + 1) + n_]; }
+    double &obj(size_t c) { return a_[m_ * (n_ + 1) + c]; }
+    double &objRhs() { return a_[m_ * (n_ + 1) + n_]; }
+
+    size_t rows() const { return m_; }
+    size_t cols() const { return n_; }
+
+    std::vector<size_t> &basis() { return basis_; }
+
+    void
+    pivot(size_t pr, size_t pc)
+    {
+        double pv = at(pr, pc);
+        for (size_t c = 0; c <= n_; ++c)
+            at(pr, c) /= pv;
+        for (size_t r = 0; r <= m_; ++r) {
+            if (r == pr)
+                continue;
+            double f = at(r, pc);
+            if (std::abs(f) < kEps)
+                continue;
+            for (size_t c = 0; c <= n_; ++c)
+                at(r, c) -= f * at(pr, c);
+        }
+        basis_[pr] = pc;
+    }
+
+    /**
+     * Run simplex iterations until optimal or unbounded.
+     * Uses Dantzig's rule with a Bland fallback after many iterations to
+     * guarantee termination on degenerate problems.
+     */
+    LpStatus
+    iterate()
+    {
+        const size_t max_iters = 50000;
+        size_t iters = 0;
+        while (true) {
+            bool bland = iters > 2000;
+            // Entering column: most negative reduced cost (or first,
+            // under Bland's rule).
+            size_t pc = n_;
+            double best = -kEps;
+            for (size_t c = 0; c < n_; ++c) {
+                double rc = obj(c);
+                if (rc < best) {
+                    pc = c;
+                    best = rc;
+                    if (bland)
+                        break;
+                }
+            }
+            if (pc == n_)
+                return LpStatus::Optimal;
+            // Leaving row: min ratio test.
+            size_t pr = m_;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (size_t r = 0; r < m_; ++r) {
+                double coef = at(r, pc);
+                if (coef > kEps) {
+                    double ratio = rhs(r) / coef;
+                    if (ratio < best_ratio - kEps ||
+                        (bland && ratio < best_ratio + kEps && pr < m_ &&
+                         basis_[r] < basis_[pr])) {
+                        best_ratio = ratio;
+                        pr = r;
+                    }
+                }
+            }
+            if (pr == m_)
+                return LpStatus::Unbounded;
+            pivot(pr, pc);
+            if (++iters > max_iters)
+                panic("simplex failed to terminate (%zu iterations)",
+                      max_iters);
+        }
+    }
+
+  private:
+    size_t m_, n_;
+    std::vector<double> a_;
+    std::vector<size_t> basis_;
+};
+
+} // namespace
+
+LpResult
+solveLp(size_t num_vars, const std::vector<double> &objective,
+        const std::vector<LpConstraint> &constraints)
+{
+    if (objective.size() != num_vars)
+        panic("objective size %zu != num_vars %zu", objective.size(),
+              num_vars);
+
+    const size_t m = constraints.size();
+    // Column layout: [structural | slack/surplus | artificial].
+    size_t num_slack = 0;
+    for (const auto &con : constraints)
+        if (con.rel != Relation::EQ)
+            ++num_slack;
+    // Artificials: GE and EQ rows always; LE rows only when rhs < 0
+    // (handled by row negation below, turning them into GE).
+    // For simplicity give every row an artificial; phase 1 drives the
+    // unnecessary ones out immediately.
+    size_t num_art = m;
+    size_t n_total = num_vars + num_slack + num_art;
+
+    Tableau tab(m, n_total);
+
+    size_t slack_idx = num_vars;
+    size_t art_idx = num_vars + num_slack;
+    for (size_t r = 0; r < m; ++r) {
+        const auto &con = constraints[r];
+        if (con.coeffs.size() != num_vars)
+            panic("constraint %zu has %zu coeffs, expected %zu", r,
+                  con.coeffs.size(), num_vars);
+        double sign = (con.rhs < 0) ? -1.0 : 1.0;
+        Relation rel = con.rel;
+        if (sign < 0) {
+            // Negate the row so the RHS becomes nonnegative.
+            if (rel == Relation::LE)
+                rel = Relation::GE;
+            else if (rel == Relation::GE)
+                rel = Relation::LE;
+        }
+        for (size_t c = 0; c < num_vars; ++c)
+            tab.at(r, c) = sign * con.coeffs[c];
+        tab.rhs(r) = sign * con.rhs;
+        if (con.rel != Relation::EQ) {
+            tab.at(r, slack_idx) = (rel == Relation::LE) ? 1.0 : -1.0;
+            ++slack_idx;
+        }
+        tab.at(r, art_idx) = 1.0;
+        tab.basis()[r] = art_idx;
+        ++art_idx;
+    }
+
+    // Phase 1: minimize sum of artificials == maximize -(sum art).
+    for (size_t c = num_vars + num_slack; c < n_total; ++c)
+        tab.obj(c) = 1.0;
+    // Make the objective row consistent with the starting basis (price
+    // out the artificial basis columns).
+    for (size_t r = 0; r < m; ++r) {
+        for (size_t c = 0; c <= n_total; ++c) {
+            if (c == n_total)
+                tab.objRhs() -= tab.rhs(r);
+            else
+                tab.obj(c) -= tab.at(r, c);
+        }
+    }
+    LpStatus st = tab.iterate();
+    if (st == LpStatus::Unbounded)
+        panic("phase-1 LP unbounded (impossible)");
+    if (tab.objRhs() < -1e-6)
+        return {LpStatus::Infeasible, 0.0, {}};
+
+    // Drive any artificial still in the basis (at value 0) out of it.
+    for (size_t r = 0; r < m; ++r) {
+        if (tab.basis()[r] >= num_vars + num_slack) {
+            size_t pc = n_total;
+            for (size_t c = 0; c < num_vars + num_slack; ++c) {
+                if (std::abs(tab.at(r, c)) > kEps) {
+                    pc = c;
+                    break;
+                }
+            }
+            if (pc != n_total)
+                tab.pivot(r, pc);
+            // Otherwise the row is all zeros: redundant constraint.
+        }
+    }
+
+    // Phase 2: restore the real objective.  Zero the objective row, then
+    // set reduced costs for the maximization (stored negated) and price
+    // out basic columns.
+    for (size_t c = 0; c <= n_total; ++c)
+        tab.obj(c) = 0.0;
+    tab.objRhs() = 0.0;
+    for (size_t c = 0; c < num_vars; ++c)
+        tab.obj(c) = -objective[c];
+    // Forbid artificials from re-entering.
+    for (size_t c = num_vars + num_slack; c < n_total; ++c)
+        tab.obj(c) = 1e30;
+    for (size_t r = 0; r < m; ++r) {
+        size_t bc = tab.basis()[r];
+        double f = tab.obj(bc);
+        if (std::abs(f) > kEps) {
+            for (size_t c = 0; c <= n_total; ++c) {
+                if (c == n_total)
+                    tab.objRhs() -= f * tab.rhs(r);
+                else
+                    tab.obj(c) -= f * tab.at(r, c);
+            }
+        }
+    }
+
+    st = tab.iterate();
+    if (st == LpStatus::Unbounded)
+        return {LpStatus::Unbounded, 0.0, {}};
+
+    LpResult res;
+    res.status = LpStatus::Optimal;
+    res.x.assign(num_vars, 0.0);
+    for (size_t r = 0; r < m; ++r)
+        if (tab.basis()[r] < num_vars)
+            res.x[tab.basis()[r]] = tab.rhs(r);
+    double obj = 0.0;
+    for (size_t c = 0; c < num_vars; ++c)
+        obj += objective[c] * res.x[c];
+    res.objective = obj;
+    return res;
+}
+
+} // namespace qac

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dense two-phase simplex solver for small linear programs.
+ *
+ * This is QAC's stand-in for the MiniZinc step the paper uses in Section
+ * 4.3.2: deriving standard-cell Hamiltonians means solving a system of
+ * equalities (valid truth-table rows pinned to the ground energy k) and
+ * strict inequalities (invalid rows above k), while maximizing the
+ * valid/invalid energy gap subject to hardware coefficient ranges.  Those
+ * systems have a few dozen variables and at most a few hundred rows, so a
+ * dense tableau is the right tool.
+ *
+ * The solver handles   max c.x  s.t.  A x (<=,=,>=) b,  x >= 0.
+ * Callers with free or range-bounded variables shift/bound them
+ * explicitly (see cells/synthesizer.cpp).
+ */
+
+#ifndef QAC_UTIL_SIMPLEX_H
+#define QAC_UTIL_SIMPLEX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace qac {
+
+/** Direction of one linear constraint row. */
+enum class Relation { LE, EQ, GE };
+
+/** One constraint row: coeffs . x  (rel)  rhs. */
+struct LpConstraint
+{
+    std::vector<double> coeffs;
+    Relation rel = Relation::LE;
+    double rhs = 0.0;
+};
+
+/** Termination status of the LP solver. */
+enum class LpStatus { Optimal, Infeasible, Unbounded };
+
+/** Solution record returned by solveLp(). */
+struct LpResult
+{
+    LpStatus status = LpStatus::Infeasible;
+    double objective = 0.0;      ///< c.x at the optimum (if Optimal)
+    std::vector<double> x;       ///< optimal point (if Optimal)
+};
+
+/**
+ * Maximize objective.x subject to the given constraints and x >= 0.
+ *
+ * @param num_vars   number of structural variables
+ * @param objective  length-num_vars cost vector (maximized)
+ * @param constraints rows; each coeffs vector must have num_vars entries
+ */
+LpResult solveLp(size_t num_vars, const std::vector<double> &objective,
+                 const std::vector<LpConstraint> &constraints);
+
+} // namespace qac
+
+#endif // QAC_UTIL_SIMPLEX_H

@@ -1,0 +1,76 @@
+#include "qac/verilog/ast.h"
+
+namespace qac::verilog {
+
+ExprPtr
+makeNumber(uint64_t value, int width, size_t line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Number;
+    e->value = value;
+    e->width = width;
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+makeIdent(std::string name, size_t line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Ident;
+    e->name = std::move(name);
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+makeUnary(UnaryOp op, ExprPtr a, size_t line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Unary;
+    e->uop = op;
+    e->args.push_back(std::move(a));
+    e->line = line;
+    return e;
+}
+
+ExprPtr
+makeBinary(BinaryOp op, ExprPtr a, ExprPtr b, size_t line)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::Binary;
+    e->bop = op;
+    e->args.push_back(std::move(a));
+    e->args.push_back(std::move(b));
+    e->line = line;
+    return e;
+}
+
+const SignalDecl *
+Module::findDecl(const std::string &name) const
+{
+    for (const auto &d : decls)
+        if (d.name == name)
+            return &d;
+    return nullptr;
+}
+
+const Function *
+Module::findFunction(const std::string &name) const
+{
+    for (const auto &f : functions)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+const Module *
+Design::findModule(const std::string &name) const
+{
+    for (const auto &m : modules)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+} // namespace qac::verilog

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Abstract syntax tree for the QAC Verilog subset.
+ */
+
+#ifndef QAC_VERILOG_AST_H
+#define QAC_VERILOG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qac::verilog {
+
+enum class UnaryOp {
+    BitNot,  ///< ~a
+    LogNot,  ///< !a
+    Neg,     ///< -a
+    Plus,    ///< +a
+    RedAnd,  ///< &a
+    RedOr,   ///< |a
+    RedXor,  ///< ^a
+    RedNand, ///< ~&a
+    RedNor,  ///< ~|a
+    RedXnor, ///< ~^a
+};
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod,
+    BitAnd, BitOr, BitXor, BitXnor,
+    LogAnd, LogOr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    Shl, Shr,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node (tagged union style). */
+struct Expr
+{
+    enum class Kind {
+        Number,     ///< value/width
+        Ident,      ///< name
+        Unary,      ///< uop, args[0]
+        Binary,     ///< bop, args[0], args[1]
+        Ternary,    ///< args[0] ? args[1] : args[2]
+        BitSelect,  ///< name, args[0] (index expression)
+        PartSelect, ///< name, msb, lsb (constants)
+        Concat,     ///< args, args[0] is the MOST significant chunk
+        Repl,       ///< repl_count copies of args[0]
+        Call,       ///< name (function), args (actuals)
+    };
+
+    Kind kind = Kind::Number;
+    size_t line = 0;
+
+    uint64_t value = 0;   ///< Number
+    int width = -1;       ///< Number: declared width or -1
+    std::string name;     ///< Ident / BitSelect / PartSelect
+    UnaryOp uop = UnaryOp::BitNot;
+    BinaryOp bop = BinaryOp::Add;
+    /** PartSelect bounds; Repl count. Evaluated at elaboration so they
+     *  may reference parameters. */
+    ExprPtr msb_expr, lsb_expr, count_expr;
+    std::vector<ExprPtr> args;
+};
+
+ExprPtr makeNumber(uint64_t value, int width, size_t line);
+ExprPtr makeIdent(std::string name, size_t line);
+ExprPtr makeUnary(UnaryOp op, ExprPtr a, size_t line);
+ExprPtr makeBinary(BinaryOp op, ExprPtr a, ExprPtr b, size_t line);
+
+/** Assignment target: identifier with optional bit/part select, or a
+ *  concatenation of targets ({hi, lo} = ...). */
+struct LValue
+{
+    enum class Kind { Ident, BitSelect, PartSelect, Concat };
+    Kind kind = Kind::Ident;
+    std::string name;
+    ExprPtr index;        ///< BitSelect (must be constant for stores)
+    ExprPtr msb_expr, lsb_expr; ///< PartSelect bounds
+    std::vector<LValue> parts; ///< Concat, parts[0] most significant
+    size_t line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Procedural statement inside an always block. */
+struct Stmt
+{
+    enum class Kind {
+        Block,   ///< begin ... end: body
+        Assign,  ///< lhs (=|<=) rhs
+        If,      ///< cond, body (then), else_body
+        Case,    ///< cond (selector), case_items
+        For,     ///< loop_var, rhs (init), cond, step_rhs, body
+    };
+
+    struct CaseItem
+    {
+        /** Empty means `default`. */
+        std::vector<ExprPtr> labels;
+        StmtPtr body;
+    };
+
+    Kind kind = Kind::Block;
+    size_t line = 0;
+
+    LValue lhs;
+    ExprPtr rhs;
+    bool nonblocking = false;
+
+    ExprPtr cond;
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> else_body;
+    std::vector<CaseItem> case_items;
+
+    /** For: the loop variable (an integer/genvar) and its step RHS;
+     *  rhs holds the init value, cond the continuation test. */
+    std::string loop_var;
+    ExprPtr step_rhs;
+};
+
+/** Declared signal (port, wire, or reg). */
+struct SignalDecl
+{
+    std::string name;
+    /** [msb:lsb] bounds; both null for scalar signals. May reference
+     *  parameters — evaluated at elaboration. */
+    std::shared_ptr<Expr> msb_expr, lsb_expr;
+    bool is_reg = false;
+    bool is_input = false;
+    bool is_output = false;
+    /** integer/genvar: an elaboration-time constant (loop variable),
+     *  not a synthesized signal. */
+    bool is_integer = false;
+    size_t line = 0;
+};
+
+struct ContAssign
+{
+    LValue lhs;
+    ExprPtr rhs;
+    size_t line = 0;
+};
+
+struct AlwaysBlock
+{
+    /** True for always @(posedge/negedge clk); false for always @(*). */
+    bool clocked = false;
+    std::string clock;     ///< sensitivity signal when clocked
+    bool posedge = true;
+    StmtPtr body;
+    size_t line = 0;
+};
+
+struct PortConn
+{
+    std::string port;  ///< empty for positional connection
+    ExprPtr expr;      ///< may be null for unconnected ()
+};
+
+struct Instance
+{
+    std::string module_name;
+    std::string inst_name;
+    std::vector<PortConn> conns;
+    /** Parameter overrides from #(...) — positional or named. */
+    std::vector<std::pair<std::string, ExprPtr>> param_overrides;
+    size_t line = 0;
+};
+
+struct Parameter
+{
+    std::string name;
+    ExprPtr value;
+};
+
+/**
+ * A generate-for block: structural replication of assigns and
+ * instances, with the genvar bound per iteration.
+ */
+struct GenerateFor
+{
+    std::string genvar;
+    ExprPtr init, cond, step_rhs;
+    std::string label; ///< "begin : label" (may be empty)
+    std::vector<ContAssign> assigns;
+    std::vector<Instance> instances;
+    size_t line = 0;
+};
+
+/** A Verilog function: combinational, returns its own name. */
+struct Function
+{
+    std::string name;
+    /** Return range; both null for a 1-bit function. */
+    std::shared_ptr<Expr> msb_expr, lsb_expr;
+    /** Inputs first (in call order), then any local reg/integer. */
+    std::vector<SignalDecl> decls;
+    StmtPtr body;
+    size_t line = 0;
+};
+
+struct Module
+{
+    std::string name;
+    std::vector<std::string> port_order;
+    std::vector<SignalDecl> decls;
+    std::vector<Parameter> parameters;
+    std::vector<ContAssign> assigns;
+    std::vector<AlwaysBlock> always;
+    std::vector<Instance> instances;
+    std::vector<Function> functions;
+    std::vector<GenerateFor> gen_fors;
+    size_t line = 0;
+
+    const SignalDecl *findDecl(const std::string &name) const;
+    const Function *findFunction(const std::string &name) const;
+};
+
+/** A parsed source file: one or more modules. */
+struct Design
+{
+    std::vector<Module> modules;
+
+    const Module *findModule(const std::string &name) const;
+};
+
+} // namespace qac::verilog
+
+#endif // QAC_VERILOG_AST_H

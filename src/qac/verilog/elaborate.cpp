@@ -1,0 +1,136 @@
+#include "qac/verilog/elaborate.h"
+
+#include "qac/util/logging.h"
+
+namespace qac::verilog {
+
+std::optional<uint64_t>
+tryEvalConst(const Expr &e, const ParamEnv &params)
+{
+    switch (e.kind) {
+      case Expr::Kind::Number: {
+        uint64_t v = e.value;
+        if (e.width > 0 && e.width < 64)
+            v &= (uint64_t{1} << e.width) - 1;
+        return v;
+      }
+      case Expr::Kind::Ident: {
+        auto it = params.find(e.name);
+        if (it == params.end())
+            return std::nullopt;
+        return it->second;
+      }
+      case Expr::Kind::Unary: {
+        auto a = tryEvalConst(*e.args[0], params);
+        if (!a)
+            return std::nullopt;
+        switch (e.uop) {
+          case UnaryOp::BitNot: return ~*a;
+          case UnaryOp::LogNot: return *a == 0 ? 1 : 0;
+          case UnaryOp::Neg: return static_cast<uint64_t>(-*a);
+          case UnaryOp::Plus: return *a;
+          default: return std::nullopt; // reductions need a width
+        }
+      }
+      case Expr::Kind::Binary: {
+        auto a = tryEvalConst(*e.args[0], params);
+        auto b = tryEvalConst(*e.args[1], params);
+        if (!a || !b)
+            return std::nullopt;
+        switch (e.bop) {
+          case BinaryOp::Add: return *a + *b;
+          case BinaryOp::Sub: return *a - *b;
+          case BinaryOp::Mul: return *a * *b;
+          case BinaryOp::Div:
+            if (*b == 0)
+                fatal("division by zero in constant expression");
+            return *a / *b;
+          case BinaryOp::Mod:
+            if (*b == 0)
+                fatal("modulo by zero in constant expression");
+            return *a % *b;
+          case BinaryOp::BitAnd: return *a & *b;
+          case BinaryOp::BitOr: return *a | *b;
+          case BinaryOp::BitXor: return *a ^ *b;
+          case BinaryOp::BitXnor: return ~(*a ^ *b);
+          case BinaryOp::LogAnd: return (*a && *b) ? 1 : 0;
+          case BinaryOp::LogOr: return (*a || *b) ? 1 : 0;
+          case BinaryOp::Eq: return *a == *b ? 1 : 0;
+          case BinaryOp::Ne: return *a != *b ? 1 : 0;
+          case BinaryOp::Lt: return *a < *b ? 1 : 0;
+          case BinaryOp::Le: return *a <= *b ? 1 : 0;
+          case BinaryOp::Gt: return *a > *b ? 1 : 0;
+          case BinaryOp::Ge: return *a >= *b ? 1 : 0;
+          case BinaryOp::Shl:
+            return *b >= 64 ? 0 : *a << *b;
+          case BinaryOp::Shr:
+            return *b >= 64 ? 0 : *a >> *b;
+        }
+        return std::nullopt;
+      }
+      case Expr::Kind::Ternary: {
+        auto c = tryEvalConst(*e.args[0], params);
+        if (!c)
+            return std::nullopt;
+        return tryEvalConst(*e.args[*c ? 1 : 2], params);
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+uint64_t
+evalConst(const Expr &e, const ParamEnv &params)
+{
+    auto v = tryEvalConst(e, params);
+    if (!v)
+        fatal("expression at line %zu is not a compile-time constant",
+              e.line);
+    return *v;
+}
+
+const ElabSignal *
+ElabModule::find(const std::string &name) const
+{
+    for (const auto &s : signals)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+ElabModule
+elaborate(const Module &mod, const ParamEnv &overrides)
+{
+    ElabModule em;
+    em.ast = &mod;
+    // Defaults in declaration order (later defaults may use earlier
+    // parameters), then apply overrides.
+    for (const auto &p : mod.parameters) {
+        auto it = overrides.find(p.name);
+        em.params[p.name] = (it != overrides.end())
+                                ? it->second
+                                : evalConst(*p.value, em.params);
+    }
+    for (const auto &[name, value] : overrides)
+        if (!em.params.count(name))
+            fatal("module %s has no parameter '%s'", mod.name.c_str(),
+                  name.c_str());
+
+    for (const auto &d : mod.decls) {
+        if (d.is_integer)
+            continue; // loop variables are elaboration-time constants
+        ElabSignal s;
+        s.name = d.name;
+        s.is_reg = d.is_reg;
+        s.is_input = d.is_input;
+        s.is_output = d.is_output;
+        if (d.msb_expr) {
+            s.left = static_cast<int>(evalConst(*d.msb_expr, em.params));
+            s.right = static_cast<int>(evalConst(*d.lsb_expr, em.params));
+        }
+        em.signals.push_back(s);
+    }
+    return em;
+}
+
+} // namespace qac::verilog

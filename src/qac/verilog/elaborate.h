@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Elaboration helpers: parameter-aware constant evaluation and per-module
+ * signal tables with resolved bit ranges.
+ */
+
+#ifndef QAC_VERILOG_ELABORATE_H
+#define QAC_VERILOG_ELABORATE_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qac/verilog/ast.h"
+
+namespace qac::verilog {
+
+/** Parameter name -> value bindings for one module instance. */
+using ParamEnv = std::map<std::string, uint64_t>;
+
+/** Evaluate a compile-time-constant expression. Fatal if non-constant. */
+uint64_t evalConst(const Expr &e, const ParamEnv &params);
+
+/** As evalConst but returns nullopt instead of failing. */
+std::optional<uint64_t> tryEvalConst(const Expr &e, const ParamEnv &params);
+
+/** A signal with its range resolved to integers. */
+struct ElabSignal
+{
+    std::string name;
+    /** Declared range [left:right].  Descending (left >= right) and
+     *  ascending (left < right, e.g. the paper's "wire [1:10] x")
+     *  ranges are both supported; the right index is always the LSB. */
+    int left = 0, right = 0;
+    bool is_reg = false;
+    bool is_input = false;
+    bool is_output = false;
+
+    bool descending() const { return left >= right; }
+    size_t
+    width() const
+    {
+        return static_cast<size_t>(descending() ? left - right + 1
+                                                : right - left + 1);
+    }
+    bool
+    contains(int idx) const
+    {
+        return descending() ? (idx >= right && idx <= left)
+                            : (idx >= left && idx <= right);
+    }
+    /** LSB-first bit position of declared index @p idx. */
+    size_t
+    bitPos(int idx) const
+    {
+        return static_cast<size_t>(descending() ? idx - right
+                                                : right - idx);
+    }
+    /** Declared index of LSB-first position @p pos. */
+    int
+    declaredIndex(size_t pos) const
+    {
+        return descending() ? right + static_cast<int>(pos)
+                            : right - static_cast<int>(pos);
+    }
+};
+
+/** Resolved signal table + parameter environment for one instance. */
+struct ElabModule
+{
+    const Module *ast = nullptr;
+    ParamEnv params;
+    std::vector<ElabSignal> signals;
+
+    const ElabSignal *find(const std::string &name) const;
+};
+
+/**
+ * Resolve @p mod's parameters (defaults overridden by @p overrides) and
+ * signal ranges.  Fatal on inverted ranges or unresolvable constants.
+ */
+ElabModule elaborate(const Module &mod, const ParamEnv &overrides);
+
+} // namespace qac::verilog
+
+#endif // QAC_VERILOG_ELABORATE_H

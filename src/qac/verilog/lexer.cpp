@@ -1,0 +1,253 @@
+#include "qac/verilog/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "qac/util/logging.h"
+
+namespace qac::verilog {
+
+bool
+isKeyword(const std::string &word)
+{
+    static const std::unordered_set<std::string> kw = {
+        "module", "endmodule", "input",  "output",  "inout",
+        "wire",   "reg",       "assign", "always",  "posedge",
+        "negedge", "if",       "else",   "begin",   "end",
+        "case",   "endcase",   "default", "parameter", "localparam",
+        "integer", "genvar",   "for",    "function", "endfunction",
+        "generate", "endgenerate",
+    };
+    return kw.count(word) > 0;
+}
+
+namespace {
+
+struct Lexer
+{
+    const std::string &src;
+    size_t pos = 0;
+    size_t line = 1;
+    std::vector<Token> out;
+
+    explicit Lexer(const std::string &s) : src(s) {}
+
+    char peek(size_t off = 0) const
+    {
+        return pos + off < src.size() ? src[pos + off] : '\0';
+    }
+
+    void
+    advance()
+    {
+        if (src[pos] == '\n')
+            ++line;
+        ++pos;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        fatal("verilog lex error at line %zu: %s", line, msg.c_str());
+    }
+
+    void
+    push(TokKind kind, std::string text)
+    {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = line;
+        out.push_back(std::move(t));
+    }
+
+    void
+    skipSpaceAndComments()
+    {
+        while (pos < src.size()) {
+            char c = peek();
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (pos < src.size() && peek() != '\n')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                while (pos < src.size() &&
+                       !(peek() == '*' && peek(1) == '/'))
+                    advance();
+                if (pos >= src.size())
+                    fail("unterminated block comment");
+                advance();
+                advance();
+            } else {
+                break;
+            }
+        }
+    }
+
+    static int
+    digitValue(char c)
+    {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    }
+
+    /** Read digits of @p base (with '_' separators) into a value. */
+    uint64_t
+    readBasedDigits(int base)
+    {
+        uint64_t v = 0;
+        bool any = false;
+        while (pos < src.size()) {
+            char c = peek();
+            if (c == '_') {
+                advance();
+                continue;
+            }
+            int d = digitValue(c);
+            if (d < 0 || d >= base)
+                break;
+            v = v * static_cast<uint64_t>(base) +
+                static_cast<uint64_t>(d);
+            any = true;
+            advance();
+        }
+        if (!any)
+            fail("expected digits in numeric literal");
+        return v;
+    }
+
+    void
+    readNumber()
+    {
+        // Either: [size]'[base]digits  or plain decimal.
+        size_t tok_line = line;
+        uint64_t first = 0;
+        bool have_first = false;
+        if (std::isdigit(static_cast<unsigned char>(peek()))) {
+            first = readBasedDigits(10);
+            have_first = true;
+        }
+        Token t;
+        t.kind = TokKind::Number;
+        t.line = tok_line;
+        if (peek() == '\'') {
+            advance();
+            char b = peek();
+            int base = 0;
+            switch (std::tolower(static_cast<unsigned char>(b))) {
+              case 'b':
+                base = 2;
+                break;
+              case 'o':
+                base = 8;
+                break;
+              case 'd':
+                base = 10;
+                break;
+              case 'h':
+                base = 16;
+                break;
+              default:
+                fail("bad numeric base");
+            }
+            advance();
+            t.num_value = readBasedDigits(base);
+            t.num_width = have_first ? static_cast<int>(first) : -1;
+            if (t.num_width == 0)
+                fail("zero-width literal");
+        } else {
+            t.num_value = first;
+            t.num_width = -1;
+        }
+        t.text = format("%llu",
+                        static_cast<unsigned long long>(t.num_value));
+        out.push_back(std::move(t));
+    }
+
+    void
+    readIdent()
+    {
+        std::string word;
+        while (pos < src.size()) {
+            char c = peek();
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '$') {
+                word += c;
+                advance();
+            } else {
+                break;
+            }
+        }
+        push(TokKind::Ident, std::move(word));
+    }
+
+    void
+    readPunct()
+    {
+        // Longest-match multi-character operators first.
+        static const char *three[] = {"<<<", ">>>", "===", "!=="};
+        static const char *two[] = {"&&", "||", "==", "!=", "<=", ">=",
+                                    "<<", ">>", "~^", "^~", "**"};
+        for (const char *op : three) {
+            if (src.compare(pos, 3, op) == 0) {
+                push(TokKind::Punct, op);
+                advance();
+                advance();
+                advance();
+                return;
+            }
+        }
+        for (const char *op : two) {
+            if (src.compare(pos, 2, op) == 0) {
+                push(TokKind::Punct, op);
+                advance();
+                advance();
+                return;
+            }
+        }
+        push(TokKind::Punct, std::string(1, peek()));
+        advance();
+    }
+
+    std::vector<Token>
+    run()
+    {
+        while (true) {
+            skipSpaceAndComments();
+            if (pos >= src.size())
+                break;
+            char c = peek();
+            if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'')
+                readNumber();
+            else if (std::isalpha(static_cast<unsigned char>(c)) ||
+                     c == '_' || c == '$')
+                readIdent();
+            else if (c == '`') {
+                // Skip compiler directives to end of line (timescale...)
+                while (pos < src.size() && peek() != '\n')
+                    advance();
+            } else
+                readPunct();
+        }
+        push(TokKind::End, "");
+        return std::move(out);
+    }
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    return Lexer(src).run();
+}
+
+} // namespace qac::verilog

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Tokenizer for the QAC Verilog subset (paper, Section 4.1).
+ *
+ * The subset covers what the paper's examples and evaluation need:
+ * modules, multi-bit nets/regs, continuous assignments, clocked and
+ * combinational always blocks, if/else/case, instances, parameters, the
+ * full arithmetic/relational/bitwise/logical operator set, bit and part
+ * selects, concatenation, and replication.
+ */
+
+#ifndef QAC_VERILOG_LEXER_H
+#define QAC_VERILOG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qac::verilog {
+
+enum class TokKind {
+    End,
+    Ident,      ///< identifier or keyword (text distinguishes)
+    Number,     ///< numeric literal; see Token::num*
+    Punct,      ///< operator or punctuation; text holds the spelling
+};
+
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;
+    uint64_t num_value = 0;
+    int num_width = -1;     ///< declared width, or -1 for unsized
+    size_t line = 0;
+
+    bool is(TokKind k) const { return kind == k; }
+    bool
+    isPunct(const char *p) const
+    {
+        return kind == TokKind::Punct && text == p;
+    }
+    bool
+    isIdent(const char *s) const
+    {
+        return kind == TokKind::Ident && text == s;
+    }
+};
+
+/** Tokenize @p src. Throws FatalError with a line number on bad input. */
+std::vector<Token> tokenize(const std::string &src);
+
+/** True if @p word is a reserved word of the subset. */
+bool isKeyword(const std::string &word);
+
+} // namespace qac::verilog
+
+#endif // QAC_VERILOG_LEXER_H

@@ -1,0 +1,750 @@
+#include "qac/verilog/parser.h"
+
+#include "qac/util/logging.h"
+#include "qac/verilog/lexer.h"
+
+namespace qac::verilog {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : toks_(tokenize(src)) {}
+
+    Design
+    run()
+    {
+        Design design;
+        while (!cur().is(TokKind::End)) {
+            expectKeyword("module");
+            design.modules.push_back(parseModule());
+        }
+        return design;
+    }
+
+  private:
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+
+    const Token &cur() const { return toks_[pos_]; }
+    const Token &
+    peek(size_t off = 1) const
+    {
+        size_t i = pos_ + off;
+        return i < toks_.size() ? toks_[i] : toks_.back();
+    }
+    void next() { if (pos_ + 1 < toks_.size()) ++pos_; }
+
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        fatal("verilog parse error at line %zu near '%s': %s",
+              cur().line, cur().text.c_str(), msg.c_str());
+    }
+
+    bool
+    acceptPunct(const char *p)
+    {
+        if (cur().isPunct(p)) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectPunct(const char *p)
+    {
+        if (!acceptPunct(p))
+            fail(format("expected '%s'", p));
+    }
+
+    bool
+    acceptKeyword(const char *kw)
+    {
+        if (cur().isIdent(kw)) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectKeyword(const char *kw)
+    {
+        if (!acceptKeyword(kw))
+            fail(format("expected '%s'", kw));
+    }
+
+    std::string
+    expectIdent()
+    {
+        if (!cur().is(TokKind::Ident) || isKeyword(cur().text))
+            fail("expected identifier");
+        std::string name = cur().text;
+        next();
+        return name;
+    }
+
+    // ---------------- expressions ----------------
+
+    ExprPtr
+    parsePrimary()
+    {
+        size_t line = cur().line;
+        if (cur().is(TokKind::Number)) {
+            auto e = makeNumber(cur().num_value, cur().num_width, line);
+            next();
+            return e;
+        }
+        if (acceptPunct("(")) {
+            ExprPtr e = parseExpr();
+            expectPunct(")");
+            return e;
+        }
+        if (acceptPunct("{"))
+            return parseConcat(line);
+        if (cur().is(TokKind::Ident) && !isKeyword(cur().text)) {
+            std::string name = expectIdent();
+            if (acceptPunct("(")) {
+                // Function call.
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::Call;
+                e->name = std::move(name);
+                e->line = line;
+                if (!cur().isPunct(")")) {
+                    e->args.push_back(parseExpr());
+                    while (acceptPunct(","))
+                        e->args.push_back(parseExpr());
+                }
+                expectPunct(")");
+                return e;
+            }
+            if (acceptPunct("[")) {
+                ExprPtr first = parseExpr();
+                if (acceptPunct(":")) {
+                    ExprPtr second = parseExpr();
+                    expectPunct("]");
+                    auto e = std::make_unique<Expr>();
+                    e->kind = Expr::Kind::PartSelect;
+                    e->name = std::move(name);
+                    e->msb_expr = std::move(first);
+                    e->lsb_expr = std::move(second);
+                    e->line = line;
+                    return e;
+                }
+                expectPunct("]");
+                auto e = std::make_unique<Expr>();
+                e->kind = Expr::Kind::BitSelect;
+                e->name = std::move(name);
+                e->args.push_back(std::move(first));
+                e->line = line;
+                return e;
+            }
+            return makeIdent(std::move(name), line);
+        }
+        fail("expected expression");
+    }
+
+    ExprPtr
+    parseConcat(size_t line)
+    {
+        // Already consumed '{'.
+        ExprPtr first = parseExpr();
+        if (cur().isPunct("{")) {
+            // Replication: { N { expr } }
+            next();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Repl;
+            e->count_expr = std::move(first);
+            e->args.push_back(parseExpr());
+            while (acceptPunct(","))
+                e->args.push_back(parseExpr());
+            expectPunct("}");
+            expectPunct("}");
+            e->line = line;
+            return e;
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::Concat;
+        e->args.push_back(std::move(first));
+        while (acceptPunct(","))
+            e->args.push_back(parseExpr());
+        expectPunct("}");
+        e->line = line;
+        return e;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        size_t line = cur().line;
+        struct UnaryTok { const char *p; UnaryOp op; };
+        static const UnaryTok unaries[] = {
+            {"~&", UnaryOp::RedNand}, {"~|", UnaryOp::RedNor},
+            {"~^", UnaryOp::RedXnor}, {"^~", UnaryOp::RedXnor},
+            {"~", UnaryOp::BitNot},   {"!", UnaryOp::LogNot},
+            {"-", UnaryOp::Neg},      {"+", UnaryOp::Plus},
+            {"&", UnaryOp::RedAnd},   {"|", UnaryOp::RedOr},
+            {"^", UnaryOp::RedXor},
+        };
+        for (const auto &u : unaries) {
+            if (cur().isPunct(u.p)) {
+                next();
+                return makeUnary(u.op, parseUnary(), line);
+            }
+        }
+        return parsePrimary();
+    }
+
+    /** Precedence-climbing over the binary operator table. */
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        struct OpInfo { const char *p; BinaryOp op; int prec; };
+        static const OpInfo ops[] = {
+            {"||", BinaryOp::LogOr, 1},
+            {"&&", BinaryOp::LogAnd, 2},
+            {"|", BinaryOp::BitOr, 3},
+            {"^", BinaryOp::BitXor, 4},
+            {"~^", BinaryOp::BitXnor, 4},
+            {"^~", BinaryOp::BitXnor, 4},
+            {"&", BinaryOp::BitAnd, 5},
+            {"==", BinaryOp::Eq, 6},
+            {"!=", BinaryOp::Ne, 6},
+            {"<", BinaryOp::Lt, 7},
+            {"<=", BinaryOp::Le, 7},
+            {">", BinaryOp::Gt, 7},
+            {">=", BinaryOp::Ge, 7},
+            {"<<", BinaryOp::Shl, 8},
+            {">>", BinaryOp::Shr, 8},
+            {"+", BinaryOp::Add, 9},
+            {"-", BinaryOp::Sub, 9},
+            {"*", BinaryOp::Mul, 10},
+            {"/", BinaryOp::Div, 10},
+            {"%", BinaryOp::Mod, 10},
+        };
+        ExprPtr lhs = parseUnary();
+        while (true) {
+            const OpInfo *match = nullptr;
+            for (const auto &o : ops) {
+                if (cur().isPunct(o.p) && o.prec >= min_prec) {
+                    match = &o;
+                    break;
+                }
+            }
+            if (!match)
+                return lhs;
+            size_t line = cur().line;
+            next();
+            ExprPtr rhs = parseBinary(match->prec + 1);
+            lhs = makeBinary(match->op, std::move(lhs), std::move(rhs),
+                             line);
+        }
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        ExprPtr cond = parseBinary(1);
+        if (acceptPunct("?")) {
+            size_t line = cur().line;
+            ExprPtr t = parseExpr();
+            expectPunct(":");
+            ExprPtr f = parseExpr();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Ternary;
+            e->args.push_back(std::move(cond));
+            e->args.push_back(std::move(t));
+            e->args.push_back(std::move(f));
+            e->line = line;
+            return e;
+        }
+        return cond;
+    }
+
+    // ---------------- lvalues ----------------
+
+    LValue
+    parseLValue()
+    {
+        LValue lv;
+        lv.line = cur().line;
+        if (acceptPunct("{")) {
+            lv.kind = LValue::Kind::Concat;
+            lv.parts.push_back(parseLValue());
+            while (acceptPunct(","))
+                lv.parts.push_back(parseLValue());
+            expectPunct("}");
+            return lv;
+        }
+        lv.name = expectIdent();
+        lv.kind = LValue::Kind::Ident;
+        if (acceptPunct("[")) {
+            ExprPtr first = parseExpr();
+            if (acceptPunct(":")) {
+                ExprPtr second = parseExpr();
+                expectPunct("]");
+                lv.kind = LValue::Kind::PartSelect;
+                lv.msb_expr = std::move(first);
+                lv.lsb_expr = std::move(second);
+            } else {
+                expectPunct("]");
+                lv.kind = LValue::Kind::BitSelect;
+                lv.index = std::move(first);
+            }
+        }
+        return lv;
+    }
+
+    // ---------------- declarations ----------------
+
+    /** Parse an optional [msb:lsb] range. */
+    bool
+    parseRange(std::shared_ptr<Expr> &msb, std::shared_ptr<Expr> &lsb)
+    {
+        if (!acceptPunct("["))
+            return false;
+        msb = std::shared_ptr<Expr>(parseExpr().release());
+        expectPunct(":");
+        lsb = std::shared_ptr<Expr>(parseExpr().release());
+        expectPunct("]");
+        return true;
+    }
+
+    // ---------------- statements ----------------
+
+    StmtPtr
+    parseStmt()
+    {
+        auto s = std::make_unique<Stmt>();
+        s->line = cur().line;
+        if (acceptKeyword("begin")) {
+            s->kind = Stmt::Kind::Block;
+            while (!acceptKeyword("end"))
+                s->body.push_back(parseStmt());
+            return s;
+        }
+        if (acceptKeyword("if")) {
+            s->kind = Stmt::Kind::If;
+            expectPunct("(");
+            s->cond = parseExpr();
+            expectPunct(")");
+            s->body.push_back(parseStmt());
+            if (acceptKeyword("else"))
+                s->else_body.push_back(parseStmt());
+            return s;
+        }
+        if (acceptKeyword("case")) {
+            s->kind = Stmt::Kind::Case;
+            expectPunct("(");
+            s->cond = parseExpr();
+            expectPunct(")");
+            while (!acceptKeyword("endcase")) {
+                Stmt::CaseItem item;
+                if (acceptKeyword("default")) {
+                    acceptPunct(":");
+                } else {
+                    item.labels.push_back(parseExpr());
+                    while (acceptPunct(","))
+                        item.labels.push_back(parseExpr());
+                    expectPunct(":");
+                }
+                item.body = parseStmt();
+                s->case_items.push_back(std::move(item));
+            }
+            return s;
+        }
+        if (acceptKeyword("for")) {
+            // for (i = init; cond; i = step) body — bounds must be
+            // elaboration-time constants; the loop is fully unrolled.
+            s->kind = Stmt::Kind::For;
+            expectPunct("(");
+            s->loop_var = expectIdent();
+            expectPunct("=");
+            s->rhs = parseExpr();
+            expectPunct(";");
+            s->cond = parseExpr();
+            expectPunct(";");
+            std::string step_var = expectIdent();
+            if (step_var != s->loop_var)
+                fail("for-loop step must assign the loop variable");
+            expectPunct("=");
+            s->step_rhs = parseExpr();
+            expectPunct(")");
+            s->body.push_back(parseStmt());
+            return s;
+        }
+        // Assignment.
+        s->kind = Stmt::Kind::Assign;
+        s->lhs = parseLValue();
+        if (acceptPunct("<=")) {
+            s->nonblocking = true;
+        } else {
+            expectPunct("=");
+            s->nonblocking = false;
+        }
+        s->rhs = parseExpr();
+        expectPunct(";");
+        return s;
+    }
+
+    Function
+    parseFunction()
+    {
+        Function fn;
+        fn.line = cur().line;
+        parseRange(fn.msb_expr, fn.lsb_expr);
+        fn.name = expectIdent();
+        expectPunct(";");
+        // Declarations, then a single body statement.
+        while (true) {
+            bool in = acceptKeyword("input");
+            bool reg = !in && acceptKeyword("reg");
+            bool integer = !in && !reg &&
+                (acceptKeyword("integer") || acceptKeyword("genvar"));
+            if (!in && !reg && !integer)
+                break;
+            SignalDecl d;
+            d.is_input = in;
+            d.is_reg = reg;
+            d.is_integer = integer;
+            d.line = cur().line;
+            if (!integer)
+                parseRange(d.msb_expr, d.lsb_expr);
+            while (true) {
+                d.name = expectIdent();
+                fn.decls.push_back(d);
+                if (!acceptPunct(","))
+                    break;
+            }
+            expectPunct(";");
+        }
+        fn.body = parseStmt();
+        expectKeyword("endfunction");
+        return fn;
+    }
+
+    // ---------------- module items ----------------
+
+    void
+    parseSignalDecl(Module &m, bool is_input, bool is_output, bool is_reg,
+                    bool ansi_port)
+    {
+        // Caller consumed the leading keyword(s).
+        SignalDecl d;
+        d.is_input = is_input;
+        d.is_output = is_output;
+        d.is_reg = is_reg;
+        d.line = cur().line;
+        parseRange(d.msb_expr, d.lsb_expr);
+        while (true) {
+            d.name = expectIdent();
+            // Merge with an earlier declaration of the same name
+            // (e.g. "output c;" followed by "reg c;").
+            bool merged = false;
+            for (auto &prev : m.decls) {
+                if (prev.name == d.name) {
+                    prev.is_input |= d.is_input;
+                    prev.is_output |= d.is_output;
+                    prev.is_reg |= d.is_reg;
+                    if (d.msb_expr) {
+                        prev.msb_expr = d.msb_expr;
+                        prev.lsb_expr = d.lsb_expr;
+                    }
+                    merged = true;
+                    break;
+                }
+            }
+            if (!merged)
+                m.decls.push_back(d);
+            if (ansi_port) {
+                m.port_order.push_back(d.name);
+                return; // one signal per ANSI port entry
+            }
+            // "wire x = expr;" shorthand.
+            if (cur().isPunct("=")) {
+                next();
+                ContAssign ca;
+                ca.line = d.line;
+                ca.lhs.kind = LValue::Kind::Ident;
+                ca.lhs.name = d.name;
+                ca.rhs = parseExpr();
+                m.assigns.push_back(std::move(ca));
+            }
+            if (!acceptPunct(","))
+                break;
+        }
+        expectPunct(";");
+    }
+
+    void
+    parsePortList(Module &m)
+    {
+        if (!acceptPunct("("))
+            return;
+        if (acceptPunct(")"))
+            return;
+        // ANSI style if the first token is a direction keyword.
+        if (cur().isIdent("input") || cur().isIdent("output") ||
+            cur().isIdent("inout")) {
+            while (true) {
+                bool in = acceptKeyword("input");
+                bool out = !in && acceptKeyword("output");
+                if (!in && !out) {
+                    if (acceptKeyword("inout"))
+                        fail("inout ports are not supported");
+                    fail("expected port direction");
+                }
+                bool reg = acceptKeyword("reg");
+                acceptKeyword("wire");
+                parseSignalDecl(m, in, out, reg, /*ansi_port=*/true);
+                if (!acceptPunct(","))
+                    break;
+            }
+            expectPunct(")");
+        } else {
+            while (true) {
+                m.port_order.push_back(expectIdent());
+                if (!acceptPunct(","))
+                    break;
+            }
+            expectPunct(")");
+        }
+    }
+
+    void
+    parseParameter(Module &m)
+    {
+        // "parameter [range] NAME = expr {, NAME = expr};"
+        std::shared_ptr<Expr> msb, lsb;
+        parseRange(msb, lsb);
+        while (true) {
+            Parameter p;
+            p.name = expectIdent();
+            expectPunct("=");
+            p.value = parseExpr();
+            m.parameters.push_back(std::move(p));
+            if (!acceptPunct(","))
+                break;
+        }
+        expectPunct(";");
+    }
+
+    AlwaysBlock
+    parseAlways()
+    {
+        AlwaysBlock ab;
+        ab.line = cur().line;
+        expectPunct("@");
+        if (acceptPunct("*")) {
+            ab.clocked = false;
+        } else {
+            expectPunct("(");
+            if (acceptPunct("*")) {
+                ab.clocked = false;
+            } else if (acceptKeyword("posedge")) {
+                ab.clocked = true;
+                ab.posedge = true;
+                ab.clock = expectIdent();
+            } else if (acceptKeyword("negedge")) {
+                ab.clocked = true;
+                ab.posedge = false;
+                ab.clock = expectIdent();
+            } else {
+                // Plain sensitivity list: treat as combinational.
+                ab.clocked = false;
+                expectIdent();
+                while (acceptPunct(",") || acceptKeyword("or"))
+                    expectIdent();
+            }
+            expectPunct(")");
+        }
+        ab.body = parseStmt();
+        return ab;
+    }
+
+    Instance
+    parseInstance(std::string module_name)
+    {
+        Instance inst;
+        inst.module_name = std::move(module_name);
+        inst.line = cur().line;
+        if (acceptPunct("#")) {
+            expectPunct("(");
+            if (!cur().isPunct(")")) {
+                while (true) {
+                    std::pair<std::string, ExprPtr> ov;
+                    if (acceptPunct(".")) {
+                        ov.first = expectIdent();
+                        expectPunct("(");
+                        ov.second = parseExpr();
+                        expectPunct(")");
+                    } else {
+                        ov.second = parseExpr();
+                    }
+                    inst.param_overrides.push_back(std::move(ov));
+                    if (!acceptPunct(","))
+                        break;
+                }
+            }
+            expectPunct(")");
+        }
+        inst.inst_name = expectIdent();
+        expectPunct("(");
+        if (!cur().isPunct(")")) {
+            while (true) {
+                PortConn conn;
+                if (acceptPunct(".")) {
+                    conn.port = expectIdent();
+                    expectPunct("(");
+                    if (!cur().isPunct(")"))
+                        conn.expr = parseExpr();
+                    expectPunct(")");
+                } else {
+                    conn.expr = parseExpr();
+                }
+                inst.conns.push_back(std::move(conn));
+                if (!acceptPunct(","))
+                    break;
+            }
+        }
+        expectPunct(")");
+        expectPunct(";");
+        return inst;
+    }
+
+    GenerateFor
+    parseGenerateFor()
+    {
+        // for (g = init; cond; g = step) begin [: label] items end
+        GenerateFor gf;
+        gf.line = cur().line;
+        expectKeyword("for");
+        expectPunct("(");
+        gf.genvar = expectIdent();
+        expectPunct("=");
+        gf.init = parseExpr();
+        expectPunct(";");
+        gf.cond = parseExpr();
+        expectPunct(";");
+        std::string step_var = expectIdent();
+        if (step_var != gf.genvar)
+            fail("generate-for step must assign the genvar");
+        expectPunct("=");
+        gf.step_rhs = parseExpr();
+        expectPunct(")");
+        expectKeyword("begin");
+        if (acceptPunct(":"))
+            gf.label = expectIdent();
+        while (!acceptKeyword("end")) {
+            if (acceptKeyword("assign")) {
+                ContAssign ca;
+                ca.line = cur().line;
+                ca.lhs = parseLValue();
+                expectPunct("=");
+                ca.rhs = parseExpr();
+                expectPunct(";");
+                gf.assigns.push_back(std::move(ca));
+            } else if (cur().is(TokKind::Ident) &&
+                       !isKeyword(cur().text)) {
+                std::string name = expectIdent();
+                gf.instances.push_back(parseInstance(std::move(name)));
+            } else {
+                fail("generate-for bodies support assigns and "
+                     "instances");
+            }
+        }
+        return gf;
+    }
+
+    Module
+    parseModule()
+    {
+        Module m;
+        m.line = cur().line;
+        m.name = expectIdent();
+        if (cur().isPunct("#")) {
+            next();
+            expectPunct("(");
+            while (true) {
+                acceptKeyword("parameter");
+                Parameter p;
+                p.name = expectIdent();
+                expectPunct("=");
+                p.value = parseExpr();
+                m.parameters.push_back(std::move(p));
+                if (!acceptPunct(","))
+                    break;
+            }
+            expectPunct(")");
+        }
+        parsePortList(m);
+        expectPunct(";");
+
+        while (!acceptKeyword("endmodule")) {
+            if (acceptKeyword("input")) {
+                bool reg = acceptKeyword("reg");
+                acceptKeyword("wire");
+                parseSignalDecl(m, true, false, reg, false);
+            } else if (acceptKeyword("output")) {
+                bool reg = acceptKeyword("reg");
+                acceptKeyword("wire");
+                parseSignalDecl(m, false, true, reg, false);
+            } else if (acceptKeyword("wire")) {
+                parseSignalDecl(m, false, false, false, false);
+            } else if (acceptKeyword("reg")) {
+                parseSignalDecl(m, false, false, true, false);
+            } else if (acceptKeyword("integer") ||
+                       acceptKeyword("genvar")) {
+                // Elaboration-time loop variables.
+                while (true) {
+                    SignalDecl d;
+                    d.is_integer = true;
+                    d.line = cur().line;
+                    d.name = expectIdent();
+                    m.decls.push_back(std::move(d));
+                    if (!acceptPunct(","))
+                        break;
+                }
+                expectPunct(";");
+            } else if (acceptKeyword("function")) {
+                m.functions.push_back(parseFunction());
+            } else if (acceptKeyword("generate")) {
+                while (!acceptKeyword("endgenerate"))
+                    m.gen_fors.push_back(parseGenerateFor());
+            } else if (acceptKeyword("parameter") ||
+                       acceptKeyword("localparam")) {
+                parseParameter(m);
+            } else if (acceptKeyword("assign")) {
+                ContAssign ca;
+                ca.line = cur().line;
+                ca.lhs = parseLValue();
+                expectPunct("=");
+                ca.rhs = parseExpr();
+                expectPunct(";");
+                m.assigns.push_back(std::move(ca));
+            } else if (acceptKeyword("always")) {
+                m.always.push_back(parseAlways());
+            } else if (cur().is(TokKind::Ident) &&
+                       !isKeyword(cur().text)) {
+                std::string name = expectIdent();
+                m.instances.push_back(parseInstance(std::move(name)));
+            } else {
+                fail("unexpected token in module body");
+            }
+        }
+        return m;
+    }
+};
+
+} // namespace
+
+Design
+parse(const std::string &source)
+{
+    return Parser(source).run();
+}
+
+} // namespace qac::verilog

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Recursive-descent parser for the QAC Verilog subset.
+ */
+
+#ifndef QAC_VERILOG_PARSER_H
+#define QAC_VERILOG_PARSER_H
+
+#include <string>
+
+#include "qac/verilog/ast.h"
+
+namespace qac::verilog {
+
+/** Parse @p source into a Design. Throws FatalError on syntax errors. */
+Design parse(const std::string &source);
+
+} // namespace qac::verilog
+
+#endif // QAC_VERILOG_PARSER_H

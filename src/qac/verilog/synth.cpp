@@ -1,0 +1,1475 @@
+#include "qac/verilog/synth.h"
+
+#include <algorithm>
+#include <set>
+
+#include "qac/util/logging.h"
+#include "qac/verilog/parser.h"
+
+namespace qac::verilog {
+
+namespace {
+
+using cells::GateType;
+using netlist::kConst0;
+using netlist::kConst1;
+using netlist::NetId;
+
+constexpr NetId kUndef = ~NetId{0};
+
+using BitVec = std::vector<NetId>;
+
+class Synth
+{
+  public:
+    Synth(const Design &design, const SynthOptions &opts)
+        : design_(design), opts_(opts)
+    {}
+
+    netlist::Netlist
+    run(const std::string &top)
+    {
+        const Module *mod = design_.findModule(top);
+        if (!mod)
+            fatal("no module named '%s'", top.c_str());
+        nl_.setName(top);
+
+        Scope scope;
+        scope.elab = elaborate(*mod, opts_.top_params);
+        scope.prefix = "";
+        allocateSignals(scope);
+
+        // Expose the top module's ports.
+        for (const auto &pname : mod->port_order) {
+            const ElabSignal *sig = scope.elab.find(pname);
+            if (!sig)
+                fatal("module %s lists undeclared port '%s'",
+                      top.c_str(), pname.c_str());
+            if (!sig->is_input && !sig->is_output)
+                fatal("port '%s' has no direction", pname.c_str());
+            nl_.addPortOver(pname,
+                            sig->is_input ? netlist::PortDir::Input
+                                          : netlist::PortDir::Output,
+                            scope.sig.at(pname));
+        }
+
+        synthBody(scope);
+        nl_.check();
+        return std::move(nl_);
+    }
+
+  private:
+    struct Scope
+    {
+        ElabModule elab;
+        std::string prefix;
+        std::map<std::string, BitVec> sig;
+    };
+
+    const Design &design_;
+    const SynthOptions &opts_;
+    netlist::Netlist nl_;
+    size_t call_depth_ = 0;
+
+    // ---------------- gate helpers (with local constant folding) ------
+
+    NetId
+    mkNot(NetId a)
+    {
+        if (a == kConst0)
+            return kConst1;
+        if (a == kConst1)
+            return kConst0;
+        NetId y = nl_.newNet();
+        nl_.addGate(GateType::NOT, {a}, y);
+        return y;
+    }
+
+    NetId
+    mkAnd(NetId a, NetId b)
+    {
+        if (a == kConst0 || b == kConst0)
+            return kConst0;
+        if (a == kConst1)
+            return b;
+        if (b == kConst1 || a == b)
+            return a;
+        NetId y = nl_.newNet();
+        nl_.addGate(GateType::AND, {a, b}, y);
+        return y;
+    }
+
+    NetId
+    mkOr(NetId a, NetId b)
+    {
+        if (a == kConst1 || b == kConst1)
+            return kConst1;
+        if (a == kConst0)
+            return b;
+        if (b == kConst0 || a == b)
+            return a;
+        NetId y = nl_.newNet();
+        nl_.addGate(GateType::OR, {a, b}, y);
+        return y;
+    }
+
+    NetId
+    mkXor(NetId a, NetId b)
+    {
+        if (a == b)
+            return kConst0;
+        if (a == kConst0)
+            return b;
+        if (b == kConst0)
+            return a;
+        if (a == kConst1)
+            return mkNot(b);
+        if (b == kConst1)
+            return mkNot(a);
+        NetId y = nl_.newNet();
+        nl_.addGate(GateType::XOR, {a, b}, y);
+        return y;
+    }
+
+    /** Y = s ? t : f  (gate ports: A = f, B = t, S = s). */
+    NetId
+    mkMux(NetId f, NetId t, NetId s)
+    {
+        if (s == kConst0)
+            return f;
+        if (s == kConst1)
+            return t;
+        if (f == t)
+            return f;
+        if (f == kConst0 && t == kConst1)
+            return s;
+        if (f == kConst1 && t == kConst0)
+            return mkNot(s);
+        if (f == kConst0)
+            return mkAnd(t, s);
+        if (t == kConst1)
+            return mkOr(f, s);
+        NetId y = nl_.newNet();
+        nl_.addGate(GateType::MUX, {f, t, s}, y);
+        return y;
+    }
+
+    // ---------------- bit-vector helpers ----------------
+
+    static NetId
+    constBit(bool b)
+    {
+        return b ? kConst1 : kConst0;
+    }
+
+    BitVec
+    constBits(uint64_t value, size_t w)
+    {
+        BitVec v(w);
+        for (size_t i = 0; i < w; ++i)
+            v[i] = constBit(i < 64 && ((value >> i) & 1));
+        return v;
+    }
+
+    /** Zero-extend or truncate to width @p w. */
+    static BitVec
+    extend(BitVec v, size_t w)
+    {
+        v.resize(w, kConst0);
+        return v;
+    }
+
+    NetId
+    reduceTree(const BitVec &v, NetId (Synth::*op)(NetId, NetId),
+               NetId empty)
+    {
+        if (v.empty())
+            return empty;
+        BitVec layer = v;
+        while (layer.size() > 1) {
+            BitVec next;
+            for (size_t i = 0; i + 1 < layer.size(); i += 2)
+                next.push_back((this->*op)(layer[i], layer[i + 1]));
+            if (layer.size() % 2)
+                next.push_back(layer.back());
+            layer = std::move(next);
+        }
+        return layer[0];
+    }
+
+    NetId orReduce(const BitVec &v)
+    {
+        return reduceTree(v, &Synth::mkOr, kConst0);
+    }
+    NetId andReduce(const BitVec &v)
+    {
+        return reduceTree(v, &Synth::mkAnd, kConst1);
+    }
+    NetId xorReduce(const BitVec &v)
+    {
+        return reduceTree(v, &Synth::mkXor, kConst0);
+    }
+
+    /** Ripple-carry a + b + cin; returns sum, sets @p cout. */
+    BitVec
+    adder(const BitVec &a, const BitVec &b, NetId cin, NetId *cout)
+    {
+        size_t w = a.size();
+        BitVec sum(w);
+        NetId carry = cin;
+        for (size_t i = 0; i < w; ++i) {
+            NetId axb = mkXor(a[i], b[i]);
+            sum[i] = mkXor(axb, carry);
+            // carry' = (a & b) | (carry & (a ^ b))
+            carry = mkOr(mkAnd(a[i], b[i]), mkAnd(carry, axb));
+        }
+        if (cout)
+            *cout = carry;
+        return sum;
+    }
+
+    /** a - b (two's complement); *no_borrow set to (a >= b) unsigned. */
+    BitVec
+    subtractor(const BitVec &a, const BitVec &b, NetId *no_borrow)
+    {
+        BitVec nb(b.size());
+        for (size_t i = 0; i < b.size(); ++i)
+            nb[i] = mkNot(b[i]);
+        return adder(a, nb, kConst1, no_borrow);
+    }
+
+    /** Shift-and-add array multiplier, result truncated to a's width. */
+    BitVec
+    multiplier(const BitVec &a, const BitVec &b)
+    {
+        size_t w = a.size();
+        BitVec acc = constBits(0, w);
+        for (size_t i = 0; i < w; ++i) {
+            // Partial product: (a << i) & b[i], truncated at w.
+            BitVec pp(w, kConst0);
+            for (size_t j = 0; i + j < w; ++j)
+                pp[i + j] = mkAnd(a[j], b[i]);
+            acc = adder(acc, pp, kConst0, nullptr);
+        }
+        return acc;
+    }
+
+    /** Restoring divider; quotient returned, remainder via @p rem_out. */
+    BitVec
+    divider(const BitVec &a, const BitVec &b, BitVec *rem_out)
+    {
+        size_t w = a.size();
+        BitVec quot(w, kConst0);
+        BitVec rem = constBits(0, w);
+        for (size_t step = 0; step < w; ++step) {
+            size_t i = w - 1 - step;
+            // rem = (rem << 1) | a[i]
+            rem.insert(rem.begin(), a[i]);
+            rem.resize(w);
+            NetId ge;
+            BitVec diff = subtractor(rem, b, &ge);
+            quot[i] = ge;
+            for (size_t k = 0; k < w; ++k)
+                rem[k] = mkMux(rem[k], diff[k], ge);
+        }
+        if (rem_out)
+            *rem_out = rem;
+        return quot;
+    }
+
+    /** Equality of two equal-width vectors. */
+    NetId
+    equal(const BitVec &a, const BitVec &b)
+    {
+        BitVec eqs(a.size());
+        for (size_t i = 0; i < a.size(); ++i)
+            eqs[i] = mkNot(mkXor(a[i], b[i]));
+        return andReduce(eqs);
+    }
+
+    /** a < b, unsigned. */
+    NetId
+    less(const BitVec &a, const BitVec &b)
+    {
+        NetId ge;
+        subtractor(a, b, &ge);
+        return mkNot(ge);
+    }
+
+    /** Barrel shifter; @p left selects direction. Amount is a vector. */
+    BitVec
+    barrelShift(const BitVec &v, const BitVec &amt, bool left)
+    {
+        BitVec cur = v;
+        size_t w = v.size();
+        // Stages for each shift-amount bit that can matter.
+        for (size_t s = 0; s < amt.size(); ++s) {
+            size_t dist = size_t{1} << std::min<size_t>(s, 63);
+            if (dist >= w) {
+                // Shifting by this much clears the vector when the bit
+                // is set.
+                NetId any = amt[s];
+                for (size_t i = 0; i < w; ++i)
+                    cur[i] = mkMux(cur[i], kConst0, any);
+                continue;
+            }
+            BitVec shifted(w, kConst0);
+            for (size_t i = 0; i < w; ++i) {
+                if (left) {
+                    if (i >= dist)
+                        shifted[i] = cur[i - dist];
+                } else {
+                    if (i + dist < w)
+                        shifted[i] = cur[i + dist];
+                }
+            }
+            for (size_t i = 0; i < w; ++i)
+                cur[i] = mkMux(cur[i], shifted[i], amt[s]);
+        }
+        return cur;
+    }
+
+    // ---------------- widths ----------------
+
+    size_t
+    selfWidth(const Expr &e, Scope &scope)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return e.width > 0 ? static_cast<size_t>(e.width) : 32;
+          case Expr::Kind::Ident: {
+            if (scope.elab.params.count(e.name))
+                return 32;
+            return signal(scope, e.name, e.line).width();
+          }
+          case Expr::Kind::Unary:
+            switch (e.uop) {
+              case UnaryOp::BitNot:
+              case UnaryOp::Neg:
+              case UnaryOp::Plus:
+                return selfWidth(*e.args[0], scope);
+              default:
+                return 1;
+            }
+          case Expr::Kind::Binary:
+            switch (e.bop) {
+              case BinaryOp::Add:
+              case BinaryOp::Sub:
+              case BinaryOp::Mul:
+              case BinaryOp::Div:
+              case BinaryOp::Mod:
+              case BinaryOp::BitAnd:
+              case BinaryOp::BitOr:
+              case BinaryOp::BitXor:
+              case BinaryOp::BitXnor:
+                return std::max(selfWidth(*e.args[0], scope),
+                                selfWidth(*e.args[1], scope));
+              case BinaryOp::Shl:
+              case BinaryOp::Shr:
+                return selfWidth(*e.args[0], scope);
+              default:
+                return 1;
+            }
+          case Expr::Kind::Ternary:
+            return std::max(selfWidth(*e.args[1], scope),
+                            selfWidth(*e.args[2], scope));
+          case Expr::Kind::BitSelect:
+            return 1;
+          case Expr::Kind::PartSelect: {
+            const ElabSignal &s = signal(scope, e.name, e.line);
+            int a = static_cast<int>(
+                evalConst(*e.msb_expr, scope.elab.params));
+            int b = static_cast<int>(
+                evalConst(*e.lsb_expr, scope.elab.params));
+            auto [lo, hi] = selectPositions(s, a, b, e.line);
+            return hi - lo + 1;
+          }
+          case Expr::Kind::Concat: {
+            size_t w = 0;
+            for (const auto &a : e.args)
+                w += selfWidth(*a, scope);
+            return w;
+          }
+          case Expr::Kind::Repl: {
+            size_t w = 0;
+            for (const auto &a : e.args)
+                w += selfWidth(*a, scope);
+            return w * evalConst(*e.count_expr, scope.elab.params);
+          }
+          case Expr::Kind::Call: {
+            const Function *fn = scope.elab.ast->findFunction(e.name);
+            if (!fn)
+                fatal("line %zu: no function named '%s'", e.line,
+                      e.name.c_str());
+            if (!fn->msb_expr)
+                return 1;
+            int a = static_cast<int>(
+                evalConst(*fn->msb_expr, scope.elab.params));
+            int b = static_cast<int>(
+                evalConst(*fn->lsb_expr, scope.elab.params));
+            return static_cast<size_t>(a >= b ? a - b + 1 : b - a + 1);
+          }
+        }
+        panic("selfWidth: bad expr kind");
+    }
+
+    // ---------------- signals ----------------
+
+    const ElabSignal &
+    signal(Scope &scope, const std::string &name, size_t line)
+    {
+        const ElabSignal *s = scope.elab.find(name);
+        if (!s)
+            fatal("line %zu: undeclared signal '%s'", line, name.c_str());
+        return *s;
+    }
+
+    /**
+     * Resolve a [a:b] select on @p s into inclusive LSB-first bit
+     * positions (lo, hi).  The select must follow the declared
+     * direction (both the paper's ascending [1:10] and the usual
+     * descending [7:0] forms work).
+     */
+    std::pair<size_t, size_t>
+    selectPositions(const ElabSignal &s, int a, int b, size_t line)
+    {
+        if (!s.contains(a) || !s.contains(b))
+            fatal("line %zu: part-select %s[%d:%d] out of range", line,
+                  s.name.c_str(), a, b);
+        size_t pa = s.bitPos(a);
+        size_t pb = s.bitPos(b);
+        if (pb > pa)
+            fatal("line %zu: part-select %s[%d:%d] reverses the "
+                  "declared direction",
+                  line, s.name.c_str(), a, b);
+        return {pb, pa};
+    }
+
+    void
+    allocateSignals(Scope &scope)
+    {
+        for (const auto &s : scope.elab.signals) {
+            BitVec bits(s.width());
+            for (size_t i = 0; i < bits.size(); ++i) {
+                std::string nm = scope.prefix + s.name;
+                if (s.width() > 1 || s.left != 0 || s.right != 0)
+                    nm += format("[%d]", s.declaredIndex(i));
+                bits[i] = nl_.newNet(nm);
+            }
+            scope.sig.emplace(s.name, std::move(bits));
+        }
+    }
+
+    // ---------------- expression synthesis ----------------
+
+    BitVec
+    synthExpr(const Expr &e, Scope &scope, size_t ctx_width)
+    {
+        const size_t w = std::max(selfWidth(e, scope), ctx_width);
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return constBits(e.value, w);
+          case Expr::Kind::Ident: {
+            auto pit = scope.elab.params.find(e.name);
+            if (pit != scope.elab.params.end())
+                return constBits(pit->second, w);
+            signal(scope, e.name, e.line);
+            return extend(scope.sig.at(e.name), w);
+          }
+          case Expr::Kind::Unary:
+            return synthUnary(e, scope, w);
+          case Expr::Kind::Binary:
+            return synthBinary(e, scope, w);
+          case Expr::Kind::Ternary: {
+            NetId c = toBool(*e.args[0], scope);
+            BitVec t = synthExpr(*e.args[1], scope, w);
+            BitVec f = synthExpr(*e.args[2], scope, w);
+            t = extend(std::move(t), w);
+            f = extend(std::move(f), w);
+            BitVec out(w);
+            for (size_t i = 0; i < w; ++i)
+                out[i] = mkMux(f[i], t[i], c);
+            return out;
+          }
+          case Expr::Kind::BitSelect: {
+            const ElabSignal &s = signal(scope, e.name, e.line);
+            const BitVec &bits = scope.sig.at(e.name);
+            auto cidx = tryEvalConst(*e.args[0], scope.elab.params);
+            if (cidx) {
+                int idx = static_cast<int>(*cidx);
+                if (!s.contains(idx))
+                    fatal("line %zu: bit-select %s[%d] out of range",
+                          e.line, e.name.c_str(), idx);
+                return extend({bits[s.bitPos(idx)]}, w);
+            }
+            // Variable index: (sig >> bitPos(idx))[0].
+            BitVec idx = synthExpr(*e.args[0], scope, 0);
+            if (s.descending()) {
+                if (s.right != 0)
+                    idx = subtractor(
+                        idx,
+                        constBits(static_cast<uint64_t>(s.right),
+                                  idx.size()),
+                        nullptr);
+            } else {
+                idx = subtractor(
+                    constBits(static_cast<uint64_t>(s.right),
+                              idx.size()),
+                    idx, nullptr);
+            }
+            BitVec shifted = barrelShift(bits, idx, /*left=*/false);
+            return extend({shifted[0]}, w);
+          }
+          case Expr::Kind::PartSelect: {
+            const ElabSignal &s = signal(scope, e.name, e.line);
+            const BitVec &bits = scope.sig.at(e.name);
+            int a = static_cast<int>(
+                evalConst(*e.msb_expr, scope.elab.params));
+            int b = static_cast<int>(
+                evalConst(*e.lsb_expr, scope.elab.params));
+            auto [lo, hi] = selectPositions(s, a, b, e.line);
+            BitVec out;
+            for (size_t i = lo; i <= hi; ++i)
+                out.push_back(bits[i]);
+            return extend(std::move(out), w);
+          }
+          case Expr::Kind::Concat: {
+            // args[0] is most significant.
+            BitVec out;
+            for (size_t k = e.args.size(); k-- > 0;) {
+                BitVec part =
+                    synthExpr(*e.args[k], scope,
+                              selfWidth(*e.args[k], scope));
+                part.resize(selfWidth(*e.args[k], scope), kConst0);
+                out.insert(out.end(), part.begin(), part.end());
+            }
+            return extend(std::move(out), w);
+          }
+          case Expr::Kind::Repl: {
+            uint64_t n = evalConst(*e.count_expr, scope.elab.params);
+            BitVec unit;
+            for (size_t k = e.args.size(); k-- > 0;) {
+                size_t pw = selfWidth(*e.args[k], scope);
+                BitVec part = synthExpr(*e.args[k], scope, pw);
+                part.resize(pw, kConst0);
+                unit.insert(unit.end(), part.begin(), part.end());
+            }
+            BitVec out;
+            for (uint64_t r = 0; r < n; ++r)
+                out.insert(out.end(), unit.begin(), unit.end());
+            return extend(std::move(out), w);
+          }
+          case Expr::Kind::Call:
+            return extend(synthCall(e, scope), w);
+        }
+        panic("synthExpr: bad expr kind");
+    }
+
+    /** Evaluate an expression as a single Boolean (nonzero test). */
+    NetId
+    toBool(const Expr &e, Scope &scope)
+    {
+        BitVec v = synthExpr(e, scope, selfWidth(e, scope));
+        return orReduce(v);
+    }
+
+    /**
+     * Inline a Verilog function call: allocate nets for the inputs,
+     * locals, and the return variable (which shares the function's
+     * name), drive the inputs from the actuals, execute the body
+     * symbolically, and return the final value of the return variable.
+     */
+    BitVec
+    synthCall(const Expr &e, Scope &scope)
+    {
+        const Function *fn = scope.elab.ast->findFunction(e.name);
+        if (!fn)
+            fatal("line %zu: no function named '%s'", e.line,
+                  e.name.c_str());
+        if (++call_depth_ > 16)
+            fatal("line %zu: function recursion is not supported "
+                  "(calling '%s')",
+                  e.line, e.name.c_str());
+
+        // Build the function's scope: its decls plus the return var.
+        // Ranges may reference the caller's parameters, so resolve
+        // against the caller's environment.
+        Scope fs;
+        fs.elab.ast = scope.elab.ast;
+        fs.elab.params = scope.elab.params;
+        auto add_sig = [&](const std::string &name, bool is_input,
+                           bool is_reg,
+                           const std::shared_ptr<Expr> &msb,
+                           const std::shared_ptr<Expr> &lsb) {
+            ElabSignal s;
+            s.name = name;
+            s.is_input = is_input;
+            s.is_reg = is_reg;
+            if (msb) {
+                s.left = static_cast<int>(
+                    evalConst(*msb, fs.elab.params));
+                s.right = static_cast<int>(
+                    evalConst(*lsb, fs.elab.params));
+            }
+            fs.elab.signals.push_back(s);
+        };
+        add_sig(fn->name, false, true, fn->msb_expr, fn->lsb_expr);
+        for (const auto &d : fn->decls)
+            if (!d.is_integer)
+                add_sig(d.name, d.is_input, d.is_reg, d.msb_expr,
+                        d.lsb_expr);
+        fs.prefix = scope.prefix + "$" + fn->name + ".";
+        allocateSignals(fs);
+
+        // Bind actuals to inputs, in declaration order.
+        std::vector<const SignalDecl *> inputs;
+        for (const auto &d : fn->decls)
+            if (d.is_input)
+                inputs.push_back(&d);
+        if (inputs.size() != e.args.size())
+            fatal("line %zu: function '%s' takes %zu arguments, got "
+                  "%zu",
+                  e.line, e.name.c_str(), inputs.size(), e.args.size());
+        for (size_t k = 0; k < inputs.size(); ++k) {
+            const BitVec &target = fs.sig.at(inputs[k]->name);
+            BitVec actual =
+                synthExpr(*e.args[k], scope, target.size());
+            drive(target, actual);
+        }
+
+        // Execute the body; the return variable must end up fully
+        // assigned (functions are combinational).
+        EnvPair envs;
+        envs.cur[fn->name] =
+            BitVec(fs.sig.at(fn->name).size(), kUndef);
+        execStmt(*fn->body, fs, envs);
+        Env env = finalEnv(std::move(envs));
+        auto it = env.find(fn->name);
+        if (it == env.end())
+            fatal("line %zu: function '%s' never assigns its return "
+                  "value",
+                  e.line, e.name.c_str());
+        for (NetId b : it->second)
+            if (b == kUndef)
+                fatal("line %zu: function '%s' leaves part of its "
+                      "return value unassigned",
+                      e.line, e.name.c_str());
+        --call_depth_;
+        return it->second;
+    }
+
+    BitVec
+    synthUnary(const Expr &e, Scope &scope, size_t w)
+    {
+        const Expr &arg = *e.args[0];
+        switch (e.uop) {
+          case UnaryOp::BitNot: {
+            BitVec a = synthExpr(arg, scope, w);
+            for (auto &bit : a)
+                bit = mkNot(bit);
+            return extend(std::move(a), w);
+          }
+          case UnaryOp::Neg: {
+            BitVec a = synthExpr(arg, scope, w);
+            a = extend(std::move(a), w);
+            for (auto &bit : a)
+                bit = mkNot(bit);
+            return adder(a, constBits(1, w), kConst0, nullptr);
+          }
+          case UnaryOp::Plus:
+            return extend(synthExpr(arg, scope, w), w);
+          case UnaryOp::LogNot:
+            return extend({mkNot(toBool(arg, scope))}, w);
+          case UnaryOp::RedAnd:
+          case UnaryOp::RedOr:
+          case UnaryOp::RedXor:
+          case UnaryOp::RedNand:
+          case UnaryOp::RedNor:
+          case UnaryOp::RedXnor: {
+            BitVec a = synthExpr(arg, scope, selfWidth(arg, scope));
+            NetId r;
+            switch (e.uop) {
+              case UnaryOp::RedAnd:
+              case UnaryOp::RedNand:
+                r = andReduce(a);
+                break;
+              case UnaryOp::RedOr:
+              case UnaryOp::RedNor:
+                r = orReduce(a);
+                break;
+              default:
+                r = xorReduce(a);
+                break;
+            }
+            if (e.uop == UnaryOp::RedNand || e.uop == UnaryOp::RedNor ||
+                e.uop == UnaryOp::RedXnor)
+                r = mkNot(r);
+            return extend({r}, w);
+          }
+        }
+        panic("synthUnary: bad op");
+    }
+
+    BitVec
+    synthBinary(const Expr &e, Scope &scope, size_t w)
+    {
+        const Expr &l = *e.args[0];
+        const Expr &r = *e.args[1];
+        switch (e.bop) {
+          case BinaryOp::Add: {
+            BitVec a = extend(synthExpr(l, scope, w), w);
+            BitVec b = extend(synthExpr(r, scope, w), w);
+            return adder(a, b, kConst0, nullptr);
+          }
+          case BinaryOp::Sub: {
+            BitVec a = extend(synthExpr(l, scope, w), w);
+            BitVec b = extend(synthExpr(r, scope, w), w);
+            return subtractor(a, b, nullptr);
+          }
+          case BinaryOp::Mul: {
+            BitVec a = extend(synthExpr(l, scope, w), w);
+            BitVec b = extend(synthExpr(r, scope, w), w);
+            return multiplier(a, b);
+          }
+          case BinaryOp::Div: {
+            BitVec a = extend(synthExpr(l, scope, w), w);
+            BitVec b = extend(synthExpr(r, scope, w), w);
+            return divider(a, b, nullptr);
+          }
+          case BinaryOp::Mod: {
+            BitVec a = extend(synthExpr(l, scope, w), w);
+            BitVec b = extend(synthExpr(r, scope, w), w);
+            BitVec rem;
+            divider(a, b, &rem);
+            return rem;
+          }
+          case BinaryOp::BitAnd:
+          case BinaryOp::BitOr:
+          case BinaryOp::BitXor:
+          case BinaryOp::BitXnor: {
+            BitVec a = extend(synthExpr(l, scope, w), w);
+            BitVec b = extend(synthExpr(r, scope, w), w);
+            BitVec out(w);
+            for (size_t i = 0; i < w; ++i) {
+                switch (e.bop) {
+                  case BinaryOp::BitAnd:
+                    out[i] = mkAnd(a[i], b[i]);
+                    break;
+                  case BinaryOp::BitOr:
+                    out[i] = mkOr(a[i], b[i]);
+                    break;
+                  case BinaryOp::BitXor:
+                    out[i] = mkXor(a[i], b[i]);
+                    break;
+                  default:
+                    out[i] = mkNot(mkXor(a[i], b[i]));
+                    break;
+                }
+            }
+            return out;
+          }
+          case BinaryOp::LogAnd:
+            return extend({mkAnd(toBool(l, scope), toBool(r, scope))}, w);
+          case BinaryOp::LogOr:
+            return extend({mkOr(toBool(l, scope), toBool(r, scope))}, w);
+          case BinaryOp::Eq:
+          case BinaryOp::Ne:
+          case BinaryOp::Lt:
+          case BinaryOp::Le:
+          case BinaryOp::Gt:
+          case BinaryOp::Ge: {
+            size_t cw = std::max(selfWidth(l, scope),
+                                 selfWidth(r, scope));
+            BitVec a = extend(synthExpr(l, scope, cw), cw);
+            BitVec b = extend(synthExpr(r, scope, cw), cw);
+            NetId bit;
+            switch (e.bop) {
+              case BinaryOp::Eq:
+                bit = equal(a, b);
+                break;
+              case BinaryOp::Ne:
+                bit = mkNot(equal(a, b));
+                break;
+              case BinaryOp::Lt:
+                bit = less(a, b);
+                break;
+              case BinaryOp::Ge:
+                bit = mkNot(less(a, b));
+                break;
+              case BinaryOp::Gt:
+                bit = less(b, a);
+                break;
+              default: // Le
+                bit = mkNot(less(b, a));
+                break;
+            }
+            return extend({bit}, w);
+          }
+          case BinaryOp::Shl:
+          case BinaryOp::Shr: {
+            BitVec a = extend(synthExpr(l, scope, w), w);
+            auto camt = tryEvalConst(r, scope.elab.params);
+            if (camt) {
+                BitVec out(w, kConst0);
+                for (size_t i = 0; i < w; ++i) {
+                    if (e.bop == BinaryOp::Shl) {
+                        if (i >= *camt && i - *camt < w)
+                            out[i] = a[i - *camt];
+                    } else {
+                        if (i + *camt < w)
+                            out[i] = a[i + *camt];
+                    }
+                }
+                return out;
+            }
+            BitVec amt = synthExpr(r, scope, 0);
+            return barrelShift(a, amt, e.bop == BinaryOp::Shl);
+          }
+          default:
+            break;
+        }
+        panic("synthBinary: bad op");
+    }
+
+    // ---------------- statements / always blocks ----------------
+
+    /** Symbolic environment mapping signal name -> current bit values. */
+    using Env = std::map<std::string, BitVec>;
+
+    /**
+     * Scope wrapper that reads identifiers through an Env overlay, so
+     * blocking assignments are visible to later expressions in the same
+     * always block.
+     */
+    BitVec
+    readSignal(Scope &scope, Env &env, const std::string &name)
+    {
+        auto it = env.find(name);
+        if (it != env.end())
+            return it->second;
+        return scope.sig.at(name);
+    }
+
+    /**
+     * Paired symbolic environments for one always block.
+     *
+     * Verilog semantics: blocking (=) writes are visible to later reads
+     * in the same block; nonblocking (<=) writes land in a shadow
+     * "next" environment that reads never see (so "a <= d; b <= a;"
+     * builds a shift register, not a wire).
+     */
+    struct EnvPair
+    {
+        Env cur;  ///< read view; blocking writes update it
+        Env next; ///< nonblocking writes accumulate here
+    };
+
+    /** Execute a statement tree symbolically. */
+    void
+    execStmt(const Stmt &s, Scope &scope, EnvPair &env)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block:
+            for (const auto &sub : s.body)
+                execStmt(*sub, scope, env);
+            return;
+          case Stmt::Kind::Assign: {
+            // Expose blocking results to expression synthesis by
+            // swapping them into the scope's signal map.
+            BitVec rhs = synthExprWithEnv(*s.rhs, scope, env.cur,
+                                          lvalueWidth(s.lhs, scope));
+            storeEnv(s.lhs, rhs, scope,
+                     s.nonblocking ? env.next : env.cur);
+            return;
+          }
+          case Stmt::Kind::If: {
+            NetId c = toBoolWithEnv(*s.cond, scope, env.cur);
+            EnvPair then_env = env;
+            EnvPair else_env = env;
+            for (const auto &sub : s.body)
+                execStmt(*sub, scope, then_env);
+            for (const auto &sub : s.else_body)
+                execStmt(*sub, scope, else_env);
+            mergeEnv(env.cur, then_env.cur, else_env.cur, c, scope);
+            mergeEnv(env.next, then_env.next, else_env.next, c, scope);
+            return;
+          }
+          case Stmt::Kind::For: {
+            // Fully unroll: the loop variable becomes an
+            // elaboration-time constant (shadowing any outer binding),
+            // visible to widths, selects, and expressions in the body.
+            auto &params = scope.elab.params;
+            auto saved = params.find(s.loop_var);
+            bool had = saved != params.end();
+            uint64_t saved_val = had ? saved->second : 0;
+
+            params[s.loop_var] = evalConst(*s.rhs, params);
+            size_t iters = 0;
+            while (evalConst(*s.cond, params) != 0) {
+                if (++iters > 4096)
+                    fatal("line %zu: for-loop exceeds 4096 iterations "
+                          "(non-constant bound?)",
+                          s.line);
+                for (const auto &sub : s.body)
+                    execStmt(*sub, scope, env);
+                params[s.loop_var] = evalConst(*s.step_rhs, params);
+            }
+            if (had)
+                params[s.loop_var] = saved_val;
+            else
+                params.erase(s.loop_var);
+            return;
+          }
+          case Stmt::Kind::Case: {
+            // Lower to an if-else chain, first match wins.
+            size_t sel_w = selfWidth(*s.cond, scope);
+            BitVec sel = synthExprWithEnv(*s.cond, scope, env.cur,
+                                          sel_w);
+            sel = extend(std::move(sel), sel_w);
+            // Walk items in reverse, building up from the default.
+            EnvPair result = env;
+            for (const auto &item : s.case_items) {
+                if (item.labels.empty()) {
+                    result = env;
+                    execStmt(*item.body, scope, result);
+                }
+            }
+            for (size_t k = s.case_items.size(); k-- > 0;) {
+                const auto &item = s.case_items[k];
+                if (item.labels.empty())
+                    continue;
+                BitVec hits;
+                for (const auto &lab : item.labels) {
+                    BitVec lv = extend(
+                        synthExprWithEnv(*lab, scope, env.cur, sel_w),
+                        sel_w);
+                    hits.push_back(equal(sel, lv));
+                }
+                NetId hit = orReduce(hits);
+                EnvPair item_env = env;
+                execStmt(*item.body, scope, item_env);
+                mergeEnv(result.cur, item_env.cur, result.cur, hit,
+                         scope);
+                mergeEnv(result.next, item_env.next, result.next, hit,
+                         scope);
+            }
+            env = std::move(result);
+            return;
+          }
+        }
+    }
+
+    /**
+     * Collapse an EnvPair into final next-state values: nonblocking
+     * results win over blocking ones for the same signal (they are
+     * applied later in simulation time).
+     */
+    Env
+    finalEnv(EnvPair &&env)
+    {
+        Env out = std::move(env.cur);
+        for (auto &[name, bits] : env.next)
+            out[name] = std::move(bits);
+        return out;
+    }
+
+    /** env-aware expression synthesis: overlay env onto scope.sig. */
+    BitVec
+    synthExprWithEnv(const Expr &e, Scope &scope, Env &env, size_t ctxw)
+    {
+        std::vector<std::pair<std::string, BitVec>> saved;
+        for (auto &[name, bits] : env) {
+            auto it = scope.sig.find(name);
+            saved.emplace_back(name, it->second);
+            it->second = bits;
+        }
+        BitVec out = synthExpr(e, scope, ctxw);
+        for (auto &[name, bits] : saved)
+            scope.sig[name] = std::move(bits);
+        return out;
+    }
+
+    NetId
+    toBoolWithEnv(const Expr &e, Scope &scope, Env &env)
+    {
+        return orReduce(
+            synthExprWithEnv(e, scope, env, selfWidth(e, scope)));
+    }
+
+    /** result = cond ? then_env : else_env (bitwise mux of every signal
+     *  touched by either branch). */
+    void
+    mergeEnv(Env &out, const Env &then_env, const Env &else_env, NetId c,
+             Scope &scope)
+    {
+        std::set<std::string> keys;
+        for (const auto &[k, v] : then_env)
+            keys.insert(k);
+        for (const auto &[k, v] : else_env)
+            keys.insert(k);
+        Env merged;
+        for (const auto &k : keys) {
+            auto ti = then_env.find(k);
+            auto ei = else_env.find(k);
+            const BitVec &base = scope.sig.at(k);
+            BitVec tv = (ti != then_env.end()) ? ti->second : base;
+            BitVec ev = (ei != else_env.end()) ? ei->second : base;
+            BitVec mv(tv.size());
+            for (size_t i = 0; i < tv.size(); ++i) {
+                if (tv[i] == kUndef && ev[i] == kUndef)
+                    mv[i] = kUndef;
+                else if (tv[i] == kUndef || ev[i] == kUndef)
+                    mv[i] = kUndef; // strict: partial assignment = latch
+                else
+                    mv[i] = mkMux(ev[i], tv[i], c);
+            }
+            merged[k] = std::move(mv);
+        }
+        out = std::move(merged);
+    }
+
+    size_t
+    lvalueWidth(const LValue &lv, Scope &scope)
+    {
+        switch (lv.kind) {
+          case LValue::Kind::Ident:
+            return signal(scope, lv.name, lv.line).width();
+          case LValue::Kind::BitSelect:
+            return 1;
+          case LValue::Kind::PartSelect: {
+            const ElabSignal &s = signal(scope, lv.name, lv.line);
+            int a = static_cast<int>(
+                evalConst(*lv.msb_expr, scope.elab.params));
+            int b = static_cast<int>(
+                evalConst(*lv.lsb_expr, scope.elab.params));
+            auto [lo, hi] = selectPositions(s, a, b, lv.line);
+            return hi - lo + 1;
+          }
+          case LValue::Kind::Concat: {
+            size_t w = 0;
+            for (const auto &p : lv.parts)
+                w += lvalueWidth(p, scope);
+            return w;
+          }
+        }
+        panic("lvalueWidth: bad kind");
+    }
+
+    /** Store @p bits into the env slice named by @p lv. */
+    void
+    storeEnv(const LValue &lv, const BitVec &bits, Scope &scope, Env &env)
+    {
+        BitVec value = bits;
+        value.resize(lvalueWidth(lv, scope), kConst0);
+        switch (lv.kind) {
+          case LValue::Kind::Ident: {
+            signal(scope, lv.name, lv.line);
+            env[lv.name] = value;
+            return;
+          }
+          case LValue::Kind::BitSelect: {
+            const ElabSignal &s = signal(scope, lv.name, lv.line);
+            auto idx = tryEvalConst(*lv.index, scope.elab.params);
+            if (!idx)
+                fatal("line %zu: variable bit-select on the left-hand "
+                      "side is not supported",
+                      lv.line);
+            if (!s.contains(static_cast<int>(*idx)))
+                fatal("line %zu: store to %s[%d] out of range", lv.line,
+                      lv.name.c_str(), static_cast<int>(*idx));
+            BitVec cur = currentEnvValue(lv.name, scope, env);
+            cur[s.bitPos(static_cast<int>(*idx))] = value[0];
+            env[lv.name] = std::move(cur);
+            return;
+          }
+          case LValue::Kind::PartSelect: {
+            const ElabSignal &s = signal(scope, lv.name, lv.line);
+            int a = static_cast<int>(
+                evalConst(*lv.msb_expr, scope.elab.params));
+            int b = static_cast<int>(
+                evalConst(*lv.lsb_expr, scope.elab.params));
+            auto [lo, hi] = selectPositions(s, a, b, lv.line);
+            BitVec cur = currentEnvValue(lv.name, scope, env);
+            for (size_t i = lo; i <= hi; ++i)
+                cur[i] = value[i - lo];
+            env[lv.name] = std::move(cur);
+            return;
+          }
+          case LValue::Kind::Concat: {
+            // parts[0] is most significant.
+            size_t pos = 0;
+            for (size_t k = lv.parts.size(); k-- > 0;) {
+                const LValue &part = lv.parts[k];
+                size_t pw = lvalueWidth(part, scope);
+                BitVec slice(value.begin() + static_cast<long>(pos),
+                             value.begin() + static_cast<long>(pos + pw));
+                storeEnv(part, slice, scope, env);
+                pos += pw;
+            }
+            return;
+          }
+        }
+    }
+
+    BitVec
+    currentEnvValue(const std::string &name, Scope &scope, Env &env)
+    {
+        auto it = env.find(name);
+        if (it != env.end())
+            return it->second;
+        return scope.sig.at(name);
+    }
+
+    // ---------------- module body ----------------
+
+    /** Emit BUF gates driving @p target bits from @p source bits. */
+    void
+    drive(const BitVec &target, const BitVec &source)
+    {
+        for (size_t i = 0; i < target.size(); ++i) {
+            NetId src = i < source.size() ? source[i] : kConst0;
+            nl_.addGate(GateType::BUF, {src}, target[i]);
+        }
+    }
+
+    /** Resolve an lvalue to the concrete target nets (LSB first). */
+    BitVec
+    lvalueNets(const LValue &lv, Scope &scope)
+    {
+        switch (lv.kind) {
+          case LValue::Kind::Ident: {
+            signal(scope, lv.name, lv.line);
+            return scope.sig.at(lv.name);
+          }
+          case LValue::Kind::BitSelect: {
+            const ElabSignal &s = signal(scope, lv.name, lv.line);
+            auto idx = tryEvalConst(*lv.index, scope.elab.params);
+            if (!idx)
+                fatal("line %zu: variable bit-select on the left-hand "
+                      "side is not supported",
+                      lv.line);
+            return {scope.sig.at(lv.name)[s.bitPos(
+                static_cast<int>(*idx))]};
+          }
+          case LValue::Kind::PartSelect: {
+            const ElabSignal &s = signal(scope, lv.name, lv.line);
+            int a = static_cast<int>(
+                evalConst(*lv.msb_expr, scope.elab.params));
+            int b = static_cast<int>(
+                evalConst(*lv.lsb_expr, scope.elab.params));
+            auto [lo, hi] = selectPositions(s, a, b, lv.line);
+            BitVec out;
+            for (size_t i = lo; i <= hi; ++i)
+                out.push_back(scope.sig.at(lv.name)[i]);
+            return out;
+          }
+          case LValue::Kind::Concat: {
+            BitVec out;
+            for (size_t k = lv.parts.size(); k-- > 0;) {
+                BitVec part = lvalueNets(lv.parts[k], scope);
+                out.insert(out.end(), part.begin(), part.end());
+            }
+            return out;
+          }
+        }
+        panic("lvalueNets: bad kind");
+    }
+
+    void
+    synthBody(Scope &scope)
+    {
+        const Module &mod = *scope.elab.ast;
+
+        // Continuous assignments.
+        for (const auto &ca : mod.assigns) {
+            BitVec target = lvalueNets(ca.lhs, scope);
+            BitVec rhs = synthExpr(*ca.rhs, scope, target.size());
+            drive(target, rhs);
+        }
+
+        // Always blocks.
+        std::set<std::string> clocked_assigned;
+        for (const auto &ab : mod.always) {
+            EnvPair envs;
+            if (ab.clocked) {
+                // Validate the clock signal exists.
+                signal(scope, ab.clock, ab.line);
+                execStmt(*ab.body, scope, envs);
+                Env env = finalEnv(std::move(envs));
+                for (auto &[name, next] : env) {
+                    const ElabSignal &s = signal(scope, name, ab.line);
+                    if (!s.is_reg)
+                        fatal("clocked assignment to non-reg '%s'",
+                              name.c_str());
+                    if (!clocked_assigned.insert(name).second)
+                        fatal("reg '%s' assigned in multiple always "
+                              "blocks",
+                              name.c_str());
+                    const BitVec &q = scope.sig.at(name);
+                    for (size_t i = 0; i < q.size(); ++i) {
+                        if (next[i] == kUndef)
+                            panic("undef next-state bit for %s",
+                                  name.c_str());
+                        nl_.addGate(ab.posedge ? GateType::DFF_P
+                                               : GateType::DFF_N,
+                                    {next[i]}, q[i]);
+                    }
+                }
+            } else {
+                // Combinational: assigned signals must be fully defined.
+                // Seed assigned signals with undef to detect latches.
+                Env undef_seed;
+                collectAssigned(*ab.body, undef_seed, scope);
+                for (auto &[name, bits] : undef_seed)
+                    envs.cur[name] = BitVec(bits.size(), kUndef);
+                execStmt(*ab.body, scope, envs);
+                Env env = finalEnv(std::move(envs));
+                for (auto &[name, next] : env) {
+                    for (NetId b : next)
+                        if (b == kUndef)
+                            fatal("combinational always block infers a "
+                                  "latch for '%s'",
+                                  name.c_str());
+                    drive(scope.sig.at(name), next);
+                }
+            }
+        }
+
+        // Instances.
+        for (const auto &inst : mod.instances)
+            synthInstance(scope, inst);
+
+        // Generate-for blocks: structural replication with the genvar
+        // bound as an elaboration constant per iteration.
+        for (const auto &gf : mod.gen_fors) {
+            auto &params = scope.elab.params;
+            auto saved = params.find(gf.genvar);
+            bool had = saved != params.end();
+            uint64_t saved_val = had ? saved->second : 0;
+
+            params[gf.genvar] = evalConst(*gf.init, params);
+            size_t iters = 0;
+            while (evalConst(*gf.cond, params) != 0) {
+                if (++iters > 4096)
+                    fatal("line %zu: generate-for exceeds 4096 "
+                          "iterations",
+                          gf.line);
+                uint64_t g = params[gf.genvar];
+                for (const auto &ca : gf.assigns) {
+                    BitVec target = lvalueNets(ca.lhs, scope);
+                    BitVec rhs =
+                        synthExpr(*ca.rhs, scope, target.size());
+                    drive(target, rhs);
+                }
+                for (const auto &inst : gf.instances) {
+                    std::string name =
+                        (gf.label.empty() ? inst.inst_name
+                                          : gf.label + "." +
+                                                inst.inst_name) +
+                        format("[%llu]",
+                               static_cast<unsigned long long>(g));
+                    synthInstance(scope, inst, name);
+                }
+                params[gf.genvar] = evalConst(*gf.step_rhs, params);
+            }
+            if (had)
+                params[gf.genvar] = saved_val;
+            else
+                params.erase(gf.genvar);
+        }
+    }
+
+    /** Collect every signal assigned anywhere in a statement tree. */
+    void
+    collectAssigned(const Stmt &s, Env &out, Scope &scope)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block:
+            for (const auto &sub : s.body)
+                collectAssigned(*sub, out, scope);
+            return;
+          case Stmt::Kind::Assign:
+            collectLValue(s.lhs, out, scope);
+            return;
+          case Stmt::Kind::If:
+            for (const auto &sub : s.body)
+                collectAssigned(*sub, out, scope);
+            for (const auto &sub : s.else_body)
+                collectAssigned(*sub, out, scope);
+            return;
+          case Stmt::Kind::Case:
+            for (const auto &item : s.case_items)
+                collectAssigned(*item.body, out, scope);
+            return;
+          case Stmt::Kind::For:
+            for (const auto &sub : s.body)
+                collectAssigned(*sub, out, scope);
+            return;
+        }
+    }
+
+    void
+    collectLValue(const LValue &lv, Env &out, Scope &scope)
+    {
+        if (lv.kind == LValue::Kind::Concat) {
+            for (const auto &p : lv.parts)
+                collectLValue(p, out, scope);
+            return;
+        }
+        const ElabSignal &s = signal(scope, lv.name, lv.line);
+        out.emplace(lv.name, BitVec(s.width(), kUndef));
+    }
+
+    /** Structurally convert an instance output connection to an lvalue. */
+    LValue
+    exprToLValue(const Expr &e)
+    {
+        LValue lv;
+        lv.line = e.line;
+        switch (e.kind) {
+          case Expr::Kind::Ident:
+            lv.kind = LValue::Kind::Ident;
+            lv.name = e.name;
+            return lv;
+          case Expr::Kind::BitSelect: {
+            lv.kind = LValue::Kind::BitSelect;
+            lv.name = e.name;
+            // Clone the index expression shallowly via re-synthesis is
+            // not possible here; reuse by const-evaluating later.  Keep
+            // a copied Number if constant, otherwise reject.
+            lv.index = makeNumber(0, -1, e.line);
+            lv.index = cloneExpr(*e.args[0]);
+            return lv;
+          }
+          case Expr::Kind::PartSelect:
+            lv.kind = LValue::Kind::PartSelect;
+            lv.name = e.name;
+            lv.msb_expr = cloneExpr(*e.msb_expr);
+            lv.lsb_expr = cloneExpr(*e.lsb_expr);
+            return lv;
+          case Expr::Kind::Concat:
+            lv.kind = LValue::Kind::Concat;
+            for (const auto &a : e.args)
+                lv.parts.push_back(exprToLValue(*a));
+            return lv;
+          default:
+            fatal("line %zu: instance output connected to a "
+                  "non-assignable expression",
+                  e.line);
+        }
+    }
+
+    ExprPtr
+    cloneExpr(const Expr &e)
+    {
+        auto c = std::make_unique<Expr>();
+        c->kind = e.kind;
+        c->line = e.line;
+        c->value = e.value;
+        c->width = e.width;
+        c->name = e.name;
+        c->uop = e.uop;
+        c->bop = e.bop;
+        if (e.msb_expr)
+            c->msb_expr = cloneExpr(*e.msb_expr);
+        if (e.lsb_expr)
+            c->lsb_expr = cloneExpr(*e.lsb_expr);
+        if (e.count_expr)
+            c->count_expr = cloneExpr(*e.count_expr);
+        for (const auto &a : e.args)
+            c->args.push_back(cloneExpr(*a));
+        return c;
+    }
+
+    void
+    synthInstance(Scope &parent, const Instance &inst,
+                  const std::string &name_override = "")
+    {
+        const std::string &inst_name =
+            name_override.empty() ? inst.inst_name : name_override;
+        const Module *child = design_.findModule(inst.module_name);
+        if (!child)
+            fatal("line %zu: no module named '%s'", inst.line,
+                  inst.module_name.c_str());
+
+        // Parameter overrides evaluate in the parent's environment.
+        ParamEnv overrides;
+        for (size_t k = 0; k < inst.param_overrides.size(); ++k) {
+            const auto &[name, expr] = inst.param_overrides[k];
+            uint64_t v = evalConst(*expr, parent.elab.params);
+            if (!name.empty()) {
+                overrides[name] = v;
+            } else {
+                if (k >= child->parameters.size())
+                    fatal("too many positional parameters for %s",
+                          child->name.c_str());
+                overrides[child->parameters[k].name] = v;
+            }
+        }
+
+        Scope scope;
+        scope.elab = elaborate(*child, overrides);
+        scope.prefix = parent.prefix + inst_name + ".";
+        allocateSignals(scope);
+
+        // Resolve connections against the child's port order.
+        std::map<std::string, const Expr *> conn_by_port;
+        bool positional = !inst.conns.empty() && inst.conns[0].port.empty();
+        if (positional) {
+            if (inst.conns.size() > child->port_order.size())
+                fatal("too many connections for instance %s",
+                      inst_name.c_str());
+            for (size_t k = 0; k < inst.conns.size(); ++k)
+                if (inst.conns[k].expr)
+                    conn_by_port[child->port_order[k]] =
+                        inst.conns[k].expr.get();
+        } else {
+            for (const auto &c : inst.conns)
+                if (c.expr)
+                    conn_by_port[c.port] = c.expr.get();
+        }
+
+        for (const auto &pname : child->port_order) {
+            const ElabSignal *sig = scope.elab.find(pname);
+            if (!sig)
+                fatal("module %s lists undeclared port '%s'",
+                      child->name.c_str(), pname.c_str());
+            auto it = conn_by_port.find(pname);
+            const BitVec &port_bits = scope.sig.at(pname);
+            if (sig->is_input) {
+                BitVec src =
+                    (it != conn_by_port.end())
+                        ? synthExpr(*it->second, parent, port_bits.size())
+                        : constBits(0, port_bits.size());
+                drive(port_bits, src);
+            } else {
+                if (it == conn_by_port.end())
+                    continue; // unconnected output
+                LValue lv = exprToLValue(*it->second);
+                BitVec target = lvalueNets(lv, parent);
+                drive(target, port_bits);
+            }
+        }
+
+        synthBody(scope);
+    }
+};
+
+} // namespace
+
+netlist::Netlist
+synthesize(const Design &design, const std::string &top,
+           const SynthOptions &opts)
+{
+    return Synth(design, opts).run(top);
+}
+
+netlist::Netlist
+synthesizeSource(const std::string &verilog_source, const std::string &top,
+                 const SynthOptions &opts)
+{
+    Design d = parse(verilog_source);
+    return synthesize(d, top, opts);
+}
+
+} // namespace qac::verilog

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Verilog -> gate-netlist synthesis (the Yosys role in the paper's flow,
+ * Section 4.2).
+ *
+ * Elaborates the design from a top module, flattens the instance
+ * hierarchy, and bit-blasts every expression into NOT/AND/OR/XOR/MUX/DFF
+ * gates: ripple-carry adders, array multipliers, restoring dividers,
+ * borrow comparators, barrel shifters, and mux trees.  Clocked always
+ * blocks become D flip-flops via symbolic execution of the statement
+ * tree (if/case -> mux trees); the unroll pass (netlist/unroll.h) later
+ * trades their time dimension for space per Section 4.3.3.
+ *
+ * Subset notes: unsigned two-valued semantics; no inout ports, no
+ * ascending ranges, no delays/events, no initial blocks, no
+ * unbounded-trip-count loops (the paper lists the same limitation).
+ */
+
+#ifndef QAC_VERILOG_SYNTH_H
+#define QAC_VERILOG_SYNTH_H
+
+#include <string>
+
+#include "qac/netlist/netlist.h"
+#include "qac/verilog/ast.h"
+#include "qac/verilog/elaborate.h"
+
+namespace qac::verilog {
+
+struct SynthOptions
+{
+    /** Parameter overrides for the top module. */
+    ParamEnv top_params;
+};
+
+/**
+ * Synthesize @p top from @p design into a flat gate-level netlist.
+ * The caller typically follows with netlist::optimize() and
+ * netlist::techMap().
+ */
+netlist::Netlist synthesize(const Design &design, const std::string &top,
+                            const SynthOptions &opts = {});
+
+/** Parse-and-synthesize convenience wrapper. */
+netlist::Netlist synthesizeSource(const std::string &verilog_source,
+                                  const std::string &top,
+                                  const SynthOptions &opts = {});
+
+} // namespace qac::verilog
+
+#endif // QAC_VERILOG_SYNTH_H

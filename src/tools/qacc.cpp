@@ -1,0 +1,241 @@
+/**
+ * @file
+ * qacc — the QAC command-line compiler driver.
+ *
+ * Plays the role of the paper's tool pipeline (yosys | edif2qmasm |
+ * qmasm) in one binary:
+ *
+ *   qacc design.v --top mult                       # compile, print stats
+ *   qacc design.v --top mult --emit-edif out.edif  # dump EDIF
+ *   qacc design.v --top mult --emit-qmasm out.qmasm
+ *   qacc design.v --top mult --emit-minizinc out.mzn
+ *   qacc design.v --top mult --emit-qubo out.qubo
+ *   qacc design.v --top mult --run --pin "C[7:0] := 10001111"
+ *   qacc design.v --top count --unroll 4 --run ...
+ *   qacc design.v --top mult --target chimera --run --physical ...
+ *
+ * Options mirror qmasm where they overlap (--pin, --reads).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qac/core/compiler.h"
+#include "qac/core/program.h"
+#include "qac/qmasm/formats.h"
+#include "qac/util/logging.h"
+
+namespace {
+
+using namespace qac;
+
+struct Args
+{
+    std::string input;
+    std::string top;
+    size_t unroll = 0;
+    bool chimera = false;
+    uint32_t chimera_size = 16;
+    bool run = false;
+    bool physical = false;
+    std::vector<std::string> pins;
+    uint32_t reads = 500;
+    uint32_t sweeps = 512;
+    uint64_t seed = 1;
+    std::string solver = "sa";
+    std::string emit_edif, emit_qmasm, emit_minizinc, emit_qubo;
+    bool verbose = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <design.v> --top <module> [options]\n"
+        "  --unroll <N>          unroll sequential logic for N steps\n"
+        "  --target chimera      minor-embed onto a C16 Chimera graph\n"
+        "  --chimera-size <M>    use a C_M graph (default 16)\n"
+        "  --emit-edif <file>    write the EDIF netlist\n"
+        "  --emit-qmasm <file>   write the QMASM program\n"
+        "  --emit-minizinc <f>   write a MiniZinc model\n"
+        "  --emit-qubo <file>    write a qbsolv .qubo file\n"
+        "  --run                 anneal and report solutions\n"
+        "  --physical            sample the embedded physical model\n"
+        "  --pin \"SYM := VAL\"    bind ports (repeatable; qmasm syntax)\n"
+        "  --solver sa|sqa|exact|qbsolv\n"
+        "  --reads <N> --sweeps <N> --seed <N>\n"
+        "  -v                    verbose\n",
+        argv0);
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--top")
+            args.top = need(i);
+        else if (a == "--unroll")
+            args.unroll = std::stoul(need(i));
+        else if (a == "--target") {
+            std::string t = need(i);
+            if (t != "chimera" && t != "logical")
+                usage(argv[0]);
+            args.chimera = (t == "chimera");
+        } else if (a == "--chimera-size")
+            args.chimera_size =
+                static_cast<uint32_t>(std::stoul(need(i)));
+        else if (a == "--emit-edif")
+            args.emit_edif = need(i);
+        else if (a == "--emit-qmasm")
+            args.emit_qmasm = need(i);
+        else if (a == "--emit-minizinc")
+            args.emit_minizinc = need(i);
+        else if (a == "--emit-qubo")
+            args.emit_qubo = need(i);
+        else if (a == "--run")
+            args.run = true;
+        else if (a == "--physical")
+            args.physical = true;
+        else if (a == "--pin")
+            args.pins.push_back(need(i));
+        else if (a == "--reads")
+            args.reads = static_cast<uint32_t>(std::stoul(need(i)));
+        else if (a == "--sweeps")
+            args.sweeps = static_cast<uint32_t>(std::stoul(need(i)));
+        else if (a == "--seed")
+            args.seed = std::stoull(need(i));
+        else if (a == "--solver")
+            args.solver = need(i);
+        else if (a == "-v")
+            args.verbose = true;
+        else if (a == "--help" || a == "-h")
+            usage(argv[0]);
+        else if (!a.empty() && a[0] == '-')
+            usage(argv[0]);
+        else if (args.input.empty())
+            args.input = a;
+        else
+            usage(argv[0]);
+    }
+    if (args.input.empty() || args.top.empty())
+        usage(argv[0]);
+    return args;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    out << text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    try {
+        std::ifstream in(args.input);
+        if (!in)
+            fatal("cannot read '%s'", args.input.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+
+        core::CompileOptions opts;
+        opts.top = args.top;
+        opts.unroll_steps = args.unroll;
+        if (args.chimera) {
+            opts.target = core::Target::Chimera;
+            opts.chimera_size = args.chimera_size;
+        }
+        core::CompileResult compiled = core::compile(ss.str(), opts);
+
+        std::printf("%s: %zu gates, %zu logical variables, %zu terms",
+                    args.top.c_str(), compiled.stats.gates,
+                    compiled.stats.logical_vars,
+                    compiled.stats.logical_terms);
+        if (args.chimera)
+            std::printf(", %zu physical qubits (max chain %zu)",
+                        compiled.stats.physical_qubits,
+                        compiled.stats.max_chain_length);
+        std::printf("\n");
+
+        if (!args.emit_edif.empty())
+            writeFile(args.emit_edif, compiled.edif_text);
+        if (!args.emit_qmasm.empty())
+            writeFile(args.emit_qmasm,
+                      compiled.qmasm_program.toString());
+        if (!args.emit_minizinc.empty())
+            writeFile(args.emit_minizinc,
+                      qmasm::toMiniZinc(compiled.assembled));
+        if (!args.emit_qubo.empty())
+            writeFile(args.emit_qubo,
+                      qmasm::toQuboFile(ising::QuboModel::fromIsing(
+                          compiled.assembled.model)));
+
+        if (!args.run)
+            return 0;
+
+        core::Executable prog(std::move(compiled));
+        for (const auto &pin : args.pins)
+            prog.pinDirective(pin);
+
+        core::Executable::RunOptions ro;
+        ro.num_reads = args.reads;
+        ro.sweeps = args.sweeps;
+        ro.seed = args.seed;
+        ro.use_physical = args.physical;
+        if (args.physical)
+            ro.reduce = false;
+        if (args.solver == "sa")
+            ro.solver =
+                core::Executable::SolverKind::SimulatedAnnealing;
+        else if (args.solver == "sqa")
+            ro.solver = core::Executable::SolverKind::PathIntegral;
+        else if (args.solver == "exact")
+            ro.solver = core::Executable::SolverKind::Exact;
+        else if (args.solver == "qbsolv")
+            ro.solver = core::Executable::SolverKind::Qbsolv;
+        else
+            usage(argv[0]);
+
+        auto rr = prog.run(ro);
+        std::printf("reads: %llu, distinct candidates: %zu, valid "
+                    "fraction: %.3f\n",
+                    static_cast<unsigned long long>(rr.total_reads),
+                    rr.candidates.size(), rr.validFraction());
+        size_t shown = 0;
+        for (const auto *c : rr.validCandidates()) {
+            std::printf("solution (energy %.4f, %u reads):\n",
+                        c->energy, c->occurrences);
+            for (const auto &[sym, value] : c->values)
+                std::printf("  %s = %d\n", sym.c_str(),
+                            static_cast<int>(value));
+            if (++shown >= 3 && !args.verbose) {
+                std::printf("  ... (%zu more valid solutions)\n",
+                            rr.validCandidates().size() - shown);
+                break;
+            }
+        }
+        return rr.hasValid() ? 0 : 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "qacc: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * qma — a standalone QMASM runner (the paper's qmasm tool).
+ *
+ *   qma program.qmasm --pin "A := true" --run
+ *   qma program.qmasm --emit-minizinc out.mzn
+ *   qma program.qmasm --run --reads 5000 --solver sqa
+ *
+ * Mirrors the qmasm behaviours the paper lists in Section 4.3: resolves
+ * !include (the built-in stdcell.qmasm plus the input file's
+ * directory), accepts --pin to bias variables, "can run a program
+ * arbitrarily many times and report statistics on the results", and
+ * reports solutions "in terms of the program-specified symbolic names".
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qac/anneal/exact.h"
+#include "qac/anneal/pathintegral.h"
+#include "qac/anneal/qbsolv.h"
+#include "qac/anneal/simulated.h"
+#include "qac/qmasm/assemble.h"
+#include "qac/qmasm/formats.h"
+#include "qac/qmasm/parser.h"
+#include "qac/qmasm/stdcell_lib.h"
+#include "qac/util/logging.h"
+#include "qac/util/strings.h"
+
+namespace {
+
+using namespace qac;
+
+struct Args
+{
+    std::string input;
+    std::vector<std::string> pins;
+    bool run = false;
+    uint32_t reads = 1000;
+    uint32_t sweeps = 256;
+    uint64_t seed = 1;
+    std::string solver = "sa";
+    std::string emit_minizinc, emit_qubo;
+    size_t top_solutions = 8;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <program.qmasm> [options]\n"
+                 "  --pin \"SYM := VAL\"   bias a variable (repeatable)\n"
+                 "  --run                 anneal and report statistics\n"
+                 "  --reads/--sweeps/--seed <N>\n"
+                 "  --solver sa|sqa|exact|qbsolv\n"
+                 "  --top <N>             solutions to print (default 8)\n"
+                 "  --emit-minizinc <f>   convert for classical solution\n"
+                 "  --emit-qubo <f>       convert to qbsolv format\n",
+                 argv0);
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--pin")
+            args.pins.push_back(need(i));
+        else if (a == "--run")
+            args.run = true;
+        else if (a == "--reads")
+            args.reads = static_cast<uint32_t>(std::stoul(need(i)));
+        else if (a == "--sweeps")
+            args.sweeps = static_cast<uint32_t>(std::stoul(need(i)));
+        else if (a == "--seed")
+            args.seed = std::stoull(need(i));
+        else if (a == "--solver")
+            args.solver = need(i);
+        else if (a == "--top")
+            args.top_solutions = std::stoul(need(i));
+        else if (a == "--emit-minizinc")
+            args.emit_minizinc = need(i);
+        else if (a == "--emit-qubo")
+            args.emit_qubo = need(i);
+        else if (a == "--help" || a == "-h")
+            usage(argv[0]);
+        else if (!a.empty() && a[0] == '-')
+            usage(argv[0]);
+        else if (args.input.empty())
+            args.input = a;
+        else
+            usage(argv[0]);
+    }
+    if (args.input.empty())
+        usage(argv[0]);
+    return args;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    try {
+        std::ifstream in(args.input);
+        if (!in)
+            fatal("cannot read '%s'", args.input.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+
+        // Includes resolve against the built-in standard-cell library
+        // first, then the input file's directory.
+        std::filesystem::path dir =
+            std::filesystem::path(args.input).parent_path();
+        auto builtin = qmasm::stdcellResolver();
+        qmasm::IncludeResolver resolver =
+            [&](const std::string &name) -> std::optional<std::string> {
+            if (auto text = builtin(name))
+                return text;
+            std::ifstream f(dir / name);
+            if (!f)
+                return std::nullopt;
+            std::stringstream fs;
+            fs << f.rdbuf();
+            return fs.str();
+        };
+
+        std::string text = ss.str();
+        // --pin appends pin statements, exactly like qmasm's flag.
+        for (const auto &pin : args.pins)
+            text += "\n" + pin + "\n";
+
+        qmasm::Program prog = qmasm::parseProgram(text, resolver);
+        qmasm::Assembled assembled = qmasm::assemble(prog);
+        std::printf("%zu variables, %zu terms (chain strength %.2f)\n",
+                    assembled.model.numVars(),
+                    assembled.model.numTerms(),
+                    assembled.chain_strength_used);
+
+        if (!args.emit_minizinc.empty()) {
+            std::ofstream out(args.emit_minizinc);
+            out << qmasm::toMiniZinc(assembled);
+        }
+        if (!args.emit_qubo.empty()) {
+            std::ofstream out(args.emit_qubo);
+            out << qmasm::toQuboFile(
+                ising::QuboModel::fromIsing(assembled.model));
+        }
+        if (!args.run)
+            return 0;
+
+        anneal::SampleSet set;
+        if (args.solver == "sa") {
+            anneal::SimulatedAnnealer::Params p;
+            p.num_reads = args.reads;
+            p.sweeps = args.sweeps;
+            p.seed = args.seed;
+            p.greedy_polish = true;
+            set = anneal::SimulatedAnnealer(p).sample(assembled.model);
+        } else if (args.solver == "sqa") {
+            anneal::PathIntegralAnnealer::Params p;
+            p.num_reads = args.reads;
+            p.sweeps = args.sweeps;
+            p.seed = args.seed;
+            set = anneal::PathIntegralAnnealer(p).sample(
+                assembled.model);
+        } else if (args.solver == "exact") {
+            auto res =
+                anneal::ExactSolver().solve(assembled.model);
+            for (const auto &gs : res.ground_states)
+                set.add(gs, res.min_energy);
+            set.finalize();
+        } else if (args.solver == "qbsolv") {
+            anneal::QbsolvSolver::Params p;
+            p.seed = args.seed;
+            set = anneal::QbsolvSolver(p).sample(assembled.model);
+        } else {
+            usage(argv[0]);
+        }
+
+        // The qmasm-style statistics report.
+        std::printf("reads: %llu, distinct solutions: %zu, ground "
+                    "fraction: %.3f\n\n",
+                    static_cast<unsigned long long>(set.totalReads()),
+                    set.size(), set.groundFraction());
+        size_t shown = 0;
+        for (const auto &s : set.samples()) {
+            std::string failed;
+            bool ok = assembled.checkAsserts(s.spins, &failed);
+            std::printf("solution %zu: energy %.4f, %u/%llu reads%s\n",
+                        shown + 1, s.energy, s.num_occurrences,
+                        static_cast<unsigned long long>(
+                            set.totalReads()),
+                        ok ? "" : "  [assert FAILED]");
+            if (!ok)
+                std::printf("    failing assert: %s\n", failed.c_str());
+            for (const auto &[sym, value] :
+                 assembled.visibleValues(s.spins))
+                std::printf("    %s = %s\n", sym.c_str(),
+                            value ? "True" : "False");
+            if (++shown >= args.top_solutions)
+                break;
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "qma: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the standard-cell library (Table 5) and gate metadata.
+ *
+ * The central property: every cell Hamiltonian's ground-state set,
+ * minimized over ancillas, equals the gate's truth table exactly —
+ * verified exhaustively for every cell (paper, Section 4.3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "qac/cells/gate.h"
+#include "qac/cells/stdcell.h"
+#include "qac/ising/solution.h"
+#include "qac/util/logging.h"
+
+namespace qac::cells {
+namespace {
+
+using ising::boolToSpin;
+using ising::SpinVector;
+
+const GateType kCombinational[] = {
+    GateType::NOT,  GateType::AND,  GateType::OR,   GateType::NAND,
+    GateType::NOR,  GateType::XOR,  GateType::XNOR, GateType::MUX,
+    GateType::AOI3, GateType::OAI3, GateType::AOI4, GateType::OAI4,
+};
+
+TEST(Gate, MetadataArities)
+{
+    EXPECT_EQ(gateInfo(GateType::NOT).inputs.size(), 1u);
+    EXPECT_EQ(gateInfo(GateType::MUX).inputs.size(), 3u);
+    EXPECT_EQ(gateInfo(GateType::AOI4).inputs.size(), 4u);
+    EXPECT_STREQ(gateInfo(GateType::DFF_P).output, "Q");
+    EXPECT_TRUE(gateInfo(GateType::DFF_N).sequential);
+    EXPECT_FALSE(gateInfo(GateType::XOR).sequential);
+}
+
+TEST(Gate, LookupByName)
+{
+    EXPECT_EQ(gateTypeByName("AOI3"), GateType::AOI3);
+    EXPECT_EQ(gateTypeByName("DFF_P"), GateType::DFF_P);
+    EXPECT_THROW(gateTypeByName("FOO"), FatalError);
+}
+
+TEST(Gate, EvalTruthTables)
+{
+    // Spot checks against the paper's logic column.
+    EXPECT_TRUE(evalGate(GateType::AND, 0b11));
+    EXPECT_FALSE(evalGate(GateType::AND, 0b01));
+    EXPECT_TRUE(evalGate(GateType::NAND, 0b01));
+    EXPECT_TRUE(evalGate(GateType::XOR, 0b10));
+    EXPECT_FALSE(evalGate(GateType::XOR, 0b11));
+    // MUX inputs (A, B, S): Y = S ? B : A.
+    EXPECT_TRUE(evalGate(GateType::MUX, 0b001));  // S=0 -> A=1
+    EXPECT_FALSE(evalGate(GateType::MUX, 0b101)); // S=1 -> B=0
+    EXPECT_TRUE(evalGate(GateType::MUX, 0b110));  // S=1 -> B=1
+    // AOI4: Y = !((A&B) | (C&D)).
+    EXPECT_FALSE(evalGate(GateType::AOI4, 0b0011));
+    EXPECT_FALSE(evalGate(GateType::AOI4, 0b1100));
+    EXPECT_TRUE(evalGate(GateType::AOI4, 0b0110));
+}
+
+TEST(Gate, EvalOnSequentialDies)
+{
+    EXPECT_DEATH((void)evalGate(GateType::DFF_P, 0), "sequential");
+}
+
+/** Exhaustively recompute min-over-ancilla energies for a cell. */
+void
+checkGroundStatesMatchTruthTable(const CellHamiltonian &cell)
+{
+    const GateInfo &info = gateInfo(cell.type);
+    size_t num_in = info.inputs.size();
+    size_t out_idx = cell.varIndex(info.output);
+    std::vector<size_t> in_idx;
+    for (const auto &name : info.inputs)
+        in_idx.push_back(cell.varIndex(name));
+    std::vector<size_t> anc_idx;
+    for (size_t i = 0; i < cell.varNames.size(); ++i)
+        if (cell.varNames[i][0] == '$')
+            anc_idx.push_back(i);
+
+    auto row_min = [&](uint32_t row) {
+        bool y = row & 1;
+        uint32_t in_bits = row >> 1;
+        SpinVector spins(cell.varNames.size(), -1);
+        spins[out_idx] = boolToSpin(y);
+        for (size_t b = 0; b < num_in; ++b)
+            spins[in_idx[b]] = boolToSpin((in_bits >> b) & 1);
+        double m = std::numeric_limits<double>::infinity();
+        for (uint32_t a = 0; a < (1u << anc_idx.size()); ++a) {
+            for (size_t b = 0; b < anc_idx.size(); ++b)
+                spins[anc_idx[b]] = boolToSpin((a >> b) & 1);
+            m = std::min(m, cell.H.energy(spins));
+        }
+        return m;
+    };
+    auto is_valid = [&](uint32_t row) {
+        bool y = row & 1;
+        uint32_t in_bits = row >> 1;
+        return info.sequential ? (y == ((in_bits & 1) != 0))
+                               : (evalGate(cell.type, in_bits) == y);
+    };
+    // Pass 1: establish the ground energy from the valid rows.
+    double k = std::numeric_limits<double>::infinity();
+    for (uint32_t row = 0; row < (1u << (num_in + 1)); ++row)
+        if (is_valid(row))
+            k = std::min(k, row_min(row));
+    // Pass 2: check every row against it.
+    for (uint32_t row = 0; row < (1u << (num_in + 1)); ++row) {
+        double m = row_min(row);
+        if (is_valid(row))
+            EXPECT_NEAR(m, k, 1e-9) << info.name << " valid row " << row;
+        else
+            EXPECT_GT(m, k + 1e-9) << info.name << " invalid row " << row;
+    }
+}
+
+class PaperCellTest : public ::testing::TestWithParam<GateType>
+{};
+
+/** Every literal Table 5 entry is a correct penalty function. */
+TEST_P(PaperCellTest, VerifiesExhaustively)
+{
+    CellHamiltonian cell = paperCell(GetParam());
+    std::string err;
+    EXPECT_TRUE(verifyCell(cell, &err)) << err;
+    checkGroundStatesMatchTruthTable(cell);
+}
+
+/** Table 5 honors the D-Wave coefficient box h [-2,2], J [-2,1]. */
+TEST_P(PaperCellTest, WithinHardwareRange)
+{
+    CellHamiltonian cell = paperCell(GetParam());
+    EXPECT_TRUE(cell.H.withinRange(ising::CoefficientRange{}));
+}
+
+/** Gaps are strictly positive (robust hardware output, Section 4.3.2). */
+TEST_P(PaperCellTest, PositiveGap)
+{
+    CellHamiltonian cell = paperCell(GetParam());
+    ASSERT_TRUE(verifyCell(cell));
+    EXPECT_GT(cell.gap, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinational, PaperCellTest, ::testing::ValuesIn(kCombinational),
+    [](const auto &info) {
+        return std::string(gateInfo(info.param).name);
+    });
+
+TEST(PaperCell, DffIsPlainChain)
+{
+    CellHamiltonian cell = paperCell(GateType::DFF_P);
+    EXPECT_EQ(cell.H.numTerms(), 1u);
+    EXPECT_DOUBLE_EQ(cell.H.quadratic(0, 1), -1.0);
+    EXPECT_TRUE(verifyCell(cell));
+    EXPECT_DOUBLE_EQ(cell.groundEnergy, -1.0);
+    EXPECT_DOUBLE_EQ(cell.gap, 2.0);
+}
+
+TEST(PaperCell, KnownGroundEnergies)
+{
+    // From the text: simple 2-input gates sit at k = -1.5 with gap 2.
+    for (GateType t : {GateType::AND, GateType::OR, GateType::NAND,
+                       GateType::NOR}) {
+        CellHamiltonian cell = paperCell(t);
+        ASSERT_TRUE(verifyCell(cell));
+        EXPECT_NEAR(cell.groundEnergy, -1.5, 1e-9);
+        EXPECT_NEAR(cell.gap, 2.0, 1e-9);
+    }
+}
+
+TEST(PaperCell, BufHasNoCell)
+{
+    EXPECT_THROW(paperCell(GateType::BUF), FatalError);
+    EXPECT_THROW(standardCell(GateType::BUF), FatalError);
+}
+
+class ComposedCellTest : public ::testing::TestWithParam<GateType>
+{};
+
+/** The Section 4.3.5 composition rule also yields correct cells. */
+TEST_P(ComposedCellTest, VerifiesExhaustively)
+{
+    CellHamiltonian cell = composedCell(GetParam());
+    std::string err;
+    EXPECT_TRUE(verifyCell(cell, &err)) << err;
+    checkGroundStatesMatchTruthTable(cell);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ComplexCells, ComposedCellTest,
+    ::testing::Values(GateType::XNOR, GateType::MUX, GateType::AOI3,
+                      GateType::OAI3, GateType::AOI4, GateType::OAI4),
+    [](const auto &info) {
+        return std::string(gateInfo(info.param).name);
+    });
+
+TEST(StandardCell, CachedAndVerified)
+{
+    const CellHamiltonian &a = standardCell(GateType::AND);
+    const CellHamiltonian &b = standardCell(GateType::AND);
+    EXPECT_EQ(&a, &b); // same cached object
+    EXPECT_GT(a.gap, 0.0);
+}
+
+TEST(CellHamiltonian, VarIndexLookup)
+{
+    CellHamiltonian cell = paperCell(GateType::MUX);
+    EXPECT_EQ(cell.varNames[cell.varIndex("S")], "S");
+    EXPECT_THROW(cell.varIndex("Z"), FatalError);
+    EXPECT_EQ(cell.numAncillas(), 1u);
+}
+
+TEST(VerifyCell, DetectsBrokenCell)
+{
+    CellHamiltonian cell = paperCell(GateType::AND);
+    cell.H.addLinear(0, 5.0); // wreck it
+    std::string err;
+    EXPECT_FALSE(verifyCell(cell, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+} // namespace
+} // namespace qac::cells

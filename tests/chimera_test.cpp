@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the Chimera hardware topology (Section 2, Figure 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qac/chimera/chimera.h"
+#include "qac/util/logging.h"
+
+namespace qac::chimera {
+namespace {
+
+TEST(HardwareGraph, BasicEdgeOps)
+{
+    HardwareGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(0, 1); // duplicate ignored
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_EQ(g.neighbors(1).size(), 2u);
+}
+
+TEST(HardwareGraph, Deactivation)
+{
+    HardwareGraph g(3);
+    g.addEdge(0, 1);
+    g.deactivate(1);
+    EXPECT_EQ(g.numActiveNodes(), 2u);
+    EXPECT_FALSE(g.isActive(1));
+    EXPECT_TRUE(g.activeEdges().empty());
+    EXPECT_EQ(g.activeNodes().size(), 2u);
+}
+
+TEST(HardwareGraph, Complete)
+{
+    HardwareGraph k5 = HardwareGraph::complete(5);
+    EXPECT_EQ(k5.numEdges(), 10u);
+    for (uint32_t i = 0; i < 5; ++i)
+        EXPECT_EQ(k5.neighbors(i).size(), 4u);
+}
+
+TEST(Chimera, C16IsTheDwave2000Q)
+{
+    // "a nominal 2048 qubits" (Section 2).
+    HardwareGraph g = chimeraGraph(16);
+    EXPECT_EQ(g.numNodes(), 2048u);
+    // Edges: 16*16 cells * 16 internal + inter-cell links:
+    // vertical 15*16*4 + horizontal 16*15*4.
+    EXPECT_EQ(g.numEdges(), 256u * 16 + 2u * 15 * 16 * 4);
+}
+
+TEST(Chimera, CoordinateRoundTrip)
+{
+    for (uint32_t id = 0; id < 8 * 4 * 4; ++id) {
+        ChimeraCoord c = chimeraCoord(4, id);
+        EXPECT_EQ(chimeraIndex(4, c), id);
+    }
+}
+
+TEST(Chimera, UnitCellIsBipartiteK44)
+{
+    HardwareGraph g = chimeraGraph(2);
+    // Within cell (0,0): every half-0 qubit couples to every half-1.
+    for (uint32_t i = 0; i < 4; ++i) {
+        for (uint32_t j = 0; j < 4; ++j) {
+            EXPECT_TRUE(g.hasEdge(chimeraIndex(2, {0, 0, 0, i}),
+                                  chimeraIndex(2, {0, 0, 1, j})));
+        }
+        // No intra-partition couplings.
+        for (uint32_t j = i + 1; j < 4; ++j) {
+            EXPECT_FALSE(g.hasEdge(chimeraIndex(2, {0, 0, 0, i}),
+                                   chimeraIndex(2, {0, 0, 0, j})));
+        }
+    }
+}
+
+TEST(Chimera, InterCellCouplings)
+{
+    HardwareGraph g = chimeraGraph(3);
+    // Vertical partition couples north-south at the same index.
+    EXPECT_TRUE(g.hasEdge(chimeraIndex(3, {0, 1, 0, 2}),
+                          chimeraIndex(3, {1, 1, 0, 2})));
+    EXPECT_FALSE(g.hasEdge(chimeraIndex(3, {0, 1, 0, 2}),
+                           chimeraIndex(3, {1, 1, 0, 3})));
+    // Horizontal partition couples east-west.
+    EXPECT_TRUE(g.hasEdge(chimeraIndex(3, {1, 0, 1, 0}),
+                          chimeraIndex(3, {1, 1, 1, 0})));
+    // Vertical partition does not couple east-west.
+    EXPECT_FALSE(g.hasEdge(chimeraIndex(3, {1, 0, 0, 0}),
+                           chimeraIndex(3, {1, 1, 0, 0})));
+}
+
+TEST(Chimera, NoOddCycles)
+{
+    // "A Chimera graph contains no odd-length cycles" (Section 4.4):
+    // verify 2-colorability by BFS.
+    HardwareGraph g = chimeraGraph(4);
+    std::vector<int> color(g.numNodes(), -1);
+    std::vector<uint32_t> stack{0};
+    color[0] = 0;
+    while (!stack.empty()) {
+        uint32_t u = stack.back();
+        stack.pop_back();
+        for (uint32_t v : g.neighbors(u)) {
+            if (color[v] < 0) {
+                color[v] = 1 - color[u];
+                stack.push_back(v);
+            } else {
+                EXPECT_NE(color[v], color[u]);
+            }
+        }
+    }
+}
+
+TEST(Chimera, MaxDegreeIsSix)
+{
+    HardwareGraph g = chimeraGraph(16);
+    size_t max_deg = 0;
+    for (uint32_t u = 0; u < g.numNodes(); ++u)
+        max_deg = std::max(max_deg, g.neighbors(u).size());
+    EXPECT_EQ(max_deg, 6u); // 4 internal + 2 inter-cell
+}
+
+TEST(Chimera, DropoutIsDeterministic)
+{
+    HardwareGraph a = dwave2000q(0.02, 7);
+    HardwareGraph b = dwave2000q(0.02, 7);
+    HardwareGraph c = dwave2000q(0.02, 8);
+    EXPECT_EQ(a.numActiveNodes(), b.numActiveNodes());
+    EXPECT_LT(a.numActiveNodes(), 2048u);
+    EXPECT_GT(a.numActiveNodes(), 1900u);
+    // Different seed gives a different (very probably) dropout set.
+    bool differs = false;
+    for (uint32_t u = 0; u < 2048; ++u)
+        if (a.isActive(u) != c.isActive(u))
+            differs = true;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Chimera, BadCoordinatesDie)
+{
+    EXPECT_DEATH(chimeraIndex(2, {2, 0, 0, 0}), "coordinate");
+    EXPECT_DEATH(chimeraIndex(2, {0, 0, 2, 0}), "coordinate");
+}
+
+} // namespace
+} // namespace qac::chimera

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the qbsolv decomposing solver and the classical-solver
+ * interchange formats (MiniZinc emission, .qubo read/write).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qac/anneal/exact.h"
+#include "qac/anneal/qbsolv.h"
+#include "qac/qmasm/formats.h"
+#include "qac/qmasm/parser.h"
+#include "qac/util/logging.h"
+#include "qac/util/rng.h"
+
+namespace qac {
+namespace {
+
+ising::IsingModel
+randomModel(Rng &rng, size_t n, double density = 0.3)
+{
+    ising::IsingModel m(n);
+    for (uint32_t i = 0; i < n; ++i)
+        if (rng.chance(0.7))
+            m.addLinear(i, rng.uniform() * 2 - 1);
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t j = i + 1; j < n; ++j)
+            if (rng.chance(density))
+                m.addQuadratic(i, j, rng.uniform() * 2 - 1);
+    return m;
+}
+
+// ---------------------------------------------------------------- qbsolv
+
+TEST(Qbsolv, ClampModelMatchesFullEnergy)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 10; ++trial) {
+        ising::IsingModel m = randomModel(rng, 10);
+        ising::SpinVector spins(10);
+        for (auto &s : spins)
+            s = rng.spin();
+        std::vector<uint32_t> keep = {1, 4, 7};
+        double offset = 0;
+        ising::IsingModel sub =
+            anneal::clampModel(m, keep, spins, &offset);
+        ASSERT_EQ(sub.numVars(), 3u);
+        // For any assignment of the kept variables, sub energy +
+        // offset must equal the full model's energy.
+        for (uint64_t k = 0; k < 8; ++k) {
+            ising::SpinVector sub_spins = ising::indexToSpins(k, 3);
+            ising::SpinVector full = spins;
+            for (size_t q = 0; q < keep.size(); ++q)
+                full[keep[q]] = sub_spins[q];
+            EXPECT_NEAR(sub.energy(sub_spins) + offset, m.energy(full),
+                        1e-9);
+        }
+    }
+}
+
+TEST(Qbsolv, SolvesSmallModelExactly)
+{
+    Rng rng(102);
+    ising::IsingModel m = randomModel(rng, 12);
+    anneal::QbsolvSolver::Params p;
+    p.subproblem_size = 20; // larger than the model: one-shot exact
+    auto set = anneal::QbsolvSolver(p).sample(m);
+    EXPECT_NEAR(set.best().energy,
+                anneal::ExactSolver().minEnergy(m), 1e-9);
+}
+
+TEST(Qbsolv, DecomposesLargerModels)
+{
+    // 24 variables with 12-variable subproblems: decomposition must
+    // still reach the global minimum on these easy densities.
+    Rng rng(103);
+    int hits = 0;
+    for (int trial = 0; trial < 5; ++trial) {
+        ising::IsingModel m = randomModel(rng, 24, 0.2);
+        anneal::QbsolvSolver::Params p;
+        p.subproblem_size = 12;
+        p.outer_iterations = 24;
+        p.restarts = 6;
+        p.seed = 200 + trial;
+        auto set = anneal::QbsolvSolver(p).sample(m);
+        double want = anneal::ExactSolver().minEnergy(m);
+        if (std::abs(set.best().energy - want) < 1e-9)
+            ++hits;
+        EXPECT_LE(want, set.best().energy + 1e-9);
+    }
+    EXPECT_GE(hits, 4); // allow one hard instance
+}
+
+TEST(Qbsolv, CustomSubSolverIsUsed)
+{
+    Rng rng(104);
+    ising::IsingModel m = randomModel(rng, 16);
+    int calls = 0;
+    anneal::QbsolvSolver::Params p;
+    p.subproblem_size = 8;
+    p.outer_iterations = 4;
+    p.restarts = 1;
+    anneal::QbsolvSolver solver(p);
+    solver.setSubSolver([&](const ising::IsingModel &sub) {
+        ++calls;
+        return anneal::ExactSolver().solve(sub).ground_states.front();
+    });
+    solver.sample(m);
+    EXPECT_GT(calls, 0);
+}
+
+// -------------------------------------------------------------- minizinc
+
+TEST(MiniZinc, ContainsModelStructure)
+{
+    qmasm::Program prog =
+        qmasm::parseProgram("A 1\nB -0.5\nA B -1\n$hidden 2\n");
+    qmasm::Assembled a = qmasm::assemble(prog);
+    std::string mzn = qmasm::toMiniZinc(a);
+    EXPECT_NE(mzn.find("var {-1, 1}:"), std::string::npos);
+    EXPECT_NE(mzn.find("solve minimize energy;"), std::string::npos);
+    EXPECT_NE(mzn.find("output ["), std::string::npos);
+    // Visible symbols appear in the output item; hidden ones don't.
+    EXPECT_NE(mzn.find("\"A = "), std::string::npos);
+    EXPECT_EQ(mzn.find("$hidden = "), std::string::npos);
+}
+
+TEST(MiniZinc, IsingVariantEmitsAllTerms)
+{
+    ising::IsingModel m(3);
+    m.addLinear(0, 0.5);
+    m.addQuadratic(1, 2, -1.5);
+    std::string mzn = qmasm::isingToMiniZinc(m);
+    EXPECT_NE(mzn.find("0.5 * x0"), std::string::npos);
+    EXPECT_NE(mzn.find("-1.5 * x1 * x2"), std::string::npos);
+}
+
+TEST(MiniZinc, EmptyModelStillValid)
+{
+    ising::IsingModel m(1);
+    std::string mzn = qmasm::isingToMiniZinc(m);
+    EXPECT_NE(mzn.find("0.0"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ qubo
+
+TEST(QuboFile, RoundTrip)
+{
+    Rng rng(105);
+    ising::IsingModel m = randomModel(rng, 8);
+    ising::QuboModel q = ising::QuboModel::fromIsing(m);
+    std::string text = qmasm::toQuboFile(q);
+    ising::QuboModel back = qmasm::parseQuboFile(text);
+    ASSERT_EQ(back.numVars(), q.numVars());
+    // Energies agree up to the (comment-only) offset.
+    for (uint64_t k = 0; k < 256; ++k) {
+        std::vector<uint8_t> bits(8);
+        for (size_t b = 0; b < 8; ++b)
+            bits[b] = (k >> b) & 1;
+        EXPECT_NEAR(back.energy(bits) + q.offset(), q.energy(bits),
+                    1e-9);
+    }
+}
+
+TEST(QuboFile, HeaderShape)
+{
+    ising::QuboModel q(3);
+    q.addLinear(0, 1.0);
+    q.addLinear(2, -2.0);
+    q.addQuadratic(0, 1, 0.5);
+    std::string text = qmasm::toQuboFile(q);
+    EXPECT_NE(text.find("p qubo 0 3 2 1"), std::string::npos);
+}
+
+TEST(QuboFile, MalformedInputsFail)
+{
+    EXPECT_THROW(qmasm::parseQuboFile("0 0 1\n"), FatalError);
+    EXPECT_THROW(qmasm::parseQuboFile("p qubo 0\n"), FatalError);
+    EXPECT_THROW(qmasm::parseQuboFile("p qubo 0 2 1 0\n0 0 abc\n"),
+                 FatalError);
+    EXPECT_THROW(qmasm::parseQuboFile(""), FatalError);
+}
+
+TEST(QuboFile, CommentsIgnored)
+{
+    auto q = qmasm::parseQuboFile(
+        "c hello\np qubo 0 2 1 1\nc mid\n0 0 1.5\n0 1 -1\n");
+    EXPECT_DOUBLE_EQ(q.linear(0), 1.5);
+    EXPECT_DOUBLE_EQ(q.quadratic(0, 1), -1.0);
+}
+
+} // namespace
+} // namespace qac

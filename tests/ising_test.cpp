@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit + property tests for the Ising/QUBO models (Equation 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qac/ising/model.h"
+#include "qac/ising/qubo.h"
+#include "qac/util/rng.h"
+
+namespace qac::ising {
+namespace {
+
+IsingModel
+randomModel(Rng &rng, size_t n, double edge_prob = 0.5)
+{
+    IsingModel m(n);
+    for (uint32_t i = 0; i < n; ++i)
+        if (rng.chance(0.8))
+            m.addLinear(i, rng.uniform() * 4 - 2);
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t j = i + 1; j < n; ++j)
+            if (rng.chance(edge_prob))
+                m.addQuadratic(i, j, rng.uniform() * 4 - 2);
+    return m;
+}
+
+TEST(IsingModel, EnergyByHand)
+{
+    // H = 0.5 s0 - s1 + 2 s0 s1
+    IsingModel m(2);
+    m.addLinear(0, 0.5);
+    m.addLinear(1, -1.0);
+    m.addQuadratic(0, 1, 2.0);
+    EXPECT_DOUBLE_EQ(m.energy({-1, -1}), -0.5 + 1 + 2);
+    EXPECT_DOUBLE_EQ(m.energy({-1, 1}), -0.5 - 1 - 2);
+    EXPECT_DOUBLE_EQ(m.energy({1, -1}), 0.5 + 1 - 2);
+    EXPECT_DOUBLE_EQ(m.energy({1, 1}), 0.5 - 1 + 2);
+}
+
+TEST(IsingModel, AdditiveCoefficients)
+{
+    IsingModel m(2);
+    m.addQuadratic(0, 1, 1.5);
+    m.addQuadratic(1, 0, -0.5); // symmetric key
+    EXPECT_DOUBLE_EQ(m.quadratic(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(m.quadratic(1, 0), 1.0);
+}
+
+TEST(IsingModel, NumTermsCountsNonzero)
+{
+    IsingModel m(3);
+    m.addLinear(0, 1.0);
+    m.addLinear(1, -1.0);
+    m.addLinear(1, 1.0); // cancels to zero
+    m.addQuadratic(0, 2, 0.25);
+    EXPECT_EQ(m.numTerms(), 2u);
+}
+
+TEST(IsingModel, ResizeOnDemand)
+{
+    IsingModel m;
+    m.addQuadratic(2, 5, 1.0);
+    EXPECT_EQ(m.numVars(), 6u);
+    EXPECT_DOUBLE_EQ(m.linear(4), 0.0);
+}
+
+TEST(IsingModel, ScaleToRangeRespectsAsymmetry)
+{
+    // The D-Wave range is h in [-2,2] but J in [-2,1] (Section 2).
+    IsingModel m(2);
+    m.addLinear(0, 1.0);
+    m.addQuadratic(0, 1, 4.0); // exceeds j_max = 1
+    double f = m.scaleToRange(CoefficientRange{});
+    EXPECT_NEAR(f, 0.25, 1e-12);
+    EXPECT_NEAR(m.quadratic(0, 1), 1.0, 1e-12);
+    EXPECT_NEAR(m.linear(0), 0.25, 1e-12);
+    EXPECT_TRUE(m.withinRange(CoefficientRange{}));
+}
+
+TEST(IsingModel, ScalePreservesArgmin)
+{
+    Rng rng(11);
+    IsingModel m = randomModel(rng, 6);
+    IsingModel scaled = m;
+    scaled.scaleToRange(CoefficientRange{});
+    // argmin invariance: ordering of energies must be preserved.
+    double best_m = 1e300, best_s = 1e300;
+    uint64_t arg_m = 0, arg_s = 0;
+    for (uint64_t k = 0; k < 64; ++k) {
+        auto spins = indexToSpins(k, 6);
+        if (m.energy(spins) < best_m) {
+            best_m = m.energy(spins);
+            arg_m = k;
+        }
+        if (scaled.energy(spins) < best_s) {
+            best_s = scaled.energy(spins);
+            arg_s = k;
+        }
+    }
+    EXPECT_EQ(arg_m, arg_s);
+}
+
+TEST(IsingModel, FlipDeltaMatchesRecompute)
+{
+    Rng rng(12);
+    for (int trial = 0; trial < 20; ++trial) {
+        IsingModel m = randomModel(rng, 8);
+        SpinVector spins(8);
+        for (auto &s : spins)
+            s = rng.spin();
+        for (uint32_t i = 0; i < 8; ++i) {
+            double before = m.energy(spins);
+            double delta = m.flipDelta(spins, i);
+            spins[i] = static_cast<Spin>(-spins[i]);
+            EXPECT_NEAR(m.energy(spins), before + delta, 1e-9);
+            spins[i] = static_cast<Spin>(-spins[i]);
+        }
+    }
+}
+
+TEST(IsingModel, EqualityOperator)
+{
+    IsingModel a(2), b(2);
+    a.addQuadratic(0, 1, 1.0);
+    b.addQuadratic(1, 0, 1.0);
+    EXPECT_TRUE(a == b);
+    b.addLinear(0, 0.5);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Solution, IndexRoundTrip)
+{
+    for (uint64_t k = 0; k < 32; ++k)
+        EXPECT_EQ(spinsToIndex(indexToSpins(k, 5)), k);
+}
+
+TEST(Solution, SpinBoolMapping)
+{
+    EXPECT_TRUE(spinToBool(1));
+    EXPECT_FALSE(spinToBool(-1));
+    EXPECT_EQ(boolToSpin(true), 1);
+    EXPECT_EQ(boolToSpin(false), -1);
+}
+
+// ------------------------------------------------------------------ QUBO
+
+TEST(Qubo, EnergyByHand)
+{
+    QuboModel q(2);
+    q.addOffset(1.0);
+    q.addLinear(0, 2.0);
+    q.addQuadratic(0, 1, -3.0);
+    EXPECT_DOUBLE_EQ(q.energy({0, 0}), 1.0);
+    EXPECT_DOUBLE_EQ(q.energy({1, 0}), 3.0);
+    EXPECT_DOUBLE_EQ(q.energy({1, 1}), 0.0);
+}
+
+TEST(Qubo, ToIsingEquivalence)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        QuboModel q(5);
+        for (uint32_t i = 0; i < 5; ++i)
+            q.addLinear(i, rng.uniform() * 6 - 3);
+        for (uint32_t i = 0; i < 5; ++i)
+            for (uint32_t j = i + 1; j < 5; ++j)
+                if (rng.chance(0.6))
+                    q.addQuadratic(i, j, rng.uniform() * 6 - 3);
+        double offset = 0;
+        IsingModel m = q.toIsing(&offset);
+        for (uint64_t k = 0; k < 32; ++k) {
+            std::vector<uint8_t> bits(5);
+            SpinVector spins(5);
+            for (size_t b = 0; b < 5; ++b) {
+                bits[b] = (k >> b) & 1;
+                spins[b] = bits[b] ? 1 : -1;
+            }
+            EXPECT_NEAR(q.energy(bits), m.energy(spins) + offset, 1e-9);
+        }
+    }
+}
+
+TEST(Qubo, FromIsingInverse)
+{
+    Rng rng(14);
+    IsingModel m = randomModel(rng, 6);
+    QuboModel q = QuboModel::fromIsing(m);
+    for (uint64_t k = 0; k < 64; ++k) {
+        SpinVector spins = indexToSpins(k, 6);
+        std::vector<uint8_t> bits(6);
+        for (size_t b = 0; b < 6; ++b)
+            bits[b] = spins[b] > 0;
+        EXPECT_NEAR(q.energy(bits), m.energy(spins), 1e-9);
+    }
+}
+
+} // namespace
+} // namespace qac::ising

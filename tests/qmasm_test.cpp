@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Tests for the QMASM layer: parsing, macro expansion, assembly to the
+ * logical Ising model, the generated standard-cell library, and the
+ * edif2qmasm translation.  The key end-to-end property (Section 4.3):
+ * the assembled Hamiltonian's ground states are exactly the circuit's
+ * valid input/output relations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qac/anneal/exact.h"
+#include "qac/edif/writer.h"
+#include "qac/netlist/opt.h"
+#include "qac/netlist/simulate.h"
+#include "qac/qmasm/assemble.h"
+#include "qac/qmasm/edif2qmasm.h"
+#include "qac/qmasm/expand.h"
+#include "qac/qmasm/parser.h"
+#include "qac/qmasm/stdcell_lib.h"
+#include "qac/util/logging.h"
+#include "qac/verilog/synth.h"
+
+namespace qac::qmasm {
+namespace {
+
+// ---------------------------------------------------------------- parser
+
+TEST(Parser, WeightAndCoupling)
+{
+    Program p = parseProgram("A 1.5\nA B -0.25\n");
+    ASSERT_EQ(p.statements.size(), 2u);
+    EXPECT_EQ(p.statements[0].kind, Statement::Kind::Weight);
+    EXPECT_DOUBLE_EQ(p.statements[0].value, 1.5);
+    EXPECT_EQ(p.statements[1].kind, Statement::Kind::Coupling);
+    EXPECT_EQ(p.statements[1].sym2, "B");
+}
+
+TEST(Parser, ChainPinAlias)
+{
+    Program p = parseProgram("A = B\nC := true\nD := 0\nE <-> F\n");
+    EXPECT_EQ(p.statements[0].kind, Statement::Kind::Chain);
+    EXPECT_EQ(p.statements[1].kind, Statement::Kind::Pin);
+    EXPECT_TRUE(p.statements[1].pin_value);
+    EXPECT_FALSE(p.statements[2].pin_value);
+    EXPECT_EQ(p.statements[3].kind, Statement::Kind::Alias);
+}
+
+TEST(Parser, CommentsAndBlanks)
+{
+    Program p = parseProgram("# header\n\nA 1 # trailing\n");
+    ASSERT_EQ(p.statements.size(), 2u);
+    EXPECT_EQ(p.statements[0].kind, Statement::Kind::Comment);
+    EXPECT_EQ(p.statements[1].kind, Statement::Kind::Weight);
+}
+
+TEST(Parser, MacroDefinition)
+{
+    // Shaped like the paper's Listing 2.
+    Program p = parseProgram(
+        "!begin_macro OR\n"
+        "  assert Y = A|B\n"
+        "  A 0.5\n"
+        "  B 0.5\n"
+        "  Y -1\n"
+        "  A B 0.5\n"
+        "  A Y -1\n"
+        "  B Y -1\n"
+        "!end_macro OR\n"
+        "!use_macro OR my_or\n");
+    ASSERT_EQ(p.macros.size(), 1u);
+    EXPECT_EQ(p.macros[0].name, "OR");
+    EXPECT_EQ(p.macros[0].body.size(), 7u);
+    ASSERT_EQ(p.statements.size(), 1u);
+    EXPECT_EQ(p.statements[0].kind, Statement::Kind::UseMacro);
+    EXPECT_EQ(p.statements[0].sym2, "my_or");
+}
+
+TEST(Parser, IncludeResolution)
+{
+    auto resolver = [](const std::string &name)
+        -> std::optional<std::string> {
+        if (name == "lib.qmasm")
+            return std::string("!begin_macro N\nA Y 1\n!end_macro N\n");
+        return std::nullopt;
+    };
+    Program p =
+        parseProgram("!include \"lib.qmasm\"\n!use_macro N g\n",
+                     resolver);
+    EXPECT_NE(p.findMacro("N"), nullptr);
+    EXPECT_THROW(parseProgram("!include \"missing\"\n", resolver),
+                 FatalError);
+    EXPECT_THROW(parseProgram("!include \"x\"\n"), FatalError);
+}
+
+TEST(Parser, Errors)
+{
+    EXPECT_THROW(parseProgram("A B C D\n"), FatalError);
+    EXPECT_THROW(parseProgram("A notanumber\n"), FatalError);
+    EXPECT_THROW(parseProgram("!end_macro X\n"), FatalError);
+    EXPECT_THROW(parseProgram("!begin_macro X\nA 1\n"), FatalError);
+    EXPECT_THROW(parseProgram("!bogus\n"), FatalError);
+    EXPECT_THROW(parseProgram("A := maybe\n"), FatalError);
+}
+
+TEST(Parser, RoundTripThroughToString)
+{
+    const char *src = "!begin_macro M\n  A 0.5\n  A Y -1\n"
+                      "!end_macro M\n!use_macro M g\ng.Y := true\n";
+    Program p1 = parseProgram(src);
+    Program p2 = parseProgram(p1.toString());
+    EXPECT_EQ(p1.toString(), p2.toString());
+}
+
+// ---------------------------------------------------------------- expand
+
+TEST(Expand, PrefixesSymbols)
+{
+    Program p = parseProgram(
+        "!begin_macro M\nA 1\nA B -1\nassert Y = A&B\n!end_macro M\n"
+        "!use_macro M inst\n");
+    auto stmts = expand(p);
+    ASSERT_EQ(stmts.size(), 3u);
+    EXPECT_EQ(stmts[0].sym1, "inst.A");
+    EXPECT_EQ(stmts[1].sym2, "inst.B");
+    EXPECT_EQ(stmts[2].text, "inst.Y = inst.A&inst.B");
+}
+
+TEST(Expand, NestedMacros)
+{
+    Program p = parseProgram(
+        "!begin_macro INNER\nX 1\n!end_macro INNER\n"
+        "!begin_macro OUTER\n!use_macro INNER sub\nY 2\n"
+        "!end_macro OUTER\n"
+        "!use_macro OUTER top\n");
+    auto stmts = expand(p);
+    ASSERT_EQ(stmts.size(), 2u);
+    EXPECT_EQ(stmts[0].sym1, "top.sub.X");
+    EXPECT_EQ(stmts[1].sym1, "top.Y");
+}
+
+TEST(Expand, UnknownMacroFails)
+{
+    Program p = parseProgram("!use_macro NOPE g\n");
+    EXPECT_THROW(expand(p), FatalError);
+}
+
+TEST(Expand, AssertTextKeepsLiterals)
+{
+    EXPECT_EQ(prefixAssertText("Y = (A & true) | 1", "g."),
+              "g.Y = (g.A & true) | 1");
+}
+
+// -------------------------------------------------------------- assemble
+
+TEST(Assemble, ChainMergingCollapsesVariables)
+{
+    Program p = parseProgram("A 1\nB -1\nA = B\n");
+    Assembled merged = assemble(p);
+    EXPECT_EQ(merged.model.numVars(), 1u);
+    // h coefficients merge additively: 1 + (-1) = 0.
+    EXPECT_DOUBLE_EQ(merged.model.linear(0), 0.0);
+    EXPECT_EQ(merged.var("A"), merged.var("B"));
+
+    AssembleOptions no_merge;
+    no_merge.merge_chains = false;
+    Assembled kept = assemble(p, no_merge);
+    EXPECT_EQ(kept.model.numVars(), 2u);
+    EXPECT_LT(kept.model.quadratic(0, 1), 0.0); // ferromagnetic chain
+}
+
+TEST(Assemble, DefaultChainStrengthIsTwiceMaxJ)
+{
+    // "defaults to a magnitude of twice the largest-in-magnitude J
+    // value that appears literally in the code" (Section 4.3.5).
+    Program p = parseProgram("A B -1.5\nC = D\n");
+    AssembleOptions opts;
+    opts.merge_chains = false;
+    Assembled a = assemble(p, opts);
+    EXPECT_DOUBLE_EQ(a.chain_strength_used, 3.0);
+    EXPECT_DOUBLE_EQ(a.model.quadratic(a.var("C"), a.var("D")), -3.0);
+}
+
+TEST(Assemble, PinsBiasTowardValue)
+{
+    Program p = parseProgram("A B 1\nA := true\nB := false\n");
+    Assembled a = assemble(p);
+    EXPECT_LT(a.model.linear(a.var("A")), 0.0); // favor +1
+    EXPECT_GT(a.model.linear(a.var("B")), 0.0); // favor -1
+    ASSERT_EQ(a.pins.size(), 2u);
+}
+
+TEST(Assemble, AliasAlwaysMerges)
+{
+    Program p = parseProgram("A <-> B\nA 1\n");
+    AssembleOptions opts;
+    opts.merge_chains = false;
+    Assembled a = assemble(p, opts);
+    EXPECT_EQ(a.var("A"), a.var("B"));
+}
+
+TEST(Assemble, MergedSelfCouplingBecomesOffset)
+{
+    Program p = parseProgram("A = B\nA B -5\n");
+    Assembled a = assemble(p);
+    EXPECT_EQ(a.model.numVars(), 1u);
+    EXPECT_DOUBLE_EQ(a.energy_offset, -5.0);
+}
+
+TEST(Assemble, InternalSymbolsHidden)
+{
+    Program p = parseProgram("x 1\n$hidden 1\ninst.$a 1\n");
+    Assembled a = assemble(p);
+    auto values = a.visibleValues(ising::SpinVector(3, 1));
+    EXPECT_EQ(values.size(), 1u);
+    EXPECT_TRUE(values.count("x"));
+}
+
+TEST(Assemble, PreferVisibleNameForMergedVar)
+{
+    Program p = parseProgram("$g0.Y = out\n");
+    Assembled a = assemble(p);
+    EXPECT_EQ(a.var_names[a.var("out")], "out");
+}
+
+TEST(Assemble, AssertEvaluation)
+{
+    Program p = parseProgram("Y 1\nA 1\nB 1\nassert Y = A&B\n");
+    Assembled a = assemble(p);
+    uint32_t y = a.var("Y"), va = a.var("A"), vb = a.var("B");
+    ising::SpinVector good(3, -1);
+    good[y] = -1;
+    EXPECT_TRUE(a.checkAsserts(good));
+    good[va] = good[vb] = 1;
+    std::string failed;
+    EXPECT_FALSE(a.checkAsserts(good, &failed));
+    EXPECT_EQ(failed, "Y = A&B");
+    good[y] = 1;
+    EXPECT_TRUE(a.checkAsserts(good));
+}
+
+TEST(AssertExpr, OperatorsAndPrecedence)
+{
+    std::map<std::string, bool> v{{"a", true}, {"b", false},
+                                  {"c", true}};
+    EXPECT_TRUE(evalAssertExpr("a", v));
+    EXPECT_FALSE(evalAssertExpr("~a", v));
+    EXPECT_TRUE(evalAssertExpr("a | b", v));
+    EXPECT_FALSE(evalAssertExpr("a & b", v));
+    EXPECT_TRUE(evalAssertExpr("a ^ b", v));
+    EXPECT_TRUE(evalAssertExpr("a = c", v));
+    EXPECT_TRUE(evalAssertExpr("a != b", v));
+    EXPECT_TRUE(evalAssertExpr("a & c | b", v));      // (a&c) | b
+    EXPECT_TRUE(evalAssertExpr("~(a & b)", v));
+    EXPECT_TRUE(evalAssertExpr("b = b & a", v));      // b = (b&a)
+    EXPECT_TRUE(evalAssertExpr("true & 1", v));
+    EXPECT_FALSE(evalAssertExpr("false | 0", v));
+    EXPECT_THROW(evalAssertExpr("missing", v), FatalError);
+    EXPECT_THROW(evalAssertExpr("(a", v), FatalError);
+}
+
+// -------------------------------------------------------------- stdcells
+
+TEST(StdcellLib, ContainsAllCells)
+{
+    const Program &lib = stdcellLibrary();
+    for (const char *name :
+         {"NOT", "AND", "OR", "NAND", "NOR", "XOR", "XNOR", "MUX",
+          "AOI3", "OAI3", "AOI4", "OAI4", "DFF_P", "DFF_N"})
+        EXPECT_NE(lib.findMacro(name), nullptr) << name;
+}
+
+TEST(StdcellLib, TextParsesBack)
+{
+    Program p = parseProgram(stdcellText());
+    EXPECT_EQ(p.macros.size(), stdcellLibrary().macros.size());
+}
+
+TEST(StdcellLib, ResolverServesIt)
+{
+    auto r = stdcellResolver();
+    EXPECT_TRUE(r("stdcell.qmasm").has_value());
+    EXPECT_FALSE(r("other.qmasm").has_value());
+}
+
+/** Ground states of an assembled macro == the gate's truth table. */
+TEST(StdcellLib, AssembledMacroGroundStates)
+{
+    Program prog;
+    prog.macros = stdcellLibrary().macros;
+    Statement use;
+    use.kind = Statement::Kind::UseMacro;
+    use.sym1 = "AND";
+    use.sym2 = "g";
+    prog.statements.push_back(use);
+    Assembled a = assemble(prog);
+    anneal::ExactSolver solver;
+    auto res = solver.solve(a.model);
+    ASSERT_EQ(res.ground_states.size(), 4u); // 4 valid AND rows
+    for (const auto &gs : res.ground_states)
+        EXPECT_TRUE(a.checkAsserts(gs));
+}
+
+// ------------------------------------------------------------ edif2qmasm
+
+/**
+ * The central Section 4.3 property: compile a circuit, translate it to
+ * QMASM, assemble, and check that the exact ground states are exactly
+ * the circuit's I/O relations (verified against the netlist simulator).
+ */
+void
+checkGroundStatesAreCircuitRelation(const char *src, const char *top)
+{
+    auto nl = verilog::synthesizeSource(src, top);
+    netlist::optimize(nl);
+    Program prog = netlistToQmasm(nl);
+    Assembled a = assemble(prog);
+    ASSERT_LE(a.model.numVars(), 24u) << "test circuit too large";
+
+    anneal::ExactSolver solver;
+    auto res = solver.solve(a.model);
+    ASSERT_FALSE(res.ground_states.empty());
+
+    // Every ground state satisfies all per-gate asserts and matches a
+    // forward simulation of its input values.
+    netlist::Simulator sim(nl);
+    std::set<uint64_t> seen_inputs;
+    for (const auto &gs : res.ground_states) {
+        EXPECT_TRUE(a.checkAsserts(gs));
+        uint64_t key = 0;
+        size_t shift = 0;
+        for (const auto &p : nl.ports()) {
+            if (p.dir != netlist::PortDir::Input)
+                continue;
+            uint64_t v = 0;
+            for (size_t i = 0; i < p.bits.size(); ++i)
+                if (a.symbolValue(gs, portBitSymbol(p, i)))
+                    v |= uint64_t{1} << i;
+            sim.setInput(p.name, v);
+            key |= v << shift;
+            shift += p.width();
+        }
+        seen_inputs.insert(key);
+        sim.eval();
+        for (const auto &p : nl.ports()) {
+            if (p.dir != netlist::PortDir::Output)
+                continue;
+            for (size_t i = 0; i < p.bits.size(); ++i)
+                EXPECT_EQ(a.symbolValue(gs, portBitSymbol(p, i)),
+                          sim.netValue(p.bits[i]))
+                    << p.name << "[" << i << "]";
+        }
+    }
+    // And every input combination appears among the ground states
+    // (the relation is total).
+    size_t in_bits = 0;
+    for (const auto &p : nl.ports())
+        if (p.dir == netlist::PortDir::Input)
+            in_bits += p.width();
+    EXPECT_EQ(seen_inputs.size(), size_t{1} << in_bits);
+}
+
+TEST(Edif2Qmasm, XorRelation)
+{
+    checkGroundStatesAreCircuitRelation(
+        "module m (a, b, y); input a, b; output y; "
+        "assign y = a ^ b; endmodule",
+        "m");
+}
+
+TEST(Edif2Qmasm, MuxAddSubRelation)
+{
+    // Figure 2's example: H minimized exactly on valid relations.
+    checkGroundStatesAreCircuitRelation(
+        "module m (s, a, b, c); input s, a, b; output [1:0] c; "
+        "assign c = s ? a+b : a-b; endmodule",
+        "m");
+}
+
+TEST(Edif2Qmasm, TinyMultiplierRelation)
+{
+    checkGroundStatesAreCircuitRelation(
+        "module m (x, y, p); input [1:0] x, y; output [3:0] p; "
+        "assign p = x * y; endmodule",
+        "m");
+}
+
+TEST(Edif2Qmasm, ConstantsBecomePins)
+{
+    auto nl = verilog::synthesizeSource(
+        "module m (a, y); input a; output [1:0] y; "
+        "assign y = {1'b1, a}; endmodule",
+        "m");
+    netlist::optimize(nl);
+    Program prog = netlistToQmasm(nl);
+    bool has_pin = false;
+    for (const auto &st : prog.statements)
+        if (st.kind == Statement::Kind::Pin && st.pin_value)
+            has_pin = true;
+    EXPECT_TRUE(has_pin);
+}
+
+TEST(Edif2Qmasm, EdifTextPath)
+{
+    // Through real EDIF text, as the paper's tool consumes it.
+    auto nl = verilog::synthesizeSource(
+        "module m (a, b, y); input a, b; output y; "
+        "assign y = a & b; endmodule",
+        "m");
+    netlist::optimize(nl);
+    Program prog = edifToQmasm(qac::edif::writeEdif(nl));
+    Assembled a = assemble(prog);
+    anneal::ExactSolver solver;
+    auto res = solver.solve(a.model);
+    EXPECT_EQ(res.ground_states.size(), 4u);
+}
+
+} // namespace
+} // namespace qac::qmasm

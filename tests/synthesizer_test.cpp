@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the inequality-system cell synthesizer (Tables 2-4).
+ *
+ * Reproduces the paper's mathematical facts: AND is solvable with no
+ * ancilla (Table 2); XOR and XNOR are the only unsolvable 2-input
+ * functions without ancillas [Whitfield et al.], and exactly 8 of the
+ * 16 one-ancilla augmentations of XOR are solvable (Table 3's "one of
+ * the eight possible ways").
+ */
+
+#include <gtest/gtest.h>
+
+#include "qac/cells/synthesizer.h"
+#include "qac/util/logging.h"
+
+namespace qac::cells {
+namespace {
+
+TEST(TruthTable, ForGate)
+{
+    TruthTable tt = TruthTable::forGate(GateType::AND);
+    ASSERT_EQ(tt.numInputs, 2u);
+    EXPECT_FALSE(tt.output[0b00]);
+    EXPECT_FALSE(tt.output[0b01]);
+    EXPECT_FALSE(tt.output[0b10]);
+    EXPECT_TRUE(tt.output[0b11]);
+    EXPECT_THROW(TruthTable::forGate(GateType::DFF_P), FatalError);
+}
+
+TEST(Synthesizer, AndSolvableWithoutAncilla)
+{
+    // Table 2: the AND system of inequalities is solvable directly.
+    auto tt = TruthTable::forGate(GateType::AND);
+    auto cell = synthesizeWithPattern(tt, 0, {0, 0, 0, 0});
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_EQ(cell->numAncillas, 0u);
+    EXPECT_GT(cell->gap, 0.0);
+}
+
+TEST(Synthesizer, XorUnsolvableWithoutAncilla)
+{
+    // Table 4's premise: 8 inequalities over 6 unknowns, infeasible.
+    auto tt = TruthTable::forGate(GateType::XOR);
+    EXPECT_FALSE(synthesizeWithPattern(tt, 0, {0, 0, 0, 0}).has_value());
+}
+
+TEST(Synthesizer, XnorUnsolvableWithoutAncilla)
+{
+    auto tt = TruthTable::forGate(GateType::XNOR);
+    EXPECT_FALSE(synthesizeWithPattern(tt, 0, {0, 0, 0, 0}).has_value());
+}
+
+TEST(Synthesizer, PaperXorAugmentationSolvable)
+{
+    // Table 3's augmentation: rows (Y,A,B) -> a values F,T,F,F keyed by
+    // input combo (A,B): 00->F, 01->T, 10->F, 11->F.
+    auto tt = TruthTable::forGate(GateType::XOR);
+    auto cell = synthesizeWithPattern(tt, 1, {0, 1, 0, 0});
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_GT(cell->gap, 0.0);
+}
+
+TEST(Synthesizer, ExactlyEightXorPatternsSolvable)
+{
+    // "one of the eight possible ways to augment the truth table".
+    auto tt = TruthTable::forGate(GateType::XOR);
+    EXPECT_EQ(countSolvablePatterns(tt, 1), 8u);
+}
+
+TEST(Synthesizer, ExactlyEightXnorPatternsSolvable)
+{
+    auto tt = TruthTable::forGate(GateType::XNOR);
+    EXPECT_EQ(countSolvablePatterns(tt, 1), 8u);
+}
+
+TEST(Synthesizer, SearchPrefersFewestAncillas)
+{
+    auto and_tt = TruthTable::forGate(GateType::AND);
+    auto c1 = synthesizeCell(and_tt);
+    ASSERT_TRUE(c1.has_value());
+    EXPECT_EQ(c1->numAncillas, 0u);
+
+    auto xor_tt = TruthTable::forGate(GateType::XOR);
+    auto c2 = synthesizeCell(xor_tt);
+    ASSERT_TRUE(c2.has_value());
+    EXPECT_EQ(c2->numAncillas, 1u);
+}
+
+TEST(Synthesizer, RespectsCoefficientBox)
+{
+    auto tt = TruthTable::forGate(GateType::OR);
+    SynthesisOptions opts;
+    auto cell = synthesizeCell(tt, opts);
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_TRUE(cell->H.withinRange(opts.range));
+}
+
+TEST(Synthesizer, TighterBoxShrinksGap)
+{
+    auto tt = TruthTable::forGate(GateType::AND);
+    SynthesisOptions wide;
+    SynthesisOptions tight;
+    tight.range = {-0.5, 0.5, -0.5, 0.25};
+    auto cw = synthesizeCell(tt, wide);
+    auto ct = synthesizeCell(tt, tight);
+    ASSERT_TRUE(cw && ct);
+    EXPECT_GT(cw->gap, ct->gap);
+    EXPECT_TRUE(ct->H.withinRange(tight.range));
+}
+
+/**
+ * Sweep all 16 two-input Boolean functions: each is synthesizable with
+ * at most one ancilla, and the resulting cell is exhaustively correct.
+ */
+class AllTwoInputFunctions : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AllTwoInputFunctions, SynthesizableWithinOneAncilla)
+{
+    int f = GetParam();
+    TruthTable tt;
+    tt.numInputs = 2;
+    tt.output = {(f & 1) != 0, (f & 2) != 0, (f & 4) != 0, (f & 8) != 0};
+    SynthesisOptions opts;
+    opts.maxAncillas = 1;
+    auto cell = synthesizeCell(tt, opts);
+    ASSERT_TRUE(cell.has_value()) << "function " << f;
+    // Exhaustive check of the synthesized penalty function.
+    size_t n = 3 + cell->numAncillas;
+    double k = 1e300;
+    std::vector<double> row_min(8, 1e300);
+    for (uint32_t full = 0; full < (1u << n); ++full) {
+        auto spins = ising::indexToSpins(full, n);
+        uint32_t row = full & 7; // Y, A, B
+        row_min[row] = std::min(row_min[row], cell->H.energy(spins));
+    }
+    for (uint32_t row = 0; row < 8; ++row) {
+        bool y = row & 1;
+        uint32_t in = row >> 1;
+        if (tt.output[in] == y)
+            k = std::min(k, row_min[row]);
+    }
+    for (uint32_t row = 0; row < 8; ++row) {
+        bool y = row & 1;
+        uint32_t in = row >> 1;
+        if (tt.output[in] == y)
+            EXPECT_NEAR(row_min[row], k, 1e-6) << "f=" << f;
+        else
+            EXPECT_GT(row_min[row], k + 1e-6) << "f=" << f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllTwoInputFunctions,
+                         ::testing::Range(0, 16));
+
+TEST(Synthesizer, ToCellHamiltonianVerifies)
+{
+    auto tt = TruthTable::forGate(GateType::NOR);
+    auto cell = synthesizeCell(tt);
+    ASSERT_TRUE(cell.has_value());
+    CellHamiltonian ch = toCellHamiltonian(GateType::NOR, *cell);
+    EXPECT_EQ(ch.varNames[0], "Y");
+    EXPECT_GT(ch.gap, 0.0);
+}
+
+TEST(Synthesizer, ThreeInputMajority)
+{
+    // MAJ(a,b,c) is solvable with no ancillas (a classic result).
+    TruthTable tt;
+    tt.numInputs = 3;
+    tt.output.resize(8);
+    for (int i = 0; i < 8; ++i)
+        tt.output[i] = __builtin_popcount(i) >= 2;
+    auto cell = synthesizeWithPattern(tt, 0,
+                                      std::vector<uint32_t>(8, 0));
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_GT(cell->gap, 0.0);
+}
+
+TEST(Synthesizer, ThreeInputParityNeedsAncillas)
+{
+    // 3-input XOR cannot be quadratic without ancillas.
+    TruthTable tt;
+    tt.numInputs = 3;
+    tt.output.resize(8);
+    for (int i = 0; i < 8; ++i)
+        tt.output[i] = __builtin_popcount(i) % 2;
+    EXPECT_FALSE(
+        synthesizeWithPattern(tt, 0, std::vector<uint32_t>(8, 0))
+            .has_value());
+    SynthesisOptions opts;
+    opts.maxAncillas = 2;
+    auto cell = synthesizeCell(tt, opts);
+    ASSERT_TRUE(cell.has_value());
+    EXPECT_GE(cell->numAncillas, 1u);
+}
+
+} // namespace
+} // namespace qac::cells

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the util substrate: strings, RNG, simplex LP, maxflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "qac/util/logging.h"
+#include "qac/util/maxflow.h"
+#include "qac/util/rng.h"
+#include "qac/util/simplex.h"
+#include "qac/util/strings.h"
+
+namespace qac {
+namespace {
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto v = split("a,,b,", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "");
+    EXPECT_EQ(v[2], "b");
+    EXPECT_EQ(v[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpty)
+{
+    auto v = splitWhitespace("  a\t b\n  c  ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "c");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(endsWith("foobar", "bar"));
+    EXPECT_FALSE(endsWith("ar", "bar"));
+}
+
+TEST(Strings, CountLines)
+{
+    EXPECT_EQ(countLines(""), 0u);
+    EXPECT_EQ(countLines("one"), 1u);
+    EXPECT_EQ(countLines("one\n"), 1u);
+    EXPECT_EQ(countLines("one\ntwo"), 2u);
+    EXPECT_EQ(countLines("one\ntwo\n"), 2u);
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("MiXeD123"), "mixed123");
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom %d", 42), FatalError);
+    try {
+        fatal("value = %d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value = 7");
+    }
+}
+
+TEST(Logging, Format)
+{
+    EXPECT_EQ(format("%s-%03d", "x", 5), "x-005");
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng r(2);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = r.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // every residue hit
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(3);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        lo |= (v == -2);
+        hi |= (v == 2);
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, SpinIsBothSigns)
+{
+    Rng r(4);
+    int plus = 0;
+    for (int i = 0; i < 1000; ++i)
+        if (r.spin() > 0)
+            ++plus;
+    EXPECT_GT(plus, 400);
+    EXPECT_LT(plus, 600);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    Rng r(5);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    r.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, orig);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng a(6);
+    Rng b = a.fork();
+    EXPECT_NE(a.next(), b.next());
+}
+
+// ---------------------------------------------------------------- simplex
+
+TEST(Simplex, SimpleMaximization)
+{
+    // max x + y s.t. x + 2y <= 4, 3x + y <= 6 -> optimum at (1.6, 1.2).
+    std::vector<LpConstraint> cons = {
+        {{1, 2}, Relation::LE, 4},
+        {{3, 1}, Relation::LE, 6},
+    };
+    auto r = solveLp(2, {1, 1}, cons);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 2.8, 1e-9);
+    EXPECT_NEAR(r.x[0], 1.6, 1e-9);
+    EXPECT_NEAR(r.x[1], 1.2, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint)
+{
+    // max x s.t. x + y = 3, x <= 2.
+    std::vector<LpConstraint> cons = {
+        {{1, 1}, Relation::EQ, 3},
+        {{1, 0}, Relation::LE, 2},
+    };
+    auto r = solveLp(2, {1, 0}, cons);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+    EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraint)
+{
+    // max -x s.t. x >= 5 -> x = 5.
+    std::vector<LpConstraint> cons = {{{1}, Relation::GE, 5}};
+    auto r = solveLp(1, {-1}, cons);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.x[0], 5.0, 1e-9);
+}
+
+TEST(Simplex, Infeasible)
+{
+    std::vector<LpConstraint> cons = {
+        {{1}, Relation::LE, 1},
+        {{1}, Relation::GE, 2},
+    };
+    auto r = solveLp(1, {1}, cons);
+    EXPECT_EQ(r.status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, Unbounded)
+{
+    std::vector<LpConstraint> cons = {{{1}, Relation::GE, 0}};
+    auto r = solveLp(1, {1}, cons);
+    EXPECT_EQ(r.status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization)
+{
+    // max x subject to -x <= -2 (i.e. x >= 2), x <= 5.
+    std::vector<LpConstraint> cons = {
+        {{-1}, Relation::LE, -2},
+        {{1}, Relation::LE, 5},
+    };
+    auto r = solveLp(1, {1}, cons);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.x[0], 5.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates)
+{
+    std::vector<LpConstraint> cons = {
+        {{1, 1}, Relation::LE, 2},
+        {{1, 1}, Relation::LE, 2},
+        {{2, 2}, Relation::LE, 4},
+        {{1, 0}, Relation::LE, 1},
+        {{0, 1}, Relation::LE, 1},
+    };
+    auto r = solveLp(2, {1, 1}, cons);
+    ASSERT_EQ(r.status, LpStatus::Optimal);
+    EXPECT_NEAR(r.objective, 2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- maxflow
+
+TEST(MaxFlow, SingleEdge)
+{
+    MaxFlow mf(2);
+    mf.addEdge(0, 1, 3.5);
+    EXPECT_DOUBLE_EQ(mf.solve(0, 1), 3.5);
+}
+
+TEST(MaxFlow, ClassicDiamond)
+{
+    MaxFlow mf(4);
+    mf.addEdge(0, 1, 3);
+    mf.addEdge(0, 2, 2);
+    mf.addEdge(1, 3, 2);
+    mf.addEdge(2, 3, 3);
+    mf.addEdge(1, 2, 1);
+    EXPECT_DOUBLE_EQ(mf.solve(0, 3), 5.0);
+}
+
+TEST(MaxFlow, MinCutSide)
+{
+    MaxFlow mf(4);
+    mf.addEdge(0, 1, 10);
+    mf.addEdge(1, 2, 1); // bottleneck
+    mf.addEdge(2, 3, 10);
+    EXPECT_DOUBLE_EQ(mf.solve(0, 3), 1.0);
+    auto side = mf.reachableFrom(0);
+    EXPECT_TRUE(side[0]);
+    EXPECT_TRUE(side[1]);
+    EXPECT_FALSE(side[2]);
+    EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, DisconnectedIsZero)
+{
+    MaxFlow mf(3);
+    mf.addEdge(0, 1, 5);
+    EXPECT_DOUBLE_EQ(mf.solve(0, 2), 0.0);
+}
+
+} // namespace
+} // namespace qac

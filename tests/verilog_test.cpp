@@ -1,0 +1,820 @@
+/**
+ * @file
+ * Tests for the Verilog frontend: lexer, parser, elaboration, and the
+ * bit-blasting synthesizer, cross-checked against a reference software
+ * evaluation through the netlist simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qac/netlist/opt.h"
+#include "qac/netlist/simulate.h"
+#include "qac/util/logging.h"
+#include "qac/util/rng.h"
+#include "qac/verilog/lexer.h"
+#include "qac/verilog/parser.h"
+#include "qac/verilog/synth.h"
+
+namespace qac::verilog {
+namespace {
+
+// ----------------------------------------------------------------- lexer
+
+TEST(Lexer, BasicTokens)
+{
+    auto toks = tokenize("module m (a); endmodule");
+    ASSERT_GE(toks.size(), 6u);
+    EXPECT_TRUE(toks[0].isIdent("module"));
+    EXPECT_TRUE(toks[2].isPunct("("));
+    EXPECT_TRUE(toks.back().is(TokKind::End));
+}
+
+TEST(Lexer, SizedLiterals)
+{
+    auto toks = tokenize("4'b1010 8'hFF 6'd33 'o17 42");
+    EXPECT_EQ(toks[0].num_value, 10u);
+    EXPECT_EQ(toks[0].num_width, 4);
+    EXPECT_EQ(toks[1].num_value, 255u);
+    EXPECT_EQ(toks[1].num_width, 8);
+    EXPECT_EQ(toks[2].num_value, 33u);
+    EXPECT_EQ(toks[3].num_value, 15u);
+    EXPECT_EQ(toks[3].num_width, -1);
+    EXPECT_EQ(toks[4].num_value, 42u);
+    EXPECT_EQ(toks[4].num_width, -1);
+}
+
+TEST(Lexer, UnderscoresInLiterals)
+{
+    auto toks = tokenize("8'b1010_1010");
+    EXPECT_EQ(toks[0].num_value, 0xAAu);
+}
+
+TEST(Lexer, Comments)
+{
+    auto toks = tokenize("a // line comment\nb /* block\ncomment */ c");
+    ASSERT_EQ(toks.size(), 4u); // a b c End
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, MultiCharOperators)
+{
+    auto toks = tokenize("<= >= == != && || << >> ~^");
+    EXPECT_TRUE(toks[0].isPunct("<="));
+    EXPECT_TRUE(toks[3].isPunct("!="));
+    EXPECT_TRUE(toks[6].isPunct("<<"));
+    EXPECT_TRUE(toks[8].isPunct("~^"));
+}
+
+TEST(Lexer, LineNumbers)
+{
+    auto toks = tokenize("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1u);
+    EXPECT_EQ(toks[1].line, 2u);
+    EXPECT_EQ(toks[2].line, 4u);
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(Parser, NonAnsiModule)
+{
+    Design d = parse(R"(
+        module m (a, b, y);
+          input a, b;
+          output y;
+          assign y = a & b;
+        endmodule
+    )");
+    ASSERT_EQ(d.modules.size(), 1u);
+    const Module &m = d.modules[0];
+    EXPECT_EQ(m.name, "m");
+    EXPECT_EQ(m.port_order.size(), 3u);
+    EXPECT_EQ(m.assigns.size(), 1u);
+    EXPECT_TRUE(m.findDecl("a")->is_input);
+    EXPECT_TRUE(m.findDecl("y")->is_output);
+}
+
+TEST(Parser, AnsiModule)
+{
+    Design d = parse(R"(
+        module m (input [3:0] a, output reg [7:0] y);
+        endmodule
+    )");
+    const Module &m = d.modules[0];
+    EXPECT_EQ(m.port_order.size(), 2u);
+    EXPECT_TRUE(m.findDecl("y")->is_reg);
+}
+
+TEST(Parser, OutputRegMergedDecl)
+{
+    Design d = parse(R"(
+        module m (y);
+          output [5:0] y;
+          reg [5:0] y;
+        endmodule
+    )");
+    const SignalDecl *y = d.modules[0].findDecl("y");
+    ASSERT_NE(y, nullptr);
+    EXPECT_TRUE(y->is_output);
+    EXPECT_TRUE(y->is_reg);
+}
+
+TEST(Parser, AlwaysPosedge)
+{
+    Design d = parse(R"(
+        module m (clk, d, q);
+          input clk, d; output q; reg q;
+          always @(posedge clk) q <= d;
+        endmodule
+    )");
+    const auto &ab = d.modules[0].always[0];
+    EXPECT_TRUE(ab.clocked);
+    EXPECT_TRUE(ab.posedge);
+    EXPECT_EQ(ab.clock, "clk");
+    EXPECT_TRUE(ab.body->nonblocking);
+}
+
+TEST(Parser, CaseStatement)
+{
+    Design d = parse(R"(
+        module m (s, y);
+          input [1:0] s; output reg y;
+          always @(*)
+            case (s)
+              2'b00, 2'b11: y = 1;
+              default: y = 0;
+            endcase
+        endmodule
+    )");
+    const Stmt &s = *d.modules[0].always[0].body;
+    ASSERT_EQ(s.kind, Stmt::Kind::Case);
+    ASSERT_EQ(s.case_items.size(), 2u);
+    EXPECT_EQ(s.case_items[0].labels.size(), 2u);
+    EXPECT_TRUE(s.case_items[1].labels.empty()); // default
+}
+
+TEST(Parser, InstanceNamedAndPositional)
+{
+    Design d = parse(R"(
+        module sub (a, y); input a; output y; assign y = ~a; endmodule
+        module top (x, z, w);
+          input x; output z, w;
+          sub u1 (.a(x), .y(z));
+          sub u2 (x, w);
+        endmodule
+    )");
+    const Module &top = d.modules[1];
+    ASSERT_EQ(top.instances.size(), 2u);
+    EXPECT_EQ(top.instances[0].conns[0].port, "a");
+    EXPECT_TRUE(top.instances[1].conns[0].port.empty());
+}
+
+TEST(Parser, SyntaxErrorsThrow)
+{
+    EXPECT_THROW(parse("module m (a; endmodule"), FatalError);
+    EXPECT_THROW(parse("module m (); assign = 1; endmodule"),
+                 FatalError);
+    EXPECT_THROW(parse("garbage"), FatalError);
+    EXPECT_THROW(parse("module m (inout x); endmodule"), FatalError);
+}
+
+// ------------------------------------------------------------ elaborate
+
+TEST(Elaborate, ParameterDefaultsAndOverrides)
+{
+    Design d = parse(R"(
+        module m (y);
+          parameter W = 4;
+          parameter W2 = W * 2;
+          output [W2-1:0] y;
+        endmodule
+    )");
+    ElabModule em = elaborate(d.modules[0], {});
+    EXPECT_EQ(em.params.at("W2"), 8u);
+    EXPECT_EQ(em.find("y")->width(), 8u);
+    ElabModule em2 = elaborate(d.modules[0], {{"W", 3}});
+    EXPECT_EQ(em2.find("y")->width(), 6u);
+    EXPECT_THROW(elaborate(d.modules[0], {{"NOPE", 1}}), FatalError);
+}
+
+TEST(Elaborate, ConstEval)
+{
+    auto e = [&](const char *src) {
+        // Parse through an expression context: reuse a tiny module.
+        Design dd = parse(std::string("module t (y); parameter N = 5; "
+                                      "output [") +
+                          src + ":0] y; endmodule");
+        return elaborate(dd.modules[0], {}).find("y")->width() - 1;
+    };
+    EXPECT_EQ(e("3"), 3u);
+    EXPECT_EQ(e("N"), 5u);
+    EXPECT_EQ(e("N+2"), 7u);
+    EXPECT_EQ(e("N*2-1"), 9u);
+    EXPECT_EQ(e("(1<<3)-1"), 7u);
+}
+
+TEST(Elaborate, AscendingRanges)
+{
+    // The paper's Listing 5 uses "wire [1:10] x".
+    Design d = parse("module m (); wire [1:10] x; endmodule");
+    ElabModule em = elaborate(d.modules[0], {});
+    const ElabSignal *x = em.find("x");
+    ASSERT_NE(x, nullptr);
+    EXPECT_FALSE(x->descending());
+    EXPECT_EQ(x->width(), 10u);
+    EXPECT_EQ(x->bitPos(10), 0u); // right index is the LSB
+    EXPECT_EQ(x->bitPos(1), 9u);
+    EXPECT_EQ(x->declaredIndex(0), 10);
+}
+
+// ------------------------------------------------------------ synthesis
+
+/** Build, optimize, and evaluate a single-expression module. */
+uint64_t
+evalExpr(const std::string &expr, size_t out_width,
+         const std::vector<std::pair<std::string, uint64_t>> &inputs,
+         const std::string &decls)
+{
+    std::string src = "module t (";
+    for (const auto &[name, v] : inputs) {
+        (void)v;
+        src += name + ", ";
+    }
+    src += "y);\n" + decls + "\n  output [" +
+        std::to_string(out_width - 1) + ":0] y;\n  assign y = " + expr +
+        ";\nendmodule\n";
+    auto nl = synthesizeSource(src, "t");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    for (const auto &[name, v] : inputs)
+        sim.setInput(name, v);
+    sim.eval();
+    return sim.output("y");
+}
+
+TEST(Synth, Arithmetic)
+{
+    std::string decls = "  input [3:0] a, b;";
+    for (uint64_t a : {0u, 3u, 9u, 15u}) {
+        for (uint64_t b : {0u, 1u, 7u, 15u}) {
+            std::vector<std::pair<std::string, uint64_t>> in = {
+                {"a", a}, {"b", b}};
+            EXPECT_EQ(evalExpr("a + b", 5, in, decls), a + b);
+            EXPECT_EQ(evalExpr("a - b", 4, in, decls), (a - b) & 15);
+            EXPECT_EQ(evalExpr("a * b", 8, in, decls), a * b);
+            if (b != 0) {
+                EXPECT_EQ(evalExpr("a / b", 4, in, decls), a / b);
+                EXPECT_EQ(evalExpr("a % b", 4, in, decls), a % b);
+            }
+        }
+    }
+}
+
+TEST(Synth, Comparisons)
+{
+    std::string decls = "  input [2:0] a, b;";
+    for (uint64_t a = 0; a < 8; ++a) {
+        for (uint64_t b = 0; b < 8; ++b) {
+            std::vector<std::pair<std::string, uint64_t>> in = {
+                {"a", a}, {"b", b}};
+            EXPECT_EQ(evalExpr("a == b", 1, in, decls), a == b);
+            EXPECT_EQ(evalExpr("a != b", 1, in, decls), a != b);
+            EXPECT_EQ(evalExpr("a < b", 1, in, decls), a < b);
+            EXPECT_EQ(evalExpr("a <= b", 1, in, decls), a <= b);
+            EXPECT_EQ(evalExpr("a > b", 1, in, decls), a > b);
+            EXPECT_EQ(evalExpr("a >= b", 1, in, decls), a >= b);
+        }
+    }
+}
+
+TEST(Synth, BitwiseAndLogical)
+{
+    std::string decls = "  input [3:0] a, b;";
+    std::vector<std::pair<std::string, uint64_t>> in = {{"a", 0b1100},
+                                                        {"b", 0b1010}};
+    EXPECT_EQ(evalExpr("a & b", 4, in, decls), 0b1000u);
+    EXPECT_EQ(evalExpr("a | b", 4, in, decls), 0b1110u);
+    EXPECT_EQ(evalExpr("a ^ b", 4, in, decls), 0b0110u);
+    EXPECT_EQ(evalExpr("a ~^ b", 4, in, decls), 0b1001u);
+    EXPECT_EQ(evalExpr("~a", 4, in, decls), 0b0011u);
+    EXPECT_EQ(evalExpr("a && b", 1, in, decls), 1u);
+    EXPECT_EQ(evalExpr("a || b", 1, in, decls), 1u);
+    EXPECT_EQ(evalExpr("!a", 1, in, decls), 0u);
+    in[0].second = 0;
+    EXPECT_EQ(evalExpr("a && b", 1, in, decls), 0u);
+    EXPECT_EQ(evalExpr("!a", 1, in, decls), 1u);
+}
+
+TEST(Synth, Reductions)
+{
+    std::string decls = "  input [3:0] a;";
+    std::vector<std::pair<std::string, uint64_t>> in = {{"a", 0b1011}};
+    EXPECT_EQ(evalExpr("&a", 1, in, decls), 0u);
+    EXPECT_EQ(evalExpr("|a", 1, in, decls), 1u);
+    EXPECT_EQ(evalExpr("^a", 1, in, decls), 1u);
+    EXPECT_EQ(evalExpr("~&a", 1, in, decls), 1u);
+    EXPECT_EQ(evalExpr("~|a", 1, in, decls), 0u);
+    EXPECT_EQ(evalExpr("~^a", 1, in, decls), 0u);
+    in[0].second = 0b1111;
+    EXPECT_EQ(evalExpr("&a", 1, in, decls), 1u);
+}
+
+TEST(Synth, Shifts)
+{
+    std::string decls = "  input [7:0] a; input [2:0] s;";
+    for (uint64_t a : {0x01u, 0x80u, 0xA5u}) {
+        for (uint64_t s = 0; s < 8; ++s) {
+            std::vector<std::pair<std::string, uint64_t>> in = {
+                {"a", a}, {"s", s}};
+            EXPECT_EQ(evalExpr("a << s", 8, in, decls), (a << s) & 0xFF);
+            EXPECT_EQ(evalExpr("a >> s", 8, in, decls), a >> s);
+            // Constant shift path.
+            EXPECT_EQ(evalExpr("a << 3", 8, in, decls), (a << 3) & 0xFF);
+        }
+    }
+}
+
+TEST(Synth, TernaryAndContextWidening)
+{
+    // 1-bit operands widened by the 2-bit result context (Figure 2!).
+    std::string decls = "  input s, a, b;";
+    for (int s = 0; s < 2; ++s) {
+        for (int a = 0; a < 2; ++a) {
+            for (int b = 0; b < 2; ++b) {
+                std::vector<std::pair<std::string, uint64_t>> in = {
+                    {"s", (uint64_t)s},
+                    {"a", (uint64_t)a},
+                    {"b", (uint64_t)b}};
+                uint64_t want =
+                    s ? (uint64_t)(a + b) : (uint64_t)((a - b) & 3);
+                EXPECT_EQ(evalExpr("s ? a+b : a-b", 2, in, decls), want);
+            }
+        }
+    }
+}
+
+TEST(Synth, ConcatAndReplication)
+{
+    std::string decls = "  input [1:0] a; input b;";
+    std::vector<std::pair<std::string, uint64_t>> in = {{"a", 0b10},
+                                                        {"b", 1}};
+    EXPECT_EQ(evalExpr("{a, b}", 3, in, decls), 0b101u);
+    EXPECT_EQ(evalExpr("{b, a}", 3, in, decls), 0b110u);
+    EXPECT_EQ(evalExpr("{2{a}}", 4, in, decls), 0b1010u);
+    EXPECT_EQ(evalExpr("{3{b}}", 3, in, decls), 0b111u);
+}
+
+TEST(Synth, BitAndPartSelects)
+{
+    std::string decls = "  input [7:0] a; input [2:0] i;";
+    std::vector<std::pair<std::string, uint64_t>> in = {{"a", 0b10110100},
+                                                        {"i", 5}};
+    EXPECT_EQ(evalExpr("a[2]", 1, in, decls), 1u);
+    EXPECT_EQ(evalExpr("a[0]", 1, in, decls), 0u);
+    EXPECT_EQ(evalExpr("a[5:2]", 4, in, decls), 0b1101u);
+    EXPECT_EQ(evalExpr("a[i]", 1, in, decls), 1u); // variable index
+    in[1].second = 6;
+    EXPECT_EQ(evalExpr("a[i]", 1, in, decls), 0u);
+}
+
+TEST(Synth, UnaryNegation)
+{
+    std::string decls = "  input [3:0] a;";
+    std::vector<std::pair<std::string, uint64_t>> in = {{"a", 5}};
+    EXPECT_EQ(evalExpr("-a", 4, in, decls), (16 - 5) & 15u);
+}
+
+TEST(Synth, Hierarchy)
+{
+    const char *src = R"(
+        module full_adder (a, b, cin, s, cout);
+          input a, b, cin; output s, cout;
+          assign s = a ^ b ^ cin;
+          assign cout = (a & b) | (cin & (a ^ b));
+        endmodule
+        module add2 (x, y, sum);
+          input [1:0] x, y; output [2:0] sum;
+          wire c0;
+          full_adder fa0 (.a(x[0]), .b(y[0]), .cin(1'b0),
+                          .s(sum[0]), .cout(c0));
+          full_adder fa1 (.a(x[1]), .b(y[1]), .cin(c0),
+                          .s(sum[1]), .cout(sum[2]));
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "add2");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    for (uint64_t x = 0; x < 4; ++x) {
+        for (uint64_t y = 0; y < 4; ++y) {
+            sim.setInput("x", x);
+            sim.setInput("y", y);
+            sim.eval();
+            EXPECT_EQ(sim.output("sum"), x + y);
+        }
+    }
+}
+
+TEST(Synth, ParameterizedInstance)
+{
+    const char *src = R"(
+        module inc #(parameter W = 2) (a, y);
+          input [W-1:0] a; output [W-1:0] y;
+          assign y = a + 1;
+        endmodule
+        module top (p, q);
+          input [3:0] p; output [3:0] q;
+          inc #(.W(4)) u (.a(p), .y(q));
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "top");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    sim.setInput("p", 9);
+    sim.eval();
+    EXPECT_EQ(sim.output("q"), 10u);
+}
+
+TEST(Synth, CombinationalAlwaysWithCase)
+{
+    const char *src = R"(
+        module dec (s, y);
+          input [1:0] s; output reg [3:0] y;
+          always @(*)
+            case (s)
+              2'd0: y = 4'b0001;
+              2'd1: y = 4'b0010;
+              2'd2: y = 4'b0100;
+              default: y = 4'b1000;
+            endcase
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "dec");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    for (uint64_t s = 0; s < 4; ++s) {
+        sim.setInput("s", s);
+        sim.eval();
+        EXPECT_EQ(sim.output("y"), uint64_t{1} << s);
+    }
+}
+
+TEST(Synth, LatchDetection)
+{
+    const char *src = R"(
+        module bad (c, d, y);
+          input c, d; output reg y;
+          always @(*) if (c) y = d;
+        endmodule
+    )";
+    EXPECT_THROW(synthesizeSource(src, "bad"), FatalError);
+}
+
+TEST(Synth, SequentialCounter)
+{
+    // Paper Listing 3.
+    const char *src = R"(
+        module count (clk, inc, reset, out);
+          input clk, inc, reset;
+          output [5:0] out;
+          reg [5:0] var;
+          always @(posedge clk)
+            if (reset) var <= 0;
+            else if (inc) var <= var + 1;
+          assign out = var;
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "count");
+    netlist::optimize(nl);
+    EXPECT_TRUE(nl.isSequential());
+    netlist::Simulator sim(nl);
+    sim.reset();
+    sim.setInput("reset", 0);
+    sim.setInput("inc", 1);
+    sim.eval();
+    for (uint64_t t = 1; t <= 70; ++t) {
+        sim.step();
+        EXPECT_EQ(sim.output("out"), t & 63); // 6-bit wraparound
+    }
+    sim.setInput("reset", 1);
+    sim.eval();
+    sim.step();
+    EXPECT_EQ(sim.output("out"), 0u);
+}
+
+TEST(Synth, ErrorsAreUserFriendly)
+{
+    EXPECT_THROW(synthesizeSource("module m (); endmodule", "other"),
+                 FatalError);
+    EXPECT_THROW(
+        synthesizeSource(
+            "module m (y); output y; assign y = nosuch; endmodule", "m"),
+        FatalError);
+    EXPECT_THROW(
+        synthesizeSource(
+            "module m (a); input [1:0] a; wire x; "
+            "assign x = a[5]; endmodule",
+            "m"),
+        FatalError);
+}
+
+/** Property: random expression trees agree with uint64 semantics. */
+TEST(Synth, RandomExpressionProperty)
+{
+    Rng rng(99);
+    const char *ops[] = {"+", "-",  "*",  "&",  "|",  "^",
+                         "<", ">=", "==", "!=", "<<", ">>"};
+    for (int trial = 0; trial < 40; ++trial) {
+        // Build a random 3-operand expression over 4-bit inputs.
+        std::string a = "a", b = "b", c = "c";
+        const char *op1 = ops[rng.below(12)];
+        const char *op2 = ops[rng.below(12)];
+        std::string expr =
+            "(a " + std::string(op1) + " b) " + op2 + " c";
+        uint64_t av = rng.below(16), bv = rng.below(16),
+                 cv = rng.below(16);
+
+        // Reference semantics: context width 8, unsigned.
+        auto apply = [](const std::string &o, uint64_t x, uint64_t y,
+                        uint64_t mask) -> uint64_t {
+            if (o == "+") return (x + y) & mask;
+            if (o == "-") return (x - y) & mask;
+            if (o == "*") return (x * y) & mask;
+            if (o == "&") return x & y;
+            if (o == "|") return x | y;
+            if (o == "^") return x ^ y;
+            if (o == "<") return x < y;
+            if (o == ">=") return x >= y;
+            if (o == "==") return x == y;
+            if (o == "!=") return x != y;
+            if (o == "<<") return (y >= 64) ? 0 : (x << y) & mask;
+            return (y >= 64) ? 0 : x >> y;
+        };
+        // Verilog context rules: operands of arithmetic/shift ops are
+        // evaluated at the result's context width (8), but comparison
+        // operands are self-determined (4 bits here).
+        auto is_cmp = [](const std::string &o) {
+            return o == "<" || o == ">=" || o == "==" || o == "!=";
+        };
+        bool cmp1 = is_cmp(op1);
+        bool cmp2 = is_cmp(op2);
+        uint64_t inner_mask = cmp2 ? 15 : 255;
+        uint64_t mid = apply(op1, av, bv, cmp1 ? 255 : inner_mask);
+        if (cmp1)
+            mid &= 1;
+        uint64_t want = apply(op2, mid, cv, 255);
+        if (cmp2)
+            want &= 1;
+
+        std::vector<std::pair<std::string, uint64_t>> in = {
+            {"a", av}, {"b", bv}, {"c", cv}};
+        uint64_t got = evalExpr(expr, 8, in, "  input [3:0] a, b, c;");
+        EXPECT_EQ(got, want)
+            << expr << " a=" << av << " b=" << bv << " c=" << cv;
+    }
+}
+
+
+TEST(Synth, ForLoopUnrolls)
+{
+    const char *src = R"(
+        module parity (x, p);
+          input [7:0] x; output reg p;
+          integer i;
+          always @(*) begin
+            p = 0;
+            for (i = 0; i < 8; i = i + 1)
+              p = p ^ x[i];
+          end
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "parity");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    for (uint64_t x : {0x00ull, 0x01ull, 0xFFull, 0xA5ull, 0x7Eull}) {
+        sim.setInput("x", x);
+        sim.eval();
+        EXPECT_EQ(sim.output("p"),
+                  static_cast<uint64_t>(__builtin_parityll(x)));
+    }
+}
+
+TEST(Synth, NestedForLoops)
+{
+    const char *src = R"(
+        module m (y);
+          output reg [7:0] y;
+          integer i, j;
+          always @(*) begin
+            y = 0;
+            for (i = 0; i < 3; i = i + 1)
+              for (j = 0; j < 2; j = j + 1)
+                y = y + 1;
+          end
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "m");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    sim.eval();
+    EXPECT_EQ(sim.output("y"), 6u);
+}
+
+TEST(Synth, ForLoopVariableIndexesSelects)
+{
+    // The loop variable is an elaboration constant: usable in selects.
+    const char *src = R"(
+        module rev (x, y);
+          input [3:0] x; output reg [3:0] y;
+          integer i;
+          always @(*)
+            for (i = 0; i < 4; i = i + 1)
+              y[i] = x[3 - i];
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "rev");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    for (uint64_t x = 0; x < 16; ++x) {
+        sim.setInput("x", x);
+        sim.eval();
+        uint64_t want = ((x & 1) << 3) | ((x & 2) << 1) |
+            ((x & 4) >> 1) | ((x & 8) >> 3);
+        EXPECT_EQ(sim.output("y"), want);
+    }
+}
+
+TEST(Synth, ForLoopRunawayBoundsFatal)
+{
+    const char *src = R"(
+        module bad (y);
+          output reg y;
+          integer i;
+          always @(*) begin
+            y = 0;
+            for (i = 0; i >= 0; i = i + 1)
+              y = ~y;
+          end
+        endmodule
+    )";
+    EXPECT_THROW(synthesizeSource(src, "bad"), FatalError);
+}
+
+TEST(Synth, FunctionWithLoop)
+{
+    const char *src = R"(
+        module pc (x, n);
+          input [7:0] x; output [3:0] n;
+          function [3:0] popcount;
+            input [7:0] v;
+            integer i;
+            begin
+              popcount = 0;
+              for (i = 0; i < 8; i = i + 1)
+                popcount = popcount + v[i];
+            end
+          endfunction
+          assign n = popcount(x);
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "pc");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    for (uint64_t x = 0; x < 256; ++x) {
+        sim.setInput("x", x);
+        sim.eval();
+        EXPECT_EQ(sim.output("n"),
+                  static_cast<uint64_t>(__builtin_popcountll(x)));
+    }
+}
+
+TEST(Synth, NestedFunctionCalls)
+{
+    const char *src = R"(
+        module m (a, b, y);
+          input [3:0] a, b; output [3:0] y;
+          function [3:0] min2;
+            input [3:0] p, q;
+            min2 = p < q ? p : q;
+          endfunction
+          assign y = min2(min2(a, b), 4'd9);
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "m");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    for (uint64_t a = 0; a < 16; ++a) {
+        for (uint64_t b = 0; b < 16; ++b) {
+            sim.setInput("a", a);
+            sim.setInput("b", b);
+            sim.eval();
+            EXPECT_EQ(sim.output("y"),
+                      std::min(std::min(a, b), uint64_t{9}));
+        }
+    }
+}
+
+TEST(Synth, FunctionErrors)
+{
+    // Wrong arity.
+    EXPECT_THROW(synthesizeSource(R"(
+        module m (y); output y;
+        function f; input a, b; f = a & b; endfunction
+        assign y = f(1'b1);
+        endmodule)", "m"),
+                 FatalError);
+    // Unknown function.
+    EXPECT_THROW(synthesizeSource(R"(
+        module m (y); output y; assign y = nosuch(1'b0); endmodule)",
+                                  "m"),
+                 FatalError);
+    // Return value never assigned.
+    EXPECT_THROW(synthesizeSource(R"(
+        module m (y); output y;
+        function f; input a; begin end endfunction
+        assign y = f(1'b1);
+        endmodule)", "m"),
+                 FatalError);
+}
+
+
+TEST(Synth, GenerateForStructuralAdder)
+{
+    const char *src = R"(
+        module full_adder (a, b, cin, s, cout);
+          input a, b, cin; output s, cout;
+          assign s = a ^ b ^ cin;
+          assign cout = (a & b) | (cin & (a ^ b));
+        endmodule
+        module adder #(parameter W = 4) (x, y, sum);
+          input [W-1:0] x, y;
+          output [W:0] sum;
+          wire [W:0] c;
+          assign c[0] = 0;
+          genvar i;
+          generate
+            for (i = 0; i < W; i = i + 1) begin : stage
+              full_adder fa (.a(x[i]), .b(y[i]), .cin(c[i]),
+                             .s(sum[i]), .cout(c[i+1]));
+            end
+          endgenerate
+          assign sum[W] = c[W];
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "adder");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    for (uint64_t x = 0; x < 16; ++x) {
+        for (uint64_t y = 0; y < 16; ++y) {
+            sim.setInput("x", x);
+            sim.setInput("y", y);
+            sim.eval();
+            EXPECT_EQ(sim.output("sum"), x + y);
+        }
+    }
+}
+
+TEST(Synth, GenerateForAssigns)
+{
+    const char *src = R"(
+        module rev (x, y);
+          input [5:0] x; output [5:0] y;
+          genvar i;
+          generate
+            for (i = 0; i < 6; i = i + 1) begin : g
+              assign y[i] = x[5 - i];
+            end
+          endgenerate
+        endmodule
+    )";
+    auto nl = synthesizeSource(src, "rev");
+    netlist::optimize(nl);
+    netlist::Simulator sim(nl);
+    sim.setInput("x", 0b101100);
+    sim.eval();
+    EXPECT_EQ(sim.output("y"), 0b001101u);
+}
+
+TEST(Synth, GenerateForErrors)
+{
+    // Unsupported body item.
+    EXPECT_THROW(parse(R"(
+        module m (y); output y;
+        generate
+          for (i = 0; i < 2; i = i + 1) begin
+            always @(*) y = 0;
+          end
+        endgenerate
+        endmodule)"),
+                 FatalError);
+    // Step assigns the wrong variable.
+    EXPECT_THROW(parse(R"(
+        module m (); genvar i, j;
+        generate
+          for (i = 0; i < 2; j = j + 1) begin
+          end
+        endgenerate
+        endmodule)"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace qac::verilog
