@@ -14,6 +14,8 @@
 #include "qac/cells/stdcell.h"
 #include "qac/ising/model.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -92,6 +94,7 @@ BENCHMARK(BM_CellEnergyEval);
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("cell_library");
     printTable1();
     printTable5();
     benchmark::Initialize(&argc, argv);

@@ -16,6 +16,8 @@
 
 #include "qac/cells/synthesizer.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -112,6 +114,7 @@ BENCHMARK(BM_SynthesizeMux)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("cell_synthesis");
     printTables234();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

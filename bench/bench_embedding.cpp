@@ -24,6 +24,8 @@
 #include "qac/embed/embed_model.h"
 #include "qac/embed/minorminer.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -167,6 +169,7 @@ BENCHMARK(BM_EmbedClique)->Arg(4)->Arg(8)->Unit(
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("embedding");
     printCliqueSweep();
     printDropoutSweep();
     printChainStrengthAblation();

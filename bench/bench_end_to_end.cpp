@@ -17,6 +17,8 @@
 #include "qac/core/compiler.h"
 #include "qac/util/strings.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -130,6 +132,7 @@ BENCHMARK(BM_CompileFig2ToChimera)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("end_to_end");
     printFigure2And3();
     printTechmapAblation();
     benchmark::Initialize(&argc, argv);

@@ -25,6 +25,8 @@
 #include "qac/core/program.h"
 #include "qac/csp/csp.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -169,6 +171,7 @@ BENCHMARK(BM_CspSolve);
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("execution_time");
     printExecutionTimeTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -14,6 +14,8 @@
 #include "qac/core/compiler.h"
 #include "qac/core/program.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -155,6 +157,7 @@ BENCHMARK(BM_Factor143Backward)->Arg(512)->Arg(2048)->Unit(
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("npsolve");
     printValidFractionSweep();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

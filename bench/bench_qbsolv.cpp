@@ -20,6 +20,8 @@
 #include "qac/embed/minorminer.h"
 #include "qac/util/rng.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -158,6 +160,7 @@ BENCHMARK(BM_SaRandom)->Arg(80)->Arg(160)->Unit(
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("qbsolv");
     printDecompositionQuality();
     printHardwareDispatch();
     benchmark::Initialize(&argc, argv);

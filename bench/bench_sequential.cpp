@@ -13,6 +13,8 @@
 #include "qac/core/compiler.h"
 #include "qac/util/logging.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -79,6 +81,7 @@ BENCHMARK(BM_UnrollAndCompile)->Arg(1)->Arg(4)->Arg(8)->Unit(
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("sequential");
     printQubitToll();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

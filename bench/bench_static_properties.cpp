@@ -25,6 +25,8 @@
 #include "qac/embed/roof_duality.h"
 #include "qac/ising/qubo.h"
 
+#include "bench_stats.h"
+
 namespace {
 
 using namespace qac;
@@ -202,6 +204,7 @@ BENCHMARK(BM_EmbedAustralia)
 int
 main(int argc, char **argv)
 {
+    qac::benchstats::Scope bench_scope("static_properties");
     printStaticProperties();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Machine-readable bench output.
+ *
+ * Each benchmark main() opens a benchstats::Scope("<name>"); on exit
+ * it writes BENCH_<name>.json (the qac-stats-v1 schema from
+ * stats/report.h) into the working directory, capturing every metric
+ * the instrumented pipeline recorded during the run.  This gives the
+ * perf trajectory a stable artifact to diff from PR to PR alongside
+ * the human-readable text output.
+ */
+
+#ifndef QAC_BENCH_BENCH_STATS_H
+#define QAC_BENCH_BENCH_STATS_H
+
+#include <cstdio>
+#include <string>
+
+#include "qac/stats/registry.h"
+#include "qac/stats/report.h"
+
+namespace qac::benchstats {
+
+class Scope
+{
+  public:
+    explicit Scope(std::string name) : name_(std::move(name))
+    {
+        stats::Registry::global().reset();
+        stats::Registry::global().setEnabled(true);
+    }
+
+    ~Scope()
+    {
+        std::string path = "BENCH_" + name_ + ".json";
+        if (!stats::writeJsonReport(path))
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         path.c_str());
+        stats::Registry::global().setEnabled(false);
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    std::string name_;
+};
+
+} // namespace qac::benchstats
+
+#endif // QAC_BENCH_BENCH_STATS_H

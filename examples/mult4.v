@@ -1,0 +1,9 @@
+// 2x2-bit multiplier: the paper's running example (run it backward to
+// factor C).  Try:
+//   qacc examples/mult4.v --run --solver exact --pin "C[3:0] := 0110"
+//   qacc examples/mult4.v --target chimera --chimera-size 8 --stats
+module mult4 (A, B, C);
+  input [1:0] A, B;
+  output [3:0] C;
+  assign C = A * B;
+endmodule

@@ -1,0 +1,9 @@
+// Selectable add/subtract unit: Y = sel ? A - B : A + B.
+// Exercises mux, adder, and inverter synthesis in one small design.
+//   qacc examples/mux_add_sub.v --stats --trace-json=trace.json
+module mux_add_sub (A, B, sel, Y);
+  input [2:0] A, B;
+  input sel;
+  output [3:0] Y;
+  assign Y = sel ? (A - B) : (A + B);
+endmodule

@@ -1,0 +1,16 @@
+#!/bin/sh
+# AddressSanitizer verify configuration: proves the global stats
+# registry (and the tools driving it) leak- and race-clean.  Builds the
+# stats/CLI test targets with -DQAC_SANITIZE=address and runs the
+# stats-labelled tests plus the CLI smoke suite under ASan.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=build-asan
+
+cmake -B "$BUILD" -S . -DQAC_SANITIZE=address >/dev/null
+cmake --build "$BUILD" -j --target stats_test cli_test qacc qma
+cd "$BUILD"
+ctest -L stats --output-on-failure
+ctest -R cli_test --output-on-failure
+echo "asan verify ok"

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared end-of-sample stats recording for the annealers.
+ *
+ * Each solver publishes under anneal.<solver>.*: reads, sweeps,
+ * sweeps_per_sec, and the ground-state hit rate of its sample set.
+ * Per-read energies go to the anneal.<solver>.energy distribution at
+ * the call sites (where the energy is already computed).
+ */
+
+#ifndef QAC_ANNEAL_ANNEAL_STATS_H
+#define QAC_ANNEAL_ANNEAL_STATS_H
+
+#include <string>
+
+#include "qac/anneal/sampleset.h"
+#include "qac/stats/registry.h"
+
+namespace qac::anneal::detail {
+
+inline void
+recordSampleStats(const char *solver, const SampleSet &out,
+                  uint64_t total_sweeps, uint64_t elapsed_ns)
+{
+    if (!stats::Registry::global().enabled())
+        return;
+    const std::string base = std::string("anneal.") + solver;
+    stats::count(base + ".reads", out.totalReads());
+    if (total_sweeps > 0) {
+        stats::count(base + ".sweeps", total_sweeps);
+        if (elapsed_ns > 0)
+            stats::gauge(base + ".sweeps_per_sec",
+                         static_cast<uint64_t>(
+                             static_cast<double>(total_sweeps) * 1e9 /
+                             static_cast<double>(elapsed_ns)));
+    }
+    stats::record(base + ".ground_fraction", out.groundFraction());
+}
+
+} // namespace qac::anneal::detail
+
+#endif // QAC_ANNEAL_ANNEAL_STATS_H

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
 #include "qac/anneal/simulated.h"
+#include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
 
@@ -19,6 +21,9 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
         out.finalize();
         return out;
     }
+
+    stats::ScopedTimer timer("anneal.chainflip.time");
+    const uint64_t t0 = stats::Trace::nowNs();
 
     auto [b0, b1] = SimulatedAnnealer::defaultBetaRange(model);
     if (params_.beta_initial > 0)
@@ -86,9 +91,14 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
         }
         if (params_.greedy_polish)
             greedyDescent(model, spins);
-        out.add(spins, model.energy(spins));
+        double e = model.energy(spins);
+        stats::record("anneal.chainflip.energy", e);
+        out.add(spins, e);
     }
     out.finalize();
+    detail::recordSampleStats("chainflip", out,
+                              uint64_t{sweeps} * params_.num_reads,
+                              stats::Trace::nowNs() - t0);
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::anneal {
@@ -45,12 +46,17 @@ ExactSolver::solve(const ising::IsingModel &model) const
 
     // Gray-code walk: step k flips the lowest set bit index of k.
     const uint64_t total = uint64_t{1} << n;
-    for (uint64_t k = 1; k < total; ++k) {
-        uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(k));
-        energy += model.flipDelta(spins, bit);
-        spins[bit] = static_cast<ising::Spin>(-spins[bit]);
-        consider(energy);
+    {
+        stats::ScopedTimer timer("anneal.exact.time");
+        for (uint64_t k = 1; k < total; ++k) {
+            uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(k));
+            energy += model.flipDelta(spins, bit);
+            spins[bit] = static_cast<ising::Spin>(-spins[bit]);
+            consider(energy);
+        }
     }
+    stats::count("anneal.exact.states", total);
+    stats::count("anneal.exact.ground_states", res.ground_states.size());
     return res;
 }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
+#include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
 
@@ -18,6 +20,9 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
         out.finalize();
         return out;
     }
+
+    stats::ScopedTimer timer("anneal.sqa.time");
+    const uint64_t t0 = stats::Trace::nowNs();
 
     const uint32_t slices = std::max<uint32_t>(2, params_.trotter_slices);
     const double beta_slice = params_.beta / slices;
@@ -86,9 +91,16 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
             }
         }
         greedyDescent(model, best);
-        out.add(best, model.energy(best));
+        double e = model.energy(best);
+        stats::record("anneal.sqa.energy", e);
+        out.add(best, e);
     }
     out.finalize();
+    // Each sweep touches every Trotter slice once.
+    detail::recordSampleStats("sqa", out,
+                              uint64_t{sweeps} * slices *
+                                  params_.num_reads,
+                              stats::Trace::nowNs() - t0);
     return out;
 }
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
 #include "qac/anneal/exact.h"
+#include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
 
@@ -57,6 +59,9 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
         return out;
     }
 
+    stats::ScopedTimer timer("anneal.qbsolv.time");
+    const uint64_t t0 = stats::Trace::nowNs();
+
     SubSolver sub = sub_;
     if (!sub) {
         sub = [](const ising::IsingModel &m) {
@@ -78,6 +83,7 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
              ++iter) {
             if (n <= sub_n) {
                 // The whole problem fits: one shot.
+                stats::count("anneal.qbsolv.subproblems");
                 spins = sub(model);
                 break;
             }
@@ -99,6 +105,7 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
             }
 
             ising::IsingModel clamped = clampModel(model, keep, spins);
+            stats::count("anneal.qbsolv.subproblems");
             ising::SpinVector sub_spins = sub(clamped);
             if (sub_spins.size() != keep.size())
                 panic("qbsolv sub-solver returned %zu spins for %zu "
@@ -113,9 +120,13 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
             if (model.energy(candidate) <= before)
                 spins = std::move(candidate);
         }
-        out.add(spins, model.energy(spins));
+        double e = model.energy(spins);
+        stats::record("anneal.qbsolv.energy", e);
+        out.add(spins, e);
     }
     out.finalize();
+    detail::recordSampleStats("qbsolv", out, 0,
+                              stats::Trace::nowNs() - t0);
     return out;
 }
 

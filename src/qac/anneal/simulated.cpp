@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
+#include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 
 namespace qac::anneal {
@@ -49,6 +51,9 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
         return out;
     }
 
+    stats::ScopedTimer timer("anneal.sa.time");
+    const uint64_t t0 = stats::Trace::nowNs();
+
     auto [b0, b1] = defaultBetaRange(model);
     if (params_.beta_initial > 0)
         b0 = params_.beta_initial;
@@ -90,9 +95,14 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
         }
         if (params_.greedy_polish)
             greedyDescent(model, spins);
-        out.add(spins, model.energy(spins));
+        double e = model.energy(spins);
+        stats::record("anneal.sa.energy", e);
+        out.add(spins, e);
     }
     out.finalize();
+    detail::recordSampleStats("sa", out,
+                              uint64_t{sweeps} * params_.num_reads,
+                              stats::Trace::nowNs() - t0);
     return out;
 }
 

@@ -1,52 +1,100 @@
 #include "qac/core/compiler.h"
 
+#include "qac/cells/gate.h"
 #include "qac/edif/reader.h"
 #include "qac/edif/writer.h"
 #include "qac/netlist/opt.h"
 #include "qac/qmasm/stdcell_lib.h"
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 #include "qac/util/strings.h"
 
 namespace qac::core {
 
+namespace {
+
+// Cell-type histogram of the final mapped netlist (the paper's Table 5
+// mix), published under netlist.cells.<NAME>.
+void
+recordCellHistogram(const netlist::Netlist &nl)
+{
+    if (!stats::Registry::global().enabled())
+        return;
+    size_t hist[cells::kNumGateTypes] = {};
+    for (const auto &g : nl.gates())
+        ++hist[static_cast<size_t>(g.type)];
+    for (size_t t = 0; t < cells::kNumGateTypes; ++t) {
+        if (hist[t] == 0)
+            continue;
+        stats::gauge(std::string("netlist.cells.") +
+                         cells::gateInfo(static_cast<cells::GateType>(t)).name,
+                     hist[t]);
+    }
+}
+
+} // namespace
+
 CompileResult
 compile(const std::string &verilog_source, const CompileOptions &opts)
 {
+    stats::ScopedTimer total_timer("compile.total");
+
     CompileResult res;
     res.stats.verilog_lines = countLines(verilog_source);
 
     // 1. Synthesis (the Yosys step).
     verilog::SynthOptions sopts;
     sopts.top_params = opts.top_params;
-    netlist::Netlist nl =
-        verilog::synthesizeSource(verilog_source, opts.top, sopts);
+    netlist::Netlist nl;
+    {
+        stats::ScopedTimer t("compile.synth");
+        nl = verilog::synthesizeSource(verilog_source, opts.top, sopts);
+    }
 
     // 2. Sequential unrolling (Section 4.3.3).
     if (nl.isSequential()) {
         if (opts.unroll_steps == 0)
             fatal("module '%s' is sequential; set unroll_steps",
                   opts.top.c_str());
+        stats::ScopedTimer t("compile.unroll");
         nl = netlist::unrollSequential(nl, opts.unroll_steps,
                                        opts.unroll);
     }
 
     // 3. ABC-style optimization and technology mapping.
-    if (opts.optimize)
+    if (opts.optimize) {
+        stats::ScopedTimer t("compile.opt");
         netlist::optimize(nl);
+    }
     if (opts.do_techmap) {
-        netlist::techMap(nl, opts.techmap);
-        if (opts.optimize)
+        {
+            stats::ScopedTimer t("compile.techmap");
+            netlist::techMap(nl, opts.techmap);
+        }
+        if (opts.optimize) {
+            stats::ScopedTimer t("compile.opt");
             netlist::optimize(nl);
+        }
     }
 
     // 4. EDIF emission and re-ingestion: the pipeline genuinely passes
     // through the interchange format, as the paper's does.
-    res.edif_text = edif::writeEdif(nl);
+    {
+        stats::ScopedTimer t("compile.edif_write");
+        res.edif_text = edif::writeEdif(nl);
+    }
     res.stats.edif_lines = countLines(res.edif_text);
-    res.netlist = edif::readEdif(res.edif_text);
+    {
+        stats::ScopedTimer t("compile.edif_read");
+        res.netlist = edif::readEdif(res.edif_text);
+    }
+    recordCellHistogram(res.netlist);
 
     // 5. edif2qmasm.
-    res.qmasm_program = qmasm::netlistToQmasm(res.netlist);
+    {
+        stats::ScopedTimer t("compile.edif2qmasm");
+        res.qmasm_program = qmasm::netlistToQmasm(res.netlist);
+    }
     {
         // Count the main program without the standard-cell macros, the
         // way Section 6.1 reports "736 lines of QMASM (excluding the
@@ -58,13 +106,17 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
     }
 
     // 6. Assembly to the logical Ising model.
-    res.assembled = qmasm::assemble(res.qmasm_program, opts.assemble);
+    {
+        stats::ScopedTimer t("compile.assemble");
+        res.assembled = qmasm::assemble(res.qmasm_program, opts.assemble);
+    }
     res.stats.gates = res.netlist.numGates();
     res.stats.logical_vars = res.assembled.model.numVars();
     res.stats.logical_terms = res.assembled.model.numTerms();
 
     // 7. Minor embedding for hardware targets (Section 4.4).
     if (opts.target == Target::Chimera) {
+        stats::ScopedTimer embed_timer("compile.embed");
         chimera::HardwareGraph hw =
             chimera::chimeraGraph(opts.chimera_size);
         chimera::applyDropout(hw, opts.qubit_dropout, opts.embed.seed);
@@ -82,6 +134,7 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
             // more easily.
             warn("embedding the merged model failed; retrying with "
                  "unmerged chains");
+            stats::count("embed.unmerged_retries");
             qmasm::AssembleOptions unmerged = opts.assemble;
             unmerged.merge_chains = false;
             res.assembled = qmasm::assemble(res.qmasm_program, unmerged);
@@ -104,6 +157,16 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
         res.stats.physical_qubits = res.embedded->numPhysicalQubits();
         res.stats.physical_terms = res.embedded->physical.numTerms();
         res.stats.max_chain_length = res.embedding->maxChainLength();
+    }
+
+    stats::gauge("compile.gates", res.stats.gates);
+    stats::gauge("compile.logical_vars", res.stats.logical_vars);
+    stats::gauge("compile.logical_terms", res.stats.logical_terms);
+    if (res.embedded) {
+        stats::gauge("compile.physical_qubits", res.stats.physical_qubits);
+        stats::gauge("compile.physical_terms", res.stats.physical_terms);
+        stats::gauge("compile.max_chain_length",
+                     res.stats.max_chain_length);
     }
     return res;
 }

@@ -10,6 +10,7 @@
 #include "qac/anneal/simulated.h"
 #include "qac/embed/roof_duality.h"
 #include "qac/netlist/simulate.h"
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::core {
@@ -204,10 +205,12 @@ Executable::run(const RunOptions &opts) const
     out.vars_fixed = opts.reduce ? fix.numFixed() : 0;
 
     std::map<ising::SpinVector, size_t> dedup;
+    uint64_t weighted_breaks = 0;
     for (const auto &s : set.samples()) {
         size_t breaks = 0;
         ising::SpinVector solved =
             em ? em->unembed(s.spins, &breaks) : s.spins;
+        weighted_breaks += breaks * s.num_occurrences;
         if (em) {
             // Repair chain-break damage in logical space — the
             // classical postprocessing D-Wave systems apply by default.
@@ -241,6 +244,14 @@ Executable::run(const RunOptions &opts) const
                      [](const Candidate &a, const Candidate &b) {
                          return a.energy < b.energy;
                      });
+    if (em && out.total_reads > 0 && !em->dense_chains.empty()) {
+        // Fraction of (read, chain) pairs whose chain disagreed
+        // internally — the D-Wave chain-break rate.
+        stats::record("anneal.chain_break_rate",
+                      static_cast<double>(weighted_breaks) /
+                          (static_cast<double>(out.total_reads) *
+                           static_cast<double>(em->dense_chains.size())));
+    }
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 #include "qac/util/strings.h"
 
@@ -318,6 +319,7 @@ fromSExpr(const Node &root)
 netlist::Netlist
 readEdif(const std::string &edif_text)
 {
+    stats::ScopedTimer timer("edif.read.time");
     return fromSExpr(sexpr::parse(edif_text));
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::edif {
@@ -216,6 +217,7 @@ toSExpr(const netlist::Netlist &nl)
 std::string
 writeEdif(const netlist::Netlist &nl)
 {
+    stats::ScopedTimer timer("edif.write.time");
     return toSExpr(nl).toString(/*pretty=*/true) + "\n";
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
 
@@ -43,6 +44,7 @@ class Embedder
         Rng master(params_.seed);
         for (uint32_t t = 0; t < params_.tries; ++t) {
             Rng rng = master.fork();
+            stats::count("embed.minorminer.tries");
             // Each try already runs its own qubit-minimization rounds;
             // take the first success rather than paying for every
             // restart.
@@ -374,6 +376,7 @@ findEmbedding(const std::vector<std::pair<uint32_t, uint32_t>>
 {
     if (num_logical == 0)
         return Embedding{};
+    stats::ScopedTimer timer("embed.minorminer.time");
     Embedder e(logical_edges, num_logical, hw, params);
     auto emb = e.run();
     if (emb) {
@@ -381,6 +384,19 @@ findEmbedding(const std::vector<std::pair<uint32_t, uint32_t>>
         if (!verifyEmbedding(*emb, logical_edges, hw, &err))
             panic("embedder produced an invalid embedding: %s",
                   err.c_str());
+        if (stats::Registry::global().enabled()) {
+            for (const auto &chain : emb->chains)
+                stats::record("embed.minorminer.chain_len",
+                              static_cast<double>(chain.size()));
+            stats::gauge("embed.minorminer.logical_vars",
+                         emb->numLogical());
+            stats::gauge("embed.minorminer.physical_qubits",
+                         emb->totalQubits());
+            stats::gauge("embed.minorminer.max_chain_len",
+                         emb->maxChainLength());
+        }
+    } else {
+        stats::count("embed.minorminer.failures");
     }
     return emb;
 }

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::netlist {
@@ -327,24 +328,45 @@ removeDeadGates(Netlist &nl)
 OptStats
 optimize(Netlist &nl)
 {
-    OptStats stats;
-    stats.gates_before = nl.numGates();
+    qac::stats::ScopedTimer opt_timer("netlist.opt.time");
+
+    OptStats out;
+    out.gates_before = nl.numGates();
     while (true) {
         size_t round = 0;
-        size_t f = constantFold(nl);
-        size_t m = structuralHash(nl);
-        size_t d = removeDeadGates(nl);
-        stats.folded += f;
-        stats.merged += m;
-        stats.dead += d;
+        size_t f, m, d;
+        {
+            qac::stats::ScopedTimer t("netlist.opt.const_fold.time");
+            f = constantFold(nl);
+        }
+        {
+            qac::stats::ScopedTimer t("netlist.opt.strash.time");
+            m = structuralHash(nl);
+        }
+        {
+            qac::stats::ScopedTimer t("netlist.opt.dce.time");
+            d = removeDeadGates(nl);
+        }
+        out.folded += f;
+        out.merged += m;
+        out.dead += d;
         round = f + m + d;
-        ++stats.rounds;
+        ++out.rounds;
         if (round == 0)
             break;
     }
-    stats.gates_after = nl.numGates();
+    out.gates_after = nl.numGates();
     nl.check();
-    return stats;
+
+    qac::stats::count("netlist.opt.const_fold.gates_removed", out.folded);
+    qac::stats::count("netlist.opt.strash.gates_merged", out.merged);
+    qac::stats::count("netlist.opt.dce.gates_removed", out.dead);
+    qac::stats::count("netlist.opt.rounds", out.rounds);
+    qac::stats::record("netlist.opt.gates_before",
+                       static_cast<double>(out.gates_before));
+    qac::stats::record("netlist.opt.gates_after",
+                       static_cast<double>(out.gates_after));
+    return out;
 }
 
 } // namespace qac::netlist

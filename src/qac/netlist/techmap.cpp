@@ -1,5 +1,6 @@
 #include "qac/netlist/techmap.h"
 
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::netlist {
@@ -142,6 +143,7 @@ techMap(Netlist &nl, const TechMapOptions &opts)
 {
     if (!opts.fuse_inverters && !opts.use_complex_cells)
         return 0;
+    qac::stats::ScopedTimer timer("netlist.techmap.time");
     Mapper m(nl, opts);
     for (size_t gi = 0; gi < nl.gates().size(); ++gi) {
         if (m.dead[gi])
@@ -161,6 +163,7 @@ techMap(Netlist &nl, const TechMapOptions &opts)
     }
     gates.resize(w);
     nl.check();
+    qac::stats::count("netlist.techmap.fused", m.fused);
     return m.fused;
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "qac/qmasm/expand.h"
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::qmasm {
@@ -228,6 +229,7 @@ Assembled::checkAsserts(const ising::SpinVector &spins,
 Assembled
 assemble(const Program &prog, const AssembleOptions &opts)
 {
+    stats::ScopedTimer timer("qmasm.assemble.time");
     std::vector<Statement> stmts = expand(prog);
 
     // Symbol interning in first-appearance order (deterministic ids).
@@ -352,6 +354,8 @@ assemble(const Program &prog, const AssembleOptions &opts)
             break;
         }
     }
+    stats::gauge("qmasm.assemble.vars", out.model.numVars());
+    stats::gauge("qmasm.assemble.terms", out.model.numTerms());
     return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "qac/edif/reader.h"
 #include "qac/qmasm/stdcell_lib.h"
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::qmasm {
@@ -25,6 +26,7 @@ portBitSymbol(const netlist::Port &port, size_t bit)
 Program
 netlistToQmasm(const netlist::Netlist &nl, const Edif2QmasmOptions &opts)
 {
+    stats::ScopedTimer timer("qmasm.edif2qmasm.time");
     Program prog;
     if (opts.with_stdcell_macros)
         prog.macros = stdcellLibrary().macros;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::qmasm {
@@ -29,6 +30,7 @@ expandInto(const Program &prog, const std::vector<Statement> &stmts,
             if (!m)
                 fatal("qmasm line %zu: unknown macro '%s'", st.line,
                       st.sym1.c_str());
+            stats::count("qmasm.expand.macros_expanded");
             expandInto(prog, m->body, prefix + st.sym2 + ".", depth + 1,
                        out);
             break;
@@ -86,8 +88,10 @@ prefixAssertText(const std::string &text, const std::string &prefix)
 std::vector<Statement>
 expand(const Program &prog)
 {
+    stats::ScopedTimer timer("qmasm.expand.time");
     std::vector<Statement> out;
     expandInto(prog, prog.statements, "", 0, out);
+    stats::gauge("qmasm.expand.statements_out", out.size());
     return out;
 }
 

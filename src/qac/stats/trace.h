@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Chrome trace-event collector.
+ *
+ * Collects "complete" (duration) and "instant" events and serializes
+ * them in the Chrome trace-event JSON format, loadable in
+ * chrome://tracing or Perfetto.  Events are usually produced by
+ * stats::ScopedTimer (see stats/registry.h); enable collection with
+ * `Trace::global().setEnabled(true)` or the `--trace-json=FILE` CLI
+ * flag.  All operations are thread-safe; each thread gets its own
+ * small integer tid so nested slices render as stacks per thread.
+ */
+
+#ifndef QAC_STATS_TRACE_H
+#define QAC_STATS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qac::stats {
+
+class Trace
+{
+  public:
+    static Trace &global();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    /** @return the previous setting. */
+    bool setEnabled(bool enabled);
+
+    /** Record a duration slice [start_ns, start_ns + dur_ns). */
+    void complete(const std::string &name, uint64_t start_ns,
+                  uint64_t dur_ns);
+
+    /** Record a zero-duration marker at the current time. */
+    void instant(const std::string &name);
+
+    /** Drop all recorded events. */
+    void clear();
+
+    size_t size() const;
+
+    /** Serialize to Chrome trace-event JSON. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** Monotonic nanoseconds since the process trace epoch. */
+    static uint64_t nowNs();
+
+  private:
+    struct Event
+    {
+        std::string name;
+        char phase;       // 'X' complete, 'i' instant
+        uint64_t ts_ns;
+        uint64_t dur_ns;  // complete events only
+        uint32_t tid;
+    };
+
+    uint32_t tidFor(std::thread::id id); // caller holds mu_
+
+    mutable std::mutex mu_;
+    std::vector<Event> events_;
+    std::map<std::thread::id, uint32_t> tids_;
+    std::atomic<bool> enabled_{false};
+};
+
+} // namespace qac::stats
+
+#endif // QAC_STATS_TRACE_H

@@ -1,13 +1,35 @@
 #include "qac/util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
+#include <mutex>
 #include <vector>
 
 namespace qac {
 
 namespace {
+
+// One mutex guards the sink so concurrent warn()/inform() calls never
+// interleave their output.
+std::mutex logMutex;
+std::ostream *logStream = nullptr; // nullptr = stderr
 bool informEnabled = true;
+std::atomic<int> verbosityLevel{1};
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    if (logStream) {
+        *logStream << prefix << ": " << msg << '\n';
+        logStream->flush();
+    } else {
+        std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    }
+}
+
 } // namespace
 
 std::string
@@ -41,7 +63,9 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    // panic is never suppressed; route through the sink so tests that
+    // redirect logging still see the message before the abort.
+    emit("panic", msg);
     std::abort();
 }
 
@@ -58,31 +82,60 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    va_list ap;
-    va_start(ap, fmt);
-    std::string msg = vformat(fmt, ap);
-    va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
-}
-
-void
-inform(const char *fmt, ...)
-{
-    if (!informEnabled)
+    if (verbosityLevel.load(std::memory_order_relaxed) < 1)
         return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit("warn", msg);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (verbosityLevel.load(std::memory_order_relaxed) < 1)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(logMutex);
+        if (!informEnabled)
+            return;
+    }
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    emit("info", msg);
 }
 
 bool
 setInformEnabled(bool enabled)
 {
+    std::lock_guard<std::mutex> lock(logMutex);
     bool prev = informEnabled;
     informEnabled = enabled;
     return prev;
+}
+
+std::ostream *
+setLogStream(std::ostream *stream)
+{
+    std::lock_guard<std::mutex> lock(logMutex);
+    std::ostream *prev = logStream;
+    logStream = stream;
+    return prev;
+}
+
+int
+setVerbosity(int level)
+{
+    return verbosityLevel.exchange(level, std::memory_order_relaxed);
+}
+
+int
+verbosity()
+{
+    return verbosityLevel.load(std::memory_order_relaxed);
 }
 
 } // namespace qac

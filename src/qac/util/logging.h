@@ -12,6 +12,7 @@
 #define QAC_UTIL_LOGGING_H
 
 #include <cstdarg>
+#include <iosfwd>
 #include <stdexcept>
 #include <string>
 
@@ -45,16 +46,39 @@ std::string format(const char *fmt, ...)
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Print an advisory warning to stderr. */
+/**
+ * Print an advisory warning to the log sink (suppressed at
+ * verbosity 0).  Thread-safe: messages never interleave.
+ */
 void warn(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Print an informational message to stderr (suppressible). */
+/**
+ * Print an informational message to the log sink (suppressed at
+ * verbosity 0 or via setInformEnabled(false)).  Thread-safe.
+ */
 void inform(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /** Globally enable/disable inform() output. @return previous setting. */
 bool setInformEnabled(bool enabled);
+
+/**
+ * Redirect warn()/inform() (and the panic() message) to @p stream so
+ * tests can capture output.  Pass nullptr to restore the default
+ * (stderr).  @return the previous stream (nullptr = stderr).
+ */
+std::ostream *setLogStream(std::ostream *stream);
+
+/**
+ * Global verbosity shared by qacc and qma:
+ *   0 = quiet (errors only: warn()/inform() suppressed),
+ *   1 = normal (default),
+ *   2 = verbose (extra progress output for callers that check it).
+ * @return the previous level.
+ */
+int setVerbosity(int level);
+int verbosity();
 
 } // namespace qac
 

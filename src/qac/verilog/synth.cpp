@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 #include "qac/verilog/parser.h"
 
@@ -1461,14 +1462,23 @@ netlist::Netlist
 synthesize(const Design &design, const std::string &top,
            const SynthOptions &opts)
 {
-    return Synth(design, opts).run(top);
+    stats::ScopedTimer timer("verilog.synth");
+    netlist::Netlist nl = Synth(design, opts).run(top);
+    stats::gauge("verilog.synth.gates", nl.numGates());
+    stats::gauge("verilog.synth.nets", nl.numNets());
+    return nl;
 }
 
 netlist::Netlist
 synthesizeSource(const std::string &verilog_source, const std::string &top,
                  const SynthOptions &opts)
 {
-    Design d = parse(verilog_source);
+    Design d;
+    {
+        stats::ScopedTimer timer("verilog.parse");
+        d = parse(verilog_source);
+    }
+    stats::gauge("verilog.parse.modules", d.modules.size());
     return synthesize(d, top, opts);
 }
 

@@ -13,8 +13,11 @@
  *   qacc design.v --top mult --run --pin "C[7:0] := 10001111"
  *   qacc design.v --top count --unroll 4 --run ...
  *   qacc design.v --top mult --target chimera --run --physical ...
+ *   qacc design.v --stats --trace-json=trace.json  # observability
  *
- * Options mirror qmasm where they overlap (--pin, --reads).
+ * --top may be omitted when the source defines exactly one module.
+ * Options mirror qmasm where they overlap (--pin, --reads, --stats,
+ * --quiet).
  */
 
 #include <cstdio>
@@ -28,6 +31,8 @@
 #include "qac/core/program.h"
 #include "qac/qmasm/formats.h"
 #include "qac/util/logging.h"
+#include "qac/verilog/parser.h"
+#include "tools/tool_options.h"
 
 namespace {
 
@@ -48,7 +53,7 @@ struct Args
     uint64_t seed = 1;
     std::string solver = "sa";
     std::string emit_edif, emit_qmasm, emit_minizinc, emit_qubo;
-    bool verbose = false;
+    tools::CommonOptions common;
 };
 
 [[noreturn]] void
@@ -56,7 +61,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <design.v> --top <module> [options]\n"
+        "usage: %s <design.v> [--top <module>] [options]\n"
+        "  --top <module>        top module (inferred if unique)\n"
         "  --unroll <N>          unroll sequential logic for N steps\n"
         "  --target chimera      minor-embed onto a C16 Chimera graph\n"
         "  --chimera-size <M>    use a C_M graph (default 16)\n"
@@ -69,8 +75,8 @@ usage(const char *argv0)
         "  --pin \"SYM := VAL\"    bind ports (repeatable; qmasm syntax)\n"
         "  --solver sa|sqa|exact|qbsolv\n"
         "  --reads <N> --sweeps <N> --seed <N>\n"
-        "  -v                    verbose\n",
-        argv0);
+        "%s",
+        argv0, tools::commonUsage());
     std::exit(2);
 }
 
@@ -85,6 +91,8 @@ parseArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
+        if (tools::parseCommonFlag(args.common, a))
+            continue;
         if (a == "--top")
             args.top = need(i);
         else if (a == "--unroll")
@@ -119,8 +127,6 @@ parseArgs(int argc, char **argv)
             args.seed = std::stoull(need(i));
         else if (a == "--solver")
             args.solver = need(i);
-        else if (a == "-v")
-            args.verbose = true;
         else if (a == "--help" || a == "-h")
             usage(argv[0]);
         else if (!a.empty() && a[0] == '-')
@@ -130,7 +136,7 @@ parseArgs(int argc, char **argv)
         else
             usage(argv[0]);
     }
-    if (args.input.empty() || args.top.empty())
+    if (args.input.empty())
         usage(argv[0]);
     return args;
 }
@@ -144,28 +150,41 @@ writeFile(const std::string &path, const std::string &text)
     out << text;
 }
 
-} // namespace
+/** The single module's name, or fatal when the choice is ambiguous. */
+std::string
+inferTop(const std::string &source)
+{
+    verilog::Design d = verilog::parse(source);
+    if (d.modules.size() != 1)
+        fatal("source defines %zu modules; select one with --top",
+              d.modules.size());
+    return d.modules.front().name;
+}
 
 int
-main(int argc, char **argv)
+runQacc(Args &args, const char *argv0)
 {
-    Args args = parseArgs(argc, argv);
-    try {
-        std::ifstream in(args.input);
-        if (!in)
-            fatal("cannot read '%s'", args.input.c_str());
-        std::stringstream ss;
-        ss << in.rdbuf();
+    const bool chatty = args.common.verbosity > 0;
 
-        core::CompileOptions opts;
-        opts.top = args.top;
-        opts.unroll_steps = args.unroll;
-        if (args.chimera) {
-            opts.target = core::Target::Chimera;
-            opts.chimera_size = args.chimera_size;
-        }
-        core::CompileResult compiled = core::compile(ss.str(), opts);
+    std::ifstream in(args.input);
+    if (!in)
+        fatal("cannot read '%s'", args.input.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
 
+    if (args.top.empty())
+        args.top = inferTop(ss.str());
+
+    core::CompileOptions opts;
+    opts.top = args.top;
+    opts.unroll_steps = args.unroll;
+    if (args.chimera) {
+        opts.target = core::Target::Chimera;
+        opts.chimera_size = args.chimera_size;
+    }
+    core::CompileResult compiled = core::compile(ss.str(), opts);
+
+    if (chatty) {
         std::printf("%s: %zu gates, %zu logical variables, %zu terms",
                     args.top.c_str(), compiled.stats.gates,
                     compiled.stats.logical_vars,
@@ -175,47 +194,49 @@ main(int argc, char **argv)
                         compiled.stats.physical_qubits,
                         compiled.stats.max_chain_length);
         std::printf("\n");
+    }
 
-        if (!args.emit_edif.empty())
-            writeFile(args.emit_edif, compiled.edif_text);
-        if (!args.emit_qmasm.empty())
-            writeFile(args.emit_qmasm,
-                      compiled.qmasm_program.toString());
-        if (!args.emit_minizinc.empty())
-            writeFile(args.emit_minizinc,
-                      qmasm::toMiniZinc(compiled.assembled));
-        if (!args.emit_qubo.empty())
-            writeFile(args.emit_qubo,
-                      qmasm::toQuboFile(ising::QuboModel::fromIsing(
-                          compiled.assembled.model)));
+    if (!args.emit_edif.empty())
+        writeFile(args.emit_edif, compiled.edif_text);
+    if (!args.emit_qmasm.empty())
+        writeFile(args.emit_qmasm,
+                  compiled.qmasm_program.toString());
+    if (!args.emit_minizinc.empty())
+        writeFile(args.emit_minizinc,
+                  qmasm::toMiniZinc(compiled.assembled));
+    if (!args.emit_qubo.empty())
+        writeFile(args.emit_qubo,
+                  qmasm::toQuboFile(ising::QuboModel::fromIsing(
+                      compiled.assembled.model)));
 
-        if (!args.run)
-            return 0;
+    if (!args.run)
+        return 0;
 
-        core::Executable prog(std::move(compiled));
-        for (const auto &pin : args.pins)
-            prog.pinDirective(pin);
+    core::Executable prog(std::move(compiled));
+    for (const auto &pin : args.pins)
+        prog.pinDirective(pin);
 
-        core::Executable::RunOptions ro;
-        ro.num_reads = args.reads;
-        ro.sweeps = args.sweeps;
-        ro.seed = args.seed;
-        ro.use_physical = args.physical;
-        if (args.physical)
-            ro.reduce = false;
-        if (args.solver == "sa")
-            ro.solver =
-                core::Executable::SolverKind::SimulatedAnnealing;
-        else if (args.solver == "sqa")
-            ro.solver = core::Executable::SolverKind::PathIntegral;
-        else if (args.solver == "exact")
-            ro.solver = core::Executable::SolverKind::Exact;
-        else if (args.solver == "qbsolv")
-            ro.solver = core::Executable::SolverKind::Qbsolv;
-        else
-            usage(argv[0]);
+    core::Executable::RunOptions ro;
+    ro.num_reads = args.reads;
+    ro.sweeps = args.sweeps;
+    ro.seed = args.seed;
+    ro.use_physical = args.physical;
+    if (args.physical)
+        ro.reduce = false;
+    if (args.solver == "sa")
+        ro.solver =
+            core::Executable::SolverKind::SimulatedAnnealing;
+    else if (args.solver == "sqa")
+        ro.solver = core::Executable::SolverKind::PathIntegral;
+    else if (args.solver == "exact")
+        ro.solver = core::Executable::SolverKind::Exact;
+    else if (args.solver == "qbsolv")
+        ro.solver = core::Executable::SolverKind::Qbsolv;
+    else
+        usage(argv0);
 
-        auto rr = prog.run(ro);
+    auto rr = prog.run(ro);
+    if (chatty) {
         std::printf("reads: %llu, distinct candidates: %zu, valid "
                     "fraction: %.3f\n",
                     static_cast<unsigned long long>(rr.total_reads),
@@ -227,15 +248,30 @@ main(int argc, char **argv)
             for (const auto &[sym, value] : c->values)
                 std::printf("  %s = %d\n", sym.c_str(),
                             static_cast<int>(value));
-            if (++shown >= 3 && !args.verbose) {
+            if (++shown >= 3 && args.common.verbosity < 2) {
                 std::printf("  ... (%zu more valid solutions)\n",
                             rr.validCandidates().size() - shown);
                 break;
             }
         }
-        return rr.hasValid() ? 0 : 1;
+    }
+    return rr.hasValid() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    tools::applyCommonOptions(args.common);
+    int ret;
+    try {
+        ret = runQacc(args, argv[0]);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "qacc: %s\n", e.what());
-        return 2;
+        ret = 2;
     }
+    tools::finishCommonOptions(args.common);
+    return ret;
 }

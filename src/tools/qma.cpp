@@ -30,6 +30,7 @@
 #include "qac/qmasm/stdcell_lib.h"
 #include "qac/util/logging.h"
 #include "qac/util/strings.h"
+#include "tools/tool_options.h"
 
 namespace {
 
@@ -46,6 +47,7 @@ struct Args
     std::string solver = "sa";
     std::string emit_minizinc, emit_qubo;
     size_t top_solutions = 8;
+    tools::CommonOptions common;
 };
 
 [[noreturn]] void
@@ -59,8 +61,9 @@ usage(const char *argv0)
                  "  --solver sa|sqa|exact|qbsolv\n"
                  "  --top <N>             solutions to print (default 8)\n"
                  "  --emit-minizinc <f>   convert for classical solution\n"
-                 "  --emit-qubo <f>       convert to qbsolv format\n",
-                 argv0);
+                 "  --emit-qubo <f>       convert to qbsolv format\n"
+                 "%s",
+                 argv0, tools::commonUsage());
     std::exit(2);
 }
 
@@ -75,6 +78,8 @@ parseArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
+        if (tools::parseCommonFlag(args.common, a))
+            continue;
         if (a == "--pin")
             args.pins.push_back(need(i));
         else if (a == "--run")
@@ -110,10 +115,10 @@ parseArgs(int argc, char **argv)
 } // namespace
 
 int
-main(int argc, char **argv)
+runQma(Args &args, const char *argv0)
 {
-    Args args = parseArgs(argc, argv);
-    try {
+    const bool chatty = args.common.verbosity > 0;
+    {
         std::ifstream in(args.input);
         if (!in)
             fatal("cannot read '%s'", args.input.c_str());
@@ -144,10 +149,12 @@ main(int argc, char **argv)
 
         qmasm::Program prog = qmasm::parseProgram(text, resolver);
         qmasm::Assembled assembled = qmasm::assemble(prog);
-        std::printf("%zu variables, %zu terms (chain strength %.2f)\n",
-                    assembled.model.numVars(),
-                    assembled.model.numTerms(),
-                    assembled.chain_strength_used);
+        if (chatty)
+            std::printf("%zu variables, %zu terms (chain strength "
+                        "%.2f)\n",
+                        assembled.model.numVars(),
+                        assembled.model.numTerms(),
+                        assembled.chain_strength_used);
 
         if (!args.emit_minizinc.empty()) {
             std::ofstream out(args.emit_minizinc);
@@ -187,35 +194,52 @@ main(int argc, char **argv)
             p.seed = args.seed;
             set = anneal::QbsolvSolver(p).sample(assembled.model);
         } else {
-            usage(argv[0]);
+            usage(argv0);
         }
 
         // The qmasm-style statistics report.
-        std::printf("reads: %llu, distinct solutions: %zu, ground "
-                    "fraction: %.3f\n\n",
-                    static_cast<unsigned long long>(set.totalReads()),
-                    set.size(), set.groundFraction());
-        size_t shown = 0;
-        for (const auto &s : set.samples()) {
-            std::string failed;
-            bool ok = assembled.checkAsserts(s.spins, &failed);
-            std::printf("solution %zu: energy %.4f, %u/%llu reads%s\n",
-                        shown + 1, s.energy, s.num_occurrences,
+        if (chatty) {
+            std::printf("reads: %llu, distinct solutions: %zu, ground "
+                        "fraction: %.3f\n\n",
                         static_cast<unsigned long long>(
                             set.totalReads()),
-                        ok ? "" : "  [assert FAILED]");
-            if (!ok)
-                std::printf("    failing assert: %s\n", failed.c_str());
-            for (const auto &[sym, value] :
-                 assembled.visibleValues(s.spins))
-                std::printf("    %s = %s\n", sym.c_str(),
-                            value ? "True" : "False");
-            if (++shown >= args.top_solutions)
-                break;
+                        set.size(), set.groundFraction());
+            size_t shown = 0;
+            for (const auto &s : set.samples()) {
+                std::string failed;
+                bool ok = assembled.checkAsserts(s.spins, &failed);
+                std::printf(
+                    "solution %zu: energy %.4f, %u/%llu reads%s\n",
+                    shown + 1, s.energy, s.num_occurrences,
+                    static_cast<unsigned long long>(set.totalReads()),
+                    ok ? "" : "  [assert FAILED]");
+                if (!ok)
+                    std::printf("    failing assert: %s\n",
+                                failed.c_str());
+                for (const auto &[sym, value] :
+                     assembled.visibleValues(s.spins))
+                    std::printf("    %s = %s\n", sym.c_str(),
+                                value ? "True" : "False");
+                if (++shown >= args.top_solutions)
+                    break;
+            }
         }
         return 0;
+    }
+}
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    tools::applyCommonOptions(args.common);
+    int ret;
+    try {
+        ret = runQma(args, argv[0]);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "qma: %s\n", e.what());
-        return 2;
+        ret = 2;
     }
+    tools::finishCommonOptions(args.common);
+    return ret;
 }

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Observability flags shared by qacc and qma, so both tools parse
+ * --stats / --trace-json / --quiet / -v identically:
+ *
+ *   --stats              print a text stats report to stderr at exit
+ *   --stats=FILE         write the qac-stats-v1 JSON report to FILE
+ *   --trace-json=FILE    write a Chrome trace-event JSON to FILE
+ *   --quiet, -q          verbosity 0: suppress all non-error output
+ *   -v, --verbose        verbosity 2: extra progress output
+ */
+
+#ifndef QAC_TOOLS_TOOL_OPTIONS_H
+#define QAC_TOOLS_TOOL_OPTIONS_H
+
+#include <cstdio>
+#include <string>
+
+#include "qac/stats/registry.h"
+#include "qac/stats/report.h"
+#include "qac/stats/trace.h"
+#include "qac/util/logging.h"
+
+namespace qac::tools {
+
+struct CommonOptions
+{
+    bool stats = false;
+    std::string stats_file;
+    std::string trace_file;
+    int verbosity = 1;
+};
+
+/** @return true when @p arg was one of the shared flags (consumed). */
+inline bool
+parseCommonFlag(CommonOptions &opts, const std::string &arg)
+{
+    if (arg == "--stats") {
+        opts.stats = true;
+        return true;
+    }
+    if (arg.rfind("--stats=", 0) == 0) {
+        opts.stats = true;
+        opts.stats_file = arg.substr(8);
+        return true;
+    }
+    if (arg.rfind("--trace-json=", 0) == 0) {
+        opts.trace_file = arg.substr(13);
+        return true;
+    }
+    if (arg == "--quiet" || arg == "-q") {
+        opts.verbosity = 0;
+        return true;
+    }
+    if (arg == "-v" || arg == "--verbose") {
+        opts.verbosity = 2;
+        return true;
+    }
+    return false;
+}
+
+inline const char *
+commonUsage()
+{
+    return "  --stats[=FILE]        stats report (text to stderr, or "
+           "JSON to FILE)\n"
+           "  --trace-json=FILE     write a Chrome trace-event JSON\n"
+           "  --quiet, -q           errors only\n"
+           "  -v, --verbose         extra output\n";
+}
+
+/** Install verbosity and enable the registry/trace. Call before work. */
+inline void
+applyCommonOptions(const CommonOptions &opts)
+{
+    setVerbosity(opts.verbosity);
+    if (opts.stats)
+        stats::Registry::global().setEnabled(true);
+    if (!opts.trace_file.empty())
+        stats::Trace::global().setEnabled(true);
+}
+
+/** Emit the requested reports. Call once, after the work is done. */
+inline void
+finishCommonOptions(const CommonOptions &opts)
+{
+    if (!opts.trace_file.empty() &&
+        !stats::Trace::global().writeFile(opts.trace_file))
+        warn("cannot write trace to '%s'", opts.trace_file.c_str());
+    if (!opts.stats_file.empty() &&
+        !stats::writeJsonReport(opts.stats_file))
+        warn("cannot write stats to '%s'", opts.stats_file.c_str());
+    if (opts.stats && opts.verbosity > 0)
+        std::fputs(stats::textReport().c_str(), stderr);
+}
+
+} // namespace qac::tools
+
+#endif // QAC_TOOLS_TOOL_OPTIONS_H

@@ -8,7 +8,9 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -86,6 +88,75 @@ TEST(Qacc, BadUsageFails)
     (void)out2;
 }
 
+TEST(Qacc, StatsReportAndTrace)
+{
+    std::string v = writeTemp("cli_mult3.v", kMult);
+    std::string stats_file =
+        std::string(::testing::TempDir()) + "cli_stats.json";
+    std::string trace_file =
+        std::string(::testing::TempDir()) + "cli_trace.json";
+    auto [code, out] = run(std::string(QACC_PATH) + " " + v +
+                           " --top mult --target chimera "
+                           "--chimera-size 8 --stats=" + stats_file +
+                           " --trace-json=" + trace_file + " --stats");
+    EXPECT_EQ(code, 0) << out;
+
+    // Text report: per-stage wall times, per-pass gate deltas, cell
+    // histogram, and embedding chain-length stats.
+    EXPECT_NE(out.find("[compile]"), std::string::npos) << out;
+    EXPECT_NE(out.find("opt.const_fold.gates_removed"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("cells."), std::string::npos) << out;
+    EXPECT_NE(out.find("minorminer.chain_len"), std::string::npos)
+        << out;
+
+    // JSON report: nonzero gate count and embedding stats present.
+    std::ifstream jf(stats_file);
+    ASSERT_TRUE(jf.good());
+    std::string json((std::istreambuf_iterator<char>(jf)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(json.find("\"schema\":\"qac-stats-v1\""),
+              std::string::npos);
+    size_t gates_at =
+        json.find("\"path\":\"compile.gates\",\"kind\":\"counter\","
+                  "\"value\":");
+    ASSERT_NE(gates_at, std::string::npos) << json;
+    size_t value_at =
+        json.find("\"value\":", gates_at) + strlen("\"value\":");
+    EXPECT_GT(std::stoul(json.substr(value_at)), 0u);
+    EXPECT_NE(json.find("\"path\":\"compile.physical_qubits\""),
+              std::string::npos);
+
+    // Chrome trace: traceEvents array with complete slices.
+    std::ifstream tf(trace_file);
+    ASSERT_TRUE(tf.good());
+    std::string trace((std::istreambuf_iterator<char>(tf)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"name\":\"compile.total\""),
+              std::string::npos);
+}
+
+TEST(Qacc, QuietSuppressesOutput)
+{
+    std::string v = writeTemp("cli_mult4.v", kMult);
+    auto [code, out] = run(std::string(QACC_PATH) + " " + v +
+                           " --top mult --quiet --run --solver exact "
+                           "--pin \"C[3:0] := 0110\"");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_TRUE(out.empty()) << out;
+}
+
+TEST(Qacc, TopInferredForSingleModule)
+{
+    std::string v = writeTemp("cli_mult5.v", kMult);
+    auto [code, out] = run(std::string(QACC_PATH) + " " + v);
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("mult:"), std::string::npos) << out;
+}
+
 TEST(Qma, RunsListing4Backward)
 {
     // The paper's Listing 4: AND3 from two ANDs; pin Y, solve inputs.
@@ -124,6 +195,37 @@ TEST(Qma, LocalIncludeResolution)
         run(std::string(QMA_PATH) + " " + q + " --run --solver exact");
     EXPECT_EQ(code, 0) << out;
     EXPECT_NE(out.find("g.X = True"), std::string::npos) << out;
+}
+
+TEST(Qma, QuietAndVerboseFlags)
+{
+    std::string q = writeTemp("cli_quiet.qmasm",
+                              "!begin_macro BIAS\nX -1\n"
+                              "!end_macro BIAS\n"
+                              "!use_macro BIAS g\n");
+    auto [qcode, qout] = run(std::string(QMA_PATH) + " " + q +
+                             " --quiet --run --solver exact");
+    EXPECT_EQ(qcode, 0) << qout;
+    EXPECT_TRUE(qout.empty()) << qout;
+
+    auto [vcode, vout] = run(std::string(QMA_PATH) + " " + q +
+                             " -v --run --solver exact");
+    EXPECT_EQ(vcode, 0) << vout;
+    EXPECT_NE(vout.find("g.X = True"), std::string::npos) << vout;
+}
+
+TEST(Qma, StatsReport)
+{
+    std::string q = writeTemp("cli_stats.qmasm",
+                              "!begin_macro BIAS\nX -1\n"
+                              "!end_macro BIAS\n"
+                              "!use_macro BIAS g\n");
+    auto [code, out] = run(std::string(QMA_PATH) + " " + q +
+                           " --stats --run --solver exact");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("[qmasm]"), std::string::npos) << out;
+    EXPECT_NE(out.find("assemble.vars"), std::string::npos) << out;
+    EXPECT_NE(out.find("[anneal]"), std::string::npos) << out;
 }
 
 TEST(Qma, BadInputFails)

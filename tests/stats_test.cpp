@@ -1,0 +1,248 @@
+// Registry semantics, nested timers, JSON/trace serialization, and a
+// thread-safety smoke test for the qac::stats subsystem.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "qac/stats/registry.h"
+#include "qac/stats/report.h"
+#include "qac/stats/trace.h"
+
+using namespace qac;
+
+namespace {
+
+class StatsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        stats::Registry::global().reset();
+        stats::Registry::global().setEnabled(true);
+        stats::Trace::global().clear();
+        stats::Trace::global().setEnabled(false);
+    }
+
+    void TearDown() override
+    {
+        stats::Registry::global().setEnabled(false);
+        stats::Registry::global().reset();
+        stats::Trace::global().setEnabled(false);
+        stats::Trace::global().clear();
+    }
+};
+
+const stats::Metric *
+find(const std::vector<stats::Metric> &ms, const std::string &path)
+{
+    for (const auto &m : ms)
+        if (m.path == path)
+            return &m;
+    return nullptr;
+}
+
+TEST_F(StatsTest, CounterAndGauge)
+{
+    stats::count("a.hits");
+    stats::count("a.hits", 4);
+    stats::gauge("a.level", 7);
+    stats::gauge("a.level", 3); // gauges overwrite
+
+    auto snap = stats::Registry::global().snapshot();
+    const auto *hits = find(snap, "a.hits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_EQ(hits->kind, stats::MetricKind::Counter);
+    EXPECT_EQ(hits->count, 5u);
+    const auto *level = find(snap, "a.level");
+    ASSERT_NE(level, nullptr);
+    EXPECT_EQ(level->count, 3u);
+}
+
+TEST_F(StatsTest, DistributionMoments)
+{
+    for (double v : {2.0, 4.0, 6.0})
+        stats::record("d.x", v);
+    auto snap = stats::Registry::global().snapshot();
+    const auto *m = find(snap, "d.x");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind, stats::MetricKind::Distribution);
+    EXPECT_EQ(m->dist.count, 3u);
+    EXPECT_DOUBLE_EQ(m->dist.sum, 12.0);
+    EXPECT_DOUBLE_EQ(m->dist.min, 2.0);
+    EXPECT_DOUBLE_EQ(m->dist.max, 6.0);
+    EXPECT_DOUBLE_EQ(m->dist.mean, 4.0);
+    EXPECT_NEAR(m->dist.stddev, 1.632993, 1e-5);
+}
+
+TEST_F(StatsTest, DisabledHelpersRecordNothing)
+{
+    stats::Registry::global().setEnabled(false);
+    stats::count("off.hits");
+    stats::gauge("off.gauge", 9);
+    stats::record("off.dist", 1.0);
+    {
+        stats::ScopedTimer t("off.timer");
+    }
+    EXPECT_TRUE(stats::Registry::global().snapshot().empty());
+}
+
+TEST_F(StatsTest, KindMismatchPanics)
+{
+    stats::count("k.metric");
+    EXPECT_DEATH(stats::record("k.metric", 1.0), "conflicting kinds");
+}
+
+TEST_F(StatsTest, TimerAccumulatesAcrossCalls)
+{
+    for (int i = 0; i < 3; ++i)
+        stats::ScopedTimer t("t.loop");
+    auto snap = stats::Registry::global().snapshot();
+    const auto *m = find(snap, "t.loop");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind, stats::MetricKind::Timer);
+    EXPECT_EQ(m->count, 3u);
+}
+
+TEST_F(StatsTest, NestedTimersAndTraceSlices)
+{
+    stats::Trace::global().setEnabled(true);
+    {
+        stats::ScopedTimer outer("n.outer");
+        {
+            stats::ScopedTimer inner("n.inner");
+            // make the inner scope take measurable time
+            volatile int sink = 0;
+            for (int i = 0; i < 10000; ++i)
+                sink = sink + i;
+        }
+    }
+    auto snap = stats::Registry::global().snapshot();
+    const auto *outer = find(snap, "n.outer");
+    const auto *inner = find(snap, "n.inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_GE(outer->total_ns, inner->total_ns);
+
+    EXPECT_EQ(stats::Trace::global().size(), 2u);
+    std::string json = stats::Trace::global().toJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"n.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"n.inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(StatsTest, SnapshotSortedByPath)
+{
+    stats::count("z.last");
+    stats::count("a.first");
+    stats::count("m.middle");
+    auto snap = stats::Registry::global().snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].path, "a.first");
+    EXPECT_EQ(snap[1].path, "m.middle");
+    EXPECT_EQ(snap[2].path, "z.last");
+}
+
+TEST_F(StatsTest, JsonReportSchema)
+{
+    stats::count("j.counter", 42);
+    stats::record("j.dist", 1.5);
+    {
+        stats::ScopedTimer t("j.timer");
+    }
+    std::string json = stats::jsonReport();
+    EXPECT_NE(json.find("\"schema\":\"qac-stats-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"path\":\"j.counter\",\"kind\":\"counter\","
+                        "\"value\":42"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"path\":\"j.dist\",\"kind\":\"distribution\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"path\":\"j.timer\",\"kind\":\"timer\","
+                        "\"calls\":1"),
+              std::string::npos);
+    // crude structural validity: brace/bracket balance
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST_F(StatsTest, TextReportGroupsBySection)
+{
+    stats::count("alpha.one", 1);
+    stats::count("alpha.two", 2);
+    stats::count("beta.three", 3);
+    std::string text = stats::textReport();
+    EXPECT_NE(text.find("[alpha]"), std::string::npos);
+    EXPECT_NE(text.find("[beta]"), std::string::npos);
+    EXPECT_NE(text.find("one"), std::string::npos);
+    EXPECT_LT(text.find("[alpha]"), text.find("[beta]"));
+}
+
+TEST_F(StatsTest, ResetDropsMetrics)
+{
+    stats::count("r.x");
+    EXPECT_EQ(stats::Registry::global().snapshot().size(), 1u);
+    stats::Registry::global().reset();
+    EXPECT_TRUE(stats::Registry::global().snapshot().empty());
+    EXPECT_TRUE(stats::Registry::global().enabled());
+}
+
+TEST_F(StatsTest, ThreadSafetySmoke)
+{
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kAdds; ++i) {
+                stats::count("mt.hits");
+                stats::record("mt.dist", 1.0);
+                stats::ScopedTimer timer("mt.timer");
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    auto snap = stats::Registry::global().snapshot();
+    const auto *hits = find(snap, "mt.hits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_EQ(hits->count,
+              static_cast<uint64_t>(kThreads) * kAdds);
+    const auto *dist = find(snap, "mt.dist");
+    ASSERT_NE(dist, nullptr);
+    EXPECT_EQ(dist->dist.count,
+              static_cast<uint64_t>(kThreads) * kAdds);
+    EXPECT_DOUBLE_EQ(dist->dist.sum,
+                     static_cast<double>(kThreads) * kAdds);
+    const auto *timer = find(snap, "mt.timer");
+    ASSERT_NE(timer, nullptr);
+    EXPECT_EQ(timer->count,
+              static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(StatsTest, TraceWriteFile)
+{
+    stats::Trace::global().setEnabled(true);
+    stats::Trace::global().instant("marker");
+    std::string path =
+        std::string(::testing::TempDir()) + "qac_trace_test.json";
+    ASSERT_TRUE(stats::Trace::global().writeFile(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string json = ss.str();
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"marker\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+} // namespace

@@ -8,6 +8,9 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include "qac/util/logging.h"
 #include "qac/util/maxflow.h"
@@ -90,6 +93,54 @@ TEST(Logging, FatalThrowsFatalError)
 TEST(Logging, Format)
 {
     EXPECT_EQ(format("%s-%03d", "x", 5), "x-005");
+}
+
+TEST(Logging, SetLogStreamCapturesOutput)
+{
+    std::ostringstream captured;
+    std::ostream *prev = setLogStream(&captured);
+    EXPECT_EQ(prev, nullptr); // default sink is stderr
+    warn("watch out %d", 7);
+    inform("fyi %s", "ok");
+    setLogStream(nullptr);
+    EXPECT_EQ(captured.str(), "warn: watch out 7\ninfo: fyi ok\n");
+}
+
+TEST(Logging, VerbosityZeroSuppressesWarnAndInform)
+{
+    std::ostringstream captured;
+    setLogStream(&captured);
+    int prev = setVerbosity(0);
+    warn("hidden");
+    inform("hidden too");
+    setVerbosity(prev);
+    setLogStream(nullptr);
+    EXPECT_TRUE(captured.str().empty());
+}
+
+TEST(Logging, ConcurrentWarnsDoNotInterleave)
+{
+    std::ostringstream captured;
+    setLogStream(&captured);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < 200; ++i)
+                warn("thread %d message %d", t, i);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    setLogStream(nullptr);
+    // Every line must be a complete "warn: thread T message N".
+    std::istringstream in(captured.str());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_EQ(line.rfind("warn: thread ", 0), 0u) << line;
+    }
+    EXPECT_EQ(lines, 4u * 200u);
 }
 
 // ---------------------------------------------------------------- rng
