@@ -16,7 +16,7 @@
 
 #include <cstdio>
 
-#include "qac/anneal/chainflip.h"
+#include "qac/anneal/sampler.h"
 #include "qac/util/logging.h"
 #include "qac/chimera/chimera.h"
 #include "qac/core/compiler.h"
@@ -121,13 +121,13 @@ printChainStrengthAblation()
         embed::EmbedModelOptions mo;
         mo.chain_strength = strength;
         auto em = embed::embedModel(pinned, emb, hw, mo);
-        anneal::ChainFlipAnnealer::Params p;
-        p.num_reads = 80;
-        p.sweeps = 384;
-        p.seed = 9;
-        auto set =
-            anneal::ChainFlipAnnealer(p, em.dense_chains)
-                .sample(em.physical);
+        anneal::SamplerOpts so;
+        so.common.num_reads = 80;
+        so.common.seed = 9;
+        so.sweeps = 384;
+        so.chains = em.dense_chains;
+        auto set = anneal::makeSampler("chainflip", so)
+                       ->sample(em.physical);
         uint64_t valid = 0, breaks = 0;
         for (const auto &s : set.samples()) {
             size_t b = 0;

@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "qac/core/compiler.h"
 #include "qac/core/program.h"
@@ -132,6 +133,56 @@ printExecutionTimeTable()
 }
 
 void
+printThreadScalingTable()
+{
+    using clock = std::chrono::steady_clock;
+    std::printf("--- thread scaling: same seeds, same answers ---\n");
+    std::printf("(results are bitwise-deterministic: every row below "
+                "must sample identical\n candidate sets; speedup "
+                "requires as many hardware cores as workers)\n");
+    std::printf("%8s %12s %9s %10s\n", "threads", "wall ms", "speedup",
+                "identical");
+
+    core::CompileOptions opts;
+    opts.top = "australia";
+    core::Executable prog(core::compile(kAustralia, opts));
+    prog.pinDirective("valid := true");
+    core::Executable::RunOptions ro;
+    ro.num_reads = 2000;
+    ro.sweeps = 256;
+    ro.seed = 7;
+
+    double base_ms = 0.0;
+    std::vector<core::Executable::Candidate> reference;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        ro.threads = threads;
+        auto t0 = clock::now();
+        auto rr = prog.run(ro);
+        auto t1 = clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (threads == 1) {
+            base_ms = ms;
+            reference = rr.candidates;
+        }
+        bool identical = rr.candidates.size() == reference.size();
+        for (size_t i = 0; identical && i < reference.size(); ++i)
+            identical =
+                rr.candidates[i].logical_spins ==
+                    reference[i].logical_spins &&
+                rr.candidates[i].energy == reference[i].energy &&
+                rr.candidates[i].occurrences ==
+                    reference[i].occurrences;
+        std::printf("%8u %12.1f %8.2fx %10s\n", threads, ms,
+                    base_ms / ms, identical ? "yes" : "NO");
+        stats::gauge("bench.threads." + std::to_string(threads) +
+                         ".wall_ms",
+                     static_cast<uint64_t>(ms));
+    }
+    std::printf("\n");
+}
+
+void
 BM_AnnealerPerRead(benchmark::State &state)
 {
     core::CompileOptions opts;
@@ -141,6 +192,7 @@ BM_AnnealerPerRead(benchmark::State &state)
     core::Executable::RunOptions ro;
     ro.num_reads = 200;
     ro.sweeps = static_cast<uint32_t>(state.range(0));
+    ro.threads = static_cast<uint32_t>(state.range(1));
     for (auto _ : state) {
         ro.seed += 1;
         auto rr = prog.run(ro);
@@ -148,8 +200,11 @@ BM_AnnealerPerRead(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * ro.num_reads);
 }
-BENCHMARK(BM_AnnealerPerRead)->Arg(128)->Arg(256)->Unit(
-    benchmark::kMillisecond);
+BENCHMARK(BM_AnnealerPerRead)
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_CspSolve(benchmark::State &state)
@@ -173,6 +228,7 @@ main(int argc, char **argv)
 {
     qac::benchstats::Scope bench_scope("execution_time");
     printExecutionTimeTable();
+    printThreadScalingTable();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

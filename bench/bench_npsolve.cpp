@@ -78,14 +78,9 @@ printValidFractionSweep()
     auto circsat = makeCircsat();
     auto factor = makeFactor();
     for (uint32_t sweeps : {64u, 256u, 1024u}) {
-        for (auto solver :
-             {core::Executable::SolverKind::SimulatedAnnealing,
-              core::Executable::SolverKind::PathIntegral}) {
+        for (const char *solver : {"sa", "sqa"}) {
             const char *sname =
-                solver ==
-                        core::Executable::SolverKind::SimulatedAnnealing
-                    ? "SA"
-                    : "SQA";
+                std::string(solver) == "sa" ? "SA" : "SQA";
             core::Executable::RunOptions ro;
             ro.solver = solver;
             ro.num_reads = 200;

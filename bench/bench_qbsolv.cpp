@@ -5,16 +5,19 @@
  * SA against qbsolv-style decomposition (exact subsolves) on random
  * Ising instances, and demonstrates dispatching subproblems through
  * the minor-embedded "hardware" path.
+ *
+ * All samplers are built through anneal::makeSampler; the hardware
+ * dispatcher shows the registerSampler extension point.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 
-#include "qac/anneal/chainflip.h"
 #include "qac/anneal/exact.h"
 #include "qac/anneal/qbsolv.h"
-#include "qac/anneal/simulated.h"
+#include "qac/anneal/sampler.h"
 #include "qac/chimera/chimera.h"
 #include "qac/embed/embed_model.h"
 #include "qac/embed/minorminer.h"
@@ -52,20 +55,21 @@ printDecompositionQuality()
     Rng rng(31);
     for (size_t n : {40u, 80u, 160u, 320u}) {
         ising::IsingModel m = randomSparseModel(rng, n);
-        anneal::SimulatedAnnealer::Params sp;
-        sp.num_reads = 20;
-        sp.sweeps = 512;
-        sp.greedy_polish = true;
-        sp.seed = 3;
-        double sa = anneal::SimulatedAnnealer(sp).sample(m)
-                        .best().energy;
-        anneal::QbsolvSolver::Params qp;
-        qp.subproblem_size = 24;
-        qp.outer_iterations =
-            static_cast<uint32_t>(8 * n / 24 + 16);
-        qp.restarts = 4;
-        qp.seed = 3;
-        double qb = anneal::QbsolvSolver(qp).sample(m).best().energy;
+        anneal::SamplerOpts so;
+        so.common.num_reads = 20;
+        so.common.seed = 3;
+        so.sweeps = 512;
+        so.greedy_polish = true;
+        double sa =
+            anneal::makeSampler("sa", so)->sample(m).best().energy;
+        anneal::SamplerOpts qo;
+        qo.common.seed = 3;
+        qo.extra["qbsolv.subproblem_size"] = 24;
+        qo.extra["qbsolv.outer_iterations"] =
+            static_cast<double>(8 * n / 24 + 16);
+        qo.extra["qbsolv.restarts"] = 4;
+        double qb =
+            anneal::makeSampler("qbsolv", qo)->sample(m).best().energy;
         std::printf("%6zu %14.3f %14.3f %14s\n", n, sa, qb,
                     qb < sa - 1e-9 ? "qbsolv"
                                    : (sa < qb - 1e-9 ? "SA" : "tie"));
@@ -84,37 +88,51 @@ printHardwareDispatch()
     ising::IsingModel m = randomSparseModel(rng, 60);
     auto hw = chimera::chimeraGraph(4); // a small C4 'device'
 
-    size_t dispatched = 0;
-    anneal::QbsolvSolver::Params qp;
-    qp.subproblem_size = 12;
-    qp.outer_iterations = 8;
-    qp.restarts = 2;
-    anneal::QbsolvSolver solver(qp);
-    solver.setSubSolver([&](const ising::IsingModel &sub) {
-        // Embed the subproblem on the C4 device and chain-flip anneal,
-        // exactly qbsolv's D-Wave dispatch.
-        ++dispatched;
-        std::vector<std::pair<uint32_t, uint32_t>> edges;
-        for (const auto &t : sub.quadraticTerms())
-            edges.emplace_back(t.i, t.j);
-        embed::EmbedParams ep;
-        ep.tries = 4;
-        auto emb = embed::findEmbedding(edges, sub.numVars(), hw, ep);
-        if (!emb) // fallback: exact
-            return anneal::ExactSolver().solve(sub)
-                .ground_states.front();
-        auto em = embed::embedModel(sub, *emb, hw);
-        anneal::ChainFlipAnnealer::Params cp;
-        cp.num_reads = 10;
-        cp.sweeps = 128;
-        auto set = anneal::ChainFlipAnnealer(cp, em.dense_chains)
-                       .sample(em.physical);
-        return em.unembed(set.best().spins);
-    });
-    auto set = solver.sample(m);
+    // Restarts run concurrently, so the dispatch counter is atomic.
+    std::atomic<size_t> dispatched{0};
+
+    // registerSampler is the factory's extension point: a "qbsolv-hw"
+    // variant whose sub-solver embeds each subproblem on the C4 device
+    // and chain-flip anneals it, exactly qbsolv's D-Wave dispatch.
+    anneal::registerSampler(
+        "qbsolv-hw",
+        [&hw, &dispatched](const anneal::SamplerOpts &o)
+            -> std::unique_ptr<anneal::Sampler> {
+            anneal::QbsolvSolver::Params qp;
+            static_cast<anneal::CommonParams &>(qp) = o.common;
+            qp.subproblem_size = 12;
+            qp.outer_iterations = 8;
+            qp.restarts = 2;
+            auto solver = std::make_unique<anneal::QbsolvSolver>(qp);
+            solver->setSubSolver([&](const ising::IsingModel &sub) {
+                ++dispatched;
+                std::vector<std::pair<uint32_t, uint32_t>> edges;
+                for (const auto &t : sub.quadraticTerms())
+                    edges.emplace_back(t.i, t.j);
+                embed::EmbedParams ep;
+                ep.tries = 4;
+                auto emb =
+                    embed::findEmbedding(edges, sub.numVars(), hw, ep);
+                if (!emb) // fallback: exact
+                    return anneal::ExactSolver().solve(sub)
+                        .ground_states.front();
+                auto em = embed::embedModel(sub, *emb, hw);
+                anneal::SamplerOpts co;
+                co.common.num_reads = 10;
+                co.sweeps = 128;
+                co.chains = em.dense_chains;
+                auto set = anneal::makeSampler("chainflip", co)
+                               ->sample(em.physical);
+                return em.unembed(set.best().spins);
+            });
+            return solver;
+        });
+
+    auto set =
+        anneal::makeSampler("qbsolv-hw", {})->sample(m);
     std::printf("60-variable problem solved through a C4 device: "
                 "best E = %.3f over %zu hardware dispatches\n\n",
-                set.best().energy, dispatched);
+                set.best().energy, dispatched.load());
 }
 
 void
@@ -123,14 +141,14 @@ BM_QbsolvRandom(benchmark::State &state)
     Rng rng(33);
     ising::IsingModel m =
         randomSparseModel(rng, static_cast<size_t>(state.range(0)));
-    anneal::QbsolvSolver::Params qp;
-    qp.subproblem_size = 20;
-    qp.outer_iterations = 16;
-    qp.restarts = 2;
+    anneal::SamplerOpts qo;
+    qo.extra["qbsolv.subproblem_size"] = 20;
+    qo.extra["qbsolv.outer_iterations"] = 16;
+    qo.extra["qbsolv.restarts"] = 2;
     for (auto _ : state) {
-        qp.seed += 1;
+        qo.common.seed += 1;
         benchmark::DoNotOptimize(
-            anneal::QbsolvSolver(qp).sample(m));
+            anneal::makeSampler("qbsolv", qo)->sample(m));
     }
 }
 BENCHMARK(BM_QbsolvRandom)->Arg(80)->Arg(160)->Unit(
@@ -142,14 +160,14 @@ BM_SaRandom(benchmark::State &state)
     Rng rng(33);
     ising::IsingModel m =
         randomSparseModel(rng, static_cast<size_t>(state.range(0)));
-    anneal::SimulatedAnnealer::Params sp;
-    sp.num_reads = 20;
-    sp.sweeps = 512;
-    sp.greedy_polish = true;
+    anneal::SamplerOpts so;
+    so.common.num_reads = 20;
+    so.sweeps = 512;
+    so.greedy_polish = true;
     for (auto _ : state) {
-        sp.seed += 1;
+        so.common.seed += 1;
         benchmark::DoNotOptimize(
-            anneal::SimulatedAnnealer(sp).sample(m));
+            anneal::makeSampler("sa", so)->sample(m));
     }
 }
 BENCHMARK(BM_SaRandom)->Arg(80)->Arg(160)->Unit(

@@ -1,0 +1,15 @@
+#!/bin/sh
+# ThreadSanitizer verify configuration: proves the exec scheduler and
+# every parallelized sampler race-clean.  Builds the parallel/anneal
+# test targets with -DQAC_SANITIZE=thread and runs the parallel- and
+# anneal-labelled suites under TSan.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD=build-tsan
+
+cmake -B "$BUILD" -S . -DQAC_SANITIZE=thread >/dev/null
+cmake --build "$BUILD" -j --target parallel_test anneal_test
+cd "$BUILD"
+ctest -L 'parallel|anneal' --output-on-failure
+echo "tsan verify ok"

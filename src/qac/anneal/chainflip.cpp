@@ -5,6 +5,7 @@
 
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
+#include "qac/anneal/parallel_reads.h"
 #include "qac/anneal/simulated.h"
 #include "qac/stats/trace.h"
 #include "qac/util/logging.h"
@@ -55,10 +56,11 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
     const uint32_t sweeps = std::max<uint32_t>(1, params_.sweeps);
     double ratio =
         (sweeps > 1) ? std::pow(b1 / b0, 1.0 / (sweeps - 1)) : 1.0;
-    Rng master(params_.seed);
 
-    for (uint32_t read = 0; read < params_.num_reads; ++read) {
-        Rng rng = master.fork();
+    out = detail::sampleReads(
+        params_.num_reads, params_.threads,
+        [&](uint32_t read, SampleSet &part) {
+        Rng rng = Rng::streamAt(params_.seed, read);
         ising::SpinVector spins(n);
         for (auto &s : spins)
             s = rng.spin();
@@ -93,9 +95,8 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
             greedyDescent(model, spins);
         double e = model.energy(spins);
         stats::record("anneal.chainflip.energy", e);
-        out.add(spins, e);
-    }
-    out.finalize();
+        part.add(spins, e);
+    });
     detail::recordSampleStats("chainflip", out,
                               uint64_t{sweeps} * params_.num_reads,
                               stats::Trace::nowNs() - t0);

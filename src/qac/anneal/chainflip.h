@@ -17,21 +17,20 @@
 
 #include <vector>
 
+#include "qac/anneal/sampler.h"
 #include "qac/anneal/sampleset.h"
 #include "qac/ising/model.h"
 
 namespace qac::anneal {
 
-class ChainFlipAnnealer
+class ChainFlipAnnealer : public Sampler
 {
   public:
-    struct Params
+    struct Params : CommonParams
     {
-        uint32_t num_reads = 100;
         uint32_t sweeps = 256;
         double beta_initial = 0.0; ///< 0 = auto
         double beta_final = 0.0;   ///< 0 = auto
-        uint64_t seed = 1;
         bool greedy_polish = true;
     };
 
@@ -44,7 +43,7 @@ class ChainFlipAnnealer
         : params_(params), chains_(std::move(chains))
     {}
 
-    SampleSet sample(const ising::IsingModel &model) const;
+    SampleSet sample(const ising::IsingModel &model) const override;
 
   private:
     Params params_;

@@ -1,5 +1,10 @@
 #include "qac/anneal/descent.h"
 
+#include "qac/anneal/anneal_stats.h"
+#include "qac/anneal/parallel_reads.h"
+#include "qac/stats/trace.h"
+#include "qac/util/rng.h"
+
 namespace qac::anneal {
 
 double
@@ -38,6 +43,37 @@ polish(const ising::IsingModel &model, const SampleSet &in)
             out.add(spins, e);
     }
     out.finalize();
+    return out;
+}
+
+SampleSet
+DescentSampler::sample(const ising::IsingModel &model) const
+{
+    const size_t n = model.numVars();
+    SampleSet out;
+    if (n == 0) {
+        out.finalize();
+        return out;
+    }
+
+    stats::ScopedTimer timer("anneal.descent.time");
+    const uint64_t t0 = stats::Trace::nowNs();
+    model.adjacency(); // pre-build: reads run parallel
+
+    out = detail::sampleReads(
+        params_.num_reads, params_.threads,
+        [&](uint32_t read, SampleSet &part) {
+            Rng rng = Rng::streamAt(params_.seed, read);
+            ising::SpinVector spins(n);
+            for (auto &s : spins)
+                s = rng.spin();
+            greedyDescent(model, spins);
+            double e = model.energy(spins);
+            stats::record("anneal.descent.energy", e);
+            part.add(spins, e);
+        });
+    detail::recordSampleStats("descent", out, params_.num_reads,
+                              stats::Trace::nowNs() - t0);
     return out;
 }
 

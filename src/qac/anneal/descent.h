@@ -1,11 +1,14 @@
 /**
  * @file
- * Greedy steepest-descent polish for sampler output.
+ * Greedy steepest-descent: the polish pass the other samplers share,
+ * plus a random-restart descent sampler in its own right (the cheapest
+ * classical baseline; D-Wave's own postprocessing is this descent).
  */
 
 #ifndef QAC_ANNEAL_DESCENT_H
 #define QAC_ANNEAL_DESCENT_H
 
+#include "qac/anneal/sampler.h"
 #include "qac/anneal/sampleset.h"
 #include "qac/ising/model.h"
 
@@ -20,6 +23,22 @@ double greedyDescent(const ising::IsingModel &model,
 
 /** Apply greedyDescent to every sample; returns a re-finalized set. */
 SampleSet polish(const ising::IsingModel &model, const SampleSet &in);
+
+/** Random-restart steepest descent: one local minimum per read. */
+class DescentSampler : public Sampler
+{
+  public:
+    struct Params : CommonParams
+    {};
+
+    DescentSampler() = default;
+    explicit DescentSampler(Params params) : params_(params) {}
+
+    SampleSet sample(const ising::IsingModel &model) const override;
+
+  private:
+    Params params_{};
+};
 
 } // namespace qac::anneal
 

@@ -1,11 +1,36 @@
 #include "qac/anneal/exact.h"
 
 #include <cmath>
+#include <limits>
 
+#include "qac/exec/exec.h"
 #include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
 namespace qac::anneal {
+
+namespace {
+
+/** Spin state after Gray-code step k: bit i of k^(k>>1) set => +1. */
+ising::SpinVector
+grayState(uint64_t k, size_t n)
+{
+    uint64_t g = k ^ (k >> 1);
+    ising::SpinVector spins(n, -1);
+    for (size_t i = 0; i < n; ++i)
+        if ((g >> i) & 1)
+            spins[i] = 1;
+    return spins;
+}
+
+struct ShardResult
+{
+    double min_energy = std::numeric_limits<double>::infinity();
+    std::vector<ising::SpinVector> ground_states;
+    bool truncated = false;
+};
+
+} // namespace
 
 ExactResult
 ExactSolver::solve(const ising::IsingModel &model) const
@@ -16,45 +41,86 @@ ExactSolver::solve(const ising::IsingModel &model) const
               params_.max_vars);
 
     ExactResult res;
-    ising::SpinVector spins(n, -1);
     if (n == 0) {
         res.min_energy = 0.0;
-        res.ground_states.push_back(spins);
+        res.ground_states.emplace_back();
         return res;
     }
 
     const auto &adj = model.adjacency();
-    (void)adj; // built once so flipDelta is O(deg)
+    (void)adj; // built before the parallel walk; flipDelta is O(deg)
 
-    double energy = model.energy(spins);
-    res.min_energy = energy;
-    res.ground_states.push_back(spins);
+    // The Gray-code walk is split into contiguous shards whose
+    // boundaries depend only on the problem size — never the thread
+    // count — so the per-shard floating-point accumulation (and hence
+    // the result) is bitwise identical for any --threads value.
+    const uint64_t total = uint64_t{1} << n;
+    uint64_t shards = total >> 16; // >= 2^16 states per shard
+    shards = std::min<uint64_t>(std::max<uint64_t>(shards, 1), 64);
+    const uint64_t per = total / shards; // exact: powers of two
 
-    auto consider = [&](double e) {
-        if (e < res.min_energy - params_.tol) {
-            res.min_energy = e;
+    std::vector<ShardResult> parts(shards);
+    {
+        stats::ScopedTimer timer("anneal.exact.time");
+        exec::parallelFor(shards, params_.threads, [&](size_t s) {
+            ShardResult &r = parts[s];
+            const uint64_t lo = uint64_t{s} * per;
+            const uint64_t hi = lo + per;
+            ising::SpinVector spins = grayState(lo, n);
+            double energy = model.energy(spins);
+
+            auto consider = [&](double e) {
+                if (e < r.min_energy - params_.tol) {
+                    r.min_energy = e;
+                    r.ground_states.clear();
+                    r.ground_states.push_back(spins);
+                    r.truncated = false;
+                } else if (std::abs(e - r.min_energy) <= params_.tol) {
+                    if (r.ground_states.size() <
+                        params_.max_ground_states)
+                        r.ground_states.push_back(spins);
+                    else
+                        r.truncated = true;
+                }
+            };
+
+            consider(energy);
+            // Gray-code walk: step k flips the lowest set bit of k.
+            for (uint64_t k = lo + 1; k < hi; ++k) {
+                uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(k));
+                energy += model.flipDelta(spins, bit);
+                spins[bit] = static_cast<ising::Spin>(-spins[bit]);
+                consider(energy);
+            }
+        });
+    }
+
+    // Merge shards in walk order; same accept rule as the sequential
+    // scan, so the combined state list matches a single-shard run.
+    res.min_energy = std::numeric_limits<double>::infinity();
+    for (const ShardResult &part : parts) {
+        bool contributes = false;
+        if (part.min_energy < res.min_energy - params_.tol) {
+            res.min_energy = part.min_energy;
             res.ground_states.clear();
-            res.ground_states.push_back(spins);
             res.truncated = false;
-        } else if (std::abs(e - res.min_energy) <= params_.tol) {
+            contributes = true;
+        } else if (std::abs(part.min_energy - res.min_energy) <=
+                   params_.tol) {
+            contributes = true;
+        }
+        if (!contributes)
+            continue;
+        for (const auto &gs : part.ground_states) {
             if (res.ground_states.size() < params_.max_ground_states)
-                res.ground_states.push_back(spins);
+                res.ground_states.push_back(gs);
             else
                 res.truncated = true;
         }
-    };
-
-    // Gray-code walk: step k flips the lowest set bit index of k.
-    const uint64_t total = uint64_t{1} << n;
-    {
-        stats::ScopedTimer timer("anneal.exact.time");
-        for (uint64_t k = 1; k < total; ++k) {
-            uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(k));
-            energy += model.flipDelta(spins, bit);
-            spins[bit] = static_cast<ising::Spin>(-spins[bit]);
-            consider(energy);
-        }
+        if (part.truncated)
+            res.truncated = true;
     }
+
     stats::count("anneal.exact.states", total);
     stats::count("anneal.exact.ground_states", res.ground_states.size());
     return res;
@@ -66,6 +132,17 @@ ExactSolver::minEnergy(const ising::IsingModel &model) const
     // solve() without storing states would save memory; ground-state
     // lists are small in practice, so reuse it.
     return solve(model).min_energy;
+}
+
+SampleSet
+ExactSolver::sample(const ising::IsingModel &model) const
+{
+    ExactResult res = solve(model);
+    SampleSet out;
+    for (const auto &gs : res.ground_states)
+        out.add(gs, res.min_energy);
+    out.finalize();
+    return out;
 }
 
 } // namespace qac::anneal

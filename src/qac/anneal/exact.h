@@ -9,6 +9,7 @@
 #ifndef QAC_ANNEAL_EXACT_H
 #define QAC_ANNEAL_EXACT_H
 
+#include "qac/anneal/sampler.h"
 #include "qac/anneal/sampleset.h"
 #include "qac/ising/model.h"
 
@@ -22,7 +23,7 @@ struct ExactResult
     bool truncated = false;
 };
 
-class ExactSolver
+class ExactSolver : public Sampler
 {
   public:
     struct Params
@@ -30,6 +31,10 @@ class ExactSolver
         size_t max_vars = 28;
         size_t max_ground_states = 4096;
         double tol = 1e-9;
+        /** Enumeration-shard workers; 0 = hardware concurrency.  Shard
+         *  boundaries are a fixed function of problem size, so the
+         *  result is identical for any thread count. */
+        uint32_t threads = 0;
     };
 
     ExactSolver() = default;
@@ -40,6 +45,9 @@ class ExactSolver
 
     /** Global minimum energy only. */
     double minEnergy(const ising::IsingModel &model) const;
+
+    /** Sampler view: every ground state once, at the minimum energy. */
+    SampleSet sample(const ising::IsingModel &model) const override;
 
   private:
     Params params_{};

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared fan-out/merge skeleton for the parallel samplers.
+ *
+ * Reads are grouped into fixed-size chunks; each chunk builds a
+ * partial SampleSet on one worker and the partials reduce through
+ * SampleSet::merge in chunk order.  Because read k's randomness comes
+ * from Rng::streamAt(seed, k) and the merged set finalizes into a
+ * canonical order, the result is bitwise-identical for any thread
+ * count — chunking and scheduling affect wall-clock only.
+ */
+
+#ifndef QAC_ANNEAL_PARALLEL_READS_H
+#define QAC_ANNEAL_PARALLEL_READS_H
+
+#include <functional>
+
+#include "qac/anneal/sampleset.h"
+
+namespace qac::anneal::detail {
+
+/**
+ * Run @p num_reads independent reads across @p threads workers
+ * (0 = hardware concurrency) and reduce into one finalized SampleSet.
+ * @p read_fn must derive all randomness for read k from
+ * Rng::streamAt(seed, k) and add its sample(s) to the partial set.
+ * The caller must pre-build any lazy model caches (e.g.
+ * IsingModel::adjacency()) before calling: read_fn runs concurrently.
+ */
+SampleSet
+sampleReads(uint32_t num_reads, uint32_t threads,
+            const std::function<void(uint32_t read, SampleSet &part)>
+                &read_fn);
+
+} // namespace qac::anneal::detail
+
+#endif // QAC_ANNEAL_PARALLEL_READS_H

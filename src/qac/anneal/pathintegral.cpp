@@ -5,6 +5,7 @@
 
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
+#include "qac/anneal/parallel_reads.h"
 #include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
@@ -35,12 +36,13 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
                                           : 3.0 * max_scale;
     double g1 = std::max(params_.gamma_final, 1e-6);
 
-    const auto &adj = model.adjacency();
-    Rng master(params_.seed);
+    const auto &adj = model.adjacency(); // pre-build: reads run parallel
     const uint32_t sweeps = std::max<uint32_t>(2, params_.sweeps);
 
-    for (uint32_t read = 0; read < params_.num_reads; ++read) {
-        Rng rng = master.fork();
+    out = detail::sampleReads(
+        params_.num_reads, params_.threads,
+        [&](uint32_t read, SampleSet &part) {
+        Rng rng = Rng::streamAt(params_.seed, read);
         // replica-major layout: spins[m][i]
         std::vector<ising::SpinVector> rep(
             slices, ising::SpinVector(n));
@@ -93,9 +95,8 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
         greedyDescent(model, best);
         double e = model.energy(best);
         stats::record("anneal.sqa.energy", e);
-        out.add(best, e);
-    }
-    out.finalize();
+        part.add(best, e);
+    });
     // Each sweep touches every Trotter slice once.
     detail::recordSampleStats("sqa", out,
                               uint64_t{sweeps} * slices *

@@ -17,31 +17,31 @@
 #ifndef QAC_ANNEAL_PATHINTEGRAL_H
 #define QAC_ANNEAL_PATHINTEGRAL_H
 
+#include "qac/anneal/sampler.h"
 #include "qac/anneal/sampleset.h"
 #include "qac/ising/model.h"
 
 namespace qac::anneal {
 
-class PathIntegralAnnealer
+class PathIntegralAnnealer : public Sampler
 {
   public:
-    struct Params
+    struct Params : CommonParams
     {
-        uint32_t num_reads = 25;
+        Params() { num_reads = 25; }
         uint32_t sweeps = 128;        ///< Gamma steps per anneal
         uint32_t trotter_slices = 16; ///< replicas M
         double beta = 8.0;            ///< total inverse temperature
         /** Transverse-field ramp; 0 = auto (3x max coupling scale). */
         double gamma_initial = 0.0;
         double gamma_final = 0.01;
-        uint64_t seed = 1;
     };
 
     PathIntegralAnnealer() = default;
     explicit PathIntegralAnnealer(Params params) : params_(params) {}
 
     /** Anneal; each read reports its best slice (greedy-polished). */
-    SampleSet sample(const ising::IsingModel &model) const;
+    SampleSet sample(const ising::IsingModel &model) const override;
 
   private:
     Params params_{};

@@ -6,6 +6,7 @@
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
 #include "qac/anneal/exact.h"
+#include "qac/anneal/parallel_reads.h"
 #include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
@@ -70,10 +71,12 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
     }
 
     const size_t sub_n = std::max<size_t>(2, params_.subproblem_size);
-    Rng master(params_.seed);
+    model.adjacency(); // pre-build: restarts run parallel
 
-    for (uint32_t restart = 0; restart < params_.restarts; ++restart) {
-        Rng rng = master.fork();
+    out = detail::sampleReads(
+        params_.restarts, params_.threads,
+        [&](uint32_t restart, SampleSet &part) {
+        Rng rng = Rng::streamAt(params_.seed, restart);
         ising::SpinVector spins(n);
         for (auto &s : spins)
             s = rng.spin();
@@ -122,9 +125,8 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
         }
         double e = model.energy(spins);
         stats::record("anneal.qbsolv.energy", e);
-        out.add(spins, e);
-    }
-    out.finalize();
+        part.add(spins, e);
+    });
     detail::recordSampleStats("qbsolv", out, 0,
                               stats::Trace::nowNs() - t0);
     return out;

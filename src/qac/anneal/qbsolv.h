@@ -19,15 +19,16 @@
 
 #include <functional>
 
+#include "qac/anneal/sampler.h"
 #include "qac/anneal/sampleset.h"
 #include "qac/ising/model.h"
 
 namespace qac::anneal {
 
-class QbsolvSolver
+class QbsolvSolver : public Sampler
 {
   public:
-    struct Params
+    struct Params : CommonParams
     {
         /** Largest subproblem handed to the sub-solver (the paper's
          *  hardware could fit ~2048 qubits; default keeps the exact
@@ -35,12 +36,14 @@ class QbsolvSolver
         size_t subproblem_size = 20;
         uint32_t outer_iterations = 16; ///< improvement rounds
         uint32_t restarts = 4;          ///< random restarts
-        uint64_t seed = 1;
     };
 
     /**
      * Sub-solver callback: minimize the given (clamped) sub-model and
      * return a spin assignment.  Defaults to exact enumeration.
+     * Restarts run concurrently, so a custom sub-solver must be
+     * thread-safe (and deterministic per sub-model for reproducible
+     * results).
      */
     using SubSolver =
         std::function<ising::SpinVector(const ising::IsingModel &)>;
@@ -51,7 +54,7 @@ class QbsolvSolver
     void setSubSolver(SubSolver sub) { sub_ = std::move(sub); }
 
     /** Minimize @p model; returns one sample per restart. */
-    SampleSet sample(const ising::IsingModel &model) const;
+    SampleSet sample(const ising::IsingModel &model) const override;
 
   private:
     Params params_{};

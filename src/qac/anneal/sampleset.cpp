@@ -20,14 +20,38 @@ SampleSet::add(const ising::SpinVector &spins, double energy)
 }
 
 void
+SampleSet::merge(SampleSet &&other)
+{
+    for (auto &s : other.samples_) {
+        auto [it, inserted] = index_.emplace(s.spins, samples_.size());
+        if (inserted)
+            samples_.push_back(std::move(s));
+        else
+            samples_[it->second].num_occurrences += s.num_occurrences;
+    }
+    total_reads_ += other.total_reads_;
+    finalized_ = false;
+    other.samples_.clear();
+    other.index_.clear();
+    other.total_reads_ = 0;
+    other.finalized_ = false;
+}
+
+void
 SampleSet::finalize()
 {
-    // Sort by energy, remapping the dedup index.
+    if (finalized_)
+        return;
+    // Sort by (energy, spins), remapping the dedup index.  The
+    // lexicographic tie-break makes the order independent of insertion
+    // order, so thread-count (and merge-order) changes cannot show.
     std::vector<size_t> order(samples_.size());
     for (size_t i = 0; i < order.size(); ++i)
         order[i] = i;
     std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return samples_[a].energy < samples_[b].energy;
+        if (samples_[a].energy != samples_[b].energy)
+            return samples_[a].energy < samples_[b].energy;
+        return samples_[a].spins < samples_[b].spins;
     });
     std::vector<Sample> sorted;
     sorted.reserve(samples_.size());

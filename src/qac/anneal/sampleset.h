@@ -33,7 +33,21 @@ class SampleSet
     /** Record one read (duplicates aggregate). */
     void add(const ising::SpinVector &spins, double energy);
 
-    /** Sort ascending by energy. Call after the last add(). */
+    /**
+     * Fold @p other into this set, aggregating duplicate spin vectors
+     * and read counts.  Associative and (given the canonical finalize
+     * order) commutative — the reduction seam per-thread partial sets
+     * combine through.  @p other is left empty.
+     */
+    void merge(SampleSet &&other);
+
+    /**
+     * Sort into the canonical order: ascending energy, ties broken
+     * lexicographically by spins.  Idempotent; safe to call on an
+     * already-finalized set.  The order is a pure function of the
+     * sample *contents*, so sets assembled in any add/merge order
+     * finalize identically.
+     */
     void finalize();
 
     bool empty() const { return samples_.empty(); }

@@ -5,6 +5,7 @@
 
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
+#include "qac/anneal/parallel_reads.h"
 #include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 
@@ -72,34 +73,34 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
         b *= ratio;
     }
 
-    const auto &adj = model.adjacency();
-    Rng master(params_.seed);
+    const auto &adj = model.adjacency(); // pre-build: reads run parallel
 
-    for (uint32_t read = 0; read < params_.num_reads; ++read) {
-        Rng rng = master.fork();
-        ising::SpinVector spins(n);
-        for (auto &s : spins)
-            s = rng.spin();
+    out = detail::sampleReads(
+        params_.num_reads, params_.threads,
+        [&](uint32_t read, SampleSet &part) {
+            Rng rng = Rng::streamAt(params_.seed, read);
+            ising::SpinVector spins(n);
+            for (auto &s : spins)
+                s = rng.spin();
 
-        for (uint32_t s = 0; s < sweeps; ++s) {
-            double beta = betas[s];
-            for (uint32_t i = 0; i < n; ++i) {
-                double local = model.linear(i);
-                for (const auto &[j, w] : adj[i])
-                    local += w * spins[j];
-                double delta = -2.0 * spins[i] * local;
-                if (delta <= 0.0 ||
-                    rng.uniform() < std::exp(-beta * delta))
-                    spins[i] = static_cast<ising::Spin>(-spins[i]);
+            for (uint32_t s = 0; s < sweeps; ++s) {
+                double beta = betas[s];
+                for (uint32_t i = 0; i < n; ++i) {
+                    double local = model.linear(i);
+                    for (const auto &[j, w] : adj[i])
+                        local += w * spins[j];
+                    double delta = -2.0 * spins[i] * local;
+                    if (delta <= 0.0 ||
+                        rng.uniform() < std::exp(-beta * delta))
+                        spins[i] = static_cast<ising::Spin>(-spins[i]);
+                }
             }
-        }
-        if (params_.greedy_polish)
-            greedyDescent(model, spins);
-        double e = model.energy(spins);
-        stats::record("anneal.sa.energy", e);
-        out.add(spins, e);
-    }
-    out.finalize();
+            if (params_.greedy_polish)
+                greedyDescent(model, spins);
+            double e = model.energy(spins);
+            stats::record("anneal.sa.energy", e);
+            part.add(spins, e);
+        });
     detail::recordSampleStats("sa", out,
                               uint64_t{sweeps} * params_.num_reads,
                               stats::Trace::nowNs() - t0);

@@ -11,31 +11,30 @@
 #ifndef QAC_ANNEAL_SIMULATED_H
 #define QAC_ANNEAL_SIMULATED_H
 
+#include "qac/anneal/sampler.h"
 #include "qac/anneal/sampleset.h"
 #include "qac/ising/model.h"
 #include "qac/util/rng.h"
 
 namespace qac::anneal {
 
-class SimulatedAnnealer
+class SimulatedAnnealer : public Sampler
 {
   public:
-    struct Params
+    struct Params : CommonParams
     {
-        uint32_t num_reads = 100;  ///< independent anneals
         uint32_t sweeps = 256;     ///< full-lattice sweeps per anneal
         /** Inverse-temperature schedule endpoints; 0 = auto-derived
          *  from the model's energy scales (neal-style). */
         double beta_initial = 0.0;
         double beta_final = 0.0;
-        uint64_t seed = 1;
         bool greedy_polish = false; ///< steepest-descent after each read
     };
 
     SimulatedAnnealer() = default;
     explicit SimulatedAnnealer(Params params) : params_(params) {}
 
-    SampleSet sample(const ising::IsingModel &model) const;
+    SampleSet sample(const ising::IsingModel &model) const override;
 
     /** The (beta_initial, beta_final) pair auto-derivation. */
     static std::pair<double, double>

@@ -121,11 +121,15 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
             chimera::chimeraGraph(opts.chimera_size);
         chimera::applyDropout(hw, opts.qubit_dropout, opts.embed.seed);
 
+        embed::EmbedParams embed_params = opts.embed;
+        if (embed_params.threads == 0)
+            embed_params.threads = opts.threads;
+
         std::vector<std::pair<uint32_t, uint32_t>> edges;
         for (const auto &t : res.assembled.model.quadraticTerms())
             edges.emplace_back(t.i, t.j);
         auto emb = embed::findEmbedding(
-            edges, res.assembled.model.numVars(), hw, opts.embed);
+            edges, res.assembled.model.numVars(), hw, embed_params);
         if (!emb && opts.assemble.merge_chains) {
             // High-fanout nets merge into hub variables whose degree
             // can defeat the embedding heuristic.  Fall back to
@@ -144,7 +148,7 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
             for (const auto &t : res.assembled.model.quadraticTerms())
                 edges.emplace_back(t.i, t.j);
             emb = embed::findEmbedding(
-                edges, res.assembled.model.numVars(), hw, opts.embed);
+                edges, res.assembled.model.numVars(), hw, embed_params);
         }
         if (!emb)
             fatal("could not embed %zu logical variables into C%u",

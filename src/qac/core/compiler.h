@@ -56,6 +56,10 @@ struct CompileOptions
     double qubit_dropout = 0.0;      ///< random inactive-qubit fraction
     embed::EmbedParams embed;
     embed::EmbedModelOptions embed_model;
+
+    /** Worker threads for parallel stages (embedding tries);
+     *  0 = hardware concurrency.  Results are thread-count invariant. */
+    uint32_t threads = 0;
 };
 
 /** All artifacts of one compilation. */

@@ -2,12 +2,8 @@
 
 #include <algorithm>
 
-#include "qac/anneal/chainflip.h"
 #include "qac/anneal/descent.h"
-#include "qac/anneal/exact.h"
-#include "qac/anneal/pathintegral.h"
-#include "qac/anneal/qbsolv.h"
-#include "qac/anneal/simulated.h"
+#include "qac/anneal/sampler.h"
 #include "qac/embed/roof_duality.h"
 #include "qac/netlist/simulate.h"
 #include "qac/stats/registry.h"
@@ -133,9 +129,11 @@ Executable::run(const RunOptions &opts) const
             std::vector<std::pair<uint32_t, uint32_t>> edges;
             for (const auto &t : to_solve->quadraticTerms())
                 edges.emplace_back(t.i, t.j);
+            embed::EmbedParams ep = opts.embed_params;
+            if (ep.threads == 0)
+                ep.threads = opts.threads;
             auto emb = embed::findEmbedding(edges, to_solve->numVars(),
-                                            *compiled_.hardware,
-                                            opts.embed_params);
+                                            *compiled_.hardware, ep);
             if (!emb)
                 fatal("run: embedding failed");
             em = embed::embedModel(*to_solve, *emb,
@@ -148,55 +146,27 @@ Executable::run(const RunOptions &opts) const
     const ising::IsingModel &sample_model =
         em ? em->physical : *to_solve;
 
-    // Sample.
-    anneal::SampleSet set;
-    switch (opts.solver) {
-      case SolverKind::SimulatedAnnealing: {
-        if (em) {
-            // Embedded landscapes need composite chain moves; plain
-            // single-flip SA cannot cross the chain barriers the
-            // quantum annealer tunnels through.
-            anneal::ChainFlipAnnealer::Params p;
-            p.num_reads = opts.num_reads;
-            p.sweeps = opts.sweeps;
-            p.seed = opts.seed;
-            set = anneal::ChainFlipAnnealer(p, em->dense_chains)
-                      .sample(sample_model);
-            break;
-        }
-        anneal::SimulatedAnnealer::Params p;
-        p.num_reads = opts.num_reads;
-        p.sweeps = opts.sweeps;
-        p.seed = opts.seed;
-        p.greedy_polish = true; // mirrors D-Wave postprocessing
-        set = anneal::SimulatedAnnealer(p).sample(sample_model);
-        break;
-      }
-      case SolverKind::PathIntegral: {
-        anneal::PathIntegralAnnealer::Params p;
-        p.num_reads = opts.num_reads;
-        p.sweeps = opts.sweeps;
-        p.seed = opts.seed;
-        set = anneal::PathIntegralAnnealer(p).sample(sample_model);
-        break;
-      }
-      case SolverKind::Exact: {
-        anneal::ExactSolver solver;
-        auto res = solver.solve(sample_model);
-        for (const auto &gs : res.ground_states)
-            set.add(gs, res.min_energy);
-        set.finalize();
-        break;
-      }
-      case SolverKind::Qbsolv: {
-        anneal::QbsolvSolver::Params p;
-        p.restarts = std::max<uint32_t>(1, opts.num_reads / 25);
-        p.outer_iterations = std::max<uint32_t>(8, opts.sweeps / 32);
-        p.seed = opts.seed;
-        set = anneal::QbsolvSolver(p).sample(sample_model);
-        break;
-      }
+    // Sample through the factory; no concrete annealer classes here.
+    std::string solver = opts.solver;
+    if (solver == "sa" && em) {
+        // Embedded landscapes need composite chain moves; plain
+        // single-flip SA cannot cross the chain barriers the quantum
+        // annealer tunnels through.
+        solver = "chainflip";
     }
+    anneal::SamplerOpts sopts;
+    sopts.common.num_reads = opts.num_reads;
+    sopts.common.seed = opts.seed;
+    sopts.common.threads = opts.threads;
+    sopts.sweeps = opts.sweeps;
+    sopts.greedy_polish = true; // mirrors D-Wave postprocessing
+    if (em)
+        sopts.chains = em->dense_chains;
+    auto sampler = anneal::makeSampler(solver, sopts);
+    if (!sampler)
+        fatal("run: unknown solver '%s' (expected %s)",
+              solver.c_str(), anneal::samplerNamesJoined().c_str());
+    anneal::SampleSet set = sampler->sample(sample_model);
 
     // Map each sample back to logical space and validate.
     RunResult out;

@@ -38,21 +38,17 @@ class Executable
     void clearPins();
     const std::vector<PinSpec> &pins() const { return pins_; }
 
-    enum class SolverKind {
-        SimulatedAnnealing,
-        PathIntegral,
-        Exact,
-        /** qbsolv-style decomposition: split into subproblems that
-         *  "fit on the hardware" and solve them exactly. */
-        Qbsolv,
-    };
-
     struct RunOptions
     {
-        SolverKind solver = SolverKind::SimulatedAnnealing;
+        /** Sampler name for anneal::makeSampler ("sa", "sqa", "exact",
+         *  "qbsolv", "descent", "chainflip", ...).  "sa" on an
+         *  embedded model is upgraded to "chainflip" automatically:
+         *  embedded landscapes need composite chain moves. */
+        std::string solver = "sa";
         uint32_t num_reads = 200;
         uint32_t sweeps = 512;
         uint64_t seed = 1;
+        uint32_t threads = 0; ///< workers; 0 = hardware concurrency
         /** Sample the minor-embedded physical model (requires a
          *  Chimera-target compile). */
         bool use_physical = false;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "qac/exec/exec.h"
 #include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
@@ -38,20 +39,15 @@ class Embedder
         }
     }
 
+    /** One independent restart; abandons work once @p token reports a
+     *  lower-indexed try has already succeeded. */
     std::optional<Embedding>
-    run()
+    attempt(Rng rng, const exec::CancelToken &token, size_t index)
     {
-        Rng master(params_.seed);
-        for (uint32_t t = 0; t < params_.tries; ++t) {
-            Rng rng = master.fork();
-            stats::count("embed.minorminer.tries");
-            // Each try already runs its own qubit-minimization rounds;
-            // take the first success rather than paying for every
-            // restart.
-            if (auto emb = tryOnce(rng))
-                return emb;
-        }
-        return std::nullopt;
+        token_ = &token;
+        index_ = index;
+        stats::count("embed.minorminer.tries");
+        return tryOnce(rng);
     }
 
   private:
@@ -62,6 +58,8 @@ class Embedder
     std::vector<uint32_t> usage_;
     uint32_t round_ = 0;
     double noise_ = 0.2;
+    const exec::CancelToken *token_ = nullptr;
+    size_t index_ = 0;
 
     double
     weight(uint32_t q) const
@@ -288,6 +286,10 @@ class Embedder
         uint32_t no_progress = 0;
 
         for (round_ = 0; round_ < params_.rounds; ++round_) {
+            // A lower-indexed try already embedded: this result could
+            // never win, so stop paying for it.
+            if (token_ && token_->cancelled(index_))
+                return std::nullopt;
             noise_ = 0.2 / (1.0 + round_);
 
             // Early rounds re-place everything.  Later rounds repair
@@ -377,8 +379,25 @@ findEmbedding(const std::vector<std::pair<uint32_t, uint32_t>>
     if (num_logical == 0)
         return Embedding{};
     stats::ScopedTimer timer("embed.minorminer.time");
-    Embedder e(logical_edges, num_logical, hw, params);
-    auto emb = e.run();
+
+    // Independent restarts race across workers; each try already runs
+    // its own qubit-minimization rounds, so take the first success
+    // rather than paying for every restart.  The lowest-indexed
+    // success wins — exactly the try the sequential loop would have
+    // returned — so the embedding is thread-count invariant.
+    const uint32_t tries = std::max<uint32_t>(1, params.tries);
+    std::vector<std::optional<Embedding>> results(tries);
+    size_t winner = exec::firstSuccess(
+        tries, params.threads,
+        [&](size_t t, const exec::CancelToken &token) {
+            Embedder e(logical_edges, num_logical, hw, params);
+            results[t] =
+                e.attempt(Rng::streamAt(params.seed, t), token, t);
+            return results[t].has_value();
+        });
+    std::optional<Embedding> emb;
+    if (winner != exec::CancelToken::kNone)
+        emb = std::move(results[winner]);
     if (emb) {
         std::string err;
         if (!verifyEmbedding(*emb, logical_edges, hw, &err))

@@ -33,6 +33,10 @@ struct EmbedParams
     double overuse_base = 0.0;
     /** Keep improving chain sizes after the first feasible round. */
     bool minimize_qubits = true;
+    /** Workers for concurrent tries; 0 = hardware concurrency.  The
+     *  lowest-indexed successful try always wins, so the embedding is
+     *  identical for any thread count. */
+    uint32_t threads = 0;
 };
 
 /**

@@ -90,4 +90,16 @@ Rng::fork()
     return Rng(next());
 }
 
+Rng
+Rng::streamAt(uint64_t seed, uint64_t index)
+{
+    // Decorrelate (seed, index) with two splitmix64 rounds before the
+    // state expansion in the constructor; a plain seed+index sum would
+    // make stream k of seed s equal stream 0 of seed s+k.
+    uint64_t x = index + 0x9e3779b97f4a7c15ULL;
+    uint64_t mixed = splitmix64(x);
+    x = seed ^ mixed;
+    return Rng(splitmix64(x));
+}
+
 } // namespace qac

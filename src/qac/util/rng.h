@@ -62,6 +62,17 @@ class Rng
     /** Derive an independent child generator (for parallel streams). */
     Rng fork();
 
+    /**
+     * Counter-based stream derivation: the @p index-th independent
+     * stream of @p seed.  Unlike fork(), which advances shared
+     * generator state and therefore depends on call order, streamAt is
+     * a pure function of (seed, index) — parallel workers can draw
+     * their streams in any order and still reproduce the sequential
+     * run bit for bit.  Stream i of seed s never collides with stream
+     * j != i, and distinct seeds yield unrelated stream families.
+     */
+    static Rng streamAt(uint64_t seed, uint64_t index);
+
   private:
     uint64_t s_[4];
 };

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "qac/anneal/sampler.h"
 #include "qac/core/compiler.h"
 #include "qac/core/program.h"
 #include "qac/qmasm/formats.h"
@@ -73,10 +74,11 @@ usage(const char *argv0)
         "  --run                 anneal and report solutions\n"
         "  --physical            sample the embedded physical model\n"
         "  --pin \"SYM := VAL\"    bind ports (repeatable; qmasm syntax)\n"
-        "  --solver sa|sqa|exact|qbsolv\n"
+        "  --solver %s\n"
         "  --reads <N> --sweeps <N> --seed <N>\n"
         "%s",
-        argv0, tools::commonUsage());
+        argv0, anneal::samplerNamesJoined().c_str(),
+        tools::commonUsage());
     std::exit(2);
 }
 
@@ -91,7 +93,7 @@ parseArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        if (tools::parseCommonFlag(args.common, a))
+        if (tools::parseCommonFlag(args.common, argc, argv, i))
             continue;
         if (a == "--top")
             args.top = need(i);
@@ -178,6 +180,7 @@ runQacc(Args &args, const char *argv0)
     core::CompileOptions opts;
     opts.top = args.top;
     opts.unroll_steps = args.unroll;
+    opts.threads = args.common.threads;
     if (args.chimera) {
         opts.target = core::Target::Chimera;
         opts.chimera_size = args.chimera_size;
@@ -220,20 +223,17 @@ runQacc(Args &args, const char *argv0)
     ro.num_reads = args.reads;
     ro.sweeps = args.sweeps;
     ro.seed = args.seed;
+    ro.threads = args.common.threads;
     ro.use_physical = args.physical;
     if (args.physical)
         ro.reduce = false;
-    if (args.solver == "sa")
-        ro.solver =
-            core::Executable::SolverKind::SimulatedAnnealing;
-    else if (args.solver == "sqa")
-        ro.solver = core::Executable::SolverKind::PathIntegral;
-    else if (args.solver == "exact")
-        ro.solver = core::Executable::SolverKind::Exact;
-    else if (args.solver == "qbsolv")
-        ro.solver = core::Executable::SolverKind::Qbsolv;
-    else
+    ro.solver = args.solver;
+    if (!anneal::makeSampler(args.solver, {})) {
+        std::fprintf(stderr, "qacc: unknown solver '%s' (expected "
+                     "%s)\n", args.solver.c_str(),
+                     anneal::samplerNamesJoined().c_str());
         usage(argv0);
+    }
 
     auto rr = prog.run(ro);
     if (chatty) {

@@ -20,10 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "qac/anneal/exact.h"
-#include "qac/anneal/pathintegral.h"
-#include "qac/anneal/qbsolv.h"
-#include "qac/anneal/simulated.h"
+#include "qac/anneal/sampler.h"
 #include "qac/qmasm/assemble.h"
 #include "qac/qmasm/formats.h"
 #include "qac/qmasm/parser.h"
@@ -58,12 +55,13 @@ usage(const char *argv0)
                  "  --pin \"SYM := VAL\"   bias a variable (repeatable)\n"
                  "  --run                 anneal and report statistics\n"
                  "  --reads/--sweeps/--seed <N>\n"
-                 "  --solver sa|sqa|exact|qbsolv\n"
+                 "  --solver %s\n"
                  "  --top <N>             solutions to print (default 8)\n"
                  "  --emit-minizinc <f>   convert for classical solution\n"
                  "  --emit-qubo <f>       convert to qbsolv format\n"
                  "%s",
-                 argv0, tools::commonUsage());
+                 argv0, anneal::samplerNamesJoined().c_str(),
+                 tools::commonUsage());
     std::exit(2);
 }
 
@@ -78,7 +76,7 @@ parseArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        if (tools::parseCommonFlag(args.common, a))
+        if (tools::parseCommonFlag(args.common, argc, argv, i))
             continue;
         if (a == "--pin")
             args.pins.push_back(need(i));
@@ -168,34 +166,22 @@ runQma(Args &args, const char *argv0)
         if (!args.run)
             return 0;
 
-        anneal::SampleSet set;
-        if (args.solver == "sa") {
-            anneal::SimulatedAnnealer::Params p;
-            p.num_reads = args.reads;
-            p.sweeps = args.sweeps;
-            p.seed = args.seed;
-            p.greedy_polish = true;
-            set = anneal::SimulatedAnnealer(p).sample(assembled.model);
-        } else if (args.solver == "sqa") {
-            anneal::PathIntegralAnnealer::Params p;
-            p.num_reads = args.reads;
-            p.sweeps = args.sweeps;
-            p.seed = args.seed;
-            set = anneal::PathIntegralAnnealer(p).sample(
-                assembled.model);
-        } else if (args.solver == "exact") {
-            auto res =
-                anneal::ExactSolver().solve(assembled.model);
-            for (const auto &gs : res.ground_states)
-                set.add(gs, res.min_energy);
-            set.finalize();
-        } else if (args.solver == "qbsolv") {
-            anneal::QbsolvSolver::Params p;
-            p.seed = args.seed;
-            set = anneal::QbsolvSolver(p).sample(assembled.model);
-        } else {
+        // Every registered sampler is available by name.  A logical
+        // model carries no physical chain groups, so "chainflip" here
+        // runs with no composite moves (single-qubit relaxation only).
+        anneal::SamplerOpts sopts;
+        sopts.common.num_reads = args.reads;
+        sopts.common.seed = args.seed;
+        sopts.common.threads = args.common.threads;
+        sopts.sweeps = args.sweeps;
+        auto sampler = anneal::makeSampler(args.solver, sopts);
+        if (!sampler) {
+            std::fprintf(stderr, "qma: unknown solver '%s' (expected "
+                         "%s)\n", args.solver.c_str(),
+                         anneal::samplerNamesJoined().c_str());
             usage(argv0);
         }
+        anneal::SampleSet set = sampler->sample(assembled.model);
 
         // The qmasm-style statistics report.
         if (chatty) {

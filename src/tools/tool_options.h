@@ -1,11 +1,14 @@
 /**
  * @file
- * Observability flags shared by qacc and qma, so both tools parse
- * --stats / --trace-json / --quiet / -v identically:
+ * Observability and execution flags shared by qacc and qma, so both
+ * tools parse --stats / --trace-json / --threads / --quiet / -v
+ * identically:
  *
  *   --stats              print a text stats report to stderr at exit
  *   --stats=FILE         write the qac-stats-v1 JSON report to FILE
  *   --trace-json=FILE    write a Chrome trace-event JSON to FILE
+ *   --threads N          worker threads (0 = hardware concurrency);
+ *                        results are identical for any value
  *   --quiet, -q          verbosity 0: suppress all non-error output
  *   -v, --verbose        verbosity 2: extra progress output
  */
@@ -13,6 +16,7 @@
 #ifndef QAC_TOOLS_TOOL_OPTIONS_H
 #define QAC_TOOLS_TOOL_OPTIONS_H
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -28,13 +32,18 @@ struct CommonOptions
     bool stats = false;
     std::string stats_file;
     std::string trace_file;
+    uint32_t threads = 0; ///< workers; 0 = hardware concurrency
     int verbosity = 1;
 };
 
-/** @return true when @p arg was one of the shared flags (consumed). */
+/**
+ * @return true when argv[i] was one of the shared flags (consumed;
+ * @p i advances past any value argument, as for "--threads N").
+ */
 inline bool
-parseCommonFlag(CommonOptions &opts, const std::string &arg)
+parseCommonFlag(CommonOptions &opts, int argc, char **argv, int &i)
 {
+    const std::string arg = argv[i];
     if (arg == "--stats") {
         opts.stats = true;
         return true;
@@ -46,6 +55,18 @@ parseCommonFlag(CommonOptions &opts, const std::string &arg)
     }
     if (arg.rfind("--trace-json=", 0) == 0) {
         opts.trace_file = arg.substr(13);
+        return true;
+    }
+    if (arg == "--threads") {
+        if (i + 1 >= argc)
+            fatal("--threads requires a value");
+        opts.threads =
+            static_cast<uint32_t>(std::stoul(argv[++i]));
+        return true;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+        opts.threads =
+            static_cast<uint32_t>(std::stoul(arg.substr(10)));
         return true;
     }
     if (arg == "--quiet" || arg == "-q") {
@@ -65,6 +86,8 @@ commonUsage()
     return "  --stats[=FILE]        stats report (text to stderr, or "
            "JSON to FILE)\n"
            "  --trace-json=FILE     write a Chrome trace-event JSON\n"
+           "  --threads N           worker threads (0 = hardware "
+           "concurrency)\n"
            "  --quiet, -q           errors only\n"
            "  -v, --verbose         extra output\n";
 }

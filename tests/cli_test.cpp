@@ -228,6 +228,36 @@ TEST(Qma, StatsReport)
     EXPECT_NE(out.find("[anneal]"), std::string::npos) << out;
 }
 
+TEST(Qma, FactorySolversAndThreads)
+{
+    // Every registered sampler is reachable via --solver, including
+    // the previously unexposed descent and chainflip; --threads must
+    // not change the answer.
+    std::string q = writeTemp("cli_solvers.qmasm",
+                              "!begin_macro BIAS\nX -1\n"
+                              "!end_macro BIAS\n"
+                              "!use_macro BIAS g\n");
+    for (const char *solver :
+         {"sa", "sqa", "descent", "chainflip", "qbsolv"}) {
+        auto [code, out] =
+            run(std::string(QMA_PATH) + " " + q + " --run --solver " +
+                solver + " --reads 50 --threads 4");
+        EXPECT_EQ(code, 0) << solver << ": " << out;
+        EXPECT_NE(out.find("g.X = True"), std::string::npos)
+            << solver << ": " << out;
+    }
+}
+
+TEST(Qma, UnknownSolverListsChoices)
+{
+    std::string q = writeTemp("cli_unknown_solver.qmasm", "X -1\n");
+    auto [code, out] = run(std::string(QMA_PATH) + " " + q +
+                           " --run --solver nope");
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("descent"), std::string::npos) << out;
+    EXPECT_NE(out.find("chainflip"), std::string::npos) << out;
+}
+
 TEST(Qma, BadInputFails)
 {
     std::string q = writeTemp("cli_bad.qmasm", "A B C D E\n");

@@ -131,7 +131,7 @@ TEST(Executable, ForwardRunMatchesSimulation)
         ex.pinPort("a", (v >> 1) & 1);
         ex.pinPort("b", (v >> 2) & 1);
         Executable::RunOptions ro;
-        ro.solver = Executable::SolverKind::Exact;
+        ro.solver = "exact";
         auto rr = ex.run(ro);
         ASSERT_TRUE(rr.hasValid()) << "v=" << v;
         auto want = ex.evaluate({{"s", v & 1},
@@ -148,7 +148,7 @@ TEST(Executable, BackwardRunFactorsTinyProduct)
     Executable ex(compile(kMult2, co));
     ex.pinPort("C", 6); // 2*3 or 3*2
     Executable::RunOptions ro;
-    ro.solver = Executable::SolverKind::Exact;
+    ro.solver = "exact";
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());
     std::set<std::pair<uint64_t, uint64_t>> factors;
@@ -169,7 +169,7 @@ TEST(Executable, DivisionByPinning)
     ex.pinPort("C", 6);
     ex.pinPort("A", 3);
     Executable::RunOptions ro;
-    ro.solver = Executable::SolverKind::Exact;
+    ro.solver = "exact";
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());
     for (auto *c : rr.validCandidates())
@@ -186,7 +186,7 @@ TEST(Executable, UnsatisfiablePinsYieldNoValidCandidate)
     ex.pinPort("C", 5);
     ex.pinPort("A", 2); // 2*B == 5 impossible
     Executable::RunOptions ro;
-    ro.solver = Executable::SolverKind::Exact;
+    ro.solver = "exact";
     auto rr = ex.run(ro);
     // The paper: "the quantum annealer would return an invalid
     // solution, as Equation (1) has no ability to represent 'no
@@ -203,7 +203,7 @@ TEST(Executable, ReduceEquivalentToFull)
     ex.pinPort("a", 1);
     ex.pinPort("b", 1);
     Executable::RunOptions with;
-    with.solver = Executable::SolverKind::Exact;
+    with.solver = "exact";
     with.reduce = true;
     Executable::RunOptions without = with;
     without.reduce = false;
@@ -266,7 +266,7 @@ TEST(Executable, SequentialBackwardRun)
     ex.pinPort("reset@0", 0);
     ex.pinPort("reset@1", 0);
     Executable::RunOptions ro;
-    ro.solver = Executable::SolverKind::Exact;
+    ro.solver = "exact";
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());
     const auto &c = rr.bestValid();
@@ -298,7 +298,7 @@ TEST(Executable, QbsolvSolverPath)
     ex.pinPort("a", 0);
     ex.pinPort("b", 1);
     Executable::RunOptions ro;
-    ro.solver = Executable::SolverKind::Qbsolv;
+    ro.solver = "qbsolv";
     ro.num_reads = 100;
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());

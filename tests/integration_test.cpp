@@ -68,7 +68,7 @@ TEST(Paper, CircsatBackwardFindsTheWitness)
     Executable ex(compile(kCircsat, co));
     ex.pinDirective("y := true");
     Executable::RunOptions ro;
-    ro.solver = Executable::SolverKind::Exact;
+    ro.solver = "exact";
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());
     for (auto *c : rr.validCandidates()) {

@@ -80,7 +80,7 @@ checkForwardEquivalence(const std::string &src)
         ex.pinPort("b", b);
         ex.pinPort("c", c);
         Executable::RunOptions ro;
-        ro.solver = Executable::SolverKind::Exact;
+        ro.solver = "exact";
         auto rr = ex.run(ro);
         ASSERT_TRUE(rr.hasValid()) << src << " v=" << v;
         sim.setInput("a", a);
