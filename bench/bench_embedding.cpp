@@ -15,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "qac/anneal/sampler.h"
 #include "qac/util/logging.h"
@@ -47,9 +48,13 @@ printCliqueSweep()
                 "(cliques on C16) ---\n");
     std::printf("%6s %14s %10s\n", "K_n", "phys qubits", "max chain");
     auto hw = chimera::chimeraGraph(16);
-    for (uint32_t n : {2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u}) {
+    const std::vector<uint32_t> ns =
+        benchstats::smoke()
+            ? std::vector<uint32_t>{2, 3, 4, 6}
+            : std::vector<uint32_t>{2, 3, 4, 5, 6, 8, 10, 12};
+    for (uint32_t n : ns) {
         embed::EmbedParams p;
-        p.tries = 6;
+        p.tries = benchstats::smoke() ? 2 : 6;
         auto emb = embed::findEmbedding(cliqueEdges(n), n, hw, p);
         if (emb)
             std::printf("%6u %14zu %10zu\n", n, emb->totalQubits(),
@@ -66,11 +71,14 @@ printDropoutSweep()
 {
     std::printf("--- dropout sensitivity (K8 on C16) ---\n");
     std::printf("%10s %12s %14s\n", "dropout", "active", "phys qubits");
-    for (double frac : {0.0, 0.02, 0.05, 0.10}) {
+    const std::vector<double> fracs =
+        benchstats::smoke() ? std::vector<double>{0.0, 0.05}
+                            : std::vector<double>{0.0, 0.02, 0.05, 0.10};
+    for (double frac : fracs) {
         auto hw = chimera::chimeraGraph(16);
         chimera::applyDropout(hw, frac, 5);
         embed::EmbedParams p;
-        p.tries = 6;
+        p.tries = benchstats::smoke() ? 2 : 6;
         auto emb = embed::findEmbedding(cliqueEdges(8), 8, hw, p);
         if (emb)
             std::printf("%9.0f%% %12zu %14zu\n", frac * 100,
@@ -117,14 +125,18 @@ printChainStrengthAblation()
 
     std::printf("%14s %12s %14s\n", "chain strength", "valid frac",
                 "chain breaks");
-    for (double strength : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const std::vector<double> strengths =
+        benchstats::smoke()
+            ? std::vector<double>{1.0, 4.0}
+            : std::vector<double>{0.5, 1.0, 2.0, 4.0, 8.0};
+    for (double strength : strengths) {
         embed::EmbedModelOptions mo;
         mo.chain_strength = strength;
         auto em = embed::embedModel(pinned, emb, hw, mo);
         anneal::SamplerOpts so;
-        so.common.num_reads = 80;
+        so.common.num_reads = benchstats::smoke() ? 20 : 80;
         so.common.seed = 9;
-        so.sweeps = 384;
+        so.sweeps = benchstats::smoke() ? 96 : 384;
         so.chains = em.dense_chains;
         auto set = anneal::makeSampler("chainflip", so)
                        ->sample(em.physical);

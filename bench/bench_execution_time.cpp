@@ -79,7 +79,7 @@ printExecutionTimeTable()
     core::Executable prog(core::compile(kAustralia, opts));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;
-    ro.num_reads = 2000;
+    ro.num_reads = benchstats::smoke() ? 200 : 2000;
     ro.sweeps = 256;
     ro.reduce = true;
 
@@ -99,7 +99,7 @@ printExecutionTimeTable()
     // orders (the paper re-ran Chuffed 100,000 times; scale down but
     // measure the same per-solution quantity).
     csp::Model model = australiaCsp();
-    const int csp_runs = 20000;
+    const int csp_runs = benchstats::smoke() ? 500 : 20000;
     auto t2 = clock::now();
     size_t found = 0;
     for (int k = 0; k < csp_runs; ++k) {
@@ -148,7 +148,7 @@ printThreadScalingTable()
     core::Executable prog(core::compile(kAustralia, opts));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;
-    ro.num_reads = 2000;
+    ro.num_reads = benchstats::smoke() ? 200 : 2000;
     ro.sweeps = 256;
     ro.seed = 7;
 

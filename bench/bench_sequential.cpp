@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "qac/core/compiler.h"
 #include "qac/util/logging.h"
@@ -38,11 +39,17 @@ printQubitToll()
                 "time-to-space trading ---\n");
     std::printf("%6s %8s %10s %10s %16s\n", "steps", "gates",
                 "log vars", "log terms", "C16 phys qubits");
-    for (size_t steps : {1, 2, 3, 4, 6, 8}) {
+    const std::vector<size_t> depths =
+        benchstats::smoke() ? std::vector<size_t>{1, 2}
+                            : std::vector<size_t>{1, 2, 3, 4, 6, 8};
+    for (size_t steps : depths) {
         core::CompileOptions opts;
         opts.top = "count";
         opts.unroll_steps = steps;
-        bool embed = steps <= 2;
+        // Smoke skips the C16 embeddings: the qubit-count
+        // column is the slow part and the compile path is
+        // what the sanity pass needs to cover.
+        bool embed = !benchstats::smoke() && steps <= 2;
         if (embed)
             opts.target = core::Target::Chimera;
         auto r = core::compile(kCount, opts);

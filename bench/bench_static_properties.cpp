@@ -103,7 +103,7 @@ printStaticProperties()
     std::vector<std::pair<uint32_t, uint32_t>> edges;
     for (const auto &t : r.assembled.model.quadraticTerms())
         edges.emplace_back(t.i, t.j);
-    const int trials = 25;
+    const int trials = benchstats::smoke() ? 1 : 25;
     double sum_q = 0, sum_q2 = 0, sum_t = 0, sum_t2 = 0;
     int ok = 0;
     for (int trial = 0; trial < trials; ++trial) {

@@ -14,12 +14,26 @@
 #define QAC_BENCH_BENCH_STATS_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "qac/stats/registry.h"
 #include "qac/stats/report.h"
 
 namespace qac::benchstats {
+
+/**
+ * True when QAC_BENCH_SMOKE is set to a non-empty, non-"0" value.
+ * scripts/bench_smoke.sh exports it so every bench shrinks its
+ * workload to a seconds-scale sanity pass that still exercises the
+ * full code path and emits a parseable BENCH_<name>.json.
+ */
+inline bool
+smoke()
+{
+    const char *v = std::getenv("QAC_BENCH_SMOKE");
+    return v && *v && !(v[0] == '0' && v[1] == '\0');
+}
 
 class Scope
 {

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Smoke-run every bench binary and validate its JSON artifact.
+#
+# Each bench shrinks its workload to a seconds-scale configuration when
+# QAC_BENCH_SMOKE=1 (see bench/bench_stats.h) while still exercising
+# the full code path and emitting BENCH_<name>.json.  This script runs
+# every bench_* binary that way in a scratch directory, checks the exit
+# status, and checks that the emitted JSON parses.  Wired into ctest
+# under the label "bench-smoke" so perf-harness rot is caught by the
+# regular test run, not discovered the next time someone benchmarks.
+#
+# Usage: bench_smoke.sh <bench-binary-dir>
+
+set -u
+
+if [ $# -ne 1 ] || [ ! -d "$1" ]; then
+    echo "usage: $0 <bench-binary-dir>" >&2
+    exit 2
+fi
+bench_dir=$(cd "$1" && pwd)
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+cd "$scratch" || exit 2
+
+found=0
+failed=0
+for bench in "$bench_dir"/bench_*; do
+    [ -x "$bench" ] || continue
+    found=$((found + 1))
+    name=$(basename "$bench")
+    # --benchmark_filter matches nothing: the google-benchmark cases
+    # are the timing half, and timing is not what a smoke pass checks.
+    if ! QAC_BENCH_SMOKE=1 "$bench" --benchmark_filter='NONE' \
+            >"$name.out" 2>&1; then
+        echo "FAIL $name: exited nonzero; output:" >&2
+        cat "$name.out" >&2
+        failed=1
+        continue
+    fi
+    json="BENCH_${name#bench_}.json"
+    if [ ! -f "$json" ]; then
+        echo "FAIL $name: did not write $json" >&2
+        failed=1
+        continue
+    fi
+    if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+            "$json"; then
+        echo "FAIL $name: $json does not parse" >&2
+        failed=1
+        continue
+    fi
+    echo "ok   $name ($json)"
+done
+
+if [ "$found" -eq 0 ]; then
+    echo "FAIL: no bench_* binaries in $bench_dir" >&2
+    exit 1
+fi
+exit "$failed"

@@ -37,6 +37,29 @@ recordSampleStats(const char *solver, const SampleSet &out,
     stats::record(base + ".ground_fraction", out.groundFraction());
 }
 
+/**
+ * Throughput of the CSR Ising kernel (DESIGN.md §9): accepted spin
+ * flips across all reads of one sample() call.  Publishes both the
+ * pipeline-wide anneal.kernel.* aggregate and the per-solver view.
+ */
+inline void
+recordKernelStats(const char *solver, uint64_t flips,
+                  uint64_t elapsed_ns)
+{
+    if (!stats::Registry::global().enabled() || flips == 0)
+        return;
+    const std::string base = std::string("anneal.") + solver;
+    stats::count("anneal.kernel.flips", flips);
+    stats::count(base + ".flips", flips);
+    if (elapsed_ns > 0) {
+        const uint64_t fps = static_cast<uint64_t>(
+            static_cast<double>(flips) * 1e9 /
+            static_cast<double>(elapsed_ns));
+        stats::gauge("anneal.kernel.flips_per_sec", fps);
+        stats::gauge(base + ".flips_per_sec", fps);
+    }
+}
+
 } // namespace qac::anneal::detail
 
 #endif // QAC_ANNEAL_ANNEAL_STATS_H

@@ -1,12 +1,15 @@
 #include "qac/anneal/chainflip.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
+#include "qac/anneal/metropolis.h"
 #include "qac/anneal/parallel_reads.h"
 #include "qac/anneal/simulated.h"
+#include "qac/ising/compiled.h"
 #include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
@@ -26,13 +29,13 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
     stats::ScopedTimer timer("anneal.chainflip.time");
     const uint64_t t0 = stats::Trace::nowNs();
 
-    auto [b0, b1] = SimulatedAnnealer::defaultBetaRange(model);
+    const ising::CompiledModel kernel(model);
+
+    auto [b0, b1] = SimulatedAnnealer::defaultBetaRange(kernel);
     if (params_.beta_initial > 0)
         b0 = params_.beta_initial;
     if (params_.beta_final > 0)
         b1 = params_.beta_final;
-
-    const auto &adj = model.adjacency();
 
     // Precompute each chain's internal couplings; flipping the whole
     // chain leaves them unchanged, so the summed single-flip deltas
@@ -42,20 +45,25 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
         uint32_t i, j;
         double w;
     };
+    const auto &row = kernel.rowOffsets();
+    const auto &nbr = kernel.neighbors();
+    const auto &wgt = kernel.weights();
     std::vector<std::vector<InternalEdge>> internal(chains_.size());
     for (size_t c = 0; c < chains_.size(); ++c) {
         std::vector<bool> member(n, false);
         for (uint32_t q : chains_[c])
             member[q] = true;
         for (uint32_t q : chains_[c])
-            for (const auto &[r, w] : adj[q])
-                if (member[r] && q < r)
-                    internal[c].push_back({q, r, w});
+            for (uint32_t k = row[q]; k < row[q + 1]; ++k)
+                if (member[nbr[k]] && q < nbr[k])
+                    internal[c].push_back({q, nbr[k], wgt[k]});
     }
 
     const uint32_t sweeps = std::max<uint32_t>(1, params_.sweeps);
     double ratio =
         (sweeps > 1) ? std::pow(b1 / b0, 1.0 / (sweeps - 1)) : 1.0;
+
+    std::atomic<uint64_t> flips{0};
 
     out = detail::sampleReads(
         params_.num_reads, params_.threads,
@@ -64,42 +72,52 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
         ising::SpinVector spins(n);
         for (auto &s : spins)
             s = rng.spin();
+        ising::LocalFieldState state(kernel);
+        state.reset(spins);
 
         double beta = b0;
         for (uint32_t sw = 0; sw < sweeps; ++sw, beta *= ratio) {
-            // Composite chain moves.
+            // Composite chain moves: the acceptance delta sums the
+            // members' O(1) incremental deltas (frozen state) plus the
+            // internal-edge correction; the accepted flip applies the
+            // member flips sequentially, which lands on exactly that
+            // composite delta.
             for (size_t c = 0; c < chains_.size(); ++c) {
                 double delta = 0.0;
                 for (uint32_t q : chains_[c])
-                    delta += model.flipDelta(spins, q);
+                    delta += state.flipDelta(q);
+                const auto &sp = state.spins();
                 for (const auto &e : internal[c])
-                    delta += 4.0 * e.w * spins[e.i] * spins[e.j];
+                    delta += 4.0 * e.w * sp[e.i] * sp[e.j];
                 if (delta <= 0.0 ||
-                    rng.uniform() < std::exp(-beta * delta)) {
+                    metropolisAccept(rng, beta * delta)) {
                     for (uint32_t q : chains_[c])
-                        spins[q] = static_cast<ising::Spin>(-spins[q]);
+                        state.flip(q);
                 }
             }
             // Single-qubit relaxation.
             for (uint32_t i = 0; i < n; ++i) {
-                double local = model.linear(i);
-                for (const auto &[j, w] : adj[i])
-                    local += w * spins[j];
-                double delta = -2.0 * spins[i] * local;
+                double delta = state.flipDelta(i);
                 if (delta <= 0.0 ||
-                    rng.uniform() < std::exp(-beta * delta))
-                    spins[i] = static_cast<ising::Spin>(-spins[i]);
+                    metropolisAccept(rng, beta * delta))
+                    state.flip(i);
             }
         }
         if (params_.greedy_polish)
-            greedyDescent(model, spins);
-        double e = model.energy(spins);
+            greedyDescent(state);
+        // One exact end-of-read evaluation.
+        double e = kernel.energy(state.spins());
         stats::record("anneal.chainflip.energy", e);
-        part.add(spins, e);
+        flips.fetch_add(state.flips(), std::memory_order_relaxed);
+        part.add(state.spins(), e);
     });
+    const uint64_t elapsed = stats::Trace::nowNs() - t0;
     detail::recordSampleStats("chainflip", out,
                               uint64_t{sweeps} * params_.num_reads,
-                              stats::Trace::nowNs() - t0);
+                              elapsed);
+    detail::recordKernelStats("chainflip",
+                              flips.load(std::memory_order_relaxed),
+                              elapsed);
     return out;
 }
 

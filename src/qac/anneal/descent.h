@@ -10,6 +10,7 @@
 
 #include "qac/anneal/sampler.h"
 #include "qac/anneal/sampleset.h"
+#include "qac/ising/compiled.h"
 #include "qac/ising/model.h"
 
 namespace qac::anneal {
@@ -20,6 +21,13 @@ namespace qac::anneal {
  */
 double greedyDescent(const ising::IsingModel &model,
                      ising::SpinVector &spins);
+
+/**
+ * Kernel variant: descend @p state in place using its incremental
+ * local fields (O(1) per proposal, O(degree) per accepted flip).
+ * @return total energy improvement (<= 0).
+ */
+double greedyDescent(ising::LocalFieldState &state);
 
 /** Apply greedyDescent to every sample; returns a re-finalized set. */
 SampleSet polish(const ising::IsingModel &model, const SampleSet &in);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "qac/exec/exec.h"
+#include "qac/ising/compiled.h"
 #include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 
@@ -47,8 +48,9 @@ ExactSolver::solve(const ising::IsingModel &model) const
         return res;
     }
 
-    const auto &adj = model.adjacency();
-    (void)adj; // built before the parallel walk; flipDelta is O(deg)
+    // CSR walk: flipDelta is O(degree) over flat arrays, shared
+    // read-only by every shard.
+    const ising::CompiledModel kernel(model);
 
     // The Gray-code walk is split into contiguous shards whose
     // boundaries depend only on the problem size — never the thread
@@ -67,7 +69,7 @@ ExactSolver::solve(const ising::IsingModel &model) const
             const uint64_t lo = uint64_t{s} * per;
             const uint64_t hi = lo + per;
             ising::SpinVector spins = grayState(lo, n);
-            double energy = model.energy(spins);
+            double energy = kernel.energy(spins);
 
             auto consider = [&](double e) {
                 if (e < r.min_energy - params_.tol) {
@@ -88,7 +90,7 @@ ExactSolver::solve(const ising::IsingModel &model) const
             // Gray-code walk: step k flips the lowest set bit of k.
             for (uint64_t k = lo + 1; k < hi; ++k) {
                 uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(k));
-                energy += model.flipDelta(spins, bit);
+                energy += kernel.flipDelta(spins, bit);
                 spins[bit] = static_cast<ising::Spin>(-spins[bit]);
                 consider(energy);
             }

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Exp-free-most-of-the-time Metropolis acceptance.
+ *
+ * The stochastic samplers accept an uphill move of cost delta > 0 with
+ * probability exp(-x), x = beta * delta.  A transcendental exp per
+ * proposal dominates the sweep once flip deltas are O(1) to obtain
+ * (DESIGN.md §9), so the test u < exp(-x) is squeezed between two
+ * cheap exact bounds:
+ *
+ *     (1 - x/2)^2  <=  exp(-x)  <=  1 / (1 + x + x^2/2)
+ *
+ * (left: exp(-x/2) >= 1 - x/2; right: exp(x) >= 1 + x + x^2/2 for
+ * x >= 0).  Only a draw that lands between the bounds — a few percent
+ * across an anneal schedule — pays for the exp.  The decision and the
+ * number of uniforms consumed are identical to the plain test, so
+ * trajectories and the DESIGN.md §8 determinism contract are
+ * unchanged.
+ *
+ * The test is also laid out to be branch-predictor friendly: both
+ * bound comparisons combine into a single almost-always-taken branch
+ * ("the draw missed the gap"), and the verdict itself is a flag-set,
+ * not a branch.  Mid-schedule acceptance hovers near 1/2, so any
+ * data-dependent branch in here would be a coin-flip mispredict per
+ * proposal; the caller's accept-or-not branch is the only one left.
+ */
+
+#ifndef QAC_ANNEAL_METROPOLIS_H
+#define QAC_ANNEAL_METROPOLIS_H
+
+#include <cmath>
+
+#include "qac/util/rng.h"
+
+namespace qac::anneal {
+
+/**
+ * Accept a move of scaled cost x with probability min(1, exp(-x)).
+ * Any x <= 0 accepts via the lower bound (t >= 1 so u < t*t always
+ * holds); one uniform is consumed unconditionally either way.
+ */
+inline bool
+metropolisAccept(Rng &rng, double x)
+{
+    const double u = rng.uniform();
+    const double t = 1.0 - 0.5 * x;
+    // Branchless bound tests (note & and |, not && and ||).
+    const bool below = (t > 0.0) & (u < t * t);
+    const bool above = u * (1.0 + x + 0.5 * x * x) >= 1.0;
+    if (below | above)
+        return below;
+    return u < std::exp(-x);
+}
+
+} // namespace qac::anneal
+
+#endif // QAC_ANNEAL_METROPOLIS_H

@@ -24,8 +24,9 @@ namespace qac::anneal::detail {
  * (0 = hardware concurrency) and reduce into one finalized SampleSet.
  * @p read_fn must derive all randomness for read k from
  * Rng::streamAt(seed, k) and add its sample(s) to the partial set.
- * The caller must pre-build any lazy model caches (e.g.
- * IsingModel::adjacency()) before calling: read_fn runs concurrently.
+ * read_fn runs concurrently; shared model views must be safe for
+ * concurrent reads (ising::CompiledModel is immutable, and
+ * IsingModel::adjacency() builds thread-safely via std::call_once).
  */
 SampleSet
 sampleReads(uint32_t num_reads, uint32_t threads,

@@ -1,11 +1,14 @@
 #include "qac/anneal/pathintegral.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
+#include "qac/anneal/metropolis.h"
 #include "qac/anneal/parallel_reads.h"
+#include "qac/ising/compiled.h"
 #include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
@@ -36,19 +39,27 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
                                           : 3.0 * max_scale;
     double g1 = std::max(params_.gamma_final, 1e-6);
 
-    const auto &adj = model.adjacency(); // pre-build: reads run parallel
+    const ising::CompiledModel kernel(model);
     const uint32_t sweeps = std::max<uint32_t>(2, params_.sweeps);
+    std::atomic<uint64_t> flips{0};
 
     out = detail::sampleReads(
         params_.num_reads, params_.threads,
         [&](uint32_t read, SampleSet &part) {
         Rng rng = Rng::streamAt(params_.seed, read);
-        // replica-major layout: spins[m][i]
-        std::vector<ising::SpinVector> rep(
-            slices, ising::SpinVector(n));
-        for (auto &slice : rep)
-            for (auto &s : slice)
-                s = rng.spin();
+        // Replica-major layout: one incremental field state per
+        // Trotter slice; the inter-slice coupling is handled on top of
+        // each slice's classical delta.
+        std::vector<ising::LocalFieldState> rep(
+            slices, ising::LocalFieldState(kernel));
+        {
+            ising::SpinVector init(n);
+            for (auto &state : rep) {
+                for (auto &s : init)
+                    s = rng.spin();
+                state.reset(init);
+            }
+        }
 
         for (uint32_t t = 0; t < sweeps; ++t) {
             double frac = static_cast<double>(t) / (sweeps - 1);
@@ -60,48 +71,51 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
                 -0.5 / beta_slice * std::log(std::max(x, 1e-300));
 
             for (uint32_t m = 0; m < slices; ++m) {
-                const auto &up = rep[(m + 1) % slices];
-                const auto &dn = rep[(m + slices - 1) % slices];
+                const auto &up = rep[(m + 1) % slices].spins();
+                const auto &dn = rep[(m + slices - 1) % slices].spins();
                 auto &cur = rep[m];
                 for (uint32_t i = 0; i < n; ++i) {
-                    double local = model.linear(i);
-                    for (const auto &[j, w] : adj[i])
-                        local += w * cur[j];
-                    // Energy uses beta_slice weighting for the classical
-                    // part and J_perp for the imaginary-time neighbors.
-                    double delta =
-                        -2.0 * cur[i] *
-                        (beta_slice * local -
-                         jperp * beta_slice * (up[i] + dn[i]));
+                    // Classical part from the O(1) incremental field;
+                    // imaginary-time neighbors added explicitly.
                     // delta is already in units of beta * E.
+                    double delta =
+                        beta_slice * cur.flipDelta(i) +
+                        2.0 * cur.spin(i) * jperp * beta_slice *
+                            (up[i] + dn[i]);
                     if (delta <= 0.0 ||
-                        rng.uniform() < std::exp(-delta))
-                        cur[i] = static_cast<ising::Spin>(-cur[i]);
+                        metropolisAccept(rng, delta))
+                        cur.flip(i);
                 }
             }
         }
 
         // Report the best replica, greedy-polished (the D-Wave also
-        // applies classical postprocessing by default).
-        double best_e = std::numeric_limits<double>::infinity();
-        ising::SpinVector best;
-        for (const auto &slice : rep) {
-            double e = model.energy(slice);
-            if (e < best_e) {
-                best_e = e;
-                best = slice;
-            }
-        }
-        greedyDescent(model, best);
-        double e = model.energy(best);
+        // applies classical postprocessing by default).  The tracked
+        // energies pick the winner; the reported value is one exact
+        // end-of-read evaluation.
+        uint32_t best_m = 0;
+        for (uint32_t m = 1; m < slices; ++m)
+            if (rep[m].energy() < rep[best_m].energy())
+                best_m = m;
+        ising::LocalFieldState &best = rep[best_m];
+        greedyDescent(best);
+        double e = kernel.energy(best.spins());
         stats::record("anneal.sqa.energy", e);
-        part.add(best, e);
+        uint64_t read_flips = 0;
+        for (const auto &state : rep)
+            read_flips += state.flips();
+        flips.fetch_add(read_flips, std::memory_order_relaxed);
+        part.add(best.spins(), e);
     });
+    const uint64_t elapsed = stats::Trace::nowNs() - t0;
     // Each sweep touches every Trotter slice once.
     detail::recordSampleStats("sqa", out,
                               uint64_t{sweeps} * slices *
                                   params_.num_reads,
-                              stats::Trace::nowNs() - t0);
+                              elapsed);
+    detail::recordKernelStats("sqa",
+                              flips.load(std::memory_order_relaxed),
+                              elapsed);
     return out;
 }
 

@@ -1,12 +1,14 @@
 #include "qac/anneal/qbsolv.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
 #include "qac/anneal/exact.h"
 #include "qac/anneal/parallel_reads.h"
+#include "qac/ising/compiled.h"
 #include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
@@ -71,7 +73,8 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
     }
 
     const size_t sub_n = std::max<size_t>(2, params_.subproblem_size);
-    model.adjacency(); // pre-build: restarts run parallel
+    const ising::CompiledModel kernel(model);
+    std::atomic<uint64_t> flips{0};
 
     out = detail::sampleReads(
         params_.restarts, params_.threads,
@@ -80,22 +83,25 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
         ising::SpinVector spins(n);
         for (auto &s : spins)
             s = rng.spin();
-        greedyDescent(model, spins);
+        ising::LocalFieldState state(kernel);
+        state.reset(spins);
+        greedyDescent(state);
 
         for (uint32_t iter = 0; iter < params_.outer_iterations;
              ++iter) {
             if (n <= sub_n) {
                 // The whole problem fits: one shot.
                 stats::count("anneal.qbsolv.subproblems");
-                spins = sub(model);
+                state.reset(sub(model));
                 break;
             }
             // Rank variables by |flip delta|: the most "strained"
             // variables lead the subproblem (qbsolv's impact rule),
-            // topped up with random fill for diversification.
+            // topped up with random fill for diversification.  The
+            // incremental fields make this O(n), not O(n * degree).
             std::vector<std::pair<double, uint32_t>> impact(n);
             for (uint32_t i = 0; i < n; ++i)
-                impact[i] = {-std::abs(model.flipDelta(spins, i)), i};
+                impact[i] = {-std::abs(state.flipDelta(i)), i};
             std::sort(impact.begin(), impact.end());
             std::vector<uint32_t> keep;
             size_t lead = sub_n / 2;
@@ -107,7 +113,8 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
                     keep.push_back(v);
             }
 
-            ising::IsingModel clamped = clampModel(model, keep, spins);
+            ising::IsingModel clamped =
+                clampModel(model, keep, state.spins());
             stats::count("anneal.qbsolv.subproblems");
             ising::SpinVector sub_spins = sub(clamped);
             if (sub_spins.size() != keep.size())
@@ -115,20 +122,29 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
                       "variables",
                       sub_spins.size(), keep.size());
 
-            double before = model.energy(spins);
-            ising::SpinVector candidate = spins;
+            // Candidate move: flip the sub-solved variables on a copy
+            // of the incremental state and polish — the accept test
+            // compares tracked energies, with no full H(sigma)
+            // recompute per candidate.
+            ising::LocalFieldState candidate = state;
             for (size_t k = 0; k < keep.size(); ++k)
-                candidate[keep[k]] = sub_spins[k];
-            greedyDescent(model, candidate);
-            if (model.energy(candidate) <= before)
-                spins = std::move(candidate);
+                if (candidate.spin(keep[k]) != sub_spins[k])
+                    candidate.flip(keep[k]);
+            greedyDescent(candidate);
+            if (candidate.energy() <= state.energy())
+                state = std::move(candidate);
         }
-        double e = model.energy(spins);
+        // One exact end-of-read evaluation.
+        double e = kernel.energy(state.spins());
         stats::record("anneal.qbsolv.energy", e);
-        part.add(spins, e);
+        flips.fetch_add(state.flips(), std::memory_order_relaxed);
+        part.add(state.spins(), e);
     });
-    detail::recordSampleStats("qbsolv", out, 0,
-                              stats::Trace::nowNs() - t0);
+    const uint64_t elapsed = stats::Trace::nowNs() - t0;
+    detail::recordSampleStats("qbsolv", out, 0, elapsed);
+    detail::recordKernelStats("qbsolv",
+                              flips.load(std::memory_order_relaxed),
+                              elapsed);
     return out;
 }
 

@@ -1,33 +1,47 @@
 #include "qac/anneal/simulated.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
+#include "qac/anneal/metropolis.h"
 #include "qac/anneal/parallel_reads.h"
+#include "qac/ising/compiled.h"
 #include "qac/stats/trace.h"
 #include "qac/util/logging.h"
 
 namespace qac::anneal {
 
+namespace {
+
+/**
+ * exp(-x) for x above this is below the resolution of Rng::uniform()
+ * (53 bits), so an uphill move this steep can be rejected without
+ * paying for the exp() call.
+ */
+constexpr double kMaxExpArg = 40.0;
+
+} // namespace
+
 std::pair<double, double>
-SimulatedAnnealer::defaultBetaRange(const ising::IsingModel &model)
+SimulatedAnnealer::defaultBetaRange(const ising::CompiledModel &kernel)
 {
     // Hot end: the largest possible |delta E| flips with probability
     // ~1/2.  Cold end: the smallest nonzero field barely flips.
     double max_local = 0.0;
     double min_scale = std::numeric_limits<double>::infinity();
-    const auto &adj = model.adjacency();
-    for (uint32_t i = 0; i < model.numVars(); ++i) {
-        double local = std::abs(model.linear(i));
+    const auto &row = kernel.rowOffsets();
+    const auto &w = kernel.weights();
+    for (uint32_t i = 0; i < kernel.numVars(); ++i) {
+        double local = std::abs(kernel.linear(i));
         if (local > 0)
             min_scale = std::min(min_scale, local);
-        for (const auto &[j, w] : adj[i]) {
-            (void)j;
-            local += std::abs(w);
-            if (w != 0.0)
-                min_scale = std::min(min_scale, std::abs(w));
+        for (uint32_t k = row[i]; k < row[i + 1]; ++k) {
+            local += std::abs(w[k]);
+            if (w[k] != 0.0)
+                min_scale = std::min(min_scale, std::abs(w[k]));
         }
         max_local = std::max(max_local, local);
     }
@@ -40,6 +54,12 @@ SimulatedAnnealer::defaultBetaRange(const ising::IsingModel &model)
     if (beta_cold <= beta_hot)
         beta_cold = beta_hot * 10.0;
     return {beta_hot, beta_cold};
+}
+
+std::pair<double, double>
+SimulatedAnnealer::defaultBetaRange(const ising::IsingModel &model)
+{
+    return defaultBetaRange(ising::CompiledModel(model));
 }
 
 SampleSet
@@ -55,7 +75,9 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
     stats::ScopedTimer timer("anneal.sa.time");
     const uint64_t t0 = stats::Trace::nowNs();
 
-    auto [b0, b1] = defaultBetaRange(model);
+    const ising::CompiledModel kernel(model);
+
+    auto [b0, b1] = defaultBetaRange(kernel);
     if (params_.beta_initial > 0)
         b0 = params_.beta_initial;
     if (params_.beta_final > 0)
@@ -73,7 +95,7 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
         b *= ratio;
     }
 
-    const auto &adj = model.adjacency(); // pre-build: reads run parallel
+    std::atomic<uint64_t> flips{0};
 
     out = detail::sampleReads(
         params_.num_reads, params_.threads,
@@ -82,28 +104,53 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
             ising::SpinVector spins(n);
             for (auto &s : spins)
                 s = rng.spin();
+            ising::LocalFieldState state(kernel);
+            state.reset(spins);
 
+            // With a monotone (heating) schedule, a sweep that draws
+            // nothing proves the state frozen: every variable sat at
+            // delta >= thresh, no flip was possible, and every
+            // remaining sweep would make the same rejections while
+            // consuming no randomness — skipping them is bitwise
+            // identical.
+            const bool monotone = ratio >= 1.0;
             for (uint32_t s = 0; s < sweeps; ++s) {
-                double beta = betas[s];
+                const double beta = betas[s];
+                const double thresh = kMaxExpArg / beta;
+                bool drew = false;
                 for (uint32_t i = 0; i < n; ++i) {
-                    double local = model.linear(i);
-                    for (const auto &[j, w] : adj[i])
-                        local += w * spins[j];
-                    double delta = -2.0 * spins[i] * local;
-                    if (delta <= 0.0 ||
-                        rng.uniform() < std::exp(-beta * delta))
-                        spins[i] = static_cast<ising::Spin>(-spins[i]);
+                    // O(1) proposal off the maintained flip delta.
+                    // Everything below the cutoff — downhill included
+                    // — goes through one uniform draw, leaving the
+                    // accept-or-not below as the sweep's only
+                    // data-dependent branch (downhill deltas always
+                    // accept; see metropolisAccept).
+                    const double delta = state.flipDelta(i);
+                    if (delta >= thresh)
+                        continue;
+                    drew = true;
+                    if (metropolisAccept(rng, beta * delta))
+                        state.flip(i);
                 }
+                if (monotone && !drew)
+                    break;
             }
             if (params_.greedy_polish)
-                greedyDescent(model, spins);
-            double e = model.energy(spins);
+                greedyDescent(state);
+            // One exact end-of-read evaluation (the inner loops never
+            // recompute the full Hamiltonian).
+            double e = kernel.energy(state.spins());
             stats::record("anneal.sa.energy", e);
-            part.add(spins, e);
+            flips.fetch_add(state.flips(), std::memory_order_relaxed);
+            part.add(state.spins(), e);
         });
+    const uint64_t elapsed = stats::Trace::nowNs() - t0;
     detail::recordSampleStats("sa", out,
                               uint64_t{sweeps} * params_.num_reads,
-                              stats::Trace::nowNs() - t0);
+                              elapsed);
+    detail::recordKernelStats("sa",
+                              flips.load(std::memory_order_relaxed),
+                              elapsed);
     return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "qac/anneal/sampler.h"
 #include "qac/anneal/sampleset.h"
+#include "qac/ising/compiled.h"
 #include "qac/ising/model.h"
 #include "qac/util/rng.h"
 
@@ -39,6 +40,10 @@ class SimulatedAnnealer : public Sampler
     /** The (beta_initial, beta_final) pair auto-derivation. */
     static std::pair<double, double>
     defaultBetaRange(const ising::IsingModel &model);
+
+    /** Same derivation, straight off an already-compiled kernel. */
+    static std::pair<double, double>
+    defaultBetaRange(const ising::CompiledModel &kernel);
 
   private:
     Params params_{};

@@ -1,9 +1,11 @@
 #include "qac/core/program.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "qac/anneal/descent.h"
 #include "qac/anneal/sampler.h"
+#include "qac/ising/compiled.h"
 #include "qac/embed/roof_duality.h"
 #include "qac/netlist/simulate.h"
 #include "qac/stats/registry.h"
@@ -176,6 +178,15 @@ Executable::run(const RunOptions &opts) const
 
     std::map<ising::SpinVector, size_t> dedup;
     uint64_t weighted_breaks = 0;
+    // Chain-break repair runs once per distinct sample; compile the
+    // logical model into the CSR kernel so each repair descends on
+    // incremental fields instead of the adjacency lists.
+    std::optional<ising::CompiledModel> repair_kernel;
+    std::optional<ising::LocalFieldState> repair_state;
+    if (em) {
+        repair_kernel.emplace(*to_solve);
+        repair_state.emplace(*repair_kernel);
+    }
     for (const auto &s : set.samples()) {
         size_t breaks = 0;
         ising::SpinVector solved =
@@ -184,7 +195,9 @@ Executable::run(const RunOptions &opts) const
         if (em) {
             // Repair chain-break damage in logical space — the
             // classical postprocessing D-Wave systems apply by default.
-            anneal::greedyDescent(*to_solve, solved);
+            repair_state->reset(solved);
+            anneal::greedyDescent(*repair_state);
+            solved = repair_state->spins();
         }
         ising::SpinVector full =
             opts.reduce ? fix.lift(solved) : solved;

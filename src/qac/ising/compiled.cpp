@@ -1,0 +1,117 @@
+#include "qac/ising/compiled.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "qac/util/logging.h"
+
+namespace qac::ising {
+
+CompiledModel::CompiledModel(const IsingModel &model)
+    : h_(model.numVars(), 0.0), row_(model.numVars() + 1, 0)
+{
+    const size_t n = model.numVars();
+    for (uint32_t i = 0; i < n; ++i)
+        h_[i] = model.linear(i);
+
+    // sortedQuadraticTerms is deterministic regardless of the source
+    // hash map's iteration order, so two compilations of equal models
+    // produce bit-identical CSR arrays.
+    const auto terms = model.sortedQuadraticTerms();
+
+    // Counting pass: degree of every variable.
+    for (const auto &t : terms) {
+        ++row_[t.i + 1];
+        ++row_[t.j + 1];
+    }
+    std::partial_sum(row_.begin(), row_.end(), row_.begin());
+
+    nbr_.resize(row_[n]);
+    w_.resize(row_[n]);
+    std::vector<uint32_t> fill(row_.begin(), row_.end() - 1);
+    for (const auto &t : terms) {
+        nbr_[fill[t.i]] = t.j;
+        w_[fill[t.i]++] = t.value;
+        nbr_[fill[t.j]] = t.i;
+        w_[fill[t.j]++] = t.value;
+    }
+
+    // Sort each row by neighbor index: deterministic summation order
+    // and slightly friendlier access patterns.
+    for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t lo = row_[i], hi = row_[i + 1];
+        max_degree_ = std::max(max_degree_, hi - lo);
+        std::vector<std::pair<uint32_t, double>> tmp;
+        tmp.reserve(hi - lo);
+        for (uint32_t k = lo; k < hi; ++k)
+            tmp.emplace_back(nbr_[k], w_[k]);
+        std::sort(tmp.begin(), tmp.end());
+        for (uint32_t k = lo; k < hi; ++k) {
+            nbr_[k] = tmp[k - lo].first;
+            w_[k] = tmp[k - lo].second;
+        }
+    }
+}
+
+double
+CompiledModel::energy(const SpinVector &spins) const
+{
+    if (spins.size() != h_.size())
+        panic("CompiledModel::energy: %zu spins for %zu variables",
+              spins.size(), h_.size());
+    // E = sum_i s_i (h_i + f_i) / 2 + sum_i s_i h_i / 2
+    //   = sum_i s_i (h_i + 0.5 * (f_i - h_i))   with f_i the local
+    // field; the quadratic part is halved because each edge appears in
+    // both endpoint rows.
+    double e = 0.0;
+    const uint32_t *nbr = nbr_.data();
+    const double *w = w_.data();
+    for (uint32_t i = 0; i < h_.size(); ++i) {
+        double coupled = 0.0;
+        const uint32_t end = row_[i + 1];
+        for (uint32_t k = row_[i]; k < end; ++k)
+            coupled += w[k] * spins[nbr[k]];
+        e += spins[i] * (h_[i] + 0.5 * coupled);
+    }
+    return e;
+}
+
+double
+CompiledModel::localField(const SpinVector &spins, uint32_t i) const
+{
+    double f = h_[i];
+    const uint32_t *nbr = nbr_.data();
+    const double *w = w_.data();
+    const uint32_t end = row_[i + 1];
+    for (uint32_t k = row_[i]; k < end; ++k)
+        f += w[k] * spins[nbr[k]];
+    return f;
+}
+
+void
+LocalFieldState::reset(const SpinVector &spins)
+{
+    if (spins.size() != model_->numVars())
+        panic("LocalFieldState::reset: %zu spins for %zu variables",
+              spins.size(), model_->numVars());
+    spins_ = spins;
+    for (uint32_t i = 0; i < spins_.size(); ++i)
+        delta_[i] = -2.0 * spins_[i] * model_->localField(spins_, i);
+    energy_fresh_ = false;
+}
+
+void
+LocalFieldState::recomputeEnergy() const
+{
+    // H = sum_i s_i (h_i + f_i) / 2 with s_i f_i = -delta_i / 2 (the
+    // quadratic part of f_i is halved because each edge contributes to
+    // both endpoint fields).
+    double e = 0.0;
+    const double *h = model_->h_.data();
+    for (uint32_t i = 0; i < spins_.size(); ++i)
+        e += 0.5 * spins_[i] * h[i] - 0.25 * delta_[i];
+    energy_ = e;
+    energy_fresh_ = true;
+}
+
+} // namespace qac::ising

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Compiled, immutable kernel view of an IsingModel.
+ *
+ * The samplers spend essentially all of their time evaluating Eq. 2
+ * spin-flip deltas.  IsingModel stores couplings in a hash map with a
+ * lazily built vector<vector<pair>> adjacency — fine for construction
+ * and scaling passes, but every proposal then chases pointers through
+ * scattered per-variable vectors and re-sums the local field from
+ * scratch.  CompiledModel freezes a model into flat CSR arrays (row
+ * offsets, neighbor indices, J weights, dense h), and LocalFieldState
+ * maintains, per walker, the local field
+ *
+ *     f_i = h_i + sum_j J_ij s_j
+ *
+ * together with a running energy: a flip proposal costs O(1)
+ * (delta_i = -2 s_i f_i) and an *accepted* flip costs O(degree(i)),
+ * so the hot loops never re-sum neighborhoods and never recompute the
+ * full H(sigma).  See DESIGN.md §9.
+ */
+
+#ifndef QAC_ISING_COMPILED_H
+#define QAC_ISING_COMPILED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "qac/ising/model.h"
+#include "qac/ising/solution.h"
+
+namespace qac::ising {
+
+/**
+ * Flat CSR snapshot of an IsingModel.  Immutable: mutations to the
+ * source model after construction are not reflected.  Every edge is
+ * stored twice (i's row lists j and vice versa); rows are sorted by
+ * neighbor index, so all derived arithmetic is deterministic.
+ */
+class CompiledModel
+{
+  public:
+    explicit CompiledModel(const IsingModel &model);
+
+    size_t numVars() const { return h_.size(); }
+    /** Number of distinct i<j couplings. */
+    size_t numEdges() const { return nbr_.size() / 2; }
+
+    double linear(uint32_t i) const { return h_[i]; }
+    uint32_t degree(uint32_t i) const { return row_[i + 1] - row_[i]; }
+    /** Largest degree over all variables. */
+    uint32_t maxDegree() const { return max_degree_; }
+
+    /** Evaluate H(sigma) in one contiguous CSR pass. */
+    double energy(const SpinVector &spins) const;
+
+    /** Fresh O(degree) local field h_i + sum_j J_ij s_j. */
+    double localField(const SpinVector &spins, uint32_t i) const;
+
+    /** Fresh O(degree) energy delta for flipping spins[i]. */
+    double
+    flipDelta(const SpinVector &spins, uint32_t i) const
+    {
+        return -2.0 * spins[i] * localField(spins, i);
+    }
+
+    // Raw CSR arrays (row offsets size n+1; nbr/w parallel).
+    const std::vector<uint32_t> &rowOffsets() const { return row_; }
+    const std::vector<uint32_t> &neighbors() const { return nbr_; }
+    const std::vector<double> &weights() const { return w_; }
+
+  private:
+    friend class LocalFieldState;
+
+    std::vector<double> h_;
+    std::vector<uint32_t> row_;
+    std::vector<uint32_t> nbr_;
+    std::vector<double> w_;
+    uint32_t max_degree_ = 0;
+};
+
+/**
+ * One walker's incremental view of a CompiledModel: current spins and
+ * the ready-to-use flip delta of every variable,
+ *
+ *     delta_i = -2 s_i f_i,     f_i = h_i + sum_j J_ij s_j,
+ *
+ * stored directly rather than as the field f_i: a proposal is then a
+ * single load with no arithmetic at all.  flipDelta() is O(1); flip()
+ * applies the move (delta_i just changes sign) and repairs the flipped
+ * spin's neighborhood in O(degree).  energy() derives lazily from the
+ * maintained deltas via H = sum_i (s_i h_i / 2 - delta_i / 4) — an
+ * O(n) pass, cached until the next flip — so the flip hot path carries
+ * no energy bookkeeping.  Samplers report
+ * CompiledModel::energy(spins()) at read end when an exact
+ * from-scratch value matters.
+ */
+class LocalFieldState
+{
+  public:
+    explicit LocalFieldState(const CompiledModel &model)
+        : model_(&model), spins_(model.numVars(), -1),
+          delta_(model.numVars(), 0.0)
+    {
+    }
+
+    const CompiledModel &model() const { return *model_; }
+
+    /** Adopt @p spins: recompute all deltas and the energy (O(n+m)). */
+    void reset(const SpinVector &spins);
+
+    const SpinVector &spins() const { return spins_; }
+    Spin spin(uint32_t i) const { return spins_[i]; }
+
+    /**
+     * Maintained local field h_i + sum_j J_ij s_j, derived from the
+     * stored delta.  Exact: the conversion only multiplies by +-2.
+     */
+    double field(uint32_t i) const
+    {
+        return delta_[i] / (-2.0 * spins_[i]);
+    }
+
+    /** Energy delta of flipping spin i — O(1), a single load. */
+    double flipDelta(uint32_t i) const { return delta_[i]; }
+
+    /** Apply the flip of spin i; updates neighbors' deltas — O(deg). */
+    void
+    flip(uint32_t i)
+    {
+        const Spin s = static_cast<Spin>(-spins_[i]);
+        spins_[i] = s;
+        delta_[i] = -delta_[i];
+        // f_j gains 2 w s_new, so delta_j = -2 s_j f_j gains
+        // -4 w s_j s_new.
+        const double c = -4.0 * static_cast<double>(s);
+        const uint32_t *nbr = model_->nbr_.data();
+        const double *w = model_->w_.data();
+        const Spin *sp = spins_.data();
+        const uint32_t end = model_->row_[i + 1];
+        for (uint32_t k = model_->row_[i]; k < end; ++k) {
+            const uint32_t j = nbr[k];
+            delta_[j] += c * w[k] * sp[j];
+        }
+        energy_fresh_ = false;
+        ++flips_;
+    }
+
+    /** Current energy, derived from the maintained fields (cached). */
+    double
+    energy() const
+    {
+        if (!energy_fresh_)
+            recomputeEnergy();
+        return energy_;
+    }
+
+    /** Accepted flips since construction (stats). */
+    uint64_t flips() const { return flips_; }
+
+  private:
+    void recomputeEnergy() const;
+
+    const CompiledModel *model_;
+    SpinVector spins_;
+    std::vector<double> delta_;
+    mutable double energy_ = 0.0;
+    mutable bool energy_fresh_ = true;
+    uint64_t flips_ = 0;
+};
+
+} // namespace qac::ising
+
+#endif // QAC_ISING_COMPILED_H

@@ -7,12 +7,82 @@
 
 namespace qac::ising {
 
+IsingModel::IsingModel()
+    : adj_once_(std::make_unique<std::once_flag>())
+{
+}
+
+IsingModel::IsingModel(size_t num_vars)
+    : h_(num_vars, 0.0), adj_once_(std::make_unique<std::once_flag>())
+{
+}
+
+IsingModel::IsingModel(const IsingModel &other)
+    : h_(other.h_), j_(other.j_),
+      adj_once_(std::make_unique<std::once_flag>())
+{
+}
+
+IsingModel &
+IsingModel::operator=(const IsingModel &other)
+{
+    if (this != &other) {
+        h_ = other.h_;
+        j_ = other.j_;
+        adj_.clear();
+        adj_once_ = std::make_unique<std::once_flag>();
+        adj_built_ = false;
+    }
+    return *this;
+}
+
+IsingModel::IsingModel(IsingModel &&other) noexcept
+    : h_(std::move(other.h_)), j_(std::move(other.j_)),
+      adj_(std::move(other.adj_)),
+      adj_once_(std::move(other.adj_once_)),
+      adj_built_(other.adj_built_)
+{
+    // The moved-from model stays usable (empty, cold cache).
+    other.adj_once_ = std::make_unique<std::once_flag>();
+    other.adj_built_ = false;
+    other.adj_.clear();
+}
+
+IsingModel &
+IsingModel::operator=(IsingModel &&other) noexcept
+{
+    if (this != &other) {
+        h_ = std::move(other.h_);
+        j_ = std::move(other.j_);
+        adj_ = std::move(other.adj_);
+        adj_once_ = std::move(other.adj_once_);
+        adj_built_ = other.adj_built_;
+        other.adj_once_ = std::make_unique<std::once_flag>();
+        other.adj_built_ = false;
+        other.adj_.clear();
+    }
+    return *this;
+}
+
+void
+IsingModel::invalidateAdjacency()
+{
+    // Mutations happen in a single-threaded build phase (mutating while
+    // other threads read was always a race); reallocating the
+    // once_flag re-arms the lazy build for the next read.
+    if (adj_built_) {
+        adj_built_ = false;
+        adj_.clear();
+        adj_once_ = std::make_unique<std::once_flag>();
+    }
+}
+
 void
 IsingModel::resize(size_t n)
 {
     if (n > h_.size()) {
         h_.resize(n, 0.0);
-        adj_valid_ = false;
+        invalidateAdjacency();
     }
 }
 
@@ -30,7 +100,7 @@ IsingModel::addQuadratic(uint32_t i, uint32_t j, double w)
         panic("IsingModel: self-coupling J_%u,%u", i, j);
     resize(static_cast<size_t>(std::max(i, j)) + 1);
     j_[key(i, j)] += w;
-    adj_valid_ = false;
+    invalidateAdjacency();
 }
 
 double
@@ -132,7 +202,7 @@ IsingModel::scale(double f)
         (void)k;
         v *= f;
     }
-    adj_valid_ = false;
+    invalidateAdjacency();
 }
 
 double
@@ -174,7 +244,9 @@ IsingModel::withinRange(const CoefficientRange &range) const
 const std::vector<std::vector<std::pair<uint32_t, double>>> &
 IsingModel::adjacency() const
 {
-    if (!adj_valid_) {
+    // call_once makes concurrent *first* reads safe: parallel sampler
+    // reads no longer need a pre-build call before fanning out.
+    std::call_once(*adj_once_, [this] {
         adj_.assign(h_.size(), {});
         for (const auto &[k, v] : j_) {
             if (v == 0.0)
@@ -184,8 +256,8 @@ IsingModel::adjacency() const
             adj_[i].emplace_back(j, v);
             adj_[j].emplace_back(i, v);
         }
-        adj_valid_ = true;
-    }
+        adj_built_ = true;
+    });
     return adj_;
 }
 

@@ -15,6 +15,8 @@
 #define QAC_ISING_MODEL_H
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -44,8 +46,18 @@ struct QuadraticTerm
 class IsingModel
 {
   public:
-    IsingModel() = default;
-    explicit IsingModel(size_t num_vars) : h_(num_vars, 0.0) {}
+    IsingModel();
+    explicit IsingModel(size_t num_vars);
+
+    // The lazily built adjacency cache guards its first build with a
+    // std::once_flag, which is neither copyable nor movable; copies and
+    // moves transfer the coefficients and let the target rebuild the
+    // cache on demand.
+    IsingModel(const IsingModel &other);
+    IsingModel &operator=(const IsingModel &other);
+    IsingModel(IsingModel &&other) noexcept;
+    IsingModel &operator=(IsingModel &&other) noexcept;
+    ~IsingModel() = default;
 
     size_t numVars() const { return h_.size(); }
 
@@ -95,7 +107,9 @@ class IsingModel
 
     /**
      * Adjacency view: for each variable, the (neighbor, J) list.  Built
-     * on first use and invalidated by mutation.
+     * on first use (thread-safely, via std::call_once — concurrent
+     * first reads are fine) and invalidated by mutation.  Mutating
+     * while other threads read remains a race, as for any container.
      */
     const std::vector<std::vector<std::pair<uint32_t, double>>> &
     adjacency() const;
@@ -114,10 +128,16 @@ class IsingModel
         return (static_cast<uint64_t>(i) << 32) | j;
     }
 
+    /** Drop a built adjacency cache after a mutation. */
+    void invalidateAdjacency();
+
     std::vector<double> h_;
     std::unordered_map<uint64_t, double> j_;
     mutable std::vector<std::vector<std::pair<uint32_t, double>>> adj_;
-    mutable bool adj_valid_ = false;
+    /** Reallocated (fresh flag) whenever a built cache is invalidated. */
+    mutable std::unique_ptr<std::once_flag> adj_once_;
+    /** Set inside the call_once; read/cleared only by mutators. */
+    mutable bool adj_built_ = false;
 };
 
 } // namespace qac::ising

@@ -14,12 +14,6 @@ splitmix64(uint64_t &x)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(uint64_t seed)
@@ -27,27 +21,6 @@ Rng::Rng(uint64_t seed)
     uint64_t sm = seed;
     for (auto &word : s_)
         word = splitmix64(sm);
-}
-
-uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53-bit mantissa from the top bits.
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 uint64_t
@@ -76,12 +49,6 @@ bool
 Rng::chance(double p)
 {
     return uniform() < p;
-}
-
-int8_t
-Rng::spin()
-{
-    return (next() & 1) ? int8_t{1} : int8_t{-1};
 }
 
 Rng

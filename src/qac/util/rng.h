@@ -25,16 +25,43 @@ class Rng
 
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-    /** Next raw 64-bit value. */
-    uint64_t next();
+    /**
+     * Next raw 64-bit value.  Defined inline: the annealer sweeps draw
+     * once per proposal, and an out-of-line call here is measurable
+     * against the O(1) flip-delta lookup it accompanies.
+     */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl_(s_[3], 45);
+        return result;
+    }
 
     /** UniformRandomBitGenerator interface (usable with std::shuffle). */
     uint64_t operator()() { return next(); }
     static constexpr uint64_t min() { return 0; }
     static constexpr uint64_t max() { return ~0ULL; }
 
-    /** Uniform double in [0, 1). */
-    double uniform();
+    /** Uniform double in [0, 1): a 53-bit mantissa from the top bits. */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Random ±1 spin. */
+    int8_t
+    spin()
+    {
+        return (next() & 1) ? int8_t{1} : int8_t{-1};
+    }
 
     /** Uniform integer in [0, n) for n > 0. */
     uint64_t below(uint64_t n);
@@ -44,9 +71,6 @@ class Rng
 
     /** Bernoulli(p). */
     bool chance(double p);
-
-    /** Random ±1 spin. */
-    int8_t spin();
 
     /** In-place Fisher-Yates shuffle. */
     template <typename T>
@@ -74,6 +98,12 @@ class Rng
     static Rng streamAt(uint64_t seed, uint64_t index);
 
   private:
+    static uint64_t
+    rotl_(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     uint64_t s_[4];
 };
 
