@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Quantifies the artifact subsystem: cold-vs-warm Chimera-target
+ * compile time (a warm compile loads its minor embedding from the
+ * content-addressed cache and skips minorminer entirely), plus the raw
+ * .qo serialize/deserialize throughput.
+ *
+ * The run fails (nonzero exit) if the warm pass records no cache hit —
+ * the bench doubles as an end-to-end check that transparent caching
+ * actually engages.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "qac/artifact/cache.h"
+#include "qac/artifact/qo.h"
+#include "qac/core/compiler.h"
+#include "qac/stats/registry.h"
+#include "qac/util/logging.h"
+
+#include "bench_stats.h"
+
+namespace {
+
+using namespace qac;
+
+namespace fs = std::filesystem;
+
+// A 3x3 multiplier is the smallest design whose embedding dominates
+// its compile; smoke mode drops to the 2x2 version.
+std::string
+multiplierSource(unsigned bits)
+{
+    return format("module mult (A, B, C);\n"
+                  "  input [%u:0] A, B;\n"
+                  "  output [%u:0] C;\n"
+                  "  assign C = A * B;\n"
+                  "endmodule\n",
+                  bits - 1, 2 * bits - 1);
+}
+
+std::string
+freshCacheDir()
+{
+    fs::path dir = fs::temp_directory_path() /
+        format("qac-bench-cache.%d", static_cast<int>(::getpid()));
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+core::CompileOptions
+chimeraOptions(const std::string &cache_dir)
+{
+    core::CompileOptions opts;
+    opts.top = "mult";
+    opts.target = core::Target::Chimera;
+    opts.chimera_size = benchstats::smoke() ? 8 : 16;
+    opts.cache.enabled = !cache_dir.empty();
+    opts.cache.dir = cache_dir;
+    return opts;
+}
+
+uint64_t
+cacheHits()
+{
+    for (const auto &m : stats::Registry::global().snapshot())
+        if (m.path == "qac.cache.hit")
+            return m.count;
+    return 0;
+}
+
+/** Cold vs warm compile; returns the measured speedup. */
+double
+printColdWarm(const std::string &src, const std::string &cache_dir,
+              bool *warm_hit)
+{
+    auto now = [] {
+        return std::chrono::steady_clock::now();
+    };
+    auto ms = [](auto a, auto b) {
+        return std::chrono::duration<double, std::milli>(b - a)
+            .count();
+    };
+
+    auto t0 = now();
+    auto cold = core::compile(src, chimeraOptions(cache_dir));
+    auto t1 = now();
+    uint64_t hits_before = cacheHits();
+    auto warm = core::compile(src, chimeraOptions(cache_dir));
+    auto t2 = now();
+    *warm_hit = cacheHits() > hits_before;
+
+    double cold_ms = ms(t0, t1), warm_ms = ms(t1, t2);
+    double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0;
+    std::printf("--- artifact cache: cold vs warm compile "
+                "(%zu logical vars, C%u) ---\n",
+                cold.assembled.model.numVars(),
+                benchstats::smoke() ? 8u : 16u);
+    std::printf("%12s %12s %10s %10s\n", "cold (ms)", "warm (ms)",
+                "speedup", "warm hit");
+    std::printf("%12.1f %12.1f %9.1fx %10s\n", cold_ms, warm_ms,
+                speedup, *warm_hit ? "yes" : "NO");
+    std::printf("(warm compiles load the chain map by content address "
+                "and never enter minorminer)\n\n");
+    stats::gauge("bench.cache.cold_ms",
+                 static_cast<uint64_t>(cold_ms));
+    stats::gauge("bench.cache.warm_ms",
+                 static_cast<uint64_t>(warm_ms < 1 ? 1 : warm_ms));
+    (void)warm;
+    return speedup;
+}
+
+void
+BM_ColdCompile(benchmark::State &state)
+{
+    std::string src = multiplierSource(benchstats::smoke() ? 2 : 3);
+    for (auto _ : state) {
+        // No cache: every iteration pays the embedder.
+        benchmark::DoNotOptimize(
+            core::compile(src, chimeraOptions("")));
+    }
+}
+BENCHMARK(BM_ColdCompile)->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void
+BM_WarmCompile(benchmark::State &state)
+{
+    std::string src = multiplierSource(benchstats::smoke() ? 2 : 3);
+    std::string dir = freshCacheDir() + ".bm";
+    core::compile(src, chimeraOptions(dir)); // prime
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            core::compile(src, chimeraOptions(dir)));
+    fs::remove_all(dir);
+}
+BENCHMARK(BM_WarmCompile)->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void
+BM_QoSerialize(benchmark::State &state)
+{
+    std::string src = multiplierSource(benchstats::smoke() ? 2 : 3);
+    auto compiled = core::compile(src, chimeraOptions(""));
+    size_t bytes = 0;
+    for (auto _ : state) {
+        auto blob = artifact::serializeQo(compiled);
+        bytes = blob.size();
+        benchmark::DoNotOptimize(blob);
+    }
+    state.SetLabel(format("%zu bytes", bytes));
+}
+BENCHMARK(BM_QoSerialize)->Unit(benchmark::kMicrosecond);
+
+void
+BM_QoDeserialize(benchmark::State &state)
+{
+    std::string src = multiplierSource(benchstats::smoke() ? 2 : 3);
+    auto blob =
+        artifact::serializeQo(core::compile(src, chimeraOptions("")));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(artifact::deserializeQo(blob));
+}
+BENCHMARK(BM_QoDeserialize)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    qac::benchstats::Scope bench_scope("artifact_cache");
+
+    std::string src = multiplierSource(benchstats::smoke() ? 2 : 3);
+    std::string dir = freshCacheDir();
+    bool warm_hit = false;
+    printColdWarm(src, dir, &warm_hit);
+    fs::remove_all(dir);
+    if (!warm_hit) {
+        std::fprintf(stderr, "bench_artifact_cache: warm compile "
+                             "recorded no cache hit\n");
+        return 1;
+    }
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The QAC object format (.qo): one compiled program, persisted.
+ *
+ * A .qo file serializes a core::CompileResult — the assembled logical
+ * Ising model with its symbol table and pin/assert metadata, the EDIF
+ * netlist text, the QMASM program, and (for Chimera targets) the
+ * hardware graph, minor-embedding chain map, and embedded physical
+ * Hamiltonian — inside the checksummed artifact frame of serial.h.
+ * This is what turns the pipeline into a compile-once/run-many
+ * toolchain: `qacc design.v -o design.qo` then `qma run design.qo`
+ * executes without recompiling (and in particular without re-running
+ * the minor embedder).
+ *
+ * Round-trip contract: serialization is canonical (maps are emitted
+ * in sorted order, negative zeros are normalized), so for any bytes
+ * produced by serializeQo, serializeQo(deserializeQo(bytes)) is
+ * byte-identical, and the reloaded CompileResult runs bitwise
+ * identically to the in-process original at the same seed.
+ */
+
+#ifndef QAC_ARTIFACT_QO_H
+#define QAC_ARTIFACT_QO_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "qac/core/compiler.h"
+
+namespace qac::artifact {
+
+/** Serialize @p result to .qo bytes (frame included). */
+std::string serializeQo(const core::CompileResult &result);
+
+/**
+ * Parse .qo bytes back into a CompileResult.  Returns nullopt on any
+ * structural problem (bad magic, version mismatch, truncation,
+ * checksum failure, malformed payload), with a one-line reason in
+ * @p error when non-null.
+ */
+std::optional<core::CompileResult>
+deserializeQo(std::string_view bytes, std::string *error = nullptr);
+
+/** Write @p result to @p path (atomically: temp file + rename). */
+bool writeQoFile(const std::string &path,
+                 const core::CompileResult &result,
+                 std::string *error = nullptr);
+
+/** Load a .qo file; nullopt (and @p error) on any failure. */
+std::optional<core::CompileResult>
+readQoFile(const std::string &path, std::string *error = nullptr);
+
+} // namespace qac::artifact
+
+#endif // QAC_ARTIFACT_QO_H

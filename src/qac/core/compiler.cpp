@@ -114,9 +114,11 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
     res.stats.logical_vars = res.assembled.model.numVars();
     res.stats.logical_terms = res.assembled.model.numTerms();
 
-    // 7. Minor embedding for hardware targets (Section 4.4).
+    // 7. Minor embedding for hardware targets (Section 4.4).  The
+    // minorminer stage is memoized through the artifact cache: a warm
+    // compile loads the chain map by content address and skips the
+    // embedder (and its compile.embed timer) entirely.
     if (opts.target == Target::Chimera) {
-        stats::ScopedTimer embed_timer("compile.embed");
         chimera::HardwareGraph hw =
             chimera::chimeraGraph(opts.chimera_size);
         chimera::applyDropout(hw, opts.qubit_dropout, opts.embed.seed);
@@ -125,11 +127,43 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
         if (embed_params.threads == 0)
             embed_params.threads = opts.threads;
 
-        std::vector<std::pair<uint32_t, uint32_t>> edges;
-        for (const auto &t : res.assembled.model.quadraticTerms())
-            edges.emplace_back(t.i, t.j);
-        auto emb = embed::findEmbedding(
-            edges, res.assembled.model.numVars(), hw, embed_params);
+        artifact::Cache cache(opts.cache);
+        auto edgesOf = [](const ising::IsingModel &m) {
+            std::vector<std::pair<uint32_t, uint32_t>> edges;
+            for (const auto &t : m.quadraticTerms())
+                edges.emplace_back(t.i, t.j);
+            return edges;
+        };
+        // Probe the cache first; on a miss run minorminer and persist
+        // the outcome — including "unembeddable", so warm compiles
+        // skip doomed attempts too.
+        auto embedCached =
+            [&](const ising::IsingModel &model,
+                const std::vector<std::pair<uint32_t, uint32_t>> &edges)
+            -> std::optional<embed::Embedding> {
+            if (cache.enabled()) {
+                uint64_t key = artifact::embeddingCacheKey(model, hw,
+                                                           embed_params);
+                auto probe =
+                    artifact::lookupEmbedding(cache, key, edges, hw);
+                if (probe.hit) {
+                    if (!probe.embeddable)
+                        return std::nullopt;
+                    return std::move(probe.embedding);
+                }
+                stats::ScopedTimer t("compile.embed");
+                auto emb = embed::findEmbedding(edges, model.numVars(),
+                                                hw, embed_params);
+                artifact::storeEmbedding(cache, key, emb);
+                return emb;
+            }
+            stats::ScopedTimer t("compile.embed");
+            return embed::findEmbedding(edges, model.numVars(), hw,
+                                        embed_params);
+        };
+
+        auto edges = edgesOf(res.assembled.model);
+        auto emb = embedCached(res.assembled.model, edges);
         if (!emb && opts.assemble.merge_chains) {
             // High-fanout nets merge into hub variables whose degree
             // can defeat the embedding heuristic.  Fall back to
@@ -144,19 +178,19 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
             res.assembled = qmasm::assemble(res.qmasm_program, unmerged);
             res.stats.logical_vars = res.assembled.model.numVars();
             res.stats.logical_terms = res.assembled.model.numTerms();
-            edges.clear();
-            for (const auto &t : res.assembled.model.quadraticTerms())
-                edges.emplace_back(t.i, t.j);
-            emb = embed::findEmbedding(
-                edges, res.assembled.model.numVars(), hw, embed_params);
+            edges = edgesOf(res.assembled.model);
+            emb = embedCached(res.assembled.model, edges);
         }
         if (!emb)
             fatal("could not embed %zu logical variables into C%u",
                   res.assembled.model.numVars(), opts.chimera_size);
         res.embedding = std::move(*emb);
-        res.embedded = embed::embedModel(res.assembled.model,
-                                         *res.embedding, hw,
-                                         opts.embed_model);
+        {
+            stats::ScopedTimer t("compile.embed_model");
+            res.embedded = embed::embedModel(res.assembled.model,
+                                             *res.embedding, hw,
+                                             opts.embed_model);
+        }
         res.hardware = std::move(hw);
         res.stats.physical_qubits = res.embedded->numPhysicalQubits();
         res.stats.physical_terms = res.embedded->physical.numTerms();

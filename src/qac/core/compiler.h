@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "qac/artifact/cache.h"
 #include "qac/chimera/chimera.h"
 #include "qac/embed/embed_model.h"
 #include "qac/embed/minorminer.h"
@@ -60,6 +61,16 @@ struct CompileOptions
     /** Worker threads for parallel stages (embedding tries);
      *  0 = hardware concurrency.  Results are thread-count invariant. */
     uint32_t threads = 0;
+
+    /**
+     * Persistent embedding cache (artifact subsystem): Chimera-target
+     * compiles memoize the minorminer stage keyed by the logical
+     * model, hardware graph, and embedder parameters.  A cache hit is
+     * bitwise-identical to a recompute; corrupt or mismatched entries
+     * fall back to recompute.  Set cache.enabled = false for a fully
+     * hermetic compile.
+     */
+    artifact::CacheOptions cache;
 };
 
 /** All artifacts of one compilation. */

@@ -127,18 +127,25 @@ IsingModel::quadraticTerms() const
         terms.push_back({static_cast<uint32_t>(k >> 32),
                          static_cast<uint32_t>(k & 0xffffffffu), v});
     }
+    // Canonical (i, j) order.  The internal map iterates in
+    // insertion/hash order, which is not a function of the model's
+    // *values*: two equal models built by different routes (program
+    // order vs a deserialized .qo) would otherwise present their terms
+    // differently, and every consumer that folds doubles in term order
+    // (roof duality, pin masses, chain h spreading) would diverge by
+    // ULPs — enough to flip sampling tie-breaks.  Sorting here makes
+    // every view of equal models identical.
+    std::sort(terms.begin(), terms.end(),
+              [](const QuadraticTerm &a, const QuadraticTerm &b) {
+                  return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+              });
     return terms;
 }
 
 std::vector<QuadraticTerm>
 IsingModel::sortedQuadraticTerms() const
 {
-    auto terms = quadraticTerms();
-    std::sort(terms.begin(), terms.end(),
-              [](const QuadraticTerm &a, const QuadraticTerm &b) {
-                  return std::tie(a.i, a.j) < std::tie(b.i, b.j);
-              });
-    return terms;
+    return quadraticTerms();
 }
 
 double
@@ -150,11 +157,11 @@ IsingModel::energy(const SpinVector &spins) const
     double e = 0.0;
     for (size_t i = 0; i < h_.size(); ++i)
         e += h_[i] * spins[i];
-    for (const auto &[k, v] : j_) {
-        uint32_t i = static_cast<uint32_t>(k >> 32);
-        uint32_t j = static_cast<uint32_t>(k & 0xffffffffu);
-        e += v * spins[i] * spins[j];
-    }
+    // Fold in canonical term order: candidates are ranked by energy,
+    // and a map-order fold can differ in the last ULP between equal
+    // models, reordering equal-energy candidates.
+    for (const auto &t : quadraticTerms())
+        e += t.value * spins[t.i] * spins[t.j];
     return e;
 }
 
@@ -256,6 +263,14 @@ IsingModel::adjacency() const
             adj_[i].emplace_back(j, v);
             adj_[j].emplace_back(i, v);
         }
+        // Neighbor lists in index order, for the same reason
+        // quadraticTerms() sorts: accumulation over a neighborhood
+        // must not depend on how the model was built.
+        for (auto &row : adj_)
+            std::sort(row.begin(), row.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first < b.first;
+                      });
         adj_built_ = true;
     });
     return adj_;

@@ -1,6 +1,7 @@
 #include "qac/ising/qubo.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "qac/util/logging.h"
 
@@ -53,6 +54,11 @@ QuboModel::quadraticTerms() const
         terms.push_back({static_cast<uint32_t>(k >> 32),
                          static_cast<uint32_t>(k & 0xffffffffu), v});
     }
+    // Canonical order, as in IsingModel::quadraticTerms().
+    std::sort(terms.begin(), terms.end(),
+              [](const QuadraticTerm &a, const QuadraticTerm &b) {
+                  return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+              });
     return terms;
 }
 

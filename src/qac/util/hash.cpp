@@ -1,0 +1,90 @@
+#include "qac/util/hash.h"
+
+#include <cstring>
+
+namespace qac::util {
+
+namespace {
+
+constexpr uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kPrime = 0x100000001b3ULL;
+
+inline uint64_t
+mix(uint64_t state, const unsigned char *p, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        state ^= p[i];
+        state *= kPrime;
+    }
+    return state;
+}
+
+} // namespace
+
+uint64_t
+fnv1a64(const void *data, size_t size)
+{
+    return mix(kOffsetBasis,
+               static_cast<const unsigned char *>(data), size);
+}
+
+uint64_t
+fnv1a64(std::string_view s)
+{
+    return fnv1a64(s.data(), s.size());
+}
+
+std::string
+hexDigest(uint64_t digest)
+{
+    static const char hex[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] = hex[digest & 0xf];
+        digest >>= 4;
+    }
+    return out;
+}
+
+Hasher &
+Hasher::bytes(const void *data, size_t size)
+{
+    state_ = mix(state_, static_cast<const unsigned char *>(data), size);
+    return *this;
+}
+
+Hasher &
+Hasher::u32(uint32_t v)
+{
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    return bytes(b, sizeof(b));
+}
+
+Hasher &
+Hasher::u64(uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<unsigned char>(v >> (8 * i));
+    return bytes(b, sizeof(b));
+}
+
+Hasher &
+Hasher::f64(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+}
+
+Hasher &
+Hasher::str(std::string_view s)
+{
+    u64(s.size());
+    return bytes(s.data(), s.size());
+}
+
+} // namespace qac::util

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Content hashing for the artifact subsystem (and anyone else who
+ * needs a stable digest of structured data).
+ *
+ * The engine is 64-bit FNV-1a: byte-at-a-time, allocation-free, and —
+ * crucially for on-disk cache keys — defined purely in terms of the
+ * byte stream fed to it, so digests are identical across platforms as
+ * long as callers feed platform-independent bytes.  The Hasher
+ * helpers therefore serialize multi-byte values little-endian and
+ * length-prefix strings (so update("ab"), update("c") never collides
+ * with update("a"), update("bc")).
+ */
+
+#ifndef QAC_UTIL_HASH_H
+#define QAC_UTIL_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qac::util {
+
+/** FNV-1a 64-bit over a raw byte range. */
+uint64_t fnv1a64(const void *data, size_t size);
+
+/** FNV-1a 64-bit over the characters of @p s (no length prefix). */
+uint64_t fnv1a64(std::string_view s);
+
+/** 16 lower-case hex digits for @p digest (cache file names). */
+std::string hexDigest(uint64_t digest);
+
+/** Streaming FNV-1a hasher over a canonical byte encoding. */
+class Hasher
+{
+  public:
+    Hasher &bytes(const void *data, size_t size);
+
+    Hasher &u8(uint8_t v) { return bytes(&v, 1); }
+    Hasher &u32(uint32_t v);          ///< little-endian
+    Hasher &u64(uint64_t v);          ///< little-endian
+    Hasher &f64(double v);            ///< IEEE-754 bit pattern, LE
+
+    /** Length-prefixed (u64) string contents. */
+    Hasher &str(std::string_view s);
+
+    uint64_t digest() const { return state_; }
+
+  private:
+    uint64_t state_ = 0xcbf29ce484222325ULL; ///< FNV offset basis
+};
+
+} // namespace qac::util
+
+#endif // QAC_UTIL_HASH_H

@@ -6,6 +6,7 @@
  * qmasm) in one binary:
  *
  *   qacc design.v --top mult                       # compile, print stats
+ *   qacc design.v --top mult -o design.qo          # emit a .qo object
  *   qacc design.v --top mult --emit-edif out.edif  # dump EDIF
  *   qacc design.v --top mult --emit-qmasm out.qmasm
  *   qacc design.v --top mult --emit-minizinc out.mzn
@@ -14,6 +15,11 @@
  *   qacc design.v --top count --unroll 4 --run ...
  *   qacc design.v --top mult --target chimera --run --physical ...
  *   qacc design.v --stats --trace-json=trace.json  # observability
+ *
+ * A .qo object (artifact subsystem) snapshots the whole compile —
+ * including the minor embedding — for later execution via
+ * `qma run design.qo`.  Chimera-target compiles also memoize the
+ * embedding stage through the on-disk cache (--cache-dir/--no-cache).
  *
  * --top may be omitted when the source defines exactly one module.
  * Options mirror qmasm where they overlap (--pin, --reads, --stats,
@@ -28,6 +34,7 @@
 #include <vector>
 
 #include "qac/anneal/sampler.h"
+#include "qac/artifact/qo.h"
 #include "qac/core/compiler.h"
 #include "qac/core/program.h"
 #include "qac/qmasm/formats.h"
@@ -53,6 +60,7 @@ struct Args
     uint32_t sweeps = 512;
     uint64_t seed = 1;
     std::string solver = "sa";
+    std::string emit_qo;
     std::string emit_edif, emit_qmasm, emit_minizinc, emit_qubo;
     tools::CommonOptions common;
 };
@@ -67,6 +75,8 @@ usage(const char *argv0)
         "  --unroll <N>          unroll sequential logic for N steps\n"
         "  --target chimera      minor-embed onto a C16 Chimera graph\n"
         "  --chimera-size <M>    use a C_M graph (default 16)\n"
+        "  -o, --emit-qo <file>  write a compiled .qo object "
+        "(run with: qma run <file>)\n"
         "  --emit-edif <file>    write the EDIF netlist\n"
         "  --emit-qmasm <file>   write the QMASM program\n"
         "  --emit-minizinc <f>   write a MiniZinc model\n"
@@ -98,15 +108,18 @@ parseArgs(int argc, char **argv)
         if (a == "--top")
             args.top = need(i);
         else if (a == "--unroll")
-            args.unroll = std::stoul(need(i));
+            args.unroll = static_cast<size_t>(
+                tools::parseUint("--unroll", need(i)));
         else if (a == "--target") {
             std::string t = need(i);
             if (t != "chimera" && t != "logical")
                 usage(argv[0]);
             args.chimera = (t == "chimera");
         } else if (a == "--chimera-size")
-            args.chimera_size =
-                static_cast<uint32_t>(std::stoul(need(i)));
+            args.chimera_size = static_cast<uint32_t>(tools::parseUint(
+                "--chimera-size", need(i), UINT32_MAX));
+        else if (a == "-o" || a == "--emit-qo")
+            args.emit_qo = need(i);
         else if (a == "--emit-edif")
             args.emit_edif = need(i);
         else if (a == "--emit-qmasm")
@@ -122,11 +135,13 @@ parseArgs(int argc, char **argv)
         else if (a == "--pin")
             args.pins.push_back(need(i));
         else if (a == "--reads")
-            args.reads = static_cast<uint32_t>(std::stoul(need(i)));
+            args.reads = static_cast<uint32_t>(
+                tools::parseUint("--reads", need(i), UINT32_MAX));
         else if (a == "--sweeps")
-            args.sweeps = static_cast<uint32_t>(std::stoul(need(i)));
+            args.sweeps = static_cast<uint32_t>(
+                tools::parseUint("--sweeps", need(i), UINT32_MAX));
         else if (a == "--seed")
-            args.seed = std::stoull(need(i));
+            args.seed = tools::parseUint("--seed", need(i));
         else if (a == "--solver")
             args.solver = need(i);
         else if (a == "--help" || a == "-h")
@@ -181,6 +196,8 @@ runQacc(Args &args, const char *argv0)
     opts.top = args.top;
     opts.unroll_steps = args.unroll;
     opts.threads = args.common.threads;
+    opts.cache.enabled = !args.common.no_cache;
+    opts.cache.dir = args.common.cache_dir;
     if (args.chimera) {
         opts.target = core::Target::Chimera;
         opts.chimera_size = args.chimera_size;
@@ -199,6 +216,14 @@ runQacc(Args &args, const char *argv0)
         std::printf("\n");
     }
 
+    if (!args.emit_qo.empty()) {
+        std::string err;
+        if (!artifact::writeQoFile(args.emit_qo, compiled, &err))
+            fatal("cannot write '%s': %s", args.emit_qo.c_str(),
+                  err.c_str());
+        if (chatty)
+            std::printf("wrote %s\n", args.emit_qo.c_str());
+    }
     if (!args.emit_edif.empty())
         writeFile(args.emit_edif, compiled.edif_text);
     if (!args.emit_qmasm.empty())
@@ -263,10 +288,13 @@ runQacc(Args &args, const char *argv0)
 int
 main(int argc, char **argv)
 {
-    Args args = parseArgs(argc, argv);
-    tools::applyCommonOptions(args.common);
+    // Argument parsing sits inside the try: parseUint() and friends
+    // report bad input via fatal(), which must exit cleanly too.
+    Args args;
     int ret;
     try {
+        args = parseArgs(argc, argv);
+        tools::applyCommonOptions(args.common);
         ret = runQacc(args, argv[0]);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "qacc: %s\n", e.what());

@@ -5,12 +5,19 @@
  *   qma program.qmasm --pin "A := true" --run
  *   qma program.qmasm --emit-minizinc out.mzn
  *   qma program.qmasm --run --reads 5000 --solver sqa
+ *   qma run design.qo --pin "C[7:0] := 10001111"
  *
  * Mirrors the qmasm behaviours the paper lists in Section 4.3: resolves
  * !include (the built-in stdcell.qmasm plus the input file's
  * directory), accepts --pin to bias variables, "can run a program
  * arbitrarily many times and report statistics on the results", and
  * reports solutions "in terms of the program-specified symbolic names".
+ *
+ * The `run` subcommand executes a compiled .qo object (artifact
+ * subsystem, written by `qacc -o`) without recompiling: the snapshot
+ * already carries the logical Ising model, symbol table, and — for
+ * Chimera-target compiles — the minor embedding.  At equal seeds its
+ * results are bitwise-identical to `qacc --run` on the same design.
  */
 
 #include <cstdio>
@@ -21,6 +28,8 @@
 #include <vector>
 
 #include "qac/anneal/sampler.h"
+#include "qac/artifact/qo.h"
+#include "qac/core/program.h"
 #include "qac/qmasm/assemble.h"
 #include "qac/qmasm/formats.h"
 #include "qac/qmasm/parser.h"
@@ -35,11 +44,15 @@ using namespace qac;
 
 struct Args
 {
+    bool object_mode = false; ///< "qma run <file.qo>"
     std::string input;
     std::vector<std::string> pins;
     bool run = false;
+    bool physical = false;
     uint32_t reads = 1000;
     uint32_t sweeps = 256;
+    bool reads_set = false;  ///< --reads given explicitly
+    bool sweeps_set = false; ///< --sweeps given explicitly
     uint64_t seed = 1;
     std::string solver = "sa";
     std::string emit_minizinc, emit_qubo;
@@ -52,15 +65,18 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <program.qmasm> [options]\n"
+                 "       %s run <design.qo> [options]\n"
                  "  --pin \"SYM := VAL\"   bias a variable (repeatable)\n"
                  "  --run                 anneal and report statistics\n"
+                 "  --physical            sample the embedded physical "
+                 "model (run mode)\n"
                  "  --reads/--sweeps/--seed <N>\n"
                  "  --solver %s\n"
                  "  --top <N>             solutions to print (default 8)\n"
                  "  --emit-minizinc <f>   convert for classical solution\n"
                  "  --emit-qubo <f>       convert to qbsolv format\n"
                  "%s",
-                 argv0, anneal::samplerNamesJoined().c_str(),
+                 argv0, argv0, anneal::samplerNamesJoined().c_str(),
                  tools::commonUsage());
     std::exit(2);
 }
@@ -82,16 +98,24 @@ parseArgs(int argc, char **argv)
             args.pins.push_back(need(i));
         else if (a == "--run")
             args.run = true;
-        else if (a == "--reads")
-            args.reads = static_cast<uint32_t>(std::stoul(need(i)));
-        else if (a == "--sweeps")
-            args.sweeps = static_cast<uint32_t>(std::stoul(need(i)));
+        else if (a == "--physical")
+            args.physical = true;
+        else if (a == "--reads") {
+            args.reads = static_cast<uint32_t>(
+                tools::parseUint("--reads", need(i), UINT32_MAX));
+            args.reads_set = true;
+        } else if (a == "--sweeps") {
+            args.sweeps = static_cast<uint32_t>(
+                tools::parseUint("--sweeps", need(i), UINT32_MAX));
+            args.sweeps_set = true;
+        }
         else if (a == "--seed")
-            args.seed = std::stoull(need(i));
+            args.seed = tools::parseUint("--seed", need(i));
         else if (a == "--solver")
             args.solver = need(i);
         else if (a == "--top")
-            args.top_solutions = std::stoul(need(i));
+            args.top_solutions = static_cast<size_t>(
+                tools::parseUint("--top", need(i)));
         else if (a == "--emit-minizinc")
             args.emit_minizinc = need(i);
         else if (a == "--emit-qubo")
@@ -100,6 +124,8 @@ parseArgs(int argc, char **argv)
             usage(argv[0]);
         else if (!a.empty() && a[0] == '-')
             usage(argv[0]);
+        else if (!args.object_mode && args.input.empty() && a == "run")
+            args.object_mode = true;
         else if (args.input.empty())
             args.input = a;
         else
@@ -108,6 +134,79 @@ parseArgs(int argc, char **argv)
     if (args.input.empty())
         usage(argv[0]);
     return args;
+}
+
+/**
+ * `qma run <design.qo>`: execute a compiled object.  The report
+ * format deliberately matches `qacc --run` line for line, so the two
+ * paths can be diffed directly (and are, in cli_test).
+ */
+int
+runObject(Args &args, const char *argv0)
+{
+    const bool chatty = args.common.verbosity > 0;
+
+    std::string err;
+    auto compiled = artifact::readQoFile(args.input, &err);
+    if (!compiled)
+        fatal("cannot load '%s': %s", args.input.c_str(), err.c_str());
+    if (chatty)
+        std::printf("%s: %zu logical variables, %zu terms%s\n",
+                    args.input.c_str(),
+                    compiled->stats.logical_vars,
+                    compiled->stats.logical_terms,
+                    compiled->embedded ? " (embedded)" : "");
+
+    core::Executable prog(std::move(*compiled));
+    for (const auto &pin : args.pins)
+        prog.pinDirective(pin);
+
+    // Object mode is a drop-in for `qacc --run`, so unflagged runs
+    // use the compiler driver's defaults, not qma's qmasm defaults —
+    // otherwise the two paths would sample different landscapes and
+    // the line-for-line report identity above would not hold.
+    if (!args.reads_set)
+        args.reads = 500;
+    if (!args.sweeps_set)
+        args.sweeps = 512;
+
+    core::Executable::RunOptions ro;
+    ro.num_reads = args.reads;
+    ro.sweeps = args.sweeps;
+    ro.seed = args.seed;
+    ro.threads = args.common.threads;
+    ro.use_physical = args.physical;
+    if (args.physical)
+        ro.reduce = false;
+    ro.solver = args.solver;
+    if (!anneal::makeSampler(args.solver, {})) {
+        std::fprintf(stderr, "qma: unknown solver '%s' (expected %s)\n",
+                     args.solver.c_str(),
+                     anneal::samplerNamesJoined().c_str());
+        usage(argv0);
+    }
+
+    auto rr = prog.run(ro);
+    if (chatty) {
+        std::printf("reads: %llu, distinct candidates: %zu, valid "
+                    "fraction: %.3f\n",
+                    static_cast<unsigned long long>(rr.total_reads),
+                    rr.candidates.size(), rr.validFraction());
+        size_t shown = 0;
+        for (const auto *c : rr.validCandidates()) {
+            std::printf("solution (energy %.4f, %u reads):\n",
+                        c->energy, c->occurrences);
+            for (const auto &[sym, value] : c->values)
+                std::printf("  %s = %d\n", sym.c_str(),
+                            static_cast<int>(value));
+            if (++shown >= 3 && args.common.verbosity < 2) {
+                std::printf("  ... (%zu more valid solutions)\n",
+                            rr.validCandidates().size() - shown);
+                break;
+            }
+        }
+    }
+    return rr.hasValid() ? 0 : 1;
 }
 
 } // namespace
@@ -217,11 +316,15 @@ runQma(Args &args, const char *argv0)
 int
 main(int argc, char **argv)
 {
-    Args args = parseArgs(argc, argv);
-    tools::applyCommonOptions(args.common);
+    // Argument parsing sits inside the try: parseUint() and friends
+    // report bad input via fatal(), which must exit cleanly too.
+    Args args;
     int ret;
     try {
-        ret = runQma(args, argv[0]);
+        args = parseArgs(argc, argv);
+        tools::applyCommonOptions(args.common);
+        ret = args.object_mode ? runObject(args, argv[0])
+                               : runQma(args, argv[0]);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "qma: %s\n", e.what());
         ret = 2;

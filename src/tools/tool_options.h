@@ -9,15 +9,24 @@
  *   --trace-json=FILE    write a Chrome trace-event JSON to FILE
  *   --threads N          worker threads (0 = hardware concurrency);
  *                        results are identical for any value
+ *   --cache-dir DIR      artifact-cache root (default $QAC_CACHE_DIR
+ *                        or ~/.cache/qac)
+ *   --no-cache           disable the artifact cache for this run
  *   --quiet, -q          verbosity 0: suppress all non-error output
  *   -v, --verbose        verbosity 2: extra progress output
+ *
+ * Also home to parseUint(), the checked numeric-flag parser: every
+ * numeric CLI value goes through it so malformed input produces a
+ * clean fatal() usage error instead of an uncaught std::stoul abort.
  */
 
 #ifndef QAC_TOOLS_TOOL_OPTIONS_H
 #define QAC_TOOLS_TOOL_OPTIONS_H
 
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "qac/stats/registry.h"
@@ -33,8 +42,34 @@ struct CommonOptions
     std::string stats_file;
     std::string trace_file;
     uint32_t threads = 0; ///< workers; 0 = hardware concurrency
+    std::string cache_dir; ///< artifact-cache root; empty = default
+    bool no_cache = false; ///< disable the artifact cache
     int verbosity = 1;
 };
+
+/**
+ * Parse the value of a numeric flag as an unsigned integer.
+ * fatal()s with a clean, flag-naming message on anything malformed —
+ * empty, signed, non-numeric, trailing junk, or out of range — so bad
+ * input exits with a usage error instead of an uncaught
+ * std::invalid_argument.
+ */
+inline uint64_t
+parseUint(const char *flag, const char *text,
+          uint64_t max_value = UINT64_MAX)
+{
+    const char *end = text + std::strlen(text);
+    uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(text, end, value, 10);
+    if (ec != std::errc{} || ptr != end || text == end)
+        fatal("%s: expected a non-negative integer, got '%s'", flag,
+              text);
+    if (value > max_value)
+        fatal("%s: value %llu out of range (max %llu)", flag,
+              static_cast<unsigned long long>(value),
+              static_cast<unsigned long long>(max_value));
+    return value;
+}
 
 /**
  * @return true when argv[i] was one of the shared flags (consumed;
@@ -60,13 +95,27 @@ parseCommonFlag(CommonOptions &opts, int argc, char **argv, int &i)
     if (arg == "--threads") {
         if (i + 1 >= argc)
             fatal("--threads requires a value");
-        opts.threads =
-            static_cast<uint32_t>(std::stoul(argv[++i]));
+        opts.threads = static_cast<uint32_t>(
+            parseUint("--threads", argv[++i], UINT32_MAX));
         return true;
     }
     if (arg.rfind("--threads=", 0) == 0) {
-        opts.threads =
-            static_cast<uint32_t>(std::stoul(arg.substr(10)));
+        opts.threads = static_cast<uint32_t>(
+            parseUint("--threads", arg.c_str() + 10, UINT32_MAX));
+        return true;
+    }
+    if (arg == "--cache-dir") {
+        if (i + 1 >= argc)
+            fatal("--cache-dir requires a value");
+        opts.cache_dir = argv[++i];
+        return true;
+    }
+    if (arg.rfind("--cache-dir=", 0) == 0) {
+        opts.cache_dir = arg.substr(12);
+        return true;
+    }
+    if (arg == "--no-cache") {
+        opts.no_cache = true;
         return true;
     }
     if (arg == "--quiet" || arg == "-q") {
@@ -88,6 +137,9 @@ commonUsage()
            "  --trace-json=FILE     write a Chrome trace-event JSON\n"
            "  --threads N           worker threads (0 = hardware "
            "concurrency)\n"
+           "  --cache-dir DIR       artifact-cache root (default "
+           "$QAC_CACHE_DIR or ~/.cache/qac)\n"
+           "  --no-cache            disable the artifact cache\n"
            "  --quiet, -q           errors only\n"
            "  -v, --verbose         extra output\n";
 }

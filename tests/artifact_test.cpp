@@ -1,0 +1,489 @@
+/**
+ * @file
+ * Tests for the compiled-artifact subsystem: the .qo object format
+ * (exact canonical round-trips, structured corruption errors) and the
+ * content-addressed embedding cache (warm hits skip the embedder,
+ * corrupt entries degrade to recompute, LRU eviction, negative
+ * entries, environment-variable configuration).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "qac/artifact/cache.h"
+#include "qac/artifact/qo.h"
+#include "qac/artifact/serial.h"
+#include "qac/chimera/chimera.h"
+#include "qac/core/compiler.h"
+#include "qac/core/program.h"
+#include "qac/stats/registry.h"
+#include "qac/util/hash.h"
+
+namespace qac::artifact {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char *kMult = R"(
+module mult (A, B, C);
+  input [1:0] A, B;
+  output [3:0] C;
+  assign C = A * B;
+endmodule
+)";
+
+/** Fresh per-process scratch directory under the test temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path p = fs::path(::testing::TempDir()) /
+        (name + "." + std::to_string(::getpid()));
+    fs::remove_all(p);
+    fs::create_directories(p);
+    return p.string();
+}
+
+/** Compile the 2x2 multiplier; caching only when a dir is given. */
+core::CompileResult
+compileMult(bool chimera, const std::string &cache_dir = "")
+{
+    core::CompileOptions opts;
+    opts.top = "mult";
+    opts.cache.enabled = !cache_dir.empty();
+    opts.cache.dir = cache_dir;
+    if (chimera) {
+        opts.target = core::Target::Chimera;
+        opts.chimera_size = 8;
+    }
+    return core::compile(kMult, opts);
+}
+
+uint64_t
+counterValue(const std::string &path)
+{
+    for (const auto &m : stats::Registry::global().snapshot())
+        if (m.path == path && m.kind == stats::MetricKind::Counter)
+            return m.count;
+    return 0;
+}
+
+uint64_t
+timerCalls(const std::string &path)
+{
+    for (const auto &m : stats::Registry::global().snapshot())
+        if (m.path == path && m.kind == stats::MetricKind::Timer)
+            return m.count;
+    return 0;
+}
+
+// ---------------------------------------------------------------- serial
+
+TEST(Serial, WriterReaderRoundTrip)
+{
+    Writer w;
+    w.u8(7);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefULL);
+    w.f64(-0.125);
+    w.str("hello");
+    w.str("");
+
+    Reader r(w.buffer());
+    EXPECT_EQ(r.u8(), 7u);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_DOUBLE_EQ(r.f64(), -0.125);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serial, ReaderFailsPastEnd)
+{
+    Writer w;
+    w.u32(5);
+    Reader r(w.buffer());
+    EXPECT_EQ(r.u32(), 5u);
+    EXPECT_EQ(r.u64(), 0u); // past end: zero value, fail flag set
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serial, FrameRoundTripAndStructuredErrors)
+{
+    const char magic[4] = {'Q', 'A', 'C', 'O'};
+    std::string file = frame(magic, "payload bytes");
+
+    std::string err;
+    auto payload = unframe(file, magic, &err);
+    ASSERT_TRUE(payload) << err;
+    EXPECT_EQ(*payload, "payload bytes");
+
+    // Wrong magic.
+    const char other[4] = {'N', 'O', 'P', 'E'};
+    EXPECT_FALSE(unframe(file, other, &err));
+    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+
+    // Version mismatch: byte 4 is the low byte of the version u32.
+    std::string bumped = file;
+    bumped[4] = static_cast<char>(bumped[4] + 1);
+    EXPECT_FALSE(unframe(bumped, magic, &err));
+    EXPECT_NE(err.find("version mismatch"), std::string::npos) << err;
+
+    // Truncation.
+    EXPECT_FALSE(
+        unframe(std::string_view(file).substr(0, file.size() - 3),
+                magic, &err));
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+    EXPECT_FALSE(unframe("QA", magic, &err));
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+
+    // Payload bit flip -> checksum mismatch.
+    std::string flipped = file;
+    flipped[flipped.size() - 1] ^= 0x40;
+    EXPECT_FALSE(unframe(flipped, magic, &err));
+    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------- .qo
+
+TEST(Qo, LogicalRoundTripIsByteIdentical)
+{
+    auto compiled = compileMult(false);
+    std::string bytes = serializeQo(compiled);
+
+    std::string err;
+    auto reloaded = deserializeQo(bytes, &err);
+    ASSERT_TRUE(reloaded) << err;
+    EXPECT_EQ(serializeQo(*reloaded), bytes);
+
+    EXPECT_EQ(reloaded->assembled.model, compiled.assembled.model);
+    EXPECT_EQ(reloaded->assembled.sym_to_var,
+              compiled.assembled.sym_to_var);
+    EXPECT_EQ(reloaded->edif_text, compiled.edif_text);
+    EXPECT_EQ(reloaded->stats.gates, compiled.stats.gates);
+    EXPECT_FALSE(reloaded->embedding.has_value());
+}
+
+TEST(Qo, ChimeraRoundTripIsByteIdentical)
+{
+    auto compiled = compileMult(true);
+    std::string bytes = serializeQo(compiled);
+
+    std::string err;
+    auto reloaded = deserializeQo(bytes, &err);
+    ASSERT_TRUE(reloaded) << err;
+    EXPECT_EQ(serializeQo(*reloaded), bytes);
+
+    ASSERT_TRUE(reloaded->embedding.has_value());
+    ASSERT_TRUE(reloaded->embedded.has_value());
+    ASSERT_TRUE(reloaded->hardware.has_value());
+    EXPECT_EQ(reloaded->embedding->chains, compiled.embedding->chains);
+    EXPECT_EQ(reloaded->embedded->physical,
+              compiled.embedded->physical);
+    EXPECT_EQ(reloaded->stats.physical_qubits,
+              compiled.stats.physical_qubits);
+    EXPECT_EQ(reloaded->stats.max_chain_length,
+              compiled.stats.max_chain_length);
+}
+
+/**
+ * Round-trip @p compiled through the .qo form and require samples
+ * from the reloaded executable to be bitwise identical to the
+ * original's, at several thread counts.
+ */
+void
+expectReloadedRunsIdentical(core::CompileResult compiled,
+                            bool use_physical)
+{
+    core::CompileResult copy = compiled;
+    auto reloaded = deserializeQo(serializeQo(compiled));
+    ASSERT_TRUE(reloaded);
+
+    core::Executable direct(std::move(copy));
+    core::Executable fromqo(std::move(*reloaded));
+    direct.pinDirective("C[3:0] := 0110");
+    fromqo.pinDirective("C[3:0] := 0110");
+
+    for (uint32_t threads : {1u, 8u}) {
+        core::Executable::RunOptions ro;
+        ro.solver = "sa";
+        ro.num_reads = 64;
+        ro.sweeps = 128;
+        ro.seed = 5;
+        ro.threads = threads;
+        ro.use_physical = use_physical;
+        if (use_physical)
+            ro.reduce = false;
+        auto ra = direct.run(ro);
+        auto rb = fromqo.run(ro);
+        ASSERT_EQ(ra.candidates.size(), rb.candidates.size())
+            << "threads=" << threads;
+        EXPECT_EQ(ra.total_reads, rb.total_reads);
+        for (size_t i = 0; i < ra.candidates.size(); ++i) {
+            const auto &a = ra.candidates[i];
+            const auto &b = rb.candidates[i];
+            EXPECT_EQ(a.values, b.values) << "threads=" << threads;
+            EXPECT_EQ(a.energy, b.energy) << "threads=" << threads;
+            EXPECT_EQ(a.occurrences, b.occurrences);
+            EXPECT_EQ(a.valid, b.valid);
+        }
+    }
+}
+
+TEST(Qo, ReloadedExecutableSamplesBitwiseIdentically)
+{
+    expectReloadedRunsIdentical(compileMult(false), false);
+}
+
+// The chimera-target run paths fold floats over model views that are
+// rebuilt from the .qo (adjacency masses for pins, roof-duality
+// fixing, candidate energies); any iteration-order dependence shows
+// up here as a tie-break divergence that the logical test misses.
+TEST(Qo, ChimeraReloadedRunsIdenticallyReduced)
+{
+    expectReloadedRunsIdentical(compileMult(true), false);
+}
+
+TEST(Qo, ChimeraReloadedRunsIdenticallyPhysical)
+{
+    expectReloadedRunsIdentical(compileMult(true), true);
+}
+
+TEST(Qo, FileErrorsAreStructuredAndNonFatal)
+{
+    std::string dir = scratchDir("qo_errors");
+    std::string path = dir + "/m.qo";
+    auto compiled = compileMult(false);
+    std::string err;
+    ASSERT_TRUE(writeQoFile(path, compiled, &err)) << err;
+    ASSERT_TRUE(readQoFile(path, &err)) << err;
+
+    // Missing file.
+    EXPECT_FALSE(readQoFile(dir + "/nope.qo", &err));
+    EXPECT_FALSE(err.empty());
+
+    std::string bytes = serializeQo(compiled);
+
+    auto rewrite = [&](const std::string &data) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << data;
+    };
+
+    // Truncated file.
+    rewrite(bytes.substr(0, bytes.size() / 2));
+    EXPECT_FALSE(readQoFile(path, &err));
+    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+
+    // Single bit flip deep in the payload.
+    std::string flipped = bytes;
+    flipped[flipped.size() - 7] ^= 0x01;
+    rewrite(flipped);
+    EXPECT_FALSE(readQoFile(path, &err));
+    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+
+    // Future format version.
+    std::string bumped = bytes;
+    bumped[4] = static_cast<char>(bumped[4] + 1);
+    rewrite(bumped);
+    EXPECT_FALSE(readQoFile(path, &err));
+    EXPECT_NE(err.find("version mismatch"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------- cache
+
+TEST(Cache, DefaultDirHonorsEnvOverride)
+{
+    std::string dir = scratchDir("envcache");
+    ASSERT_EQ(::setenv("QAC_CACHE_DIR", dir.c_str(), 1), 0);
+    EXPECT_EQ(defaultCacheDir(), dir);
+    ASSERT_EQ(::unsetenv("QAC_CACHE_DIR"), 0);
+    EXPECT_NE(defaultCacheDir(), dir);
+}
+
+TEST(Cache, StoreLoadAndLruEviction)
+{
+    CacheOptions opts;
+    opts.dir = scratchDir("evict");
+    opts.max_bytes = 150;
+    Cache cache(opts);
+    ASSERT_TRUE(cache.enabled());
+
+    EXPECT_FALSE(cache.load("absent"));
+    std::string blob(100, 'x');
+    EXPECT_TRUE(cache.store("a", blob));
+    auto got = cache.load("a");
+    ASSERT_TRUE(got);
+    EXPECT_EQ(*got, blob);
+
+    // Two more 100-byte entries blow the 150-byte cap; eviction must
+    // bring the directory back under it.
+    EXPECT_TRUE(cache.store("b", blob));
+    EXPECT_TRUE(cache.store("c", blob));
+    uint64_t total = 0;
+    size_t files = 0;
+    for (const auto &e : fs::directory_iterator(opts.dir)) {
+        total += e.file_size();
+        ++files;
+    }
+    EXPECT_LE(total, opts.max_bytes);
+    EXPECT_LT(files, 3u);
+}
+
+TEST(Cache, UnusableDirDisablesGracefully)
+{
+    CacheOptions opts;
+    // A path under a regular file can never be created.
+    std::string dir = scratchDir("blocked");
+    std::ofstream(dir + "/file") << "x";
+    opts.dir = dir + "/file/sub";
+    Cache cache(opts);
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.load("a"));
+    EXPECT_FALSE(cache.store("a", "bytes"));
+}
+
+TEST(Cache, EmbeddingRoundTripAndNegativeEntries)
+{
+    CacheOptions opts;
+    opts.dir = scratchDir("embcache");
+    Cache cache(opts);
+    ASSERT_TRUE(cache.enabled());
+
+    // Two logical variables on a single Chimera cell: chains {0},{4}
+    // joined by the real hardware edge 0-4.
+    auto hw = chimera::chimeraGraph(1);
+    std::vector<std::pair<uint32_t, uint32_t>> edges = {{0, 1}};
+    embed::Embedding emb;
+    emb.chains = {{0}, {4}};
+
+    embed::EmbedParams params;
+    uint64_t key = embeddingCacheKey(ising::IsingModel(2), hw, params);
+
+    EXPECT_FALSE(lookupEmbedding(cache, key, edges, hw).hit);
+
+    storeEmbedding(cache, key, emb);
+    auto probe = lookupEmbedding(cache, key, edges, hw);
+    ASSERT_TRUE(probe.hit);
+    ASSERT_TRUE(probe.embeddable);
+    ASSERT_TRUE(probe.embedding);
+    EXPECT_EQ(probe.embedding->chains, emb.chains);
+
+    // Negative entry: a different key remembered as unembeddable.
+    storeEmbedding(cache, key + 1, std::nullopt);
+    auto neg = lookupEmbedding(cache, key + 1, edges, hw);
+    EXPECT_TRUE(neg.hit);
+    EXPECT_FALSE(neg.embeddable);
+    EXPECT_FALSE(neg.embedding);
+}
+
+TEST(Cache, CorruptOrMismatchedEntriesBehaveAsMiss)
+{
+    CacheOptions opts;
+    opts.dir = scratchDir("corrupt");
+    Cache cache(opts);
+    ASSERT_TRUE(cache.enabled());
+
+    auto hw = chimera::chimeraGraph(1);
+    std::vector<std::pair<uint32_t, uint32_t>> edges = {{0, 1}};
+    embed::EmbedParams params;
+    uint64_t key = embeddingCacheKey(ising::IsingModel(2), hw, params);
+
+    // Garbage bytes under the right name: unframe rejects them.
+    ASSERT_TRUE(cache.store(embeddingEntryName(key), "not a frame"));
+    EXPECT_FALSE(lookupEmbedding(cache, key, edges, hw).hit);
+
+    // A well-framed entry whose chains do not solve *this* problem
+    // (qubits 0 and 1 share no hardware edge): verification rejects it.
+    embed::Embedding wrong;
+    wrong.chains = {{0}, {1}};
+    storeEmbedding(cache, key, wrong);
+    EXPECT_FALSE(lookupEmbedding(cache, key, edges, hw).hit);
+}
+
+TEST(Cache, KeyIsSensitiveToEveryInput)
+{
+    auto hw = chimera::chimeraGraph(2);
+    embed::EmbedParams params;
+    ising::IsingModel model(3);
+    model.addQuadratic(0, 1, -1.0);
+
+    uint64_t base = embeddingCacheKey(model, hw, params);
+    EXPECT_EQ(embeddingCacheKey(model, hw, params), base);
+
+    ising::IsingModel other = model;
+    other.addLinear(2, 0.5);
+    EXPECT_NE(embeddingCacheKey(other, hw, params), base);
+
+    embed::EmbedParams seeded = params;
+    seeded.seed = 2;
+    EXPECT_NE(embeddingCacheKey(model, hw, seeded), base);
+
+    auto smaller = chimera::chimeraGraph(1);
+    EXPECT_NE(embeddingCacheKey(model, smaller, params), base);
+
+    // Thread count is execution policy, not content: key unchanged.
+    embed::EmbedParams threaded = params;
+    threaded.threads = 7;
+    EXPECT_EQ(embeddingCacheKey(model, hw, threaded), base);
+}
+
+// ------------------------------------------------- compiler integration
+
+TEST(CompilerCache, WarmCompileSkipsEmbedderAndMatchesCold)
+{
+    auto &reg = stats::Registry::global();
+    bool prev = reg.setEnabled(true);
+    std::string dir = scratchDir("warm");
+
+    reg.reset();
+    auto cold = compileMult(true, dir);
+    EXPECT_GE(counterValue("qac.cache.miss"), 1u);
+    EXPECT_EQ(counterValue("qac.cache.hit"), 0u);
+    EXPECT_GE(timerCalls("compile.embed"), 1u);
+
+    reg.reset();
+    auto warm = compileMult(true, dir);
+    EXPECT_GE(counterValue("qac.cache.hit"), 1u);
+    EXPECT_EQ(counterValue("qac.cache.miss"), 0u);
+    // The acceptance criterion: a warm compile never enters the
+    // embedder, so its timer records zero calls.
+    EXPECT_EQ(timerCalls("compile.embed"), 0u);
+
+    ASSERT_TRUE(cold.embedding && warm.embedding);
+    EXPECT_EQ(warm.embedding->chains, cold.embedding->chains);
+    EXPECT_EQ(warm.embedded->physical, cold.embedded->physical);
+    EXPECT_EQ(serializeQo(warm), serializeQo(cold));
+
+    reg.reset();
+    reg.setEnabled(prev);
+}
+
+TEST(CompilerCache, CorruptEntryFallsBackToRecompute)
+{
+    std::string dir = scratchDir("fallback");
+    auto cold = compileMult(true, dir);
+
+    // Smash every cache entry; the next compile must still succeed
+    // (and rewrite good entries).
+    for (const auto &e : fs::directory_iterator(dir)) {
+        std::ofstream out(e.path(),
+                          std::ios::binary | std::ios::trunc);
+        out << "garbage";
+    }
+    auto recomputed = compileMult(true, dir);
+    ASSERT_TRUE(recomputed.embedding);
+    EXPECT_EQ(recomputed.embedding->chains, cold.embedding->chains);
+
+    auto warm = compileMult(true, dir);
+    EXPECT_EQ(warm.embedding->chains, cold.embedding->chains);
+}
+
+} // namespace
+} // namespace qac::artifact

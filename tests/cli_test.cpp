@@ -13,6 +13,8 @@
 #include <iterator>
 #include <string>
 
+#include <unistd.h>
+
 namespace {
 
 /** Run a command, capturing stdout; returns (exit code, output). */
@@ -95,8 +97,10 @@ TEST(Qacc, StatsReportAndTrace)
         std::string(::testing::TempDir()) + "cli_stats.json";
     std::string trace_file =
         std::string(::testing::TempDir()) + "cli_trace.json";
+    // --no-cache keeps the run hermetic: a warm embedding cache would
+    // legitimately skip minorminer and its stats.
     auto [code, out] = run(std::string(QACC_PATH) + " " + v +
-                           " --top mult --target chimera "
+                           " --top mult --target chimera --no-cache "
                            "--chimera-size 8 --stats=" + stats_file +
                            " --trace-json=" + trace_file + " --stats");
     EXPECT_EQ(code, 0) << out;
@@ -264,6 +268,125 @@ TEST(Qma, BadInputFails)
     auto [code, out] = run(std::string(QMA_PATH) + " " + q);
     EXPECT_EQ(code, 2);
     EXPECT_NE(out.find("qma:"), std::string::npos);
+}
+
+// ------------------------------------------------- artifact subsystem
+
+/** The run report from "reads:" onward (drops tool-specific headers). */
+std::string
+reportTail(const std::string &out)
+{
+    size_t at = out.find("reads:");
+    return at == std::string::npos ? out : out.substr(at);
+}
+
+TEST(Artifact, ObjectFileCompileRunFlow)
+{
+    // qacc -o emits a .qo object; `qma run` executes it with results
+    // identical (from the run report onward) to the in-process path.
+    std::string v = writeTemp("cli_mult_qo.v", kMult);
+    std::string qo = std::string(::testing::TempDir()) + "cli_mult.qo";
+    const std::string runflags =
+        " --solver exact --reads 64 --sweeps 64 --seed 7 "
+        "--pin \"C[3:0] := 0110\"";
+
+    auto [ccode, cout_] = run(std::string(QACC_PATH) + " " + v +
+                              " --top mult --no-cache -o " + qo);
+    EXPECT_EQ(ccode, 0) << cout_;
+    std::ifstream f(qo, std::ios::binary);
+    ASSERT_TRUE(f.good());
+    char magic[4] = {};
+    f.read(magic, 4);
+    EXPECT_EQ(std::string(magic, 4), "QACO");
+
+    auto [dcode, dout] = run(std::string(QACC_PATH) + " " + v +
+                             " --top mult --no-cache --run" + runflags);
+    EXPECT_EQ(dcode, 0) << dout;
+    auto [ocode, oout] =
+        run(std::string(QMA_PATH) + " run " + qo + runflags);
+    EXPECT_EQ(ocode, 0) << oout;
+
+    EXPECT_NE(dout.find("solution"), std::string::npos) << dout;
+    EXPECT_EQ(reportTail(dout), reportTail(oout));
+}
+
+TEST(Artifact, QmaRunRejectsCorruptObject)
+{
+    std::string bad = writeTemp("cli_bad.qo", "QACOnot really");
+    auto [code, out] = run(std::string(QMA_PATH) + " run " + bad);
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("qma:"), std::string::npos) << out;
+    EXPECT_NE(out.find("truncated"), std::string::npos) << out;
+}
+
+TEST(Artifact, CacheCountersInStatsJson)
+{
+    std::string v = writeTemp("cli_mult_cache.v", kMult);
+    std::string cdir = std::string(::testing::TempDir()) +
+        "cli_qac_cache." + std::to_string(::getpid());
+    std::string s1 =
+        std::string(::testing::TempDir()) + "cli_cache_cold.json";
+    std::string s2 =
+        std::string(::testing::TempDir()) + "cli_cache_warm.json";
+    std::string base = std::string(QACC_PATH) + " " + v +
+        " --top mult --target chimera --chimera-size 8 --cache-dir " +
+        cdir;
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream f(path);
+        return std::string((std::istreambuf_iterator<char>(f)),
+                           std::istreambuf_iterator<char>());
+    };
+
+    auto [c1, o1] = run(base + " --stats=" + s1);
+    EXPECT_EQ(c1, 0) << o1;
+    std::string cold = slurp(s1);
+    EXPECT_NE(cold.find("\"path\":\"qac.cache.miss\""),
+              std::string::npos)
+        << cold;
+    EXPECT_EQ(cold.find("\"path\":\"qac.cache.hit\""),
+              std::string::npos)
+        << cold;
+
+    auto [c2, o2] = run(base + " --stats=" + s2);
+    EXPECT_EQ(c2, 0) << o2;
+    std::string warm = slurp(s2);
+    EXPECT_NE(warm.find("\"path\":\"qac.cache.hit\""),
+              std::string::npos)
+        << warm;
+    // A warm compile never enters the embedder: no compile.embed
+    // timer (compile.embed_model, a different metric, still runs).
+    EXPECT_EQ(warm.find("\"path\":\"compile.embed\","),
+              std::string::npos)
+        << warm;
+    EXPECT_NE(warm.find("\"path\":\"compile.embed_model\""),
+              std::string::npos)
+        << warm;
+}
+
+TEST(Cli, BadNumericFlagsFailCleanly)
+{
+    std::string v = writeTemp("cli_badnum.v", kMult);
+    auto [c1, o1] = run(std::string(QACC_PATH) + " " + v +
+                        " --top mult --reads banana");
+    EXPECT_EQ(c1, 2);
+    EXPECT_NE(o1.find("--reads"), std::string::npos) << o1;
+    EXPECT_NE(o1.find("banana"), std::string::npos) << o1;
+
+    auto [c2, o2] = run(std::string(QACC_PATH) + " " + v +
+                        " --top mult --threads=many");
+    EXPECT_EQ(c2, 2);
+    EXPECT_NE(o2.find("--threads"), std::string::npos) << o2;
+
+    std::string q = writeTemp("cli_badnum.qmasm", "X -1\n");
+    for (const char *flags : {"--seed -3", "--sweeps 12junk",
+                              "--top 99999999999999999999999"}) {
+        auto [c3, o3] =
+            run(std::string(QMA_PATH) + " " + q + " " + flags);
+        EXPECT_EQ(c3, 2) << flags << ": " << o3;
+        EXPECT_NE(o3.find("qma:"), std::string::npos)
+            << flags << ": " << o3;
+    }
 }
 
 } // namespace

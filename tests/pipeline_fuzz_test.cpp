@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "qac/anneal/exact.h"
+#include "qac/artifact/qo.h"
 #include "qac/core/compiler.h"
 #include "qac/core/program.h"
 #include "qac/netlist/simulate.h"
@@ -101,6 +102,49 @@ TEST_P(FuzzSeed, CombinationalForwardEquivalence)
 {
     Rng rng(GetParam());
     checkForwardEquivalence(randomCombinationalModule(rng));
+}
+
+TEST_P(FuzzSeed, QoRoundTripIsCanonicalAndRunsIdentically)
+{
+    // For every fuzzed design: serialize -> deserialize -> re-serialize
+    // must be byte-identical, and the reloaded executable must sample
+    // bitwise identically to the original at the same seed, at any
+    // thread count.
+    Rng rng(GetParam());
+    std::string src = randomCombinationalModule(rng);
+    CompileOptions co;
+    co.top = "fuzz";
+    CompileResult compiled = compile(src, co);
+    CompileResult copy = compiled;
+
+    std::string bytes = artifact::serializeQo(compiled);
+    std::string err;
+    auto reloaded = artifact::deserializeQo(bytes, &err);
+    ASSERT_TRUE(reloaded) << src << "\n" << err;
+    EXPECT_EQ(artifact::serializeQo(*reloaded), bytes) << src;
+
+    Executable direct(std::move(copy));
+    Executable fromqo(std::move(*reloaded));
+    for (uint32_t threads : {1u, 8u}) {
+        Executable::RunOptions ro;
+        ro.num_reads = 50;
+        ro.sweeps = 96;
+        ro.seed = GetParam();
+        ro.threads = threads;
+        auto ra = direct.run(ro);
+        auto rb = fromqo.run(ro);
+        ASSERT_EQ(ra.candidates.size(), rb.candidates.size())
+            << src << " threads=" << threads;
+        for (size_t i = 0; i < ra.candidates.size(); ++i) {
+            EXPECT_EQ(ra.candidates[i].values, rb.candidates[i].values)
+                << src;
+            EXPECT_EQ(ra.candidates[i].energy, rb.candidates[i].energy)
+                << src;
+            EXPECT_EQ(ra.candidates[i].occurrences,
+                      rb.candidates[i].occurrences)
+                << src;
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FuzzSeed,

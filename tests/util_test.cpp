@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "qac/util/hash.h"
 #include "qac/util/logging.h"
 #include "qac/util/maxflow.h"
 #include "qac/util/rng.h"
@@ -338,6 +339,53 @@ TEST(MaxFlow, DisconnectedIsZero)
     MaxFlow mf(3);
     mf.addEdge(0, 1, 5);
     EXPECT_DOUBLE_EQ(mf.solve(0, 2), 0.0);
+}
+
+// ---------------------------------------------------------------- hash
+
+using util::fnv1a64;
+using util::Hasher;
+using util::hexDigest;
+
+TEST(Hash, Fnv1aKnownVectors)
+{
+    // Reference digests from the FNV specification.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+    const char raw[] = {'a'};
+    EXPECT_EQ(fnv1a64(raw, 1), fnv1a64("a"));
+}
+
+TEST(Hash, HexDigestFormat)
+{
+    EXPECT_EQ(hexDigest(0), "0000000000000000");
+    EXPECT_EQ(hexDigest(0xcbf29ce484222325ULL), "cbf29ce484222325");
+    EXPECT_EQ(hexDigest(UINT64_MAX), "ffffffffffffffff");
+}
+
+TEST(Hash, HasherIsCanonicalAndPrefixFree)
+{
+    // Chained helpers match the raw byte-stream definition.
+    Hasher a;
+    a.u32(0x01020304u);
+    const char le[] = {4, 3, 2, 1};
+    EXPECT_EQ(a.digest(), fnv1a64(le, 4));
+
+    // Length-prefixed strings: ("ab","c") never collides with
+    // ("a","bc").
+    Hasher h1, h2;
+    h1.str("ab").str("c");
+    h2.str("a").str("bc");
+    EXPECT_NE(h1.digest(), h2.digest());
+
+    // Same inputs, same digest; any change perturbs it.
+    Hasher h3, h4, h5;
+    h3.u64(7).f64(1.5).str("x");
+    h4.u64(7).f64(1.5).str("x");
+    h5.u64(7).f64(1.5).str("y");
+    EXPECT_EQ(h3.digest(), h4.digest());
+    EXPECT_NE(h3.digest(), h5.digest());
 }
 
 } // namespace
