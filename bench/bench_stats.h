@@ -19,6 +19,7 @@
 
 #include "qac/stats/registry.h"
 #include "qac/stats/report.h"
+#include "qac/telemetry/manifest.h"
 
 namespace qac::benchstats {
 
@@ -47,7 +48,14 @@ class Scope
     ~Scope()
     {
         std::string path = "BENCH_" + name_ + ".json";
-        if (!stats::writeJsonReport(path))
+        // Provenance block: version + git describe + host make a
+        // bench JSON self-describing when diffed against a baseline
+        // from another checkout (scripts/bench_compare.py).
+        telemetry::Manifest manifest =
+            telemetry::Manifest::make("bench_" + name_);
+        if (smoke())
+            manifest.param("smoke", uint64_t{1});
+        if (!stats::writeJsonReport(path, manifest.block(true)))
             std::fprintf(stderr, "bench: cannot write %s\n",
                          path.c_str());
         stats::Registry::global().setEnabled(false);

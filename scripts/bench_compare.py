@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json artifacts against committed baselines.
+
+The bench binaries emit one qac-stats-v1 JSON file each (see
+bench/bench_stats.h).  Baselines under bench/baselines/ are generated
+from a QAC_BENCH_SMOKE=1 run, so they pin the *structural* trajectory
+of each benchmark — problem sizes, gate counts, solver read totals —
+rather than wall-clock performance.  Timing-derived metrics vary run
+to run and machine to machine, so anything that smells like a clock is
+skipped:
+
+  * metrics of kind "timer" (and any path ending in _ns/.ns/_ms/.ms)
+  * throughput counters (paths containing per_sec)
+  * scheduler-dependent counters (exec.steal*, exec.worker*) and
+    wall-clock counters (paths containing wall)
+  * derived speedup ratios (paths containing speedup)
+  * distribution moments (only the sample `count` is compared)
+  * the manifest provenance block (host, git revision, ...)
+
+Everything else must match the baseline within --tolerance (relative).
+
+Usage:
+  bench_compare.py [--baseline-dir DIR] [--tolerance FRAC] [--check]
+                   FRESH.json [FRESH.json ...]
+
+Exit status: 0 when all compared files match (or with --check, always
+unless a file is unreadable); 1 on any regression without --check.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+VOLATILE_SUBSTRINGS = ("per_sec", "exec.steal", "exec.worker",
+                       "speedup", "wall")
+VOLATILE_SUFFIXES = ("_ns", ".ns", "_ms", ".ms")
+
+
+def is_volatile(path, kind):
+    if kind == "timer":
+        return True
+    if any(s in path for s in VOLATILE_SUBSTRINGS):
+        return True
+    return path.endswith(VOLATILE_SUFFIXES)
+
+
+def stable_values(report):
+    """Map of comparable path -> value for one qac-stats-v1 report."""
+    out = {}
+    for m in report.get("metrics", []):
+        path, kind = m.get("path", ""), m.get("kind", "")
+        if is_volatile(path, kind):
+            continue
+        if kind == "distribution":
+            # Moments drift with scheduling; the sample count is the
+            # structural part of a distribution's trajectory.
+            out[path + "#count"] = m.get("count", 0)
+        elif isinstance(m.get("value"), (int, float)):
+            out[path] = m["value"]
+    return out
+
+
+def within(base, fresh, tol):
+    if base == fresh:
+        return True
+    denom = max(abs(base), abs(fresh), 1e-12)
+    return abs(base - fresh) / denom <= tol
+
+
+def compare_file(fresh_path, baseline_dir, tol):
+    """Returns (n_compared, [problem strings])."""
+    name = os.path.basename(fresh_path)
+    base_path = os.path.join(baseline_dir, name)
+    if not os.path.exists(base_path):
+        return 0, ["%s: no baseline at %s (add one from a "
+                   "QAC_BENCH_SMOKE=1 run)" % (name, base_path)]
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    problems = []
+    base_smoke = base.get("manifest", {}).get("params", {}).get("smoke")
+    fresh_smoke = \
+        fresh.get("manifest", {}).get("params", {}).get("smoke")
+    if base_smoke != fresh_smoke:
+        problems.append(
+            "%s: smoke-mode mismatch (baseline smoke=%s, fresh "
+            "smoke=%s); values are not comparable" %
+            (name, base_smoke, fresh_smoke))
+        return 0, problems
+
+    bvals, fvals = stable_values(base), stable_values(fresh)
+    n = 0
+    for path, bval in sorted(bvals.items()):
+        if path not in fvals:
+            problems.append("%s: %s missing from fresh run" %
+                            (name, path))
+            continue
+        n += 1
+        if not within(bval, fvals[path], tol):
+            problems.append(
+                "%s: %s = %s, baseline %s (tolerance %g)" %
+                (name, path, fvals[path], bval, tol))
+    return n, problems
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Compare BENCH_*.json against baselines")
+    ap.add_argument("fresh", nargs="+", metavar="FRESH.json")
+    ap.add_argument("--baseline-dir",
+                    default=os.path.join(
+                        os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))),
+                        "bench", "baselines"))
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative tolerance (default 0.05)")
+    ap.add_argument("--check", action="store_true",
+                    help="report only; always exit 0 on mismatches")
+    args = ap.parse_args(argv)
+
+    total, all_problems = 0, []
+    for path in args.fresh:
+        try:
+            n, problems = compare_file(path, args.baseline_dir,
+                                       args.tolerance)
+        except (OSError, ValueError) as e:
+            print("bench_compare: cannot read %s: %s" % (path, e),
+                  file=sys.stderr)
+            return 2
+        total += n
+        all_problems += problems
+        tag = "ok  " if not problems else "DIFF"
+        print("%s %s (%d metrics compared, %d problems)" %
+              (tag, os.path.basename(path), n, len(problems)))
+
+    for p in all_problems:
+        print("  " + p)
+    if all_problems and args.check:
+        print("bench_compare: %d problem(s) (informational; --check)"
+              % len(all_problems))
+        return 0
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

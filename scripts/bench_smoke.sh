@@ -5,19 +5,37 @@
 # QAC_BENCH_SMOKE=1 (see bench/bench_stats.h) while still exercising
 # the full code path and emitting BENCH_<name>.json.  This script runs
 # every bench_* binary that way in a scratch directory, checks the exit
-# status, and checks that the emitted JSON parses.  Wired into ctest
-# under the label "bench-smoke" so perf-harness rot is caught by the
-# regular test run, not discovered the next time someone benchmarks.
+# status, and checks that the emitted JSON parses.  When baselines are
+# committed under bench/baselines/, the fresh artifacts are also diffed
+# against them via bench_compare.py --check (informational only: a
+# structural drift prints a DIFF report but does not fail the smoke).
 #
-# Usage: bench_smoke.sh <bench-binary-dir>
+# When a tools directory and an example Verilog file are also given,
+# the qacc→qma telemetry path is smoked too: compile the example to a
+# .qo object, sample it with --telemetry/--stats, and validate the
+# emitted JSONL against the qac-telemetry-v1 schema (manifest first,
+# required read-record keys, strictly increasing sweep indices).
+#
+# Wired into ctest under the label "bench-smoke" so perf-harness rot
+# is caught by the regular test run, not discovered the next time
+# someone benchmarks.
+#
+# Usage: bench_smoke.sh <bench-binary-dir> [<tools-dir> <example.v>]
 
 set -u
 
-if [ $# -ne 1 ] || [ ! -d "$1" ]; then
-    echo "usage: $0 <bench-binary-dir>" >&2
+if [ $# -lt 1 ] || [ ! -d "$1" ]; then
+    echo "usage: $0 <bench-binary-dir> [<tools-dir> <example.v>]" >&2
     exit 2
 fi
 bench_dir=$(cd "$1" && pwd)
+tools_dir=""
+example_v=""
+if [ $# -ge 3 ]; then
+    tools_dir=$(cd "$2" && pwd)
+    example_v="$3"
+fi
+script_dir=$(cd "$(dirname "$0")" && pwd)
 
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
@@ -57,4 +75,88 @@ if [ "$found" -eq 0 ]; then
     echo "FAIL: no bench_* binaries in $bench_dir" >&2
     exit 1
 fi
+
+# Informational drift report against committed baselines.  Structural
+# regressions are caught loudly here but do not fail the smoke: the
+# baselines pin trajectories, and updating them is a deliberate act.
+if [ -d "$script_dir/../bench/baselines" ]; then
+    python3 "$script_dir/bench_compare.py" --check BENCH_*.json ||
+        echo "warn: bench_compare.py exited nonzero (ignored)" >&2
+fi
+
+# ------------------------------------------------ telemetry smoke
+if [ -n "$tools_dir" ]; then
+    if [ ! -x "$tools_dir/qacc" ] || [ ! -x "$tools_dir/qma" ]; then
+        echo "FAIL telemetry: no qacc/qma in $tools_dir" >&2
+        exit 1
+    fi
+    if ! "$tools_dir/qacc" "$example_v" --target chimera \
+            --chimera-size 8 --no-cache -q -o smoke.qo \
+            >telemetry.out 2>&1; then
+        echo "FAIL telemetry: qacc could not compile $example_v" >&2
+        cat telemetry.out >&2
+        exit 1
+    fi
+    if ! "$tools_dir/qma" run smoke.qo --physical --solver chainflip \
+            --reads 8 --sweeps 32 --seed 3 --telemetry=smoke.jsonl \
+            --telemetry-stride 4 --stats=smoke_stats.json -q \
+            >>telemetry.out 2>&1; then
+        echo "FAIL telemetry: qma run exited nonzero" >&2
+        cat telemetry.out >&2
+        exit 1
+    fi
+    if python3 - smoke.jsonl smoke_stats.json <<'EOF'
+import json, sys
+
+jsonl, stats = sys.argv[1], sys.argv[2]
+records = []
+with open(jsonl) as f:
+    for i, line in enumerate(f):
+        try:
+            records.append(json.loads(line))
+        except ValueError as e:
+            sys.exit("line %d does not parse: %s" % (i + 1, e))
+if not records:
+    sys.exit("telemetry JSONL is empty")
+
+head = records[0]
+if head.get("schema") != "qac-telemetry-v1":
+    sys.exit("first record schema is %r" % head.get("schema"))
+if head.get("kind") != "manifest":
+    sys.exit("first record kind is %r, want manifest" %
+             head.get("kind"))
+if head.get("thread_invariant") is not True:
+    sys.exit("manifest record must declare thread_invariant")
+
+reads = [r for r in records if r.get("kind") == "read"]
+if not reads:
+    sys.exit("no read records")
+for r in reads:
+    for key in ("solver", "run", "read", "sweeps", "points",
+                "final_energy"):
+        if key not in r:
+            sys.exit("read record missing %r: %s" % (key, r))
+    sweeps = [p["sweep"] for p in r["points"]]
+    if sweeps != sorted(set(sweeps)):
+        sys.exit("non-monotone sweep indices in read %s/%s" %
+                 (r["run"], r["read"]))
+kinds = {r.get("kind") for r in records}
+for want in ("chains", "analysis"):
+    if want not in kinds:
+        sys.exit("no %s record in telemetry JSONL" % want)
+
+report = json.load(open(stats))
+if "manifest" not in report:
+    sys.exit("stats JSON has no manifest block")
+print("ok   telemetry (%d records, kinds: %s)" %
+      (len(records), ", ".join(sorted(kinds))))
+EOF
+    then
+        :
+    else
+        echo "FAIL telemetry: JSONL schema validation failed" >&2
+        failed=1
+    fi
+fi
+
 exit "$failed"

@@ -11,6 +11,7 @@
 #include "qac/anneal/simulated.h"
 #include "qac/ising/compiled.h"
 #include "qac/stats/trace.h"
+#include "qac/telemetry/telemetry.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
 
@@ -64,6 +65,16 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
         (sweeps > 1) ? std::pow(b1 / b0, 1.0 / (sweeps - 1)) : 1.0;
 
     std::atomic<uint64_t> flips{0};
+    telemetry::RunTrace *trun =
+        telemetry::Collector::global().beginRun("chainflip",
+                                                params_.num_reads);
+    // An accepted composite move flips every chain member (each bumps
+    // the flips() counter), so proposals are counted in member flips —
+    // chain members plus the single-qubit pass — keeping the derived
+    // acceptance rate in [0, 1].
+    uint64_t proposals_per_sweep = n;
+    for (const auto &c : chains_)
+        proposals_per_sweep += c.size();
 
     out = detail::sampleReads(
         params_.num_reads, params_.threads,
@@ -74,6 +85,8 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
             s = rng.spin();
         ising::LocalFieldState state(kernel);
         state.reset(spins);
+        telemetry::ReadRecorder *rec =
+            trun ? trun->recorder(read) : nullptr;
 
         double beta = b0;
         for (uint32_t sw = 0; sw < sweeps; ++sw, beta *= ratio) {
@@ -102,6 +115,9 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
                     metropolisAccept(rng, beta * delta))
                     state.flip(i);
             }
+            if (rec && rec->want(sw))
+                rec->record(sw, state.energy(), beta, state.flips(),
+                            uint64_t{sw + 1} * proposals_per_sweep);
         }
         if (params_.greedy_polish)
             greedyDescent(state);
@@ -109,6 +125,9 @@ ChainFlipAnnealer::sample(const ising::IsingModel &model) const
         double e = kernel.energy(state.spins());
         stats::record("anneal.chainflip.energy", e);
         flips.fetch_add(state.flips(), std::memory_order_relaxed);
+        if (rec)
+            rec->finish(e, sweeps, state.flips(),
+                        uint64_t{sweeps} * proposals_per_sweep);
         part.add(state.spins(), e);
     });
     const uint64_t elapsed = stats::Trace::nowNs() - t0;

@@ -5,6 +5,7 @@
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/parallel_reads.h"
 #include "qac/stats/trace.h"
+#include "qac/telemetry/telemetry.h"
 #include "qac/util/rng.h"
 
 namespace qac::anneal {
@@ -34,12 +35,14 @@ greedyDescent(const ising::IsingModel &model, ising::SpinVector &spins)
 }
 
 double
-greedyDescent(ising::LocalFieldState &state)
+greedyDescent(ising::LocalFieldState &state,
+              telemetry::ReadRecorder *rec)
 {
     const uint32_t n =
         static_cast<uint32_t>(state.model().numVars());
     double gained = 0.0;
     bool improved = true;
+    uint64_t pass = 0;
     while (improved) {
         improved = false;
         for (uint32_t i = 0; i < n; ++i) {
@@ -50,6 +53,13 @@ greedyDescent(ising::LocalFieldState &state)
                 improved = true;
             }
         }
+        // Descent has no temperature; the schedule point is the pass
+        // index, and one pass proposes every variable once.
+        if (rec && rec->want(pass))
+            rec->record(pass, state.energy(),
+                        static_cast<double>(pass), state.flips(),
+                        (pass + 1) * n);
+        ++pass;
     }
     return gained;
 }
@@ -83,6 +93,9 @@ DescentSampler::sample(const ising::IsingModel &model) const
     const uint64_t t0 = stats::Trace::nowNs();
     const ising::CompiledModel kernel(model);
     std::atomic<uint64_t> flips{0};
+    telemetry::RunTrace *trun =
+        telemetry::Collector::global().beginRun("descent",
+                                                params_.num_reads);
 
     out = detail::sampleReads(
         params_.num_reads, params_.threads,
@@ -93,12 +106,16 @@ DescentSampler::sample(const ising::IsingModel &model) const
                 s = rng.spin();
             ising::LocalFieldState state(kernel);
             state.reset(spins);
-            greedyDescent(state);
+            telemetry::ReadRecorder *rec =
+                trun ? trun->recorder(read) : nullptr;
+            greedyDescent(state, rec);
             // One exact end-of-read evaluation; the descent itself ran
             // entirely on incremental deltas.
             double e = kernel.energy(state.spins());
             stats::record("anneal.descent.energy", e);
             flips.fetch_add(state.flips(), std::memory_order_relaxed);
+            if (rec)
+                rec->finish(e, 0, state.flips(), 0);
             part.add(state.spins(), e);
         });
     const uint64_t elapsed = stats::Trace::nowNs() - t0;

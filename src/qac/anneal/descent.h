@@ -13,6 +13,10 @@
 #include "qac/ising/compiled.h"
 #include "qac/ising/model.h"
 
+namespace qac::telemetry {
+class ReadRecorder;
+}
+
 namespace qac::anneal {
 
 /**
@@ -25,9 +29,12 @@ double greedyDescent(const ising::IsingModel &model,
 /**
  * Kernel variant: descend @p state in place using its incremental
  * local fields (O(1) per proposal, O(degree) per accepted flip).
+ * @param rec optional telemetry recorder; records one schedule point
+ *        per descent pass (the sampler's "sweep").
  * @return total energy improvement (<= 0).
  */
-double greedyDescent(ising::LocalFieldState &state);
+double greedyDescent(ising::LocalFieldState &state,
+                     telemetry::ReadRecorder *rec = nullptr);
 
 /** Apply greedyDescent to every sample; returns a re-finalized set. */
 SampleSet polish(const ising::IsingModel &model, const SampleSet &in);

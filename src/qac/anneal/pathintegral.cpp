@@ -10,6 +10,7 @@
 #include "qac/anneal/parallel_reads.h"
 #include "qac/ising/compiled.h"
 #include "qac/stats/trace.h"
+#include "qac/telemetry/telemetry.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
 
@@ -42,11 +43,16 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
     const ising::CompiledModel kernel(model);
     const uint32_t sweeps = std::max<uint32_t>(2, params_.sweeps);
     std::atomic<uint64_t> flips{0};
+    telemetry::RunTrace *trun =
+        telemetry::Collector::global().beginRun("sqa",
+                                                params_.num_reads);
 
     out = detail::sampleReads(
         params_.num_reads, params_.threads,
         [&](uint32_t read, SampleSet &part) {
         Rng rng = Rng::streamAt(params_.seed, read);
+        telemetry::ReadRecorder *rec =
+            trun ? trun->recorder(read) : nullptr;
         // Replica-major layout: one incremental field state per
         // Trotter slice; the inter-slice coupling is handled on top of
         // each slice's classical delta.
@@ -87,6 +93,18 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
                         cur.flip(i);
                 }
             }
+            if (rec && rec->want(t)) {
+                // Best tracked replica energy; the schedule point is
+                // the transverse field Gamma.
+                double e_min = rep[0].energy();
+                uint64_t accepts = rep[0].flips();
+                for (uint32_t m = 1; m < slices; ++m) {
+                    e_min = std::min(e_min, rep[m].energy());
+                    accepts += rep[m].flips();
+                }
+                rec->record(t, e_min, gamma, accepts,
+                            uint64_t{t + 1} * slices * n);
+            }
         }
 
         // Report the best replica, greedy-polished (the D-Wave also
@@ -105,6 +123,9 @@ PathIntegralAnnealer::sample(const ising::IsingModel &model) const
         for (const auto &state : rep)
             read_flips += state.flips();
         flips.fetch_add(read_flips, std::memory_order_relaxed);
+        if (rec)
+            rec->finish(e, sweeps, read_flips,
+                        uint64_t{sweeps} * slices * n);
         part.add(best.spins(), e);
     });
     const uint64_t elapsed = stats::Trace::nowNs() - t0;

@@ -10,6 +10,7 @@
 #include "qac/anneal/parallel_reads.h"
 #include "qac/ising/compiled.h"
 #include "qac/stats/trace.h"
+#include "qac/telemetry/telemetry.h"
 #include "qac/util/logging.h"
 #include "qac/util/rng.h"
 
@@ -75,6 +76,9 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
     const size_t sub_n = std::max<size_t>(2, params_.subproblem_size);
     const ising::CompiledModel kernel(model);
     std::atomic<uint64_t> flips{0};
+    telemetry::RunTrace *trun =
+        telemetry::Collector::global().beginRun("qbsolv",
+                                                params_.restarts);
 
     out = detail::sampleReads(
         params_.restarts, params_.threads,
@@ -86,13 +90,22 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
         ising::LocalFieldState state(kernel);
         state.reset(spins);
         greedyDescent(state);
+        telemetry::ReadRecorder *rec =
+            trun ? trun->recorder(restart) : nullptr;
 
+        uint32_t iters_done = 0;
         for (uint32_t iter = 0; iter < params_.outer_iterations;
              ++iter) {
+            iters_done = iter + 1;
             if (n <= sub_n) {
                 // The whole problem fits: one shot.
                 stats::count("anneal.qbsolv.subproblems");
                 state.reset(sub(model));
+                if (rec && rec->want(iter))
+                    rec->record(iter, state.energy(),
+                                static_cast<double>(iter),
+                                state.flips(),
+                                uint64_t{iter + 1} * sub_n);
                 break;
             }
             // Rank variables by |flip delta|: the most "strained"
@@ -133,11 +146,20 @@ QbsolvSolver::sample(const ising::IsingModel &model) const
             greedyDescent(candidate);
             if (candidate.energy() <= state.energy())
                 state = std::move(candidate);
+            // One outer iteration = one subproblem of sub_n proposed
+            // variables; the schedule point is the iteration index.
+            if (rec && rec->want(iter))
+                rec->record(iter, state.energy(),
+                            static_cast<double>(iter), state.flips(),
+                            uint64_t{iter + 1} * sub_n);
         }
         // One exact end-of-read evaluation.
         double e = kernel.energy(state.spins());
         stats::record("anneal.qbsolv.energy", e);
         flips.fetch_add(state.flips(), std::memory_order_relaxed);
+        if (rec)
+            rec->finish(e, iters_done, state.flips(),
+                        uint64_t{iters_done} * sub_n);
         part.add(state.spins(), e);
     });
     const uint64_t elapsed = stats::Trace::nowNs() - t0;

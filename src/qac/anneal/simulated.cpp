@@ -10,6 +10,7 @@
 #include "qac/anneal/parallel_reads.h"
 #include "qac/ising/compiled.h"
 #include "qac/stats/trace.h"
+#include "qac/telemetry/telemetry.h"
 #include "qac/util/logging.h"
 
 namespace qac::anneal {
@@ -96,6 +97,9 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
     }
 
     std::atomic<uint64_t> flips{0};
+    telemetry::RunTrace *trun =
+        telemetry::Collector::global().beginRun("sa",
+                                                params_.num_reads);
 
     out = detail::sampleReads(
         params_.num_reads, params_.threads,
@@ -106,6 +110,10 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
                 s = rng.spin();
             ising::LocalFieldState state(kernel);
             state.reset(spins);
+            // Null while telemetry is disabled: the per-sweep hook
+            // below degrades to one pointer test per sweep.
+            telemetry::ReadRecorder *rec =
+                trun ? trun->recorder(read) : nullptr;
 
             // With a monotone (heating) schedule, a sweep that draws
             // nothing proves the state frozen: every variable sat at
@@ -114,6 +122,7 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
             // consuming no randomness — skipping them is bitwise
             // identical.
             const bool monotone = ratio >= 1.0;
+            uint32_t sweeps_done = sweeps;
             for (uint32_t s = 0; s < sweeps; ++s) {
                 const double beta = betas[s];
                 const double thresh = kMaxExpArg / beta;
@@ -132,8 +141,15 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
                     if (metropolisAccept(rng, beta * delta))
                         state.flip(i);
                 }
-                if (monotone && !drew)
+                // Proposals are counted as n per sweep (the thresh
+                // skip is a rejection taken early).
+                if (rec && rec->want(s))
+                    rec->record(s, state.energy(), beta,
+                                state.flips(), uint64_t{s + 1} * n);
+                if (monotone && !drew) {
+                    sweeps_done = s + 1;
                     break;
+                }
             }
             if (params_.greedy_polish)
                 greedyDescent(state);
@@ -142,6 +158,9 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
             double e = kernel.energy(state.spins());
             stats::record("anneal.sa.energy", e);
             flips.fetch_add(state.flips(), std::memory_order_relaxed);
+            if (rec)
+                rec->finish(e, sweeps_done, state.flips(),
+                            uint64_t{sweeps_done} * n);
             part.add(state.spins(), e);
         });
     const uint64_t elapsed = stats::Trace::nowNs() - t0;

@@ -11,6 +11,7 @@
 
 #include "qac/artifact/serial.h"
 #include "qac/edif/reader.h"
+#include "qac/util/hash.h"
 #include "qac/util/logging.h"
 
 namespace qac::artifact {
@@ -433,6 +434,23 @@ readQoFile(const std::string &path, std::string *error)
     ss << in.rdbuf();
     std::string bytes = ss.str();
     return deserializeQo(bytes, error);
+}
+
+std::string
+qoDigestHex(std::string_view bytes)
+{
+    return util::hexDigest(util::fnv1a64(bytes));
+}
+
+std::string
+qoFileDigestHex(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return qoDigestHex(ss.str());
 }
 
 } // namespace qac::artifact

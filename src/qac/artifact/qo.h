@@ -51,6 +51,17 @@ bool writeQoFile(const std::string &path,
 std::optional<core::CompileResult>
 readQoFile(const std::string &path, std::string *error = nullptr);
 
+/**
+ * Content digest of .qo bytes (util::fnv1a64, hex) for run
+ * provenance: the telemetry/stats manifest records which exact
+ * compiled object produced a result set.  Canonical serialization
+ * makes this stable across save/load round trips.
+ */
+std::string qoDigestHex(std::string_view bytes);
+
+/** Digest of the file at @p path; "" when the file is unreadable. */
+std::string qoFileDigestHex(const std::string &path);
+
 } // namespace qac::artifact
 
 #endif // QAC_ARTIFACT_QO_H

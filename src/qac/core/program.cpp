@@ -9,6 +9,10 @@
 #include "qac/embed/roof_duality.h"
 #include "qac/netlist/simulate.h"
 #include "qac/stats/registry.h"
+#include "qac/stats/trace.h"
+#include "qac/telemetry/analyze.h"
+#include "qac/telemetry/chain_stats.h"
+#include "qac/telemetry/telemetry.h"
 #include "qac/util/logging.h"
 
 namespace qac::core {
@@ -168,7 +172,9 @@ Executable::run(const RunOptions &opts) const
     if (!sampler)
         fatal("run: unknown solver '%s' (expected %s)",
               solver.c_str(), anneal::samplerNamesJoined().c_str());
+    const uint64_t sample_t0 = stats::Trace::nowNs();
     anneal::SampleSet set = sampler->sample(sample_model);
+    const uint64_t sample_elapsed = stats::Trace::nowNs() - sample_t0;
 
     // Map each sample back to logical space and validate.
     RunResult out;
@@ -178,6 +184,13 @@ Executable::run(const RunOptions &opts) const
 
     std::map<ising::SpinVector, size_t> dedup;
     uint64_t weighted_breaks = 0;
+    // Per-chain break tallies (weighted by occurrences) and repair
+    // outcomes feed the anneal.chains.* stats and the telemetry
+    // "chains" record.
+    std::vector<uint64_t> chain_breaks_w;
+    std::vector<uint32_t> broken_index;
+    uint64_t repaired_samples = 0;
+    double repair_gain = 0.0;
     // Chain-break repair runs once per distinct sample; compile the
     // logical model into the CSR kernel so each repair descends on
     // incremental fields instead of the adjacency lists.
@@ -186,18 +199,26 @@ Executable::run(const RunOptions &opts) const
     if (em) {
         repair_kernel.emplace(*to_solve);
         repair_state.emplace(*repair_kernel);
+        chain_breaks_w.assign(em->dense_chains.size(), 0);
     }
     for (const auto &s : set.samples()) {
         size_t breaks = 0;
         ising::SpinVector solved =
-            em ? em->unembed(s.spins, &breaks) : s.spins;
+            em ? em->unembed(s.spins, &breaks, &broken_index)
+               : s.spins;
         weighted_breaks += breaks * s.num_occurrences;
         if (em) {
+            for (uint32_t c : broken_index)
+                chain_breaks_w[c] += s.num_occurrences;
             // Repair chain-break damage in logical space — the
             // classical postprocessing D-Wave systems apply by default.
             repair_state->reset(solved);
-            anneal::greedyDescent(*repair_state);
+            double gained = anneal::greedyDescent(*repair_state);
             solved = repair_state->spins();
+            if (breaks > 0) {
+                ++repaired_samples;
+                repair_gain += gained;
+            }
         }
         ising::SpinVector full =
             opts.reduce ? fix.lift(solved) : solved;
@@ -234,6 +255,29 @@ Executable::run(const RunOptions &opts) const
                       static_cast<double>(weighted_breaks) /
                           (static_cast<double>(out.total_reads) *
                            static_cast<double>(em->dense_chains.size())));
+    }
+
+    const bool observing = stats::Registry::global().enabled() ||
+        telemetry::Collector::global().enabled();
+    if (observing && out.total_reads > 0) {
+        if (em && !em->dense_chains.empty()) {
+            telemetry::ChainReport report = telemetry::buildChainReport(
+                em->dense_chains, chain_breaks_w, out.total_reads);
+            report.repaired_samples = repaired_samples;
+            report.repair_gain = repair_gain;
+            telemetry::recordChainStats(report);
+            if (telemetry::Collector::global().enabled())
+                telemetry::Collector::global().addRecord(
+                    telemetry::chainReportJson(solver, report));
+        }
+        telemetry::AnalyzeOptions aopts;
+        aopts.elapsed_ns = sample_elapsed;
+        aopts.sweeps_per_read = opts.sweeps;
+        telemetry::Analysis an = telemetry::analyze(set, aopts);
+        telemetry::recordAnalysisStats(an);
+        if (telemetry::Collector::global().enabled())
+            telemetry::Collector::global().addRecord(
+                telemetry::analysisJson(solver, an));
     }
     return out;
 }

@@ -9,16 +9,22 @@ namespace qac::embed {
 
 ising::SpinVector
 EmbeddedModel::unembed(const ising::SpinVector &phys,
-                       size_t *broken_chains) const
+                       size_t *broken_chains,
+                       std::vector<uint32_t> *broken_index) const
 {
     ising::SpinVector logical(dense_chains.size(), -1);
+    if (broken_index)
+        broken_index->clear();
     size_t broken = 0;
     for (size_t v = 0; v < dense_chains.size(); ++v) {
         int up = 0;
         for (uint32_t k : dense_chains[v])
             up += (phys[k] > 0) ? 1 : -1;
-        if (std::abs(up) != static_cast<int>(dense_chains[v].size()))
+        if (std::abs(up) != static_cast<int>(dense_chains[v].size())) {
             ++broken;
+            if (broken_index)
+                broken_index->push_back(static_cast<uint32_t>(v));
+        }
         if (up > 0)
             logical[v] = 1;
         else if (up < 0)

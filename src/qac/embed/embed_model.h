@@ -52,9 +52,14 @@ class EmbeddedModel
      * Majority-vote a physical assignment back to logical variables.
      * @param broken_chains if non-null, receives the count of chains
      *        whose qubits disagreed
+     * @param broken_index if non-null, receives the indices of the
+     *        broken chains (ascending; cleared first) — the raw
+     *        material of the telemetry per-chain break table
      */
-    ising::SpinVector unembed(const ising::SpinVector &phys,
-                              size_t *broken_chains = nullptr) const;
+    ising::SpinVector
+    unembed(const ising::SpinVector &phys,
+            size_t *broken_chains = nullptr,
+            std::vector<uint32_t> *broken_index = nullptr) const;
 
     /** Expand a logical assignment to a physical one (all chains
      *  uniform); useful for energy cross-checks. */

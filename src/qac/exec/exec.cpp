@@ -163,10 +163,25 @@ parallelFor(size_t count, uint32_t threads,
     st.active = helpers;
 
     std::atomic<uint64_t> stolen{0};
+    const bool tracing = stats::Trace::global().enabled();
     for (size_t h = 0; h < helpers; ++h) {
-        pool.submit([&st, &stolen, count, &fn] {
-            stolen.fetch_add(drive(st, count, fn),
-                             std::memory_order_relaxed);
+        // Flow arrow from the enqueuing span to the helper's worker
+        // slice, so Perfetto shows which call fanned each task out.
+        uint64_t flow = 0;
+        if (tracing) {
+            flow = stats::Trace::newFlowId();
+            stats::Trace::global().flowBegin("exec.parallel_for", flow);
+        }
+        pool.submit([&st, &stolen, count, &fn, flow] {
+            const uint64_t t0 = stats::Trace::nowNs();
+            uint64_t ran = drive(st, count, fn);
+            stolen.fetch_add(ran, std::memory_order_relaxed);
+            if (flow != 0) {
+                stats::Trace::global().complete(
+                    "exec.worker", t0, stats::Trace::nowNs() - t0);
+                stats::Trace::global().flowEnd("exec.parallel_for",
+                                               flow);
+            }
             std::lock_guard<std::mutex> lock(st.done_mu);
             --st.active;
             st.done_cv.notify_one();
@@ -236,12 +251,24 @@ TaskGroup::spawn(std::function<void()> fn)
         std::lock_guard<std::mutex> lock(state_.mu);
         ++state_.active;
     }
-    ThreadPool::global().submit([this, fn = std::move(fn), record_err] {
+    uint64_t flow = 0;
+    if (stats::Trace::global().enabled()) {
+        flow = stats::Trace::newFlowId();
+        stats::Trace::global().flowBegin("exec.spawn", flow);
+    }
+    ThreadPool::global().submit([this, fn = std::move(fn), record_err,
+                                 flow] {
+        const uint64_t t0 = stats::Trace::nowNs();
         std::exception_ptr err;
         try {
             fn();
         } catch (...) {
             err = std::current_exception();
+        }
+        if (flow != 0) {
+            stats::Trace::global().complete(
+                "exec.task", t0, stats::Trace::nowNs() - t0);
+            stats::Trace::global().flowEnd("exec.spawn", flow);
         }
         std::lock_guard<std::mutex> lock(state_.mu);
         if (err)

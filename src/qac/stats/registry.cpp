@@ -21,6 +21,21 @@ Distribution::record(double v)
     ++count_;
     sum_ += v;
     sumsq_ += v * v;
+    if (reservoir_.size() < kReservoirCap) {
+        reservoir_.push_back(v);
+    } else {
+        // Algorithm R: sample number count_ replaces a random slot
+        // with probability cap/count_, keeping the reservoir a uniform
+        // sample of everything seen.  The xorshift is seeded with a
+        // constant, never a random device, so identical recording
+        // sequences always report identical quantiles.
+        rng_ ^= rng_ << 13;
+        rng_ ^= rng_ >> 7;
+        rng_ ^= rng_ << 17;
+        uint64_t j = rng_ % count_;
+        if (j < kReservoirCap)
+            reservoir_[j] = v;
+    }
 }
 
 Distribution::Summary
@@ -37,6 +52,20 @@ Distribution::summary() const
     s.mean = sum_ / static_cast<double>(count_);
     double var = sumsq_ / static_cast<double>(count_) - s.mean * s.mean;
     s.stddev = var > 0 ? std::sqrt(var) : 0.0;
+    if (!reservoir_.empty()) {
+        std::vector<double> sorted(reservoir_);
+        std::sort(sorted.begin(), sorted.end());
+        auto quantile = [&sorted](double p) {
+            double idx =
+                p * static_cast<double>(sorted.size() - 1);
+            size_t lo = static_cast<size_t>(idx);
+            size_t hi = std::min(lo + 1, sorted.size() - 1);
+            double frac = idx - static_cast<double>(lo);
+            return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+        };
+        s.p50 = quantile(0.50);
+        s.p99 = quantile(0.99);
+    }
     return s;
 }
 

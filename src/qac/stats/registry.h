@@ -48,16 +48,28 @@ class Counter
     std::atomic<uint64_t> value_{0};
 };
 
-/** Streaming moments over recorded samples. */
+/**
+ * Streaming moments over recorded samples, plus a capped reservoir
+ * (Algorithm R, fixed seed) for p50/p99 quantile estimates: memory
+ * stays bounded at kReservoirCap doubles no matter how many samples
+ * are recorded, and identical input sequences yield identical
+ * quantiles.  Exact when count <= kReservoirCap.
+ */
 class Distribution
 {
   public:
     void record(double v);
 
+    /** Samples retained for quantile estimation. */
+    static constexpr size_t kReservoirCap = 512;
+
     struct Summary
     {
         uint64_t count = 0;
         double sum = 0, min = 0, max = 0, mean = 0, stddev = 0;
+        /** Reservoir quantiles (linear interpolation); exact when
+         *  count <= kReservoirCap, a uniform-sample estimate beyond. */
+        double p50 = 0, p99 = 0;
     };
     Summary summary() const;
 
@@ -65,6 +77,8 @@ class Distribution
     mutable std::mutex mu_;
     uint64_t count_ = 0;
     double sum_ = 0, sumsq_ = 0, min_ = 0, max_ = 0;
+    std::vector<double> reservoir_;
+    uint64_t rng_ = 0x9e3779b97f4a7c15ull; ///< fixed seed: repeatable
 };
 
 /** Accumulated wall-clock time across calls. */

@@ -22,9 +22,11 @@ valueString(const Metric &m)
         break;
       case MetricKind::Distribution:
         std::snprintf(buf, sizeof buf,
-                      "n=%llu mean=%.3f min=%g max=%g sd=%.3f",
+                      "n=%llu mean=%.3f min=%g max=%g sd=%.3f "
+                      "p50=%g p99=%g",
                       static_cast<unsigned long long>(m.dist.count),
-                      m.dist.mean, m.dist.min, m.dist.max, m.dist.stddev);
+                      m.dist.mean, m.dist.min, m.dist.max,
+                      m.dist.stddev, m.dist.p50, m.dist.p99);
         break;
     }
     return buf;
@@ -82,10 +84,17 @@ appendEscaped(std::string &out, const std::string &s)
 }
 
 std::string
-jsonReport(const std::vector<Metric> &metrics)
+jsonReport(const std::vector<Metric> &metrics,
+           const std::string &manifest_json)
 {
-    std::string out = "{\"schema\":\"qac-stats-v1\",\"metrics\":[";
-    char buf[256];
+    std::string out = "{\"schema\":\"qac-stats-v1\",";
+    if (!manifest_json.empty()) {
+        out += "\"manifest\":";
+        out += manifest_json;
+        out += ',';
+    }
+    out += "\"metrics\":[";
+    char buf[320];
     bool first = true;
     for (const auto &m : metrics) {
         if (!first)
@@ -111,10 +120,11 @@ jsonReport(const std::vector<Metric> &metrics)
             std::snprintf(buf, sizeof buf,
                           "\"kind\":\"distribution\",\"count\":%llu,"
                           "\"sum\":%.17g,\"min\":%.17g,\"max\":%.17g,"
-                          "\"mean\":%.17g,\"stddev\":%.17g",
+                          "\"mean\":%.17g,\"stddev\":%.17g,"
+                          "\"p50\":%.17g,\"p99\":%.17g",
                           static_cast<unsigned long long>(m.dist.count),
                           m.dist.sum, m.dist.min, m.dist.max, m.dist.mean,
-                          m.dist.stddev);
+                          m.dist.stddev, m.dist.p50, m.dist.p99);
             out += buf;
             break;
         }
@@ -139,10 +149,18 @@ jsonReport()
 bool
 writeJsonReport(const std::string &path)
 {
+    return writeJsonReport(path, "");
+}
+
+bool
+writeJsonReport(const std::string &path,
+                const std::string &manifest_json)
+{
     std::ofstream os(path);
     if (!os)
         return false;
-    os << jsonReport() << '\n';
+    os << jsonReport(Registry::global().snapshot(), manifest_json)
+       << '\n';
     return static_cast<bool>(os);
 }
 

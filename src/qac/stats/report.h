@@ -30,8 +30,14 @@ namespace qac::stats {
 /** Human-readable report over @p metrics (sorted by path). */
 std::string textReport(const std::vector<Metric> &metrics);
 
-/** qac-stats-v1 JSON over @p metrics. */
-std::string jsonReport(const std::vector<Metric> &metrics);
+/**
+ * qac-stats-v1 JSON over @p metrics.  @p manifest_json, when
+ * non-empty, must be a complete JSON object; it is embedded verbatim
+ * as a top-level "manifest" key (run provenance — see
+ * telemetry/manifest.h).
+ */
+std::string jsonReport(const std::vector<Metric> &metrics,
+                       const std::string &manifest_json = "");
 
 /** textReport(Registry::global().snapshot()). */
 std::string textReport();
@@ -41,6 +47,10 @@ std::string jsonReport();
 
 /** Write jsonReport() to @p path; returns false on I/O failure. */
 bool writeJsonReport(const std::string &path);
+
+/** As above, with a "manifest" provenance block. */
+bool writeJsonReport(const std::string &path,
+                     const std::string &manifest_json);
 
 } // namespace qac::stats
 

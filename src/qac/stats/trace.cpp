@@ -57,6 +57,31 @@ Trace::instant(const std::string &name)
 }
 
 void
+Trace::flowBegin(const std::string &name, uint64_t id)
+{
+    uint64_t now = nowNs();
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(
+        {name, 's', now, 0, tidFor(std::this_thread::get_id()), id});
+}
+
+void
+Trace::flowEnd(const std::string &name, uint64_t id)
+{
+    uint64_t now = nowNs();
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(
+        {name, 'f', now, 0, tidFor(std::this_thread::get_id()), id});
+}
+
+uint64_t
+Trace::newFlowId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
 Trace::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
@@ -127,6 +152,15 @@ Trace::toJson() const
         }
         if (e.phase == 'i')
             out += ",\"s\":\"t\"";
+        if (e.phase == 's' || e.phase == 'f') {
+            std::snprintf(buf, sizeof buf, ",\"id\":%llu",
+                          static_cast<unsigned long long>(e.id));
+            out += buf;
+            // Bind the arrow head to the enclosing slice, not the
+            // next slice on the thread.
+            if (e.phase == 'f')
+                out += ",\"bp\":\"e\"";
+        }
         std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%u}", e.tid);
         out += buf;
     }

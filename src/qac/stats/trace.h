@@ -43,6 +43,18 @@ class Trace
     /** Record a zero-duration marker at the current time. */
     void instant(const std::string &name);
 
+    /**
+     * Cross-thread flow arrows: flowBegin on the enqueuing thread and
+     * flowEnd (with the same @p id) on the executing thread render as
+     * an arrow from the submit site to the worker slice in Perfetto.
+     * Get ids from newFlowId().
+     */
+    void flowBegin(const std::string &name, uint64_t id);
+    void flowEnd(const std::string &name, uint64_t id);
+
+    /** Process-unique id for a flowBegin/flowEnd pair. */
+    static uint64_t newFlowId();
+
     /** Drop all recorded events. */
     void clear();
 
@@ -61,10 +73,11 @@ class Trace
     struct Event
     {
         std::string name;
-        char phase;       // 'X' complete, 'i' instant
+        char phase;       // 'X' complete, 'i' instant, 's'/'f' flow
         uint64_t ts_ns;
         uint64_t dur_ns;  // complete events only
         uint32_t tid;
+        uint64_t id = 0;  // flow events only
     };
 
     uint32_t tidFor(std::thread::id id); // caller holds mu_

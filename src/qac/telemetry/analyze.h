@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Solution-quality analytics over a finalized SampleSet: success
+ * probability, the residual-energy distribution, and time-to-solution
+ * at a target confidence — the primary experimental instruments of the
+ * paper's evaluation (success probability vs. problem size) and of
+ * Bian et al.'s SAT study.
+ *
+ * TTS math: with per-read success probability p, the expected number
+ * of reads to see the target state at least once with confidence c is
+ *   R_c = ln(1 - c) / ln(1 - p)     (1 when p >= 1, inf when p <= 0).
+ * tts_reads is that R_c; tts_sweeps scales by the anneal length; and
+ * tts_ns scales by the mean wall-clock per read.  Only the wall-clock
+ * figure is thread- and machine-dependent, so the JSONL record keeps
+ * the deterministic pair and the --stats report carries all three.
+ */
+
+#ifndef QAC_TELEMETRY_ANALYZE_H
+#define QAC_TELEMETRY_ANALYZE_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "qac/anneal/sampleset.h"
+
+namespace qac::telemetry {
+
+struct AnalyzeOptions
+{
+    /** Exact ground energy when known (e.g. from ExactSolver); NaN
+     *  means "unknown": success is measured against best-found. */
+    double ground_energy = std::numeric_limits<double>::quiet_NaN();
+    /** Energies within this of the ground count as success. */
+    double energy_tol = 1e-9;
+    /** TTS confidence target (the conventional 0.99). */
+    double tts_target = 0.99;
+    /** Wall-clock of the whole sample() call; 0 = unknown (tts_ns
+     *  stays 0). */
+    uint64_t elapsed_ns = 0;
+    /** Anneal length per read, for tts_sweeps; 0 = unknown. */
+    uint64_t sweeps_per_read = 0;
+};
+
+struct Analysis
+{
+    uint64_t total_reads = 0;
+    double best_energy = 0.0;
+    double ground_energy = 0.0; ///< target energy actually used
+    bool ground_known = false;  ///< true when options supplied it
+    double success_probability = 0.0;
+    /** Residual energy E - ground, weighted by occurrences. */
+    double residual_mean = 0.0;
+    double residual_max = 0.0;
+    double tts_target = 0.99;
+    double tts_reads = 0.0;  ///< inf when no read succeeded
+    double tts_sweeps = 0.0; ///< tts_reads * sweeps_per_read
+    double tts_ns = 0.0;     ///< tts_reads * mean read time (0 = n/a)
+};
+
+/** Analyze a finalized @p set (no-op result when empty). */
+Analysis analyze(const anneal::SampleSet &set,
+                 const AnalyzeOptions &opts = {});
+
+/**
+ * The deterministic JSONL record for @p a:
+ * {"kind":"analysis","solver":...,"tts99_reads":...}.  Excludes
+ * tts_ns (wall clock) by design; infinities render as null.
+ */
+std::string analysisJson(const std::string &solver, const Analysis &a);
+
+/** Publish anneal.analysis.* into the stats registry (no-op while the
+ *  registry is disabled).  Includes the wall-clock tts_ns. */
+void recordAnalysisStats(const Analysis &a);
+
+} // namespace qac::telemetry
+
+#endif // QAC_TELEMETRY_ANALYZE_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Chain-break diagnostics for embedded runs.
+ *
+ * The executable run loop (core/program.cpp) counts, per chain, how
+ * many reads saw that chain's qubits disagree (weighted by sample
+ * occurrences) and how much energy the majority-vote + greedy-descent
+ * repair recovered.  This module turns those tallies into the
+ * anneal.chains.* stats and the per-chain top-offenders table in the
+ * telemetry JSONL — the instrument for "which chain is too weak"
+ * questions that chain-strength tuning needs.
+ *
+ * Deliberately dependency-free (plain vectors in, JSON out) so it
+ * stays below both qac_anneal and qac_embed.
+ */
+
+#ifndef QAC_TELEMETRY_CHAIN_STATS_H
+#define QAC_TELEMETRY_CHAIN_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qac::telemetry {
+
+struct ChainReport
+{
+    size_t num_chains = 0;
+    uint64_t reads = 0;
+    /** Sum over reads of chains broken in that read. */
+    uint64_t broken_chain_reads = 0;
+    /** broken_chain_reads / (reads * num_chains) — the D-Wave
+     *  chain-break rate. */
+    double break_rate = 0.0;
+    size_t max_len = 0;
+    double mean_len = 0.0;
+    /** Distinct samples whose unembedding saw >= 1 broken chain. */
+    uint64_t repaired_samples = 0;
+    /** Total energy improvement from post-unembed repair (<= 0). */
+    double repair_gain = 0.0;
+
+    struct Offender
+    {
+        uint32_t chain = 0;  ///< logical variable / chain index
+        uint32_t length = 0; ///< qubits in the chain
+        uint64_t breaks = 0; ///< weighted break count
+        double rate = 0.0;   ///< breaks / reads
+    };
+    /** Worst chains, sorted by breaks desc then index asc; only
+     *  chains that broke at least once appear. */
+    std::vector<Offender> top;
+};
+
+/**
+ * Build the report from per-chain weighted break tallies.
+ * @p chains is EmbeddedModel::dense_chains (only lengths are used);
+ * @p weighted_breaks must be one entry per chain.
+ */
+ChainReport buildChainReport(
+    const std::vector<std::vector<uint32_t>> &chains,
+    const std::vector<uint64_t> &weighted_breaks, uint64_t reads,
+    size_t top_n = 16);
+
+/** The JSONL record: {"kind":"chains","solver":...,"top":[...]}. */
+std::string chainReportJson(const std::string &solver,
+                            const ChainReport &r);
+
+/** Publish anneal.chains.* (no-op while the registry is disabled). */
+void recordChainStats(const ChainReport &r);
+
+} // namespace qac::telemetry
+
+#endif // QAC_TELEMETRY_CHAIN_STATS_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Run provenance: the `manifest` block every stats / telemetry / bench
+ * JSON carries, so any report is reproducible from its own header —
+ * tool + version + git describe, the input and its .qo digest, the
+ * seed, the full resolved parameter set, thread count, and host info.
+ *
+ * Two renderings:
+ *  - block(true): a bare JSON object including the thread count, for
+ *    embedding under "manifest" in qac-stats-v1 / bench JSON (those
+ *    reports carry wall-clock data and are per-run anyway).
+ *  - record(false): a qac-telemetry-v1 JSONL manifest line that
+ *    replaces "threads" with "thread_invariant":true — the telemetry
+ *    JSONL is bitwise-identical across --threads settings (the sampler
+ *    determinism contract), and the scheduling knob would break that.
+ */
+
+#ifndef QAC_TELEMETRY_MANIFEST_H
+#define QAC_TELEMETRY_MANIFEST_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace qac::telemetry {
+
+struct Manifest
+{
+    std::string tool;    ///< "qacc", "qma", "bench_<name>", ...
+    std::string input;   ///< primary input file (may be empty)
+    std::string qo_digest; ///< hex FNV-1a of the .qo bytes, or empty
+    uint64_t seed = 0;
+    uint32_t threads = 0; ///< resolved worker count
+    /** Full resolved parameters, sorted by key in the output. */
+    std::map<std::string, std::string> params;
+
+    // Filled by make():
+    std::string version;      ///< util::versionString()
+    std::string git_describe; ///< util::gitDescribe()
+    std::string os;           ///< uname sysname + release
+    std::string arch;         ///< uname machine
+    uint32_t host_cpus = 0;
+
+    /** Manifest with tool/version/git/host populated. */
+    static Manifest make(const std::string &tool);
+
+    void param(const std::string &key, const std::string &value);
+    void param(const std::string &key, uint64_t value);
+    void param(const std::string &key, double value);
+
+    /** Bare JSON object (see file comment for @p include_threads). */
+    std::string block(bool include_threads) const;
+
+    /** The JSONL manifest line:
+     *  {"schema":"qac-telemetry-v1","kind":"manifest",...}. */
+    std::string record(bool include_threads) const;
+};
+
+} // namespace qac::telemetry
+
+#endif // QAC_TELEMETRY_MANIFEST_H

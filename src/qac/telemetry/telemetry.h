@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Deterministic solver telemetry (DESIGN.md §11).
+ *
+ * Every sampler can record per-read sweep traces — energy, best-so-far,
+ * acceptance rate, and the schedule point (beta / Gamma / outer
+ * iteration) — into a per-read ring buffer at a configurable stride.
+ * Reads own disjoint pre-allocated slots, so worker threads record
+ * without locks and the serialized output is assembled in read-index
+ * order: the JSONL sink is bitwise-identical for any --threads setting
+ * (the determinism contract of anneal/sampler.h, extended to
+ * observability).
+ *
+ * Cost model: the collector is DISABLED by default.  A disabled run
+ * hands the samplers a null run handle, so the per-sweep hook is one
+ * pointer test; no energy recomputation, no allocation.  Enabled runs
+ * pay O(n) per *recorded* sweep (one lazy tracked-energy evaluation),
+ * amortized by the stride.
+ *
+ * Serialization is qac-telemetry-v1 JSON Lines: one manifest record,
+ * then one record per read in (run, read) order, then any appended
+ * records (chain diagnostics, analysis) in append order.  Wall-clock
+ * quantities are deliberately excluded from the JSONL so the byte
+ * identity above holds; they live in the --stats report instead.
+ */
+
+#ifndef QAC_TELEMETRY_TELEMETRY_H
+#define QAC_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qac::telemetry {
+
+/** Knobs for the per-read sweep traces (--telemetry-stride/-capacity). */
+struct Config
+{
+    /** Record every stride-th sweep (sweep % stride == 0); min 1. */
+    uint32_t stride = 1;
+    /** Ring capacity: keep the last N recorded points per read.
+     *  0 keeps only the read summary (no points). */
+    uint32_t capacity = 256;
+    /** Trace at most this many reads per run (by read index, so the
+     *  cut is deterministic); service-style runs stay bounded. */
+    uint32_t max_reads = 4096;
+};
+
+/** One recorded schedule point within a read. */
+struct SweepPoint
+{
+    uint64_t sweep = 0;      ///< sweep index within the read
+    double energy = 0.0;     ///< tracked energy after the sweep
+    double best_energy = 0.0; ///< best recorded energy so far
+    double acceptance = 0.0; ///< accepted / proposed since last point
+    double schedule = 0.0;   ///< beta (SA), Gamma (SQA), iteration, ...
+};
+
+/**
+ * Per-read ring-buffer recorder.  One instance per traced read, owned
+ * by the collector; samplers receive a pointer (null when the read is
+ * untraced) and call want()/record() per sweep plus one finish().
+ * Not thread-safe per instance — each read runs on exactly one thread.
+ */
+class ReadRecorder
+{
+  public:
+    /** Cheap stride test; callers skip the energy evaluation on a
+     *  negative, so untraced sweeps cost one modulo. */
+    bool want(uint64_t sweep) const
+    {
+        return stride_ <= 1 || sweep % stride_ == 0;
+    }
+
+    /** Record one schedule point.  @p accepts / @p proposals are
+     *  cumulative over the read; the window acceptance is derived from
+     *  the deltas since the previous point. */
+    void record(uint64_t sweep, double energy, double schedule,
+                uint64_t accepts, uint64_t proposals);
+
+    /** Seal the read with its final (exact) energy and totals. */
+    void finish(double final_energy, uint64_t sweeps, uint64_t accepts,
+                uint64_t proposals);
+
+    /** Ring contents, oldest first (unrolls the ring). */
+    std::vector<SweepPoint> chronologicalPoints() const;
+
+    uint32_t read() const { return read_; }
+    bool finished() const { return finished_; }
+    double finalEnergy() const { return final_energy_; }
+    uint64_t sweeps() const { return sweeps_; }
+    uint64_t accepts() const { return accepts_; }
+    uint64_t proposals() const { return proposals_; }
+
+  private:
+    friend class Collector;
+    friend struct RunTrace;
+
+    uint32_t read_ = 0;
+    uint32_t stride_ = 1;
+    uint32_t capacity_ = 256;
+    std::vector<SweepPoint> points_; ///< ring once size == capacity_
+    size_t head_ = 0;                ///< next overwrite slot when full
+    bool has_best_ = false;
+    bool finished_ = false;
+    double best_ = 0.0;
+    double final_energy_ = 0.0;
+    uint64_t sweeps_ = 0, accepts_ = 0, proposals_ = 0;
+    uint64_t prev_accepts_ = 0, prev_proposals_ = 0;
+};
+
+/** One sampler invocation's traces: a slot per traced read. */
+struct RunTrace
+{
+    std::string solver;
+    uint32_t num_reads = 0; ///< reads requested (>= reads traced)
+    std::vector<ReadRecorder> reads;
+
+    /** Slot for @p read, or nullptr beyond the max_reads cut. */
+    ReadRecorder *recorder(uint32_t read)
+    {
+        return read < reads.size() ? &reads[read] : nullptr;
+    }
+};
+
+/**
+ * Process-wide telemetry collector.  beginRun() returns nullptr while
+ * disabled — the samplers' fast path.  Run handles stay valid until
+ * clear() (runs live in a deque).
+ */
+class Collector
+{
+  public:
+    static Collector &global();
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    /** @return the previous setting. */
+    bool setEnabled(bool enabled);
+
+    void configure(const Config &config);
+    Config config() const;
+
+    /**
+     * Open a run of @p num_reads reads for @p solver.  Returns nullptr
+     * when disabled.  Call from the thread that owns the sample() call,
+     * before fanning reads out.
+     */
+    RunTrace *beginRun(const char *solver, uint32_t num_reads);
+
+    /** Append one extra JSONL record (a serialized JSON object, no
+     *  trailing newline) — chain diagnostics, analysis, ... */
+    void addRecord(std::string json_object);
+
+    /** Drop all runs and extra records; keeps enabled + config. */
+    void clear();
+
+    /**
+     * Serialize to qac-telemetry-v1 JSON Lines.  @p manifest_record,
+     * when non-empty, becomes the first line verbatim.  Deterministic:
+     * records appear in (run, read) order regardless of the thread
+     * count the runs executed under.
+     */
+    std::string toJsonl(const std::string &manifest_record = {}) const;
+
+    /** Write toJsonl() to @p path; false on I/O failure. */
+    bool writeFile(const std::string &path,
+                   const std::string &manifest_record = {}) const;
+
+    size_t numRuns() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::deque<RunTrace> runs_;
+    std::vector<std::string> extra_;
+    Config config_;
+    std::atomic<bool> enabled_{false};
+};
+
+} // namespace qac::telemetry
+
+#endif // QAC_TELEMETRY_TELEMETRY_H

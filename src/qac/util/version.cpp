@@ -1,0 +1,24 @@
+#include "qac/util/version.h"
+
+#ifndef QAC_VERSION
+#define QAC_VERSION "0.5.0"
+#endif
+#ifndef QAC_GIT_DESCRIBE
+#define QAC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace qac::util {
+
+const char *
+versionString()
+{
+    return QAC_VERSION;
+}
+
+const char *
+gitDescribe()
+{
+    return QAC_GIT_DESCRIBE;
+}
+
+} // namespace qac::util

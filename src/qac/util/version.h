@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Build identity for run provenance (telemetry manifests).
+ *
+ * The version string is the project's own release number; the git
+ * describe string is captured at CMake configure time (see
+ * src/CMakeLists.txt) and compiled into qac_util, falling back to
+ * "unknown" when the tree is built outside a git checkout.
+ */
+
+#ifndef QAC_UTIL_VERSION_H
+#define QAC_UTIL_VERSION_H
+
+namespace qac::util {
+
+/** Project release, e.g. "0.5.0". */
+const char *versionString();
+
+/** `git describe --always --dirty` at configure time, or "unknown". */
+const char *gitDescribe();
+
+} // namespace qac::util
+
+#endif // QAC_UTIL_VERSION_H

@@ -37,8 +37,10 @@
 #include "qac/artifact/qo.h"
 #include "qac/core/compiler.h"
 #include "qac/core/program.h"
+#include "qac/exec/exec.h"
 #include "qac/qmasm/formats.h"
 #include "qac/util/logging.h"
+#include "qac/util/strings.h"
 #include "qac/verilog/parser.h"
 #include "tools/tool_options.h"
 
@@ -189,8 +191,10 @@ runQacc(Args &args, const char *argv0)
     std::stringstream ss;
     ss << in.rdbuf();
 
-    if (args.top.empty())
+    if (args.top.empty()) {
         args.top = inferTop(ss.str());
+        args.common.manifest.param("top", args.top);
+    }
 
     core::CompileOptions opts;
     opts.top = args.top;
@@ -203,6 +207,13 @@ runQacc(Args &args, const char *argv0)
         opts.chimera_size = args.chimera_size;
     }
     core::CompileResult compiled = core::compile(ss.str(), opts);
+
+    // Provenance digest of the compiled object (canonical bytes, so
+    // this matches a later `qma run` on the emitted .qo file).  Only
+    // serialized when a report will actually carry it.
+    if (args.common.stats || !args.common.telemetry_file.empty())
+        args.common.manifest.qo_digest =
+            artifact::qoDigestHex(artifact::serializeQo(compiled));
 
     if (chatty) {
         std::printf("%s: %zu gates, %zu logical variables, %zu terms",
@@ -295,6 +306,26 @@ main(int argc, char **argv)
     try {
         args = parseArgs(argc, argv);
         tools::applyCommonOptions(args.common);
+        args.common.manifest = telemetry::Manifest::make("qacc");
+        args.common.manifest.input = args.input;
+        args.common.manifest.seed = args.seed;
+        args.common.manifest.threads = static_cast<uint32_t>(
+            exec::resolveThreads(args.common.threads));
+        args.common.manifest.param("top", args.top);
+        args.common.manifest.param("solver", args.solver);
+        args.common.manifest.param("reads", uint64_t{args.reads});
+        args.common.manifest.param("sweeps", uint64_t{args.sweeps});
+        args.common.manifest.param("unroll", uint64_t{args.unroll});
+        args.common.manifest.param(
+            "target", args.chimera ? "chimera" : "logical");
+        if (args.chimera)
+            args.common.manifest.param("chimera_size",
+                                       uint64_t{args.chimera_size});
+        args.common.manifest.param(
+            "physical", uint64_t{args.physical ? 1u : 0u});
+        if (!args.pins.empty())
+            args.common.manifest.param(
+                "pins", qac::join(args.pins, "; "));
         ret = runQacc(args, argv[0]);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "qacc: %s\n", e.what());

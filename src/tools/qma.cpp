@@ -30,10 +30,13 @@
 #include "qac/anneal/sampler.h"
 #include "qac/artifact/qo.h"
 #include "qac/core/program.h"
+#include "qac/exec/exec.h"
 #include "qac/qmasm/assemble.h"
 #include "qac/qmasm/formats.h"
 #include "qac/qmasm/parser.h"
 #include "qac/qmasm/stdcell_lib.h"
+#include "qac/stats/trace.h"
+#include "qac/telemetry/analyze.h"
 #include "qac/util/logging.h"
 #include "qac/util/strings.h"
 #include "tools/tool_options.h"
@@ -170,6 +173,12 @@ runObject(Args &args, const char *argv0)
     if (!args.sweeps_set)
         args.sweeps = 512;
 
+    if (args.common.stats || !args.common.telemetry_file.empty())
+        args.common.manifest.qo_digest =
+            artifact::qoFileDigestHex(args.input);
+    args.common.manifest.param("reads", uint64_t{args.reads});
+    args.common.manifest.param("sweeps", uint64_t{args.sweeps});
+
     core::Executable::RunOptions ro;
     ro.num_reads = args.reads;
     ro.sweeps = args.sweeps;
@@ -280,7 +289,23 @@ runQma(Args &args, const char *argv0)
                          anneal::samplerNamesJoined().c_str());
             usage(argv0);
         }
+        const uint64_t t0 = stats::Trace::nowNs();
         anneal::SampleSet set = sampler->sample(assembled.model);
+        const uint64_t sample_elapsed = stats::Trace::nowNs() - t0;
+
+        // Success probability / residual energy / TTS analytics over
+        // the sample set (solution-quality instrumentation).
+        if (stats::Registry::global().enabled() ||
+            telemetry::Collector::global().enabled()) {
+            telemetry::AnalyzeOptions aopts;
+            aopts.elapsed_ns = sample_elapsed;
+            aopts.sweeps_per_read = args.sweeps;
+            telemetry::Analysis an = telemetry::analyze(set, aopts);
+            telemetry::recordAnalysisStats(an);
+            if (telemetry::Collector::global().enabled())
+                telemetry::Collector::global().addRecord(
+                    telemetry::analysisJson(args.solver, an));
+        }
 
         // The qmasm-style statistics report.
         if (chatty) {
@@ -323,6 +348,19 @@ main(int argc, char **argv)
     try {
         args = parseArgs(argc, argv);
         tools::applyCommonOptions(args.common);
+        args.common.manifest = telemetry::Manifest::make("qma");
+        args.common.manifest.input = args.input;
+        args.common.manifest.seed = args.seed;
+        args.common.manifest.threads = static_cast<uint32_t>(
+            exec::resolveThreads(args.common.threads));
+        args.common.manifest.param("solver", args.solver);
+        args.common.manifest.param("reads", uint64_t{args.reads});
+        args.common.manifest.param("sweeps", uint64_t{args.sweeps});
+        args.common.manifest.param(
+            "physical", uint64_t{args.physical ? 1u : 0u});
+        if (!args.pins.empty())
+            args.common.manifest.param(
+                "pins", qac::join(args.pins, "; "));
         ret = args.object_mode ? runObject(args, argv[0])
                                : runQma(args, argv[0]);
     } catch (const FatalError &e) {

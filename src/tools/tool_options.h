@@ -7,6 +7,9 @@
  *   --stats              print a text stats report to stderr at exit
  *   --stats=FILE         write the qac-stats-v1 JSON report to FILE
  *   --trace-json=FILE    write a Chrome trace-event JSON to FILE
+ *   --telemetry=FILE     write per-read solver telemetry JSONL to FILE
+ *   --telemetry-stride N record every Nth sweep (default 1)
+ *   --telemetry-capacity N  per-read ring-buffer size (default 256)
  *   --threads N          worker threads (0 = hardware concurrency);
  *                        results are identical for any value
  *   --cache-dir DIR      artifact-cache root (default $QAC_CACHE_DIR
@@ -32,6 +35,8 @@
 #include "qac/stats/registry.h"
 #include "qac/stats/report.h"
 #include "qac/stats/trace.h"
+#include "qac/telemetry/manifest.h"
+#include "qac/telemetry/telemetry.h"
 #include "qac/util/logging.h"
 
 namespace qac::tools {
@@ -41,10 +46,16 @@ struct CommonOptions
     bool stats = false;
     std::string stats_file;
     std::string trace_file;
+    std::string telemetry_file;      ///< per-read JSONL sink
+    uint32_t telemetry_stride = 1;   ///< record every Nth sweep
+    uint32_t telemetry_capacity = 256; ///< ring-buffer points per read
     uint32_t threads = 0; ///< workers; 0 = hardware concurrency
     std::string cache_dir; ///< artifact-cache root; empty = default
     bool no_cache = false; ///< disable the artifact cache
     int verbosity = 1;
+    /** Run provenance, embedded in every stats/telemetry report.  The
+     *  tool fills tool/input/seed/params after parsing. */
+    telemetry::Manifest manifest;
 };
 
 /**
@@ -92,6 +103,36 @@ parseCommonFlag(CommonOptions &opts, int argc, char **argv, int &i)
         opts.trace_file = arg.substr(13);
         return true;
     }
+    if (arg.rfind("--telemetry=", 0) == 0) {
+        opts.telemetry_file = arg.substr(12);
+        return true;
+    }
+    if (arg == "--telemetry-stride") {
+        if (i + 1 >= argc)
+            fatal("--telemetry-stride requires a value");
+        opts.telemetry_stride = static_cast<uint32_t>(
+            parseUint("--telemetry-stride", argv[++i], UINT32_MAX));
+        return true;
+    }
+    if (arg.rfind("--telemetry-stride=", 0) == 0) {
+        opts.telemetry_stride = static_cast<uint32_t>(
+            parseUint("--telemetry-stride", arg.c_str() + 19,
+                      UINT32_MAX));
+        return true;
+    }
+    if (arg == "--telemetry-capacity") {
+        if (i + 1 >= argc)
+            fatal("--telemetry-capacity requires a value");
+        opts.telemetry_capacity = static_cast<uint32_t>(
+            parseUint("--telemetry-capacity", argv[++i], UINT32_MAX));
+        return true;
+    }
+    if (arg.rfind("--telemetry-capacity=", 0) == 0) {
+        opts.telemetry_capacity = static_cast<uint32_t>(
+            parseUint("--telemetry-capacity", arg.c_str() + 21,
+                      UINT32_MAX));
+        return true;
+    }
     if (arg == "--threads") {
         if (i + 1 >= argc)
             fatal("--threads requires a value");
@@ -135,6 +176,12 @@ commonUsage()
     return "  --stats[=FILE]        stats report (text to stderr, or "
            "JSON to FILE)\n"
            "  --trace-json=FILE     write a Chrome trace-event JSON\n"
+           "  --telemetry=FILE      write per-read solver telemetry "
+           "JSONL\n"
+           "  --telemetry-stride N  record every Nth sweep (default "
+           "1)\n"
+           "  --telemetry-capacity N  sweep points kept per read "
+           "(default 256)\n"
            "  --threads N           worker threads (0 = hardware "
            "concurrency)\n"
            "  --cache-dir DIR       artifact-cache root (default "
@@ -153,6 +200,13 @@ applyCommonOptions(const CommonOptions &opts)
         stats::Registry::global().setEnabled(true);
     if (!opts.trace_file.empty())
         stats::Trace::global().setEnabled(true);
+    if (!opts.telemetry_file.empty()) {
+        telemetry::Config cfg;
+        cfg.stride = opts.telemetry_stride;
+        cfg.capacity = opts.telemetry_capacity;
+        telemetry::Collector::global().configure(cfg);
+        telemetry::Collector::global().setEnabled(true);
+    }
 }
 
 /** Emit the requested reports. Call once, after the work is done. */
@@ -162,8 +216,16 @@ finishCommonOptions(const CommonOptions &opts)
     if (!opts.trace_file.empty() &&
         !stats::Trace::global().writeFile(opts.trace_file))
         warn("cannot write trace to '%s'", opts.trace_file.c_str());
+    if (!opts.telemetry_file.empty() &&
+        // The JSONL carries the thread-invariant manifest variant so
+        // the file is byte-identical at any --threads.
+        !telemetry::Collector::global().writeFile(
+            opts.telemetry_file, opts.manifest.record(false)))
+        warn("cannot write telemetry to '%s'",
+             opts.telemetry_file.c_str());
     if (!opts.stats_file.empty() &&
-        !stats::writeJsonReport(opts.stats_file))
+        !stats::writeJsonReport(opts.stats_file,
+                                opts.manifest.block(true)))
         warn("cannot write stats to '%s'", opts.stats_file.c_str());
     if (opts.stats && opts.verbosity > 0)
         std::fputs(stats::textReport().c_str(), stderr);

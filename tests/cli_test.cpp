@@ -364,6 +364,72 @@ TEST(Artifact, CacheCountersInStatsJson)
         << warm;
 }
 
+TEST(Telemetry, JsonlThreadInvariantWithChainsAndAnalysis)
+{
+    // The acceptance scenario: compile a multiplier onto Chimera,
+    // run it physically with telemetry on, and require the JSONL to
+    // be byte-identical between --threads 1 and --threads 8 while
+    // carrying every record kind (manifest, read, chains, analysis).
+    std::string v = writeTemp("cli_mult_tel.v", kMult);
+    std::string qo = std::string(::testing::TempDir()) + "cli_tel.qo";
+    auto [ccode, cout_] =
+        run(std::string(QACC_PATH) + " " + v +
+            " --top mult --target chimera --chimera-size 8 "
+            "--no-cache -o " + qo);
+    ASSERT_EQ(ccode, 0) << cout_;
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream f(path);
+        return std::string((std::istreambuf_iterator<char>(f)),
+                           std::istreambuf_iterator<char>());
+    };
+    auto sample = [&](int threads, const std::string &tag) {
+        std::string tel = std::string(::testing::TempDir()) +
+            "cli_tel_" + tag + ".jsonl";
+        std::string st = std::string(::testing::TempDir()) +
+            "cli_tel_" + tag + ".json";
+        auto [code, out] =
+            run(std::string(QMA_PATH) + " run " + qo +
+                " --physical --solver chainflip --reads 12 "
+                "--sweeps 32 --seed 5 --threads " +
+                std::to_string(threads) + " --telemetry=" + tel +
+                " --telemetry-stride 4 --stats=" + st);
+        EXPECT_EQ(code, 0) << out;
+        return std::pair{slurp(tel), slurp(st)};
+    };
+    auto [jsonl1, stats1] = sample(1, "t1");
+    auto [jsonl8, stats8] = sample(8, "t8");
+
+    EXPECT_FALSE(jsonl1.empty());
+    EXPECT_EQ(jsonl1, jsonl8);
+
+    // First line is the provenance manifest; the rest cover reads,
+    // chain diagnostics, and the TTS analysis.
+    EXPECT_EQ(jsonl1.rfind("{\"schema\":\"qac-telemetry-v1\","
+                           "\"kind\":\"manifest\"",
+                           0),
+              0u)
+        << jsonl1.substr(0, 200);
+    EXPECT_NE(jsonl1.find("\"kind\":\"read\""), std::string::npos);
+    EXPECT_NE(jsonl1.find("\"kind\":\"chains\""), std::string::npos);
+    EXPECT_NE(jsonl1.find("\"kind\":\"analysis\""),
+              std::string::npos);
+    EXPECT_NE(jsonl1.find("\"tts99_reads\""), std::string::npos);
+    EXPECT_NE(jsonl1.find("\"thread_invariant\":true"),
+              std::string::npos);
+
+    // The stats JSON embeds the same provenance manifest (which does
+    // include the thread count, hence not byte-compared here).
+    EXPECT_NE(stats1.find("\"manifest\":{"), std::string::npos);
+    EXPECT_NE(stats1.find("\"qo_digest\""), std::string::npos);
+    EXPECT_NE(stats1.find("\"threads\":1"), std::string::npos);
+    EXPECT_NE(stats8.find("\"threads\":8"), std::string::npos);
+    EXPECT_NE(stats1.find("anneal.chains.break_rate"),
+              std::string::npos);
+    EXPECT_NE(stats1.find("anneal.analysis.success_probability"),
+              std::string::npos);
+}
+
 TEST(Cli, BadNumericFlagsFailCleanly)
 {
     std::string v = writeTemp("cli_badnum.v", kMult);

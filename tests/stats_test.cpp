@@ -173,6 +173,105 @@ TEST_F(StatsTest, JsonReportSchema)
               std::count(json.begin(), json.end(), ']'));
 }
 
+TEST_F(StatsTest, DistributionQuantilesExactUnderCap)
+{
+    // 1..100 ascending: well under the reservoir cap, so the
+    // quantiles are exact order statistics (linear interpolation).
+    for (int v = 1; v <= 100; ++v)
+        stats::record("q.small", static_cast<double>(v));
+    auto snap = stats::Registry::global().snapshot();
+    const auto *m = find(snap, "q.small");
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->dist.p50, 50.5);
+    EXPECT_NEAR(m->dist.p99, 99.01, 1e-9);
+}
+
+TEST_F(StatsTest, DistributionQuantilesApproximateOverCap)
+{
+    // A 20000-sample uniform ramp overflows the reservoir; the
+    // estimates must stay close and memory must stay capped.
+    constexpr int kN = 20000;
+    for (int v = 0; v < kN; ++v)
+        stats::record("q.big", static_cast<double>(v));
+    auto snap = stats::Registry::global().snapshot();
+    const auto *m = find(snap, "q.big");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->dist.count, static_cast<uint64_t>(kN));
+    // Uniform sampling error at n=512 is a few percent; 10% margin.
+    EXPECT_NEAR(m->dist.p50, kN * 0.50, kN * 0.10);
+    EXPECT_GT(m->dist.p99, kN * 0.90);
+    EXPECT_LE(m->dist.p99, static_cast<double>(kN - 1));
+}
+
+TEST_F(StatsTest, DistributionQuantilesAreDeterministic)
+{
+    // Fixed-seed reservoir: identical recording sequences must
+    // produce bit-identical quantiles (the telemetry determinism
+    // contract extends to the stats report).
+    auto run = [this]() {
+        stats::Registry::global().reset();
+        for (int v = 0; v < 5000; ++v)
+            stats::record("q.det",
+                          static_cast<double>((v * 7919) % 5000));
+        auto snap = stats::Registry::global().snapshot();
+        const auto *m = find(snap, "q.det");
+        EXPECT_NE(m, nullptr);
+        return std::make_pair(m->dist.p50, m->dist.p99);
+    };
+    auto first = run();
+    auto second = run();
+    EXPECT_EQ(first.first, second.first);
+    EXPECT_EQ(first.second, second.second);
+}
+
+TEST_F(StatsTest, JsonReportCarriesQuantiles)
+{
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        stats::record("j.q", v);
+    std::string json = stats::jsonReport();
+    EXPECT_NE(json.find("\"p50\":2.5"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST_F(StatsTest, JsonReportEmbedsManifestBlock)
+{
+    stats::count("j.counter", 1);
+    std::string json = stats::jsonReport(
+        stats::Registry::global().snapshot(),
+        "{\"tool\":\"test\",\"seed\":9}");
+    EXPECT_EQ(json.rfind("{\"schema\":\"qac-stats-v1\",\"manifest\":"
+                         "{\"tool\":\"test\",\"seed\":9},\"metrics\":[",
+                         0),
+              0u);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    // Without a manifest the report is unchanged from qac-stats-v1.
+    std::string plain =
+        stats::jsonReport(stats::Registry::global().snapshot());
+    EXPECT_EQ(plain.find("manifest"), std::string::npos);
+}
+
+TEST_F(StatsTest, FlowEventsSerializeWithIdsAndBinding)
+{
+    stats::Trace::global().setEnabled(true);
+    uint64_t id = stats::Trace::newFlowId();
+    uint64_t id2 = stats::Trace::newFlowId();
+    EXPECT_NE(id, id2);
+    stats::Trace::global().flowBegin("pool.submit", id);
+    stats::Trace::global().flowEnd("pool.submit", id);
+    std::string json = stats::Trace::global().toJson();
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    // Both ends carry the same id; the end binds to the enclosing
+    // slice ("bp":"e"), not the next slice on the thread.
+    std::string id_field =
+        "\"id\":" + std::to_string(static_cast<unsigned long long>(id));
+    size_t first_id = json.find(id_field);
+    ASSERT_NE(first_id, std::string::npos);
+    EXPECT_NE(json.find(id_field, first_id + 1), std::string::npos);
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
 TEST_F(StatsTest, TextReportGroupsBySection)
 {
     stats::count("alpha.one", 1);

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Solver-telemetry tests (DESIGN.md §11): ring-buffer stride/capacity
+ * edge cases, thread-invariant JSONL serialization for every sampler,
+ * analyze() TTS math against hand-computed fixtures, chain-report
+ * ordering, and the manifest's two renderings.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qac/anneal/sampler.h"
+#include "qac/stats/registry.h"
+#include "qac/telemetry/analyze.h"
+#include "qac/telemetry/chain_stats.h"
+#include "qac/telemetry/manifest.h"
+#include "qac/telemetry/telemetry.h"
+
+using namespace qac;
+using telemetry::Collector;
+
+namespace {
+
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        Collector::global().clear();
+        Collector::global().configure({});
+        Collector::global().setEnabled(false);
+        stats::Registry::global().reset();
+    }
+    void TearDown() override
+    {
+        Collector::global().clear();
+        Collector::global().configure({});
+        Collector::global().setEnabled(false);
+        stats::Registry::global().reset();
+    }
+};
+
+/** A frustrated 6-spin ring with fields: non-trivial landscape. */
+ising::IsingModel
+ringModel()
+{
+    ising::IsingModel m(6);
+    for (uint32_t i = 0; i < 6; ++i) {
+        m.addQuadratic(i, (i + 1) % 6, i % 2 == 0 ? -1.0 : 0.5);
+        m.addLinear(i, (i % 3 == 0) ? 0.25 : -0.25);
+    }
+    return m;
+}
+
+telemetry::ReadRecorder *
+singleRecorder(const telemetry::Config &cfg)
+{
+    Collector::global().clear();
+    Collector::global().configure(cfg);
+    Collector::global().setEnabled(true);
+    telemetry::RunTrace *run = Collector::global().beginRun("test", 1);
+    EXPECT_NE(run, nullptr);
+    return run->recorder(0);
+}
+
+TEST_F(TelemetryTest, DisabledCollectorHandsOutNull)
+{
+    EXPECT_EQ(Collector::global().beginRun("sa", 8), nullptr);
+    EXPECT_EQ(Collector::global().numRuns(), 0u);
+}
+
+TEST_F(TelemetryTest, StrideGatesWant)
+{
+    telemetry::Config cfg;
+    cfg.stride = 4;
+    telemetry::ReadRecorder *rec = singleRecorder(cfg);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->want(0));
+    EXPECT_FALSE(rec->want(1));
+    EXPECT_FALSE(rec->want(3));
+    EXPECT_TRUE(rec->want(4));
+    EXPECT_TRUE(rec->want(8));
+}
+
+TEST_F(TelemetryTest, StrideZeroRecordsEverySweep)
+{
+    telemetry::Config cfg;
+    cfg.stride = 0; // degenerate input: treated as "no striding"
+    telemetry::ReadRecorder *rec = singleRecorder(cfg);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->want(0));
+    EXPECT_TRUE(rec->want(1));
+    EXPECT_TRUE(rec->want(7));
+}
+
+TEST_F(TelemetryTest, RingKeepsLastCapacityPointsInOrder)
+{
+    telemetry::Config cfg;
+    cfg.capacity = 2;
+    telemetry::ReadRecorder *rec = singleRecorder(cfg);
+    ASSERT_NE(rec, nullptr);
+    rec->record(0, 5.0, 0.1, 0, 10);
+    rec->record(1, 3.0, 0.2, 2, 20);
+    rec->record(2, 4.0, 0.3, 2, 30);
+    auto pts = rec->chronologicalPoints();
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0].sweep, 1u);
+    EXPECT_EQ(pts[1].sweep, 2u);
+    // best-so-far covers evicted points too.
+    EXPECT_DOUBLE_EQ(pts[1].best_energy, 3.0);
+}
+
+TEST_F(TelemetryTest, CapacityZeroKeepsSummaryOnly)
+{
+    telemetry::Config cfg;
+    cfg.capacity = 0;
+    telemetry::ReadRecorder *rec = singleRecorder(cfg);
+    ASSERT_NE(rec, nullptr);
+    rec->record(0, 5.0, 0.1, 1, 2);
+    rec->record(1, 4.0, 0.2, 2, 4);
+    EXPECT_TRUE(rec->chronologicalPoints().empty());
+    rec->finish(4.0, 2, 2, 4);
+    EXPECT_TRUE(rec->finished());
+    EXPECT_DOUBLE_EQ(rec->finalEnergy(), 4.0);
+    EXPECT_EQ(rec->sweeps(), 2u);
+}
+
+TEST_F(TelemetryTest, AcceptanceIsPerWindowNotCumulative)
+{
+    telemetry::ReadRecorder *rec = singleRecorder({});
+    ASSERT_NE(rec, nullptr);
+    rec->record(0, 1.0, 0.1, 5, 10);  // window: 5/10
+    rec->record(1, 1.0, 0.2, 5, 20);  // window: 0/10
+    rec->record(2, 1.0, 0.3, 13, 30); // window: 8/10
+    auto pts = rec->chronologicalPoints();
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_DOUBLE_EQ(pts[0].acceptance, 0.5);
+    EXPECT_DOUBLE_EQ(pts[1].acceptance, 0.0);
+    EXPECT_DOUBLE_EQ(pts[2].acceptance, 0.8);
+}
+
+TEST_F(TelemetryTest, MaxReadsCapsTracedReadsDeterministically)
+{
+    telemetry::Config cfg;
+    cfg.max_reads = 3;
+    Collector::global().configure(cfg);
+    Collector::global().setEnabled(true);
+    telemetry::RunTrace *run = Collector::global().beginRun("test", 10);
+    ASSERT_NE(run, nullptr);
+    EXPECT_NE(run->recorder(0), nullptr);
+    EXPECT_NE(run->recorder(2), nullptr);
+    EXPECT_EQ(run->recorder(3), nullptr);
+    EXPECT_EQ(run->recorder(9), nullptr);
+}
+
+/** Serialized telemetry must be bitwise-identical at any --threads. */
+TEST_F(TelemetryTest, JsonlIsThreadInvariantForEverySampler)
+{
+    const ising::IsingModel model = ringModel();
+    const std::vector<std::string> solvers = {"sa", "sqa", "chainflip",
+                                             "descent", "qbsolv"};
+    telemetry::Config cfg;
+    cfg.stride = 2;
+    cfg.capacity = 16;
+    Collector::global().configure(cfg);
+    Collector::global().setEnabled(true);
+
+    for (const auto &name : solvers) {
+        auto run_once = [&](uint32_t threads) {
+            anneal::SamplerOpts opts;
+            opts.common.num_reads = 8;
+            opts.common.seed = 7;
+            opts.common.threads = threads;
+            opts.sweeps = 16;
+            if (name == "chainflip")
+                opts.chains = {{0, 1}, {2, 3}, {4, 5}};
+            auto sampler = anneal::makeSampler(name, opts);
+            EXPECT_NE(sampler, nullptr) << name;
+            Collector::global().clear();
+            (void)sampler->sample(model);
+            return Collector::global().toJsonl();
+        };
+        std::string one = run_once(1);
+        std::string eight = run_once(8);
+        EXPECT_FALSE(one.empty()) << name;
+        EXPECT_EQ(one, eight) << "telemetry JSONL diverged for solver "
+                              << name;
+        EXPECT_NE(one.find("\"kind\":\"read\""), std::string::npos)
+            << name;
+    }
+}
+
+TEST_F(TelemetryTest, JsonlLeadsWithManifestAndOrdersReads)
+{
+    Collector::global().setEnabled(true);
+    telemetry::RunTrace *run = Collector::global().beginRun("sa", 2);
+    ASSERT_NE(run, nullptr);
+    // Finish out of order; output must still be read-index ordered.
+    run->recorder(1)->finish(-2.0, 4, 1, 8);
+    run->recorder(0)->finish(-1.0, 4, 2, 8);
+    Collector::global().addRecord("{\"kind\":\"analysis\"}");
+
+    telemetry::Manifest mf = telemetry::Manifest::make("test");
+    std::string jsonl = Collector::global().toJsonl(mf.record(false));
+    std::vector<size_t> offsets;
+    offsets.push_back(jsonl.find("\"kind\":\"manifest\""));
+    offsets.push_back(jsonl.find("\"read\":0"));
+    offsets.push_back(jsonl.find("\"read\":1"));
+    offsets.push_back(jsonl.find("\"kind\":\"analysis\""));
+    for (size_t k = 0; k < offsets.size(); ++k)
+        ASSERT_NE(offsets[k], std::string::npos) << k;
+    EXPECT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+}
+
+// ---- analyze(): hand-computed TTS fixtures ----
+
+anneal::SampleSet
+fixtureSet(int ground_reads, int excited_reads)
+{
+    anneal::SampleSet set;
+    ising::SpinVector g{1, 1}, e1{1, -1}, e2{-1, -1};
+    for (int k = 0; k < ground_reads; ++k)
+        set.add(g, -2.0);
+    for (int k = 0; k < excited_reads; ++k)
+        set.add(k % 2 == 0 ? e1 : e2, k % 2 == 0 ? -1.0 : 0.0);
+    set.finalize();
+    return set;
+}
+
+TEST_F(TelemetryTest, AnalyzeTtsMatchesClosedForm)
+{
+    // p = 1/4 against best-found: R_99 = ln(0.01)/ln(0.75).
+    anneal::SampleSet set = fixtureSet(1, 3);
+    telemetry::AnalyzeOptions opts;
+    opts.sweeps_per_read = 64;
+    telemetry::Analysis a = telemetry::analyze(set, opts);
+    EXPECT_EQ(a.total_reads, 4u);
+    EXPECT_DOUBLE_EQ(a.best_energy, -2.0);
+    EXPECT_FALSE(a.ground_known);
+    EXPECT_DOUBLE_EQ(a.success_probability, 0.25);
+    const double expect_reads =
+        std::log(1.0 - 0.99) / std::log(1.0 - 0.25);
+    EXPECT_NEAR(a.tts_reads, expect_reads, 1e-12);
+    EXPECT_NEAR(a.tts_reads, 16.007846, 1e-5); // hand-computed
+    EXPECT_NEAR(a.tts_sweeps, expect_reads * 64.0, 1e-9);
+    // residuals vs best -2: {0, 1, 1, 2} -> mean 1, max 2
+    EXPECT_DOUBLE_EQ(a.residual_mean, 1.0);
+    EXPECT_DOUBLE_EQ(a.residual_max, 2.0);
+}
+
+TEST_F(TelemetryTest, AnalyzeUnreachedGroundYieldsInfiniteTts)
+{
+    anneal::SampleSet set = fixtureSet(1, 3);
+    telemetry::AnalyzeOptions opts;
+    opts.ground_energy = -5.0; // below anything sampled
+    telemetry::Analysis a = telemetry::analyze(set, opts);
+    EXPECT_TRUE(a.ground_known);
+    EXPECT_DOUBLE_EQ(a.success_probability, 0.0);
+    EXPECT_TRUE(std::isinf(a.tts_reads));
+    // Infinity must serialize as null, never "inf".
+    std::string json = telemetry::analysisJson("sa", a);
+    EXPECT_NE(json.find("\"tts99_reads\":null"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, AnalyzeCertainSuccessNeedsOneRead)
+{
+    anneal::SampleSet set = fixtureSet(5, 0);
+    telemetry::Analysis a = telemetry::analyze(set, {});
+    EXPECT_DOUBLE_EQ(a.success_probability, 1.0);
+    EXPECT_DOUBLE_EQ(a.tts_reads, 1.0);
+    EXPECT_DOUBLE_EQ(a.residual_mean, 0.0);
+}
+
+TEST_F(TelemetryTest, AnalyzeEmptySetIsBenign)
+{
+    anneal::SampleSet set;
+    set.finalize();
+    telemetry::Analysis a = telemetry::analyze(set, {});
+    EXPECT_EQ(a.total_reads, 0u);
+    EXPECT_DOUBLE_EQ(a.success_probability, 0.0);
+}
+
+// ---- chain-break report ----
+
+TEST_F(TelemetryTest, ChainReportRanksOffendersByBreaks)
+{
+    std::vector<std::vector<uint32_t>> chains = {
+        {0}, {1, 2}, {3, 4, 5}};
+    std::vector<uint64_t> breaks = {0, 5, 2};
+    telemetry::ChainReport r =
+        telemetry::buildChainReport(chains, breaks, 10);
+    EXPECT_EQ(r.num_chains, 3u);
+    EXPECT_EQ(r.broken_chain_reads, 7u);
+    EXPECT_DOUBLE_EQ(r.break_rate, 7.0 / 30.0);
+    EXPECT_EQ(r.max_len, 3u);
+    EXPECT_DOUBLE_EQ(r.mean_len, 2.0);
+    // Unbroken chain 0 is omitted; worst chain leads.
+    ASSERT_EQ(r.top.size(), 2u);
+    EXPECT_EQ(r.top[0].chain, 1u);
+    EXPECT_EQ(r.top[0].breaks, 5u);
+    EXPECT_DOUBLE_EQ(r.top[0].rate, 0.5);
+    EXPECT_EQ(r.top[1].chain, 2u);
+
+    std::string json = telemetry::chainReportJson("chainflip", r);
+    EXPECT_NE(json.find("\"kind\":\"chains\""), std::string::npos);
+    EXPECT_NE(json.find("\"top\":[{\"chain\":1,"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ChainReportTiesBreakByIndexAndRespectTopN)
+{
+    std::vector<std::vector<uint32_t>> chains(4,
+                                              std::vector<uint32_t>{0});
+    std::vector<uint64_t> breaks = {3, 7, 3, 1};
+    telemetry::ChainReport r =
+        telemetry::buildChainReport(chains, breaks, 10, 3);
+    ASSERT_EQ(r.top.size(), 3u);
+    EXPECT_EQ(r.top[0].chain, 1u);
+    EXPECT_EQ(r.top[1].chain, 0u); // tie with chain 2: lower index wins
+    EXPECT_EQ(r.top[2].chain, 2u);
+}
+
+// ---- manifest ----
+
+TEST_F(TelemetryTest, ManifestRendersBothVariants)
+{
+    telemetry::Manifest mf = telemetry::Manifest::make("qtest");
+    mf.input = "design.qo";
+    mf.qo_digest = "0123abcd";
+    mf.seed = 42;
+    mf.threads = 8;
+    mf.param("reads", uint64_t{100});
+    mf.param("solver", "sa");
+
+    std::string block = mf.block(true);
+    EXPECT_EQ(block.front(), '{');
+    EXPECT_EQ(block.back(), '}');
+    EXPECT_NE(block.find("\"tool\":\"qtest\""), std::string::npos);
+    EXPECT_NE(block.find("\"threads\":8"), std::string::npos);
+    EXPECT_NE(block.find("\"seed\":42"), std::string::npos);
+    EXPECT_NE(block.find("\"qo_digest\":\"0123abcd\""),
+              std::string::npos);
+    EXPECT_NE(block.find("\"reads\":\"100\""), std::string::npos);
+    EXPECT_FALSE(mf.version.empty());
+    EXPECT_NE(block.find("\"version\":"), std::string::npos);
+    EXPECT_NE(block.find("\"host\":{"), std::string::npos);
+
+    // JSONL variant: schema header, thread_invariant, no raw count.
+    std::string record = mf.record(false);
+    EXPECT_EQ(record.rfind("{\"schema\":\"qac-telemetry-v1\","
+                           "\"kind\":\"manifest\",",
+                           0),
+              0u);
+    EXPECT_NE(record.find("\"thread_invariant\":true"),
+              std::string::npos);
+    EXPECT_EQ(record.find("\"threads\":"), std::string::npos);
+}
+
+} // namespace
