@@ -79,7 +79,7 @@ printExecutionTimeTable()
     core::Executable prog(core::compile(kAustralia, opts));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;
-    ro.num_reads = benchstats::smoke() ? 200 : 2000;
+    ro.common.num_reads = benchstats::smoke() ? 200 : 2000;
     ro.sweeps = 256;
     ro.reduce = true;
 
@@ -148,14 +148,14 @@ printThreadScalingTable()
     core::Executable prog(core::compile(kAustralia, opts));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;
-    ro.num_reads = benchstats::smoke() ? 200 : 2000;
+    ro.common.num_reads = benchstats::smoke() ? 200 : 2000;
     ro.sweeps = 256;
-    ro.seed = 7;
+    ro.common.seed = 7;
 
     double base_ms = 0.0;
     std::vector<core::Executable::Candidate> reference;
     for (uint32_t threads : {1u, 2u, 4u, 8u}) {
-        ro.threads = threads;
+        ro.common.threads = threads;
         auto t0 = clock::now();
         auto rr = prog.run(ro);
         auto t1 = clock::now();
@@ -190,15 +190,15 @@ BM_AnnealerPerRead(benchmark::State &state)
     core::Executable prog(core::compile(kAustralia, opts));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;
-    ro.num_reads = 200;
+    ro.common.num_reads = 200;
     ro.sweeps = static_cast<uint32_t>(state.range(0));
-    ro.threads = static_cast<uint32_t>(state.range(1));
+    ro.common.threads = static_cast<uint32_t>(state.range(1));
     for (auto _ : state) {
-        ro.seed += 1;
+        ro.common.seed += 1;
         auto rr = prog.run(ro);
         benchmark::DoNotOptimize(rr);
     }
-    state.SetItemsProcessed(state.iterations() * ro.num_reads);
+    state.SetItemsProcessed(state.iterations() * ro.common.num_reads);
 }
 BENCHMARK(BM_AnnealerPerRead)
     ->Args({128, 1})

@@ -87,9 +87,9 @@ printValidFractionSweep()
                 std::string(solver) == "sa" ? "SA" : "SQA";
             core::Executable::RunOptions ro;
             ro.solver = solver;
-            ro.num_reads = benchstats::smoke() ? 40 : 200;
+            ro.common.num_reads = benchstats::smoke() ? 40 : 200;
             ro.sweeps = sweeps;
-            ro.seed = 11;
+            ro.common.seed = 11;
             auto rc = circsat.run(ro);
             std::printf("%-10s %-6s %8u %12.3f %12s\n", "circsat",
                         sname, sweeps, rc.validFraction(), "-");
@@ -114,11 +114,11 @@ BM_CircsatBackward(benchmark::State &state)
 {
     auto prog = makeCircsat();
     core::Executable::RunOptions ro;
-    ro.num_reads = 50;
+    ro.common.num_reads = 50;
     ro.sweeps = static_cast<uint32_t>(state.range(0));
     uint64_t valid = 0, total = 0;
     for (auto _ : state) {
-        ro.seed += 1;
+        ro.common.seed += 1;
         auto rr = prog.run(ro);
         for (auto *c : rr.validCandidates())
             valid += c->occurrences;
@@ -135,11 +135,11 @@ BM_Factor143Backward(benchmark::State &state)
 {
     auto prog = makeFactor();
     core::Executable::RunOptions ro;
-    ro.num_reads = 50;
+    ro.common.num_reads = 50;
     ro.sweeps = static_cast<uint32_t>(state.range(0));
     uint64_t valid = 0, total = 0;
     for (auto _ : state) {
-        ro.seed += 1;
+        ro.common.seed += 1;
         auto rr = prog.run(ro);
         for (auto *c : rr.validCandidates())
             valid += c->occurrences;

@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Load generator for the qmad serving layer (DESIGN.md §12).
+ *
+ * Spins up an in-process service::Server on an ephemeral unix socket,
+ * registers a compiled multiplier, and drives it two ways:
+ *
+ *  - a latency/throughput phase: 8 concurrent clients issuing
+ *    synchronous requests, reporting p50/p99 latency and aggregate
+ *    QPS (the numbers land in BENCH_service.json as gauges);
+ *
+ *  - a drain phase: 8 clients pipeline requests, the server drains
+ *    mid-conversation, and every *accepted* request must still get
+ *    its reply — the redesign's no-drop acceptance criterion.
+ *
+ * QAC_BENCH_SMOKE shrinks the request counts to a seconds-scale pass
+ * over the same code path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "qac/core/compiler.h"
+#include "qac/service/client.h"
+#include "qac/service/request.h"
+#include "qac/service/server.h"
+#include "qac/stats/registry.h"
+#include "qac/util/strings.h"
+
+#include "bench_stats.h"
+
+namespace {
+
+using namespace qac;
+
+namespace fs = std::filesystem;
+
+std::string
+multiplierSource(unsigned bits)
+{
+    return format("module mult (A, B, C);\n"
+                  "  input [%u:0] A, B;\n"
+                  "  output [%u:0] C;\n"
+                  "  assign C = A * B;\n"
+                  "endmodule\n",
+                  bits - 1, 2 * bits - 1);
+}
+
+core::CompileResult
+compileMult()
+{
+    core::CompileOptions opts;
+    opts.top = "mult";
+    return core::compile(multiplierSource(benchstats::smoke() ? 2 : 3),
+                         opts);
+}
+
+std::string
+ephemeralSocket(const char *tag)
+{
+    return (fs::temp_directory_path() /
+            format("qac-bench-service-%s.%d.sock", tag,
+                   static_cast<int>(::getpid())))
+        .string();
+}
+
+service::SampleRequest
+loadRequest(const std::string &digest, uint64_t seed, uint64_t id)
+{
+    service::SampleRequest req;
+    req.object_digest = digest;
+    req.solver = "sa";
+    req.common.num_reads = benchstats::smoke() ? 16 : 64;
+    req.common.seed = seed;
+    req.sweeps = benchstats::smoke() ? 32 : 128;
+    req.request_id = id;
+    return req;
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    size_t at = static_cast<size_t>(q * (sorted.size() - 1));
+    return sorted[at];
+}
+
+constexpr size_t kClients = 8;
+
+/** Phase 1: concurrent synchronous load; false on any failure. */
+bool
+runLatencyPhase(const std::string &digest, const std::string &sock)
+{
+    const size_t per_client = benchstats::smoke() ? 6 : 50;
+    const size_t total = kClients * per_client;
+
+    std::vector<std::vector<double>> latencies(kClients);
+    std::atomic<size_t> ok{0};
+    auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kClients; ++c)
+        threads.emplace_back([&, c] {
+            service::Client client;
+            std::string error;
+            if (!client.connect(sock, &error)) {
+                std::fprintf(stderr, "client %zu: %s\n", c,
+                             error.c_str());
+                return;
+            }
+            for (size_t i = 0; i < per_client; ++i) {
+                auto rt0 = std::chrono::steady_clock::now();
+                service::SampleResult res;
+                auto code = client.call(
+                    loadRequest(digest, 1000 + c, i + 1), &res,
+                    &error);
+                auto rt1 = std::chrono::steady_clock::now();
+                if (code != service::ErrorCode::Ok) {
+                    std::fprintf(stderr, "client %zu: %s (%s)\n", c,
+                                 service::errorCodeName(code),
+                                 error.c_str());
+                    return;
+                }
+                latencies[c].push_back(
+                    std::chrono::duration<double, std::micro>(rt1 -
+                                                              rt0)
+                        .count());
+                ok.fetch_add(1);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    auto t1 = std::chrono::steady_clock::now();
+
+    std::vector<double> all;
+    for (const auto &v : latencies)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    double wall_s =
+        std::chrono::duration<double>(t1 - t0).count();
+    double qps = wall_s > 0 ? ok.load() / wall_s : 0;
+    double p50 = percentile(all, 0.50);
+    double p99 = percentile(all, 0.99);
+
+    std::printf("--- service: %zu clients x %zu requests ---\n",
+                kClients, per_client);
+    std::printf("%10s %12s %12s %10s\n", "ok", "p50 (us)", "p99 (us)",
+                "QPS");
+    std::printf("%7zu/%zu %12.0f %12.0f %10.1f\n", ok.load(), total,
+                p50, p99, qps);
+
+    stats::gauge("bench.service.clients", kClients);
+    stats::gauge("bench.service.requests", total);
+    stats::gauge("bench.service.p50_us",
+                 static_cast<uint64_t>(p50));
+    stats::gauge("bench.service.p99_us",
+                 static_cast<uint64_t>(p99));
+    stats::gauge("bench.service.qps", static_cast<uint64_t>(qps));
+
+    if (ok.load() != total) {
+        std::fprintf(stderr, "bench_service: %zu/%zu requests "
+                             "failed\n",
+                     total - ok.load(), total);
+        return false;
+    }
+    return true;
+}
+
+/** Phase 2: graceful drain under pipelined load; false on a drop. */
+bool
+runDrainPhase(const core::CompileResult &compiled)
+{
+    std::string sock = ephemeralSocket("drain");
+    service::ServerOptions opts;
+    opts.socket_path = sock;
+    service::Server server(std::move(opts));
+    std::string digest = server.store().registerResult(
+        core::CompileResult(compiled), "mult");
+    std::string error;
+    if (!server.listen(&error)) {
+        std::fprintf(stderr, "bench_service: %s\n", error.c_str());
+        return false;
+    }
+
+    const size_t per_client = benchstats::smoke() ? 4 : 16;
+    std::atomic<size_t> senders_done{0};
+    std::atomic<uint64_t> replies_ok{0};
+    std::atomic<uint64_t> replies_rejected{0};
+
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kClients; ++c)
+        threads.emplace_back([&, c] {
+            service::Client client;
+            if (!client.connect(sock)) {
+                senders_done.fetch_add(1);
+                return;
+            }
+            size_t sent = 0;
+            for (size_t i = 0; i < per_client; ++i)
+                if (client.send(loadRequest(digest, 2000 + c, i + 1)))
+                    ++sent;
+            senders_done.fetch_add(1);
+            // Read until the drained server hangs up: every accepted
+            // request must have produced a Result (or typed Error)
+            // frame by then.
+            for (;;) {
+                service::SampleResult res;
+                auto code = client.receive(&res);
+                if (code == service::ErrorCode::Ok)
+                    replies_ok.fetch_add(1);
+                else if (code == service::ErrorCode::Disconnected)
+                    break;
+                else
+                    replies_rejected.fetch_add(1);
+            }
+        });
+
+    while (senders_done.load() < kClients)
+        std::this_thread::yield();
+    server.drain();
+    for (auto &t : threads)
+        t.join();
+
+    uint64_t completed = server.core().completed();
+    std::printf("--- service: drain under load ---\n");
+    std::printf("%12s %12s %12s %12s\n", "accepted", "replied",
+                "rejected", "batched");
+    std::printf("%12llu %12llu %12llu %12llu\n",
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(replies_ok.load()),
+                static_cast<unsigned long long>(
+                    replies_rejected.load()),
+                static_cast<unsigned long long>(
+                    server.core().batchedRequests()));
+    stats::gauge("bench.service.drain.accepted", completed);
+    stats::gauge("bench.service.drain.replied", replies_ok.load());
+    stats::gauge("bench.service.drain.rejected",
+                 replies_rejected.load());
+    fs::remove(sock);
+
+    // The no-drop criterion: every accepted request's reply reached
+    // its client through the drain.
+    if (replies_ok.load() != completed) {
+        std::fprintf(stderr, "bench_service: drain dropped %lld "
+                             "accepted request(s)\n",
+                     static_cast<long long>(completed) -
+                         static_cast<long long>(replies_ok.load()));
+        return false;
+    }
+    return true;
+}
+
+// Google-benchmark half: steady-state single-client loopback latency
+// (skipped by bench_smoke.sh's --benchmark_filter='NONE').
+void
+BM_LoopbackCall(benchmark::State &state)
+{
+    std::string sock = ephemeralSocket("bm");
+    service::ServerOptions opts;
+    opts.socket_path = sock;
+    service::Server server(std::move(opts));
+    std::string digest =
+        server.store().registerResult(compileMult(), "mult");
+    std::string error;
+    if (!server.listen(&error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+    service::Client client;
+    if (!client.connect(sock, &error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+    uint64_t id = 0;
+    for (auto _ : state) {
+        service::SampleResult res;
+        auto code =
+            client.call(loadRequest(digest, 1, ++id), &res, &error);
+        if (code != service::ErrorCode::Ok) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        benchmark::DoNotOptimize(res);
+    }
+    client.close();
+    server.drain();
+    fs::remove(sock);
+}
+BENCHMARK(BM_LoopbackCall)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    qac::benchstats::Scope bench_scope("service");
+
+    auto compiled = compileMult();
+
+    std::string sock = ephemeralSocket("load");
+    bool ok;
+    {
+        service::ServerOptions opts;
+        opts.socket_path = sock;
+        service::Server server(std::move(opts));
+        server.store().registerResult(core::CompileResult(compiled),
+                                      "mult");
+        std::string digest = server.store().list().front().digest;
+        std::string error;
+        if (!server.listen(&error)) {
+            std::fprintf(stderr, "bench_service: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        ok = runLatencyPhase(digest, sock);
+        server.drain();
+    }
+    fs::remove(sock);
+
+    ok = runDrainPhase(compiled) && ok;
+    if (!ok)
+        return 1;
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

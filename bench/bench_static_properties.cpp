@@ -158,7 +158,7 @@ printStaticProperties()
     core::Executable prog(std::move(r));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;
-    ro.num_reads = 1;
+    ro.common.num_reads = 1;
     ro.sweeps = 1;
     ro.reduce = true;
     auto rr = prog.run(ro);

@@ -46,7 +46,7 @@ main()
     // Run backward: pin the output to true and anneal.
     prog.pinDirective("y := true");
     core::Executable::RunOptions ro;
-    ro.num_reads = 500;
+    ro.common.num_reads = 500;
     ro.sweeps = 256;
     auto rr = prog.run(ro);
 

@@ -65,7 +65,7 @@ main()
         prog.pinPort(format("reset@%zu", t), 0);
 
     core::Executable::RunOptions ro;
-    ro.num_reads = 400;
+    ro.common.num_reads = 400;
     ro.sweeps = 512;
     auto rr = prog.run(ro);
     if (!rr.hasValid()) {

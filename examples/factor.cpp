@@ -35,7 +35,7 @@ main()
     core::Executable prog(core::compile(kMult, opts));
 
     core::Executable::RunOptions ro;
-    ro.num_reads = 800;
+    ro.common.num_reads = 800;
     ro.sweeps = 1024;
 
     // ---- Factor: pin C := 143, solve for A and B. ----

@@ -82,7 +82,7 @@ main()
 
     // Logical run (all-to-all couplings).
     core::Executable::RunOptions logical;
-    logical.num_reads = 500;
+    logical.common.num_reads = 500;
     logical.sweeps = 512;
     auto lr = prog.run(logical);
     std::printf("logical run: %zu distinct valid colorings "
@@ -92,7 +92,7 @@ main()
 
     // Physical run on the embedded C16 model, chain-aware annealing.
     core::Executable::RunOptions physical;
-    physical.num_reads = 300;
+    physical.common.num_reads = 300;
     physical.sweeps = 512;
     physical.use_physical = true;
     physical.reduce = false;

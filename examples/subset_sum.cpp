@@ -71,7 +71,7 @@ main()
     prog.pinPort("ok", 1);
 
     core::Executable::RunOptions ro;
-    ro.num_reads = 800;
+    ro.common.num_reads = 800;
     ro.sweeps = 1024;
     auto rr = prog.run(ro);
     std::printf("searching subsets of {11,5,27,14,21} summing "

@@ -16,6 +16,12 @@
 # emitted JSONL against the qac-telemetry-v1 schema (manifest first,
 # required read-record keys, strictly increasing sweep indices).
 #
+# If the tools directory also contains qmad, the serving path is
+# smoked end to end: start the daemon on an ephemeral socket, verify
+# that a `qma client` query prints exactly what `qma run` prints
+# locally, and check that SIGTERM drains it to a clean exit.  A trap
+# guarantees the daemon dies even when a check fails.
+#
 # Wired into ctest under the label "bench-smoke" so perf-harness rot
 # is caught by the regular test run, not discovered the next time
 # someone benchmarks.
@@ -157,6 +163,55 @@ EOF
         echo "FAIL telemetry: JSONL schema validation failed" >&2
         failed=1
     fi
+fi
+
+# ------------------------------------------------ qmad serving smoke
+if [ -n "$tools_dir" ] && [ -x "$tools_dir/qmad" ]; then
+    sock="$scratch/qmad.sock"
+    runflags="--solver exact --reads 32 --seed 7"
+
+    "$tools_dir/qmad" --socket "$sock" smoke.qo >qmad.out 2>&1 &
+    qmad_pid=$!
+    # The scratch trap already removes files; this one makes sure the
+    # daemon itself never outlives the smoke, pass or fail.
+    trap 'kill "$qmad_pid" 2>/dev/null; wait "$qmad_pid" 2>/dev/null; rm -rf "$scratch"' EXIT
+
+    i=0
+    while [ ! -S "$sock" ] && [ "$i" -lt 100 ]; do
+        sleep 0.05
+        i=$((i + 1))
+    done
+    if [ ! -S "$sock" ]; then
+        echo "FAIL qmad: daemon never bound $sock" >&2
+        cat qmad.out >&2
+        exit 1
+    fi
+
+    # shellcheck disable=SC2086  # runflags is a word list
+    "$tools_dir/qma" run smoke.qo $runflags >local.out 2>&1
+    # shellcheck disable=SC2086
+    if ! "$tools_dir/qma" client "$sock" smoke.qo $runflags \
+            >remote.out 2>&1; then
+        echo "FAIL qmad: qma client exited nonzero" >&2
+        cat remote.out >&2
+        failed=1
+    elif ! diff -u local.out remote.out >qmad.diff 2>&1; then
+        echo "FAIL qmad: client report differs from local run" >&2
+        cat qmad.diff >&2
+        failed=1
+    else
+        echo "ok   qmad (client report byte-identical to qma run)"
+    fi
+
+    kill -TERM "$qmad_pid"
+    if wait "$qmad_pid"; then
+        echo "ok   qmad (SIGTERM drained, exit 0)"
+    else
+        echo "FAIL qmad: nonzero exit after SIGTERM" >&2
+        cat qmad.out >&2
+        failed=1
+    fi
+    trap 'rm -rf "$scratch"' EXIT
 fi
 
 exit "$failed"

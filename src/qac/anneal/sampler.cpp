@@ -145,6 +145,12 @@ registryMutex()
 
 } // namespace
 
+UnknownSolverError::UnknownSolverError(const std::string &name)
+    : FatalError("unknown solver '" + name + "' (expected " +
+                 samplerNamesJoined() + ")"),
+      name_(name)
+{}
+
 std::unique_ptr<Sampler>
 makeSampler(const std::string &name, const SamplerOpts &opts)
 {
@@ -152,11 +158,19 @@ makeSampler(const std::string &name, const SamplerOpts &opts)
     {
         std::lock_guard<std::mutex> lock(registryMutex());
         auto it = registry().find(name);
-        if (it == registry().end())
-            return nullptr;
-        builder = it->second;
+        if (it != registry().end())
+            builder = it->second;
     }
+    if (!builder)
+        throw UnknownSolverError(name);
     return builder(opts);
+}
+
+bool
+hasSampler(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return registry().count(name) != 0;
 }
 
 std::vector<std::string>

@@ -25,6 +25,7 @@
 
 #include "qac/anneal/sampleset.h"
 #include "qac/ising/model.h"
+#include "qac/util/logging.h"
 
 namespace qac::anneal {
 
@@ -66,12 +67,36 @@ struct SamplerOpts
 };
 
 /**
+ * Thrown by makeSampler for a name with no registration.  Derives
+ * FatalError so tool mains that already catch user errors report it
+ * cleanly; programmatic callers (the service daemon's request
+ * validation) catch it by type and answer with a typed error frame
+ * instead of dying.
+ */
+class UnknownSolverError : public FatalError
+{
+  public:
+    explicit UnknownSolverError(const std::string &name);
+
+    /** The name that failed to resolve. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/**
  * Build the sampler registered under @p name ("sa", "sqa", "exact",
  * "qbsolv", "descent", "chainflip", plus any registerSampler
- * extensions).  Returns nullptr for an unknown name.
+ * extensions).  Never returns nullptr: an unknown name throws
+ * UnknownSolverError (probe with hasSampler() first when an error is
+ * expected and cheap rejection is wanted).
  */
 std::unique_ptr<Sampler> makeSampler(const std::string &name,
                                      const SamplerOpts &opts);
+
+/** True when @p name has a registered builder. */
+bool hasSampler(const std::string &name);
 
 /** All registered sampler names, sorted. */
 std::vector<std::string> samplerNames();

@@ -121,36 +121,60 @@ frame(const char magic[4], std::string_view payload)
     return w.take();
 }
 
+const char *
+frameErrorName(FrameError code)
+{
+    switch (code) {
+    case FrameError::Ok: return "ok";
+    case FrameError::TruncatedHeader: return "truncated_header";
+    case FrameError::BadMagic: return "bad_magic";
+    case FrameError::VersionMismatch: return "version_mismatch";
+    case FrameError::TruncatedPayload: return "truncated_payload";
+    case FrameError::ChecksumMismatch: return "checksum_mismatch";
+    }
+    return "unknown";
+}
+
 std::optional<std::string_view>
-unframe(std::string_view file, const char magic[4], std::string *error)
+unframe(std::string_view file, const char magic[4], std::string *error,
+        FrameError *code)
 {
     constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
-    auto fail = [&](const std::string &why)
+    if (code)
+        *code = FrameError::Ok;
+    auto fail = [&](FrameError why_code, const std::string &why)
         -> std::optional<std::string_view> {
         if (error)
             *error = why;
+        if (code)
+            *code = why_code;
         return std::nullopt;
     };
     if (file.size() < kHeaderSize)
-        return fail(format("truncated header: %zu of %zu bytes",
+        return fail(FrameError::TruncatedHeader,
+                    format("truncated header: %zu of %zu bytes",
                            file.size(), kHeaderSize));
     if (std::memcmp(file.data(), magic, 4) != 0)
-        return fail(format("bad magic: not a %.4s artifact", magic));
+        return fail(FrameError::BadMagic,
+                    format("bad magic: not a %.4s artifact", magic));
     Reader r(file.substr(4));
     uint32_t version = r.u32();
     if (version != kArtifactFormatVersion)
-        return fail(format("format version mismatch: file v%u, "
+        return fail(FrameError::VersionMismatch,
+                    format("format version mismatch: file v%u, "
                            "toolchain v%u",
                            version, kArtifactFormatVersion));
     uint64_t size = r.u64();
     uint64_t digest = r.u64();
     std::string_view payload = file.substr(kHeaderSize);
     if (payload.size() != size)
-        return fail(format("truncated payload: %zu of %llu bytes",
+        return fail(FrameError::TruncatedPayload,
+                    format("truncated payload: %zu of %llu bytes",
                            payload.size(),
                            static_cast<unsigned long long>(size)));
     if (util::fnv1a64(payload.data(), payload.size()) != digest)
-        return fail("checksum mismatch: payload corrupt");
+        return fail(FrameError::ChecksumMismatch,
+                    "checksum mismatch: payload corrupt");
     return payload;
 }
 

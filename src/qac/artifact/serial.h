@@ -77,18 +77,37 @@ class Reader
     bool ok_ = true;
 };
 
+/**
+ * The ways a frame can fail to validate.  The numeric values are wire
+ * ABI: the service protocol's error frames (service/wire.h) carry
+ * exactly these codes for frame-level failures, so a daemon and an
+ * artifact loader report the same condition with the same number.
+ * Append only; never renumber.
+ */
+enum class FrameError : uint32_t {
+    Ok = 0,
+    TruncatedHeader = 1,   ///< file shorter than the fixed header
+    BadMagic = 2,          ///< not this kind of artifact at all
+    VersionMismatch = 3,   ///< produced by a different toolchain
+    TruncatedPayload = 4,  ///< payload shorter than the header claims
+    ChecksumMismatch = 5,  ///< payload bytes corrupt
+};
+
+/** Stable lowercase identifier ("ok", "bad_magic", ...). */
+const char *frameErrorName(FrameError code);
+
 /** Wrap @p payload in the checksummed artifact frame. */
 std::string frame(const char magic[4], std::string_view payload);
 
 /**
  * Validate an artifact frame and return a view of its payload.
- * On failure returns nullopt and, when @p error is non-null, a
- * structured one-line reason (bad magic / version mismatch /
- * truncated / checksum mismatch).
+ * On failure returns nullopt and reports the reason two ways: a
+ * structured one-line message in @p error and the FrameError code in
+ * @p code (both optional).
  */
 std::optional<std::string_view>
 unframe(std::string_view file, const char magic[4],
-        std::string *error = nullptr);
+        std::string *error = nullptr, FrameError *code = nullptr);
 
 } // namespace qac::artifact
 

@@ -50,11 +50,11 @@ Executable::clearPins()
 }
 
 ising::IsingModel
-Executable::pinnedModel() const
+Executable::pinnedModel(const std::vector<PinSpec> &pins) const
 {
     ising::IsingModel model = compiled_.assembled.model;
     const auto &adj = model.adjacency();
-    for (const auto &pin : pins_) {
+    for (const auto &pin : pins) {
         uint32_t v = compiled_.assembled.var(pin.symbol);
         // Strong enough to dominate the variable's local energy: the
         // pinned value then holds in every ground state and the
@@ -114,7 +114,21 @@ Executable::RunResult::validFraction() const
 Executable::RunResult
 Executable::run(const RunOptions &opts) const
 {
-    ising::IsingModel logical = pinnedModel();
+    // Effective pins: the Executable's bound state plus the request's
+    // directives.  Requests carry pins by directive so the remote path
+    // needs no mutable Executable.
+    std::vector<PinSpec> pins = pins_;
+    for (const auto &directive : opts.pins)
+        for (auto &p : parsePinDirective(directive, compiled_.netlist))
+            pins.push_back(std::move(p));
+
+    // Replay contract: (seed, request id) -> effective base seed via
+    // the counter-based stream family; read k then draws from
+    // streamAt(effective, k).  Batching and threads never enter.
+    const uint64_t effective_seed =
+        service::requestSeed(opts.common.seed, opts.request_id);
+
+    ising::IsingModel logical = pinnedModel(pins);
 
     // Optional a-priori elision.
     embed::FixResult fix;
@@ -137,7 +151,7 @@ Executable::run(const RunOptions &opts) const
                 edges.emplace_back(t.i, t.j);
             embed::EmbedParams ep = opts.embed_params;
             if (ep.threads == 0)
-                ep.threads = opts.threads;
+                ep.threads = opts.common.threads;
             auto emb = embed::findEmbedding(edges, to_solve->numVars(),
                                             *compiled_.hardware, ep);
             if (!emb)
@@ -161,17 +175,14 @@ Executable::run(const RunOptions &opts) const
         solver = "chainflip";
     }
     anneal::SamplerOpts sopts;
-    sopts.common.num_reads = opts.num_reads;
-    sopts.common.seed = opts.seed;
-    sopts.common.threads = opts.threads;
+    sopts.common = opts.common;
+    sopts.common.seed = effective_seed;
     sopts.sweeps = opts.sweeps;
     sopts.greedy_polish = true; // mirrors D-Wave postprocessing
     if (em)
         sopts.chains = em->dense_chains;
+    // makeSampler throws a typed UnknownSolverError on a bad name.
     auto sampler = anneal::makeSampler(solver, sopts);
-    if (!sampler)
-        fatal("run: unknown solver '%s' (expected %s)",
-              solver.c_str(), anneal::samplerNamesJoined().c_str());
     const uint64_t sample_t0 = stats::Trace::nowNs();
     anneal::SampleSet set = sampler->sample(sample_model);
     const uint64_t sample_elapsed = stats::Trace::nowNs() - sample_t0;
@@ -236,7 +247,7 @@ Executable::run(const RunOptions &opts) const
         c.chain_breaks = breaks;
         c.values = compiled_.assembled.visibleValues(full);
         bool ok = compiled_.assembled.checkAsserts(full);
-        for (const auto &pin : pins_) {
+        for (const auto &pin : pins) {
             if (compiled_.assembled.symbolValue(full, pin.symbol) !=
                 pin.value)
                 ok = false;

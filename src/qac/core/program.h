@@ -19,6 +19,7 @@
 #include "qac/anneal/sampleset.h"
 #include "qac/core/compiler.h"
 #include "qac/core/pins.h"
+#include "qac/service/request.h"
 
 namespace qac::core {
 
@@ -38,23 +39,16 @@ class Executable
     void clearPins();
     const std::vector<PinSpec> &pins() const { return pins_; }
 
-    struct RunOptions
+    /**
+     * Execution options: a service::SampleRequest (the single home of
+     * the solver/reads/sweeps/seed/threads knobs — shared verbatim
+     * with the qmad wire protocol) plus local-only knobs that never
+     * travel.  Pins may come from the request's directives and/or the
+     * pinPort/pinBit/pinDirective state on the Executable; run() uses
+     * the union.
+     */
+    struct RunOptions : service::SampleRequest
     {
-        /** Sampler name for anneal::makeSampler ("sa", "sqa", "exact",
-         *  "qbsolv", "descent", "chainflip", ...).  "sa" on an
-         *  embedded model is upgraded to "chainflip" automatically:
-         *  embedded landscapes need composite chain moves. */
-        std::string solver = "sa";
-        uint32_t num_reads = 200;
-        uint32_t sweeps = 512;
-        uint64_t seed = 1;
-        uint32_t threads = 0; ///< workers; 0 = hardware concurrency
-        /** Sample the minor-embedded physical model (requires a
-         *  Chimera-target compile). */
-        bool use_physical = false;
-        /** Roof-duality-style elision of a-priori-determined variables
-         *  before sampling. */
-        bool reduce = true;
         /** Embedder parameters for re-embedding a reduced model. */
         embed::EmbedParams embed_params;
     };
@@ -103,7 +97,8 @@ class Executable
     CompileResult compiled_;
     std::vector<PinSpec> pins_;
 
-    ising::IsingModel pinnedModel() const;
+    ising::IsingModel
+    pinnedModel(const std::vector<PinSpec> &pins) const;
 };
 
 } // namespace qac::core

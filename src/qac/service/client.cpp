@@ -1,0 +1,162 @@
+#include "qac/service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace qac::service {
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connect(const std::string &socket_path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + socket_path;
+        return false;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0)
+    {
+        if (error)
+            *error = "connect '" + socket_path +
+                "': " + std::strerror(errno);
+        close();
+        return false;
+    }
+    FrameKind kind;
+    auto body = readFrame(fd_, &kind, nullptr, error);
+    if (!body || kind != FrameKind::Hello ||
+        !parseHello(*body, hello_))
+    {
+        if (error && error->empty())
+            *error = "no valid Hello frame from server";
+        close();
+        return false;
+    }
+    if (hello_.protocol != kProtocolVersion) {
+        if (error)
+            *error = "protocol mismatch: server speaks v" +
+                std::to_string(hello_.protocol) + ", client v" +
+                std::to_string(kProtocolVersion);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::send(const SampleRequest &req, std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    return writeFrame(fd_, FrameKind::Request, serializeRequest(req),
+                      error);
+}
+
+ErrorCode
+Client::receive(SampleResult *out, std::string *error)
+{
+    for (;;) {
+        if (fd_ < 0) {
+            if (error)
+                *error = "not connected";
+            return ErrorCode::Disconnected;
+        }
+        FrameKind kind;
+        ErrorCode code = ErrorCode::Ok;
+        auto body = readFrame(fd_, &kind, &code, error);
+        if (!body) {
+            if (code == ErrorCode::Ok) {
+                if (error)
+                    *error = "server closed the connection";
+                return ErrorCode::Disconnected;
+            }
+            return code;
+        }
+        switch (kind) {
+        case FrameKind::Result:
+            if (!parseResult(*body, *out, error))
+                return ErrorCode::BadRequest;
+            return ErrorCode::Ok;
+        case FrameKind::Error: {
+            ErrorFrame ef;
+            if (!parseError(*body, ef)) {
+                if (error)
+                    *error = "malformed error frame";
+                return ErrorCode::Internal;
+            }
+            if (error)
+                *error = ef.message;
+            return ef.code;
+        }
+        case FrameKind::Pong:
+            continue; // stale liveness reply; keep waiting
+        default:
+            if (error)
+                *error = "unexpected frame kind from server";
+            return ErrorCode::Internal;
+        }
+    }
+}
+
+ErrorCode
+Client::call(const SampleRequest &req, SampleResult *out,
+             std::string *error)
+{
+    if (!send(req, error))
+        return ErrorCode::Disconnected;
+    return receive(out, error);
+}
+
+bool
+Client::ping(std::string *error)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, FrameKind::Ping, "qac", error))
+        return false;
+    FrameKind kind;
+    auto body = readFrame(fd_, &kind, nullptr, error);
+    if (!body || kind != FrameKind::Pong || *body != "qac") {
+        if (error && error->empty())
+            *error = "no Pong from server";
+        return false;
+    }
+    return true;
+}
+
+} // namespace qac::service

@@ -1,0 +1,284 @@
+#include "qac/service/object_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "qac/artifact/qo.h"
+#include "qac/core/program.h"
+#include "qac/stats/registry.h"
+#include "qac/util/logging.h"
+
+namespace fs = std::filesystem;
+
+namespace qac::service {
+
+namespace {
+
+std::optional<std::string>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    return ss.str();
+}
+
+ObjectInfo
+infoFor(const core::CompileResult &result, std::string digest,
+        std::string name)
+{
+    ObjectInfo info;
+    info.digest = std::move(digest);
+    info.name = std::move(name);
+    info.logical_vars = result.stats.logical_vars;
+    info.logical_terms = result.stats.logical_terms;
+    info.embedded = result.embedded.has_value();
+    return info;
+}
+
+} // namespace
+
+ObjectStore::ObjectStore(StoreOptions opts) : opts_(opts)
+{
+    if (opts_.max_loaded == 0)
+        opts_.max_loaded = 1;
+}
+
+ObjectStore::~ObjectStore() = default;
+
+std::optional<std::string>
+ObjectStore::registerFile(const std::string &path, std::string *error)
+{
+    auto bytes = slurp(path);
+    if (!bytes) {
+        if (error)
+            *error = "cannot read '" + path + "'";
+        return std::nullopt;
+    }
+    std::string digest = artifact::qoDigestHex(*bytes);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(digest);
+        if (it != entries_.end()) {
+            // Same content, possibly a new path; prefer the newest.
+            if (!it->second.pinned)
+                it->second.path = path;
+            return digest;
+        }
+    }
+    std::string parse_error;
+    auto result = artifact::deserializeQo(*bytes, &parse_error);
+    if (!result) {
+        if (error)
+            *error = "'" + path + "': " + parse_error;
+        return std::nullopt;
+    }
+    Entry e;
+    e.path = path;
+    e.info = infoFor(*result, digest,
+                     fs::path(path).stem().string());
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(digest, std::move(e));
+    stats::count("service.store.registered");
+    return digest;
+}
+
+size_t
+ObjectStore::registerDir(const std::string &dir)
+{
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        warn("serve-dir: cannot open '%s' (%s)", dir.c_str(),
+             ec.message().c_str());
+        return 0;
+    }
+    size_t added = 0;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec) ||
+            entry.path().extension() != ".qo")
+            continue;
+        std::string error;
+        if (registerFile(entry.path().string(), &error))
+            ++added;
+        else
+            warn("serve-dir: skipping %s", error.c_str());
+    }
+    return added;
+}
+
+std::string
+ObjectStore::registerResult(core::CompileResult result,
+                            std::string name)
+{
+    std::string bytes = artifact::serializeQo(result);
+    std::string digest = artifact::qoDigestHex(bytes);
+    Entry e;
+    e.info = infoFor(result, digest, std::move(name));
+    e.exe = std::make_shared<core::Executable>(std::move(result));
+    e.pinned = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    e.last_use = ++tick_;
+    entries_.insert_or_assign(digest, std::move(e));
+    stats::count("service.store.registered");
+    return digest;
+}
+
+bool
+ObjectStore::knows(const std::string &digest) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.count(digest) != 0;
+}
+
+std::shared_ptr<const core::Executable>
+ObjectStore::acquire(const std::string &digest, ErrorCode *code,
+                     std::string *error)
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(digest);
+        if (it == entries_.end()) {
+            if (code)
+                *code = ErrorCode::UnknownObject;
+            if (error)
+                *error = "no registered object with digest " + digest;
+            return nullptr;
+        }
+        if (it->second.exe) {
+            it->second.last_use = ++tick_;
+            ++hits_;
+            stats::count("service.store.hit");
+            if (code)
+                *code = ErrorCode::Ok;
+            return it->second.exe;
+        }
+        path = it->second.path;
+    }
+
+    // Cold: load outside the lock so a slow disk never stalls hits on
+    // other objects.
+    std::string load_error;
+    auto result = artifact::readQoFile(path, &load_error);
+    if (!result) {
+        if (code)
+            *code = ErrorCode::Internal;
+        if (error)
+            *error = "object " + digest + " unusable: " + load_error;
+        return nullptr;
+    }
+    auto exe =
+        std::make_shared<const core::Executable>(std::move(*result));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(digest);
+    if (it == entries_.end()) {
+        // Deregistered while loading; serve this request anyway.
+        if (code)
+            *code = ErrorCode::Ok;
+        return exe;
+    }
+    if (!it->second.exe) {
+        it->second.exe = exe;
+        it->second.last_use = ++tick_;
+        ++misses_;
+        stats::count("service.store.miss");
+        // The fresh entry's last_use is already stamped, so eviction
+        // prefers genuinely older residents; if the cap still claims
+        // this one, the caller keeps the loaded copy regardless.
+        evictLocked();
+        if (code)
+            *code = ErrorCode::Ok;
+        return exe;
+    }
+    it->second.last_use = ++tick_;
+    if (code)
+        *code = ErrorCode::Ok;
+    return it->second.exe;
+}
+
+void
+ObjectStore::evictLocked()
+{
+    // Count resident, then drop least-recently-used until under cap.
+    for (;;) {
+        size_t resident = 0;
+        std::map<std::string, Entry>::iterator victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (!it->second.exe || it->second.pinned)
+                continue;
+            ++resident;
+            if (victim == entries_.end() ||
+                it->second.last_use < victim->second.last_use)
+                victim = it;
+        }
+        if (resident <= opts_.max_loaded || victim == entries_.end())
+            return;
+        victim->second.exe.reset(); // in-flight holders keep theirs
+        ++evictions_;
+        stats::count("service.store.evict");
+    }
+}
+
+std::vector<ObjectInfo>
+ObjectStore::list() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ObjectInfo> out;
+    out.reserve(entries_.size());
+    for (const auto &[digest, e] : entries_) {
+        (void)digest;
+        out.push_back(e.info);
+    }
+    return out;
+}
+
+size_t
+ObjectStore::registered() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+size_t
+ObjectStore::loadedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto &[digest, e] : entries_) {
+        (void)digest;
+        if (e.exe)
+            ++n;
+    }
+    return n;
+}
+
+uint64_t
+ObjectStore::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+}
+
+uint64_t
+ObjectStore::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+}
+
+uint64_t
+ObjectStore::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+} // namespace qac::service

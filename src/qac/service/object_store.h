@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The daemon's .qo shelf: registered objects addressed by canonical
+ * digest, with the deserialized executables LRU-managed under a fixed
+ * residency cap.
+ *
+ * Registration is cheap metadata work — read the file, digest it,
+ * parse once for the Hello-frame stats, drop the parse.  acquire()
+ * is the hot path: it hands out a shared_ptr<const core::Executable>,
+ * loading from disk on a miss and evicting the least-recently-used
+ * resident object when the cap is exceeded.  Because callers hold a
+ * shared_ptr, eviction never invalidates an in-flight batch — the
+ * object just stops being cached.
+ *
+ * This mirrors artifact::Cache's policy (bounded, LRU, typed miss
+ * reasons) one level up the stack: that cache bounds *bytes on disk*
+ * for embeddings, this store bounds *deserialized programs in memory*
+ * for serving.
+ */
+
+#ifndef QAC_SERVICE_OBJECT_STORE_H
+#define QAC_SERVICE_OBJECT_STORE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qac/service/wire.h"
+
+namespace qac::core {
+struct CompileResult;
+class Executable;
+} // namespace qac::core
+
+namespace qac::service {
+
+struct StoreOptions
+{
+    /** Max deserialized executables resident at once (LRU beyond). */
+    size_t max_loaded = 8;
+};
+
+class ObjectStore
+{
+  public:
+    explicit ObjectStore(StoreOptions opts = {});
+    ~ObjectStore();
+
+    ObjectStore(const ObjectStore &) = delete;
+    ObjectStore &operator=(const ObjectStore &) = delete;
+
+    /**
+     * Register the .qo file at @p path.  Returns its canonical digest,
+     * or nullopt (with @p error) if the file is unreadable or not a
+     * valid object.  Re-registering the same content is idempotent.
+     */
+    std::optional<std::string>
+    registerFile(const std::string &path, std::string *error = nullptr);
+
+    /**
+     * Register every *.qo directly under @p dir (non-recursive).
+     * Returns the number registered; unreadable entries are skipped
+     * with a warning.
+     */
+    size_t registerDir(const std::string &dir);
+
+    /**
+     * Register an in-memory compile result (no backing file — the
+     * object is pinned resident and exempt from eviction accounting
+     * only in the sense that reloading is impossible, so it is never
+     * evicted).  Returns the canonical digest.
+     */
+    std::string registerResult(core::CompileResult result,
+                               std::string name);
+
+    /** True when @p digest names a registered object. */
+    bool knows(const std::string &digest) const;
+
+    /**
+     * Hand out the executable for @p digest, loading and LRU-evicting
+     * as needed.  On failure returns nullptr with a typed @p code
+     * (UnknownObject, or Internal when a registered file went bad
+     * underneath us).
+     */
+    std::shared_ptr<const core::Executable>
+    acquire(const std::string &digest, ErrorCode *code = nullptr,
+            std::string *error = nullptr);
+
+    /** Registered objects in digest order, for the Hello frame. */
+    std::vector<ObjectInfo> list() const;
+
+    size_t registered() const;
+    size_t loadedCount() const;
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t evictions() const;
+
+  private:
+    struct Entry
+    {
+        std::string path; ///< empty for registerResult objects
+        ObjectInfo info;
+        std::shared_ptr<const core::Executable> exe; ///< null = cold
+        bool pinned = false; ///< in-memory object, never evicted
+        uint64_t last_use = 0;
+    };
+
+    void evictLocked();
+
+    StoreOptions opts_;
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_; ///< digest -> entry
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace qac::service
+
+#endif // QAC_SERVICE_OBJECT_STORE_H

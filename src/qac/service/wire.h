@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The qmad wire protocol: length-prefixed, checksummed frames over a
+ * stream socket.
+ *
+ * Every frame reuses the artifact framing of artifact/serial.h —
+ * magic | format version | payload size | FNV-1a digest | payload —
+ * with magic "QSVC"; the first payload byte is the FrameKind, the
+ * rest the kind-specific body.  A reader pulls the fixed 24-byte
+ * header, learns the payload size, reads exactly that many bytes, and
+ * validates the checksum before touching the body, so a torn or
+ * corrupted frame is a typed error, never a misparse.
+ *
+ * Session shape: on connect the server sends one Hello frame
+ * (capabilities: protocol version, registered solver names, served
+ * objects, limits).  The client then pipelines Request frames; the
+ * server streams back one Result or Error frame per request, in
+ * *completion* order, each echoing the request id.  Ping/Pong is the
+ * liveness/flush primitive.
+ *
+ * Error codes 1..5 are numerically identical to artifact::FrameError,
+ * so frame-level corruption reports the same code whether it is seen
+ * by a .qo loader or by a peer on the wire.
+ */
+
+#ifndef QAC_SERVICE_WIRE_H
+#define QAC_SERVICE_WIRE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qac/artifact/serial.h"
+
+namespace qac::service {
+
+/** Bump on any frame-layout or semantic change. */
+constexpr uint32_t kProtocolVersion = 1;
+
+/** Frame magic ("QSVC"). */
+extern const char kWireMagic[4];
+
+enum class FrameKind : uint8_t {
+    Hello = 1,   ///< server -> client, once, on connect
+    Request = 2, ///< client -> server: one SampleRequest
+    Result = 3,  ///< server -> client: one SampleResult
+    Error = 4,   ///< server -> client: typed rejection/failure
+    Ping = 5,    ///< client -> server: liveness / pipeline flush
+    Pong = 6,    ///< server -> client: echoes the Ping body
+};
+
+/**
+ * Typed error codes carried by Error frames and returned throughout
+ * the service layer.  Values 1..5 mirror artifact::FrameError (the
+ * shared frame-integrity vocabulary); service-level conditions start
+ * at 16.  Append only; never renumber — these are wire ABI.
+ */
+enum class ErrorCode : uint32_t {
+    Ok = 0,
+    TruncatedHeader = 1,
+    BadMagic = 2,
+    VersionMismatch = 3,
+    TruncatedPayload = 4,
+    ChecksumMismatch = 5,
+
+    BadRequest = 16,    ///< unparseable or semantically invalid
+    UnknownObject = 17, ///< digest not registered with the daemon
+    UnknownSolver = 18, ///< solver name with no registration
+    QueueFull = 19,     ///< admission queue at capacity (backpressure)
+    Draining = 20,      ///< daemon shutting down; no new work
+    Internal = 21,      ///< unexpected server-side failure
+    Disconnected = 22,  ///< peer vanished mid-conversation (client)
+};
+
+static_assert(static_cast<uint32_t>(ErrorCode::TruncatedHeader) ==
+              static_cast<uint32_t>(
+                  artifact::FrameError::TruncatedHeader));
+static_assert(static_cast<uint32_t>(ErrorCode::ChecksumMismatch) ==
+              static_cast<uint32_t>(
+                  artifact::FrameError::ChecksumMismatch));
+
+/** Stable lowercase identifier for logs and error frames. */
+const char *errorCodeName(ErrorCode code);
+
+/** Lift a frame-integrity failure into the wire vocabulary. */
+ErrorCode fromFrameError(artifact::FrameError code);
+
+/** One served object, as advertised in the Hello frame. */
+struct ObjectInfo
+{
+    std::string digest; ///< canonical .qo digest (qoDigestHex)
+    std::string name;   ///< human handle (file stem)
+    uint64_t logical_vars = 0;
+    uint64_t logical_terms = 0;
+    bool embedded = false;
+};
+
+/** The capabilities frame a server opens every session with. */
+struct Hello
+{
+    uint32_t protocol = kProtocolVersion;
+    std::string server; ///< e.g. "qmad 0.5.0"
+    std::vector<std::string> solvers; ///< anneal::samplerNames()
+    std::vector<ObjectInfo> objects;  ///< registered .qo objects
+    uint32_t queue_depth = 0;         ///< admission-queue bound
+    uint32_t max_loaded = 0;          ///< object-store LRU capacity
+};
+
+/** Body of an Error frame. */
+struct ErrorFrame
+{
+    uint64_t request_id = 0; ///< 0 when not tied to a request
+    ErrorCode code = ErrorCode::Ok;
+    std::string message;
+};
+
+// ---- body codecs ----
+
+std::string encodeHello(const Hello &hello);
+bool parseHello(std::string_view bytes, Hello &out);
+
+std::string encodeError(const ErrorFrame &err);
+bool parseError(std::string_view bytes, ErrorFrame &out);
+
+// ---- frame codec (transport-independent) ----
+
+/** Wrap @p body in a checksummed wire frame of @p kind. */
+std::string encodeFrame(FrameKind kind, std::string_view body);
+
+/**
+ * Validate a complete frame buffer; on success returns the body and
+ * sets @p kind.  On failure returns nullopt with a typed @p code.
+ */
+std::optional<std::string> decodeFrame(std::string_view frame,
+                                       FrameKind *kind,
+                                       ErrorCode *code = nullptr,
+                                       std::string *error = nullptr);
+
+// ---- blocking frame I/O on a connected stream socket ----
+
+/** Write one frame; retries on EINTR/short writes.  False on error. */
+bool writeFrame(int fd, FrameKind kind, std::string_view body,
+                std::string *error = nullptr);
+
+/**
+ * Read one complete frame.  Returns the body and sets @p kind; on
+ * clean EOF before any byte returns nullopt with ErrorCode::Ok (so
+ * callers can tell "peer hung up" from corruption).
+ */
+std::optional<std::string> readFrame(int fd, FrameKind *kind,
+                                     ErrorCode *code = nullptr,
+                                     std::string *error = nullptr);
+
+} // namespace qac::service
+
+#endif // QAC_SERVICE_WIRE_H

@@ -58,10 +58,9 @@ struct Args
     bool run = false;
     bool physical = false;
     std::vector<std::string> pins;
-    uint32_t reads = 500;
-    uint32_t sweeps = 512;
-    uint64_t seed = 1;
-    std::string solver = "sa";
+    /** Unified solver parameters (service layer): the same struct a
+     *  qmad request carries, so CLI and daemon defaults agree. */
+    service::SampleRequest req;
     std::string emit_qo;
     std::string emit_edif, emit_qmasm, emit_minizinc, emit_qubo;
     tools::CommonOptions common;
@@ -87,10 +86,9 @@ usage(const char *argv0)
         "  --physical            sample the embedded physical model\n"
         "  --pin \"SYM := VAL\"    bind ports (repeatable; qmasm syntax)\n"
         "  --solver %s\n"
-        "  --reads <N> --sweeps <N> --seed <N>\n"
-        "%s",
+        "%s%s",
         argv0, anneal::samplerNamesJoined().c_str(),
-        tools::commonUsage());
+        tools::paramsUsage(), tools::commonUsage());
     std::exit(2);
 }
 
@@ -106,6 +104,8 @@ parseArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (tools::parseCommonFlag(args.common, argc, argv, i))
+            continue;
+        if (tools::parseParamFlag(args.req, argc, argv, i))
             continue;
         if (a == "--top")
             args.top = need(i);
@@ -136,16 +136,6 @@ parseArgs(int argc, char **argv)
             args.physical = true;
         else if (a == "--pin")
             args.pins.push_back(need(i));
-        else if (a == "--reads")
-            args.reads = static_cast<uint32_t>(
-                tools::parseUint("--reads", need(i), UINT32_MAX));
-        else if (a == "--sweeps")
-            args.sweeps = static_cast<uint32_t>(
-                tools::parseUint("--sweeps", need(i), UINT32_MAX));
-        else if (a == "--seed")
-            args.seed = tools::parseUint("--seed", need(i));
-        else if (a == "--solver")
-            args.solver = need(i);
         else if (a == "--help" || a == "-h")
             usage(argv[0]);
         else if (!a.empty() && a[0] == '-')
@@ -251,47 +241,28 @@ runQacc(Args &args, const char *argv0)
     if (!args.run)
         return 0;
 
-    core::Executable prog(std::move(compiled));
-    for (const auto &pin : args.pins)
-        prog.pinDirective(pin);
-
-    core::Executable::RunOptions ro;
-    ro.num_reads = args.reads;
-    ro.sweeps = args.sweeps;
-    ro.seed = args.seed;
-    ro.threads = args.common.threads;
-    ro.use_physical = args.physical;
-    if (args.physical)
-        ro.reduce = false;
-    ro.solver = args.solver;
-    if (!anneal::makeSampler(args.solver, {})) {
+    if (!anneal::hasSampler(args.req.solver)) {
         std::fprintf(stderr, "qacc: unknown solver '%s' (expected "
-                     "%s)\n", args.solver.c_str(),
+                     "%s)\n", args.req.solver.c_str(),
                      anneal::samplerNamesJoined().c_str());
         usage(argv0);
     }
 
-    auto rr = prog.run(ro);
-    if (chatty) {
-        std::printf("reads: %llu, distinct candidates: %zu, valid "
-                    "fraction: %.3f\n",
-                    static_cast<unsigned long long>(rr.total_reads),
-                    rr.candidates.size(), rr.validFraction());
-        size_t shown = 0;
-        for (const auto *c : rr.validCandidates()) {
-            std::printf("solution (energy %.4f, %u reads):\n",
-                        c->energy, c->occurrences);
-            for (const auto &[sym, value] : c->values)
-                std::printf("  %s = %d\n", sym.c_str(),
-                            static_cast<int>(value));
-            if (++shown >= 3 && args.common.verbosity < 2) {
-                std::printf("  ... (%zu more valid solutions)\n",
-                            rr.validCandidates().size() - shown);
-                break;
-            }
-        }
-    }
-    return rr.hasValid() ? 0 : 1;
+    core::Executable prog(std::move(compiled));
+    for (const auto &pin : args.pins)
+        prog.pinDirective(pin);
+
+    // One execution path for every front end: the CLI flags became a
+    // service::SampleRequest, exactly what a qmad request carries.
+    service::SampleRequest req = args.req;
+    req.common.threads = args.common.threads;
+    req.use_physical = args.physical;
+    if (args.physical)
+        req.reduce = false;
+    service::SampleResult res = service::runLocal(prog, req);
+    if (chatty)
+        service::printReport(stdout, res, args.common.verbosity);
+    return res.hasValid() ? 0 : 1;
 }
 
 } // namespace
@@ -308,13 +279,14 @@ main(int argc, char **argv)
         tools::applyCommonOptions(args.common);
         args.common.manifest = telemetry::Manifest::make("qacc");
         args.common.manifest.input = args.input;
-        args.common.manifest.seed = args.seed;
+        args.common.manifest.seed = args.req.common.seed;
         args.common.manifest.threads = static_cast<uint32_t>(
             exec::resolveThreads(args.common.threads));
         args.common.manifest.param("top", args.top);
-        args.common.manifest.param("solver", args.solver);
-        args.common.manifest.param("reads", uint64_t{args.reads});
-        args.common.manifest.param("sweeps", uint64_t{args.sweeps});
+        args.common.manifest.param("solver", args.req.solver);
+        args.common.manifest.param("reads",
+                                   uint64_t{args.req.common.num_reads});
+        args.common.manifest.param("sweeps", uint64_t{args.req.sweeps});
         args.common.manifest.param("unroll", uint64_t{args.unroll});
         args.common.manifest.param(
             "target", args.chimera ? "chimera" : "logical");

@@ -31,6 +31,7 @@
 #include "qac/artifact/qo.h"
 #include "qac/core/program.h"
 #include "qac/exec/exec.h"
+#include "qac/service/client.h"
 #include "qac/qmasm/assemble.h"
 #include "qac/qmasm/formats.h"
 #include "qac/qmasm/parser.h"
@@ -48,16 +49,16 @@ using namespace qac;
 struct Args
 {
     bool object_mode = false; ///< "qma run <file.qo>"
+    bool client_mode = false; ///< "qma client <socket> <object>"
+    std::string socket;       ///< qmad socket path (client mode)
     std::string input;
     std::vector<std::string> pins;
     bool run = false;
     bool physical = false;
-    uint32_t reads = 1000;
-    uint32_t sweeps = 256;
-    bool reads_set = false;  ///< --reads given explicitly
-    bool sweeps_set = false; ///< --sweeps given explicitly
-    uint64_t seed = 1;
-    std::string solver = "sa";
+    /** Unified solver parameters (service layer): the same struct a
+     *  qmad request carries, so every mode shares one set of
+     *  defaults — local, object, and remote runs are diffable. */
+    service::SampleRequest req;
     std::string emit_minizinc, emit_qubo;
     size_t top_solutions = 8;
     tools::CommonOptions common;
@@ -69,18 +70,20 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s <program.qmasm> [options]\n"
                  "       %s run <design.qo> [options]\n"
+                 "       %s client <socket> <design.qo|digest> "
+                 "[options]\n"
                  "  --pin \"SYM := VAL\"   bias a variable (repeatable)\n"
                  "  --run                 anneal and report statistics\n"
                  "  --physical            sample the embedded physical "
-                 "model (run mode)\n"
-                 "  --reads/--sweeps/--seed <N>\n"
+                 "model (run/client mode)\n"
                  "  --solver %s\n"
                  "  --top <N>             solutions to print (default 8)\n"
                  "  --emit-minizinc <f>   convert for classical solution\n"
                  "  --emit-qubo <f>       convert to qbsolv format\n"
-                 "%s",
-                 argv0, argv0, anneal::samplerNamesJoined().c_str(),
-                 tools::commonUsage());
+                 "%s%s",
+                 argv0, argv0, argv0,
+                 anneal::samplerNamesJoined().c_str(),
+                 tools::paramsUsage(), tools::commonUsage());
     std::exit(2);
 }
 
@@ -97,25 +100,14 @@ parseArgs(int argc, char **argv)
         std::string a = argv[i];
         if (tools::parseCommonFlag(args.common, argc, argv, i))
             continue;
+        if (tools::parseParamFlag(args.req, argc, argv, i))
+            continue;
         if (a == "--pin")
             args.pins.push_back(need(i));
         else if (a == "--run")
             args.run = true;
         else if (a == "--physical")
             args.physical = true;
-        else if (a == "--reads") {
-            args.reads = static_cast<uint32_t>(
-                tools::parseUint("--reads", need(i), UINT32_MAX));
-            args.reads_set = true;
-        } else if (a == "--sweeps") {
-            args.sweeps = static_cast<uint32_t>(
-                tools::parseUint("--sweeps", need(i), UINT32_MAX));
-            args.sweeps_set = true;
-        }
-        else if (a == "--seed")
-            args.seed = tools::parseUint("--seed", need(i));
-        else if (a == "--solver")
-            args.solver = need(i);
         else if (a == "--top")
             args.top_solutions = static_cast<size_t>(
                 tools::parseUint("--top", need(i)));
@@ -127,22 +119,47 @@ parseArgs(int argc, char **argv)
             usage(argv[0]);
         else if (!a.empty() && a[0] == '-')
             usage(argv[0]);
-        else if (!args.object_mode && args.input.empty() && a == "run")
+        else if (!args.object_mode && !args.client_mode &&
+                 args.input.empty() && a == "run")
             args.object_mode = true;
+        else if (!args.object_mode && !args.client_mode &&
+                 args.input.empty() && a == "client")
+            args.client_mode = true;
+        else if (args.client_mode && args.socket.empty())
+            args.socket = a;
         else if (args.input.empty())
             args.input = a;
         else
             usage(argv[0]);
     }
-    if (args.input.empty())
+    if (args.input.empty() ||
+        (args.client_mode && args.socket.empty()))
         usage(argv[0]);
     return args;
 }
 
 /**
+ * Finish a mode-shared request: pins travel as directives (so the
+ * remote path needs no mutable Executable), threads/physical come
+ * from their own flags.
+ */
+service::SampleRequest
+buildRequest(const Args &args)
+{
+    service::SampleRequest req = args.req;
+    req.pins = args.pins;
+    req.common.threads = args.common.threads;
+    req.use_physical = args.physical;
+    if (args.physical)
+        req.reduce = false;
+    return req;
+}
+
+/**
  * `qma run <design.qo>`: execute a compiled object.  The report
- * format deliberately matches `qacc --run` line for line, so the two
- * paths can be diffed directly (and are, in cli_test).
+ * format deliberately matches `qacc --run` and `qma client` line for
+ * line, so the three paths can be diffed directly (and are, in
+ * cli_test).
  */
 int
 runObject(Args &args, const char *argv0)
@@ -154,68 +171,74 @@ runObject(Args &args, const char *argv0)
     if (!compiled)
         fatal("cannot load '%s': %s", args.input.c_str(), err.c_str());
     if (chatty)
-        std::printf("%s: %zu logical variables, %zu terms%s\n",
-                    args.input.c_str(),
-                    compiled->stats.logical_vars,
-                    compiled->stats.logical_terms,
-                    compiled->embedded ? " (embedded)" : "");
+        service::printObjectLine(stdout, args.input,
+                                 compiled->stats.logical_vars,
+                                 compiled->stats.logical_terms,
+                                 compiled->embedded.has_value());
 
-    core::Executable prog(std::move(*compiled));
-    for (const auto &pin : args.pins)
-        prog.pinDirective(pin);
-
-    // Object mode is a drop-in for `qacc --run`, so unflagged runs
-    // use the compiler driver's defaults, not qma's qmasm defaults —
-    // otherwise the two paths would sample different landscapes and
-    // the line-for-line report identity above would not hold.
-    if (!args.reads_set)
-        args.reads = 500;
-    if (!args.sweeps_set)
-        args.sweeps = 512;
-
-    if (args.common.stats || !args.common.telemetry_file.empty())
-        args.common.manifest.qo_digest =
-            artifact::qoFileDigestHex(args.input);
-    args.common.manifest.param("reads", uint64_t{args.reads});
-    args.common.manifest.param("sweeps", uint64_t{args.sweeps});
-
-    core::Executable::RunOptions ro;
-    ro.num_reads = args.reads;
-    ro.sweeps = args.sweeps;
-    ro.seed = args.seed;
-    ro.threads = args.common.threads;
-    ro.use_physical = args.physical;
-    if (args.physical)
-        ro.reduce = false;
-    ro.solver = args.solver;
-    if (!anneal::makeSampler(args.solver, {})) {
+    if (!anneal::hasSampler(args.req.solver)) {
         std::fprintf(stderr, "qma: unknown solver '%s' (expected %s)\n",
-                     args.solver.c_str(),
+                     args.req.solver.c_str(),
                      anneal::samplerNamesJoined().c_str());
         usage(argv0);
     }
 
-    auto rr = prog.run(ro);
-    if (chatty) {
-        std::printf("reads: %llu, distinct candidates: %zu, valid "
-                    "fraction: %.3f\n",
-                    static_cast<unsigned long long>(rr.total_reads),
-                    rr.candidates.size(), rr.validFraction());
-        size_t shown = 0;
-        for (const auto *c : rr.validCandidates()) {
-            std::printf("solution (energy %.4f, %u reads):\n",
-                        c->energy, c->occurrences);
-            for (const auto &[sym, value] : c->values)
-                std::printf("  %s = %d\n", sym.c_str(),
-                            static_cast<int>(value));
-            if (++shown >= 3 && args.common.verbosity < 2) {
-                std::printf("  ... (%zu more valid solutions)\n",
-                            rr.validCandidates().size() - shown);
-                break;
-            }
-        }
+    service::SampleRequest req = buildRequest(args);
+    // The canonical digest addresses this object in a daemon; carrying
+    // it locally too makes the local and remote result records (and
+    // their provenance manifests) byte-identical.
+    req.object_digest = artifact::qoFileDigestHex(args.input);
+    if (args.common.stats || !args.common.telemetry_file.empty())
+        args.common.manifest.qo_digest = req.object_digest;
+
+    core::Executable prog(std::move(*compiled));
+    service::SampleResult res = service::runLocal(prog, req);
+    if (chatty)
+        service::printReport(stdout, res, args.common.verbosity);
+    return res.hasValid() ? 0 : 1;
+}
+
+/**
+ * `qma client <socket> <design.qo|digest>`: the same run, served by a
+ * qmad daemon.  The object argument may be a local .qo path (digested
+ * client-side) or a bare digest advertised by the daemon.  Output is
+ * byte-identical to `qma run` on the same object and parameters.
+ */
+int
+runClient(Args &args)
+{
+    const bool chatty = args.common.verbosity > 0;
+
+    std::string digest = args.input;
+    if (std::filesystem::exists(args.input)) {
+        digest = artifact::qoFileDigestHex(args.input);
+        if (digest.empty())
+            fatal("cannot read '%s'", args.input.c_str());
     }
-    return rr.hasValid() ? 0 : 1;
+
+    service::Client client;
+    std::string err;
+    if (!client.connect(args.socket, &err))
+        fatal("%s", err.c_str());
+
+    service::SampleRequest req = buildRequest(args);
+    req.object_digest = digest;
+    if (args.common.stats || !args.common.telemetry_file.empty())
+        args.common.manifest.qo_digest = digest;
+
+    service::SampleResult res;
+    std::string msg;
+    service::ErrorCode code = client.call(req, &res, &msg);
+    if (code != service::ErrorCode::Ok)
+        fatal("server: %s (%s)", msg.c_str(),
+              service::errorCodeName(code));
+
+    if (chatty) {
+        service::printObjectLine(stdout, args.input, res.logical_vars,
+                                 res.logical_terms, res.embedded);
+        service::printReport(stdout, res, args.common.verbosity);
+    }
+    return res.hasValid() ? 0 : 1;
 }
 
 } // namespace
@@ -278,17 +301,20 @@ runQma(Args &args, const char *argv0)
         // model carries no physical chain groups, so "chainflip" here
         // runs with no composite moves (single-qubit relaxation only).
         anneal::SamplerOpts sopts;
-        sopts.common.num_reads = args.reads;
-        sopts.common.seed = args.seed;
+        sopts.common = args.req.common;
         sopts.common.threads = args.common.threads;
-        sopts.sweeps = args.sweeps;
-        auto sampler = anneal::makeSampler(args.solver, sopts);
-        if (!sampler) {
+        // Same replay contract as the service path: a request id
+        // selects an independent seed stream.
+        sopts.common.seed = service::requestSeed(args.req.common.seed,
+                                                args.req.request_id);
+        sopts.sweeps = args.req.sweeps;
+        if (!anneal::hasSampler(args.req.solver)) {
             std::fprintf(stderr, "qma: unknown solver '%s' (expected "
-                         "%s)\n", args.solver.c_str(),
+                         "%s)\n", args.req.solver.c_str(),
                          anneal::samplerNamesJoined().c_str());
             usage(argv0);
         }
+        auto sampler = anneal::makeSampler(args.req.solver, sopts);
         const uint64_t t0 = stats::Trace::nowNs();
         anneal::SampleSet set = sampler->sample(assembled.model);
         const uint64_t sample_elapsed = stats::Trace::nowNs() - t0;
@@ -299,12 +325,12 @@ runQma(Args &args, const char *argv0)
             telemetry::Collector::global().enabled()) {
             telemetry::AnalyzeOptions aopts;
             aopts.elapsed_ns = sample_elapsed;
-            aopts.sweeps_per_read = args.sweeps;
+            aopts.sweeps_per_read = args.req.sweeps;
             telemetry::Analysis an = telemetry::analyze(set, aopts);
             telemetry::recordAnalysisStats(an);
             if (telemetry::Collector::global().enabled())
                 telemetry::Collector::global().addRecord(
-                    telemetry::analysisJson(args.solver, an));
+                    telemetry::analysisJson(args.req.solver, an));
         }
 
         // The qmasm-style statistics report.
@@ -350,19 +376,22 @@ main(int argc, char **argv)
         tools::applyCommonOptions(args.common);
         args.common.manifest = telemetry::Manifest::make("qma");
         args.common.manifest.input = args.input;
-        args.common.manifest.seed = args.seed;
+        args.common.manifest.seed = args.req.common.seed;
         args.common.manifest.threads = static_cast<uint32_t>(
             exec::resolveThreads(args.common.threads));
-        args.common.manifest.param("solver", args.solver);
-        args.common.manifest.param("reads", uint64_t{args.reads});
-        args.common.manifest.param("sweeps", uint64_t{args.sweeps});
+        args.common.manifest.param("solver", args.req.solver);
+        args.common.manifest.param(
+            "reads", uint64_t{args.req.common.num_reads});
+        args.common.manifest.param("sweeps",
+                                   uint64_t{args.req.sweeps});
         args.common.manifest.param(
             "physical", uint64_t{args.physical ? 1u : 0u});
         if (!args.pins.empty())
             args.common.manifest.param(
                 "pins", qac::join(args.pins, "; "));
-        ret = args.object_mode ? runObject(args, argv[0])
-                               : runQma(args, argv[0]);
+        ret = args.object_mode   ? runObject(args, argv[0])
+              : args.client_mode ? runClient(args)
+                                 : runQma(args, argv[0]);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "qma: %s\n", e.what());
         ret = 2;

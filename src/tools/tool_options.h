@@ -32,6 +32,7 @@
 #include <cstring>
 #include <string>
 
+#include "qac/service/request.h"
 #include "qac/stats/registry.h"
 #include "qac/stats/report.h"
 #include "qac/stats/trace.h"
@@ -168,6 +169,63 @@ parseCommonFlag(CommonOptions &opts, int argc, char **argv, int &i)
         return true;
     }
     return false;
+}
+
+/**
+ * Parse one of the shared solver-parameter flags straight into the
+ * unified request (service::SampleRequest) — the same struct `qma
+ * run`, `qma client`, qacc --run, and qmad requests all execute, so
+ * the four paths cannot drift on defaults or ranges:
+ *
+ *   --solver NAME     sampler registry name
+ *   --reads N         anneal reads
+ *   --sweeps N        sweeps per read
+ *   --seed N          base RNG seed
+ *   --request-id N    replay stream selector (0 = plain seed)
+ *
+ * @return true when argv[i] was consumed (@p i advances past values).
+ */
+inline bool
+parseParamFlag(service::SampleRequest &req, int argc, char **argv,
+               int &i)
+{
+    const std::string arg = argv[i];
+    auto need = [&]() -> const char * {
+        if (i + 1 >= argc)
+            fatal("%s requires a value", arg.c_str());
+        return argv[++i];
+    };
+    if (arg == "--solver") {
+        req.solver = need();
+        return true;
+    }
+    if (arg == "--reads") {
+        req.common.num_reads = static_cast<uint32_t>(
+            parseUint("--reads", need(), UINT32_MAX));
+        return true;
+    }
+    if (arg == "--sweeps") {
+        req.sweeps = static_cast<uint32_t>(
+            parseUint("--sweeps", need(), UINT32_MAX));
+        return true;
+    }
+    if (arg == "--seed") {
+        req.common.seed = parseUint("--seed", need());
+        return true;
+    }
+    if (arg == "--request-id") {
+        req.request_id = parseUint("--request-id", need());
+        return true;
+    }
+    return false;
+}
+
+inline const char *
+paramsUsage()
+{
+    return "  --reads <N> --sweeps <N> --seed <N>\n"
+           "  --request-id <N>      replay id: derives an independent "
+           "seed stream (0 = plain seed)\n";
 }
 
 inline const char *

@@ -120,35 +120,47 @@ TEST(Serial, FrameRoundTripAndStructuredErrors)
     const char magic[4] = {'Q', 'A', 'C', 'O'};
     std::string file = frame(magic, "payload bytes");
 
+    // Failures report a typed FrameError code (shared with the
+    // service wire protocol's error frames), not just prose.
     std::string err;
-    auto payload = unframe(file, magic, &err);
+    FrameError code = FrameError::ChecksumMismatch;
+    auto payload = unframe(file, magic, &err, &code);
     ASSERT_TRUE(payload) << err;
     EXPECT_EQ(*payload, "payload bytes");
+    EXPECT_EQ(code, FrameError::Ok);
 
     // Wrong magic.
     const char other[4] = {'N', 'O', 'P', 'E'};
-    EXPECT_FALSE(unframe(file, other, &err));
-    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+    EXPECT_FALSE(unframe(file, other, &err, &code));
+    EXPECT_EQ(code, FrameError::BadMagic);
+    EXPECT_FALSE(err.empty());
 
     // Version mismatch: byte 4 is the low byte of the version u32.
     std::string bumped = file;
     bumped[4] = static_cast<char>(bumped[4] + 1);
-    EXPECT_FALSE(unframe(bumped, magic, &err));
-    EXPECT_NE(err.find("version mismatch"), std::string::npos) << err;
+    EXPECT_FALSE(unframe(bumped, magic, &err, &code));
+    EXPECT_EQ(code, FrameError::VersionMismatch);
 
-    // Truncation.
+    // Truncation: payload shorter than claimed, then header cut off.
     EXPECT_FALSE(
         unframe(std::string_view(file).substr(0, file.size() - 3),
-                magic, &err));
-    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
-    EXPECT_FALSE(unframe("QA", magic, &err));
-    EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+                magic, &err, &code));
+    EXPECT_EQ(code, FrameError::TruncatedPayload);
+    EXPECT_FALSE(unframe("QA", magic, &err, &code));
+    EXPECT_EQ(code, FrameError::TruncatedHeader);
 
     // Payload bit flip -> checksum mismatch.
     std::string flipped = file;
     flipped[flipped.size() - 1] ^= 0x40;
-    EXPECT_FALSE(unframe(flipped, magic, &err));
-    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+    EXPECT_FALSE(unframe(flipped, magic, &err, &code));
+    EXPECT_EQ(code, FrameError::ChecksumMismatch);
+
+    // Every code renders a stable identifier for logs/error frames.
+    for (FrameError c :
+         {FrameError::Ok, FrameError::TruncatedHeader,
+          FrameError::BadMagic, FrameError::VersionMismatch,
+          FrameError::TruncatedPayload, FrameError::ChecksumMismatch})
+        EXPECT_STRNE(frameErrorName(c), "unknown");
 }
 
 // ---------------------------------------------------------------- .qo
@@ -214,10 +226,10 @@ expectReloadedRunsIdentical(core::CompileResult compiled,
     for (uint32_t threads : {1u, 8u}) {
         core::Executable::RunOptions ro;
         ro.solver = "sa";
-        ro.num_reads = 64;
+        ro.common.num_reads = 64;
         ro.sweeps = 128;
-        ro.seed = 5;
-        ro.threads = threads;
+        ro.common.seed = 5;
+        ro.common.threads = threads;
         ro.use_physical = use_physical;
         if (use_physical)
             ro.reduce = false;

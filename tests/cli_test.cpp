@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -428,6 +429,91 @@ TEST(Telemetry, JsonlThreadInvariantWithChainsAndAnalysis)
               std::string::npos);
     EXPECT_NE(stats1.find("anneal.analysis.success_probability"),
               std::string::npos);
+}
+
+// ------------------------------------------------- service layer
+
+TEST(Qmad, ClientMatchesLocalRunAndDrainsOnSigterm)
+{
+    // The redesign's acceptance criterion, end to end over real
+    // processes: a `qma client` query against a running qmad prints
+    // byte-for-byte what `qma run` prints locally, and SIGTERM drains
+    // the daemon to a clean exit.
+    std::string v = writeTemp("cli_qmad.v", kMult);
+    std::string qo = std::string(::testing::TempDir()) + "cli_qmad.qo";
+    std::string sock =
+        std::string(::testing::TempDir()) + "cli_qmad.sock";
+    ::unlink(sock.c_str());
+
+    auto [ccode, cout_] = run(std::string(QACC_PATH) + " " + v +
+                              " --top mult --no-cache -o " + qo);
+    ASSERT_EQ(ccode, 0) << cout_;
+
+    // `echo $$; exec qmad` keeps the shell's pid for the daemon, so
+    // the first output line tells us whom to SIGTERM; pclose() then
+    // reports the daemon's own exit status.
+    FILE *daemon = popen(("echo $$; exec " + std::string(QMAD_PATH) +
+                          " --socket " + sock + " " + qo + " 2>&1")
+                             .c_str(),
+                         "r");
+    ASSERT_NE(daemon, nullptr);
+    std::array<char, 4096> buf;
+    ASSERT_NE(fgets(buf.data(), buf.size(), daemon), nullptr);
+    pid_t pid = static_cast<pid_t>(std::stol(buf.data()));
+    ASSERT_GT(pid, 0);
+
+    // Wait for the socket to appear (the daemon prints its banner
+    // after listen(), but the filesystem check needs no extra fd).
+    bool up = false;
+    for (int i = 0; i < 500 && !up; ++i) {
+        up = ::access(sock.c_str(), F_OK) == 0;
+        if (!up)
+            ::usleep(10000);
+    }
+    ASSERT_TRUE(up) << "qmad never created " << sock;
+
+    const std::string runflags =
+        " --solver exact --reads 64 --seed 7 "
+        "--pin \"C[3:0] := 0110\"";
+    auto [lcode, lout] =
+        run(std::string(QMA_PATH) + " run " + qo + runflags);
+    EXPECT_EQ(lcode, 0) << lout;
+    auto [rcode, rout] = run(std::string(QMA_PATH) + " client " +
+                             sock + " " + qo + runflags);
+    EXPECT_EQ(rcode, 0) << rout;
+    EXPECT_EQ(lout, rout); // byte-identical, headers included
+    EXPECT_NE(rout.find("solution"), std::string::npos) << rout;
+
+    // Replaying the same (seed, request id) remotely reproduces too.
+    auto [r2code, r2out] = run(std::string(QMA_PATH) + " client " +
+                               sock + " " + qo + runflags +
+                               " --request-id 3");
+    EXPECT_EQ(r2code, 0) << r2out;
+    auto [r3code, r3out] = run(std::string(QMA_PATH) + " client " +
+                               sock + " " + qo + runflags +
+                               " --request-id 3");
+    EXPECT_EQ(r3code, 0) << r3out;
+    EXPECT_EQ(r2out, r3out);
+
+    // Graceful shutdown: SIGTERM -> drain -> exit 0.
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    std::string tail;
+    while (fgets(buf.data(), buf.size(), daemon))
+        tail += buf.data();
+    int status = pclose(daemon);
+    EXPECT_TRUE(WIFEXITED(status)) << tail;
+    EXPECT_EQ(WEXITSTATUS(status), 0) << tail;
+    EXPECT_NE(tail.find("qmad: draining"), std::string::npos) << tail;
+    ::unlink(sock.c_str());
+}
+
+TEST(Qmad, ClientReportsServerErrors)
+{
+    auto [code, out] = run(std::string(QMA_PATH) +
+                           " client /nonexistent.sock deadbeef "
+                           "--solver exact");
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("qma:"), std::string::npos) << out;
 }
 
 TEST(Cli, BadNumericFlagsFailCleanly)

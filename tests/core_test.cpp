@@ -223,7 +223,7 @@ TEST(Executable, SimulatedAnnealingPath)
     ex.pinDirective("c[1:0] := 10");
     ex.pinDirective("s := true");
     Executable::RunOptions ro;
-    ro.num_reads = 100;
+    ro.common.num_reads = 100;
     ro.sweeps = 128;
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());
@@ -244,7 +244,7 @@ TEST(Executable, PhysicalRunOnChimera)
     ex.pinPort("a", 1);
     ex.pinPort("b", 1);
     Executable::RunOptions ro;
-    ro.num_reads = 60;
+    ro.common.num_reads = 60;
     ro.sweeps = 256;
     ro.use_physical = true;
     ro.reduce = false;
@@ -299,7 +299,7 @@ TEST(Executable, QbsolvSolverPath)
     ex.pinPort("b", 1);
     Executable::RunOptions ro;
     ro.solver = "qbsolv";
-    ro.num_reads = 100;
+    ro.common.num_reads = 100;
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());
     EXPECT_EQ(ex.portValue(rr.bestValid(), "c"), 3u); // 0-1 = 11b

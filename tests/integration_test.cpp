@@ -102,9 +102,9 @@ TEST(Paper, FactoringRecoversBothOrders)
     Executable ex(compile(kMult, co));
     ex.pinDirective("C[7:0] := 10001111"); // 143
     Executable::RunOptions ro;
-    ro.num_reads = 600;
+    ro.common.num_reads = 600;
     ro.sweeps = 1024;
-    ro.seed = 5;
+    ro.common.seed = 5;
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());
     std::set<std::pair<uint64_t, uint64_t>> factors;
@@ -126,7 +126,7 @@ TEST(Paper, MultiplierRunsForwardToo)
     ex.pinDirective("A[3:0] := 1101"); // 13
     ex.pinDirective("B[3:0] := 1011"); // 11
     Executable::RunOptions ro;
-    ro.num_reads = 200;
+    ro.common.num_reads = 200;
     ro.sweeps = 512;
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());
@@ -141,7 +141,7 @@ TEST(Paper, MapColoringProducesValidColorings)
     Executable ex(compile(kAustralia, co));
     ex.pinDirective("valid := true");
     Executable::RunOptions ro;
-    ro.num_reads = 300;
+    ro.common.num_reads = 300;
     ro.sweeps = 512;
     auto rr = ex.run(ro);
     ASSERT_TRUE(rr.hasValid());

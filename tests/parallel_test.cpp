@@ -343,7 +343,17 @@ TEST(SamplerFactory, NamesAndUnknown)
         EXPECT_NE(std::find(names.begin(), names.end(), expect),
                   names.end())
             << expect;
-    EXPECT_EQ(anneal::makeSampler("no-such-sampler", {}), nullptr);
+    // Unknown names fail typed, not with nullptr or a process abort.
+    EXPECT_FALSE(anneal::hasSampler("no-such-sampler"));
+    EXPECT_TRUE(anneal::hasSampler("sa"));
+    try {
+        anneal::makeSampler("no-such-sampler", {});
+        FAIL() << "expected UnknownSolverError";
+    } catch (const anneal::UnknownSolverError &e) {
+        EXPECT_EQ(e.name(), "no-such-sampler");
+        EXPECT_NE(std::string(e.what()).find("sa"),
+                  std::string::npos);
+    }
     EXPECT_NE(anneal::samplerNamesJoined().find("sa"),
               std::string::npos);
 }

@@ -127,10 +127,10 @@ TEST_P(FuzzSeed, QoRoundTripIsCanonicalAndRunsIdentically)
     Executable fromqo(std::move(*reloaded));
     for (uint32_t threads : {1u, 8u}) {
         Executable::RunOptions ro;
-        ro.num_reads = 50;
+        ro.common.num_reads = 50;
         ro.sweeps = 96;
-        ro.seed = GetParam();
-        ro.threads = threads;
+        ro.common.seed = GetParam();
+        ro.common.threads = threads;
         auto ra = direct.run(ro);
         auto rb = fromqo.run(ro);
         ASSERT_EQ(ra.candidates.size(), rb.candidates.size())
@@ -194,9 +194,9 @@ TEST(PipelineFuzz, SequentialUnrollEquivalence)
             // landscapes; SA with polish solves them reliably and,
             // unlike exact enumeration, scales past 28 free variables.
             Executable::RunOptions ro;
-            ro.num_reads = 150;
+            ro.common.num_reads = 150;
             ro.sweeps = 384;
-            ro.seed = 17;
+            ro.common.seed = 17;
             auto rr = ex.run(ro);
             ASSERT_TRUE(rr.hasValid()) << src;
 
