@@ -13,14 +13,22 @@ skipped:
   * throughput counters (paths containing per_sec)
   * scheduler-dependent counters (exec.steal*, exec.worker*) and
     wall-clock counters (paths containing wall)
-  * derived speedup ratios (paths containing speedup)
   * distribution moments (only the sample `count` is compared)
   * the manifest provenance block (host, git revision, ...)
+
+Derived speedup ratios (paths containing "speedup") get a one-sided
+floor instead of the two-sided tolerance: a kernel being *faster* than
+the baseline recorded is never a problem, but a fresh speedup below
+--speedup-floor times the baseline value is — that is the signature of
+a vector engine silently falling back to scalar, which the two-sided
+volatile rules used to hide entirely.  The floor is deliberately loose
+(default 0.5) because ratios move with the host's ISA and load.
 
 Everything else must match the baseline within --tolerance (relative).
 
 Usage:
-  bench_compare.py [--baseline-dir DIR] [--tolerance FRAC] [--check]
+  bench_compare.py [--baseline-dir DIR] [--tolerance FRAC]
+                   [--speedup-floor FRAC] [--check]
                    FRESH.json [FRESH.json ...]
 
 Exit status: 0 when all compared files match (or with --check, always
@@ -32,8 +40,7 @@ import json
 import os
 import sys
 
-VOLATILE_SUBSTRINGS = ("per_sec", "exec.steal", "exec.worker",
-                       "speedup", "wall")
+VOLATILE_SUBSTRINGS = ("per_sec", "exec.steal", "exec.worker", "wall")
 VOLATILE_SUFFIXES = ("_ns", ".ns", "_ms", ".ms")
 
 
@@ -46,10 +53,19 @@ def is_volatile(path, kind):
 
 
 def stable_values(report):
-    """Map of comparable path -> value for one qac-stats-v1 report."""
-    out = {}
+    """(exact, floors): path -> value maps for one qac-stats-v1 report.
+
+    `exact` entries are compared two-sided within --tolerance; `floors`
+    entries (speedup ratios) only flag when the fresh value drops below
+    the baseline by more than the speedup floor.
+    """
+    out, floors = {}, {}
     for m in report.get("metrics", []):
         path, kind = m.get("path", ""), m.get("kind", "")
+        if "speedup" in path:
+            if isinstance(m.get("value"), (int, float)):
+                floors[path] = m["value"]
+            continue
         if is_volatile(path, kind):
             continue
         if kind == "distribution":
@@ -58,7 +74,7 @@ def stable_values(report):
             out[path + "#count"] = m.get("count", 0)
         elif isinstance(m.get("value"), (int, float)):
             out[path] = m["value"]
-    return out
+    return out, floors
 
 
 def within(base, fresh, tol):
@@ -68,7 +84,7 @@ def within(base, fresh, tol):
     return abs(base - fresh) / denom <= tol
 
 
-def compare_file(fresh_path, baseline_dir, tol):
+def compare_file(fresh_path, baseline_dir, tol, floor):
     """Returns (n_compared, [problem strings])."""
     name = os.path.basename(fresh_path)
     base_path = os.path.join(baseline_dir, name)
@@ -91,7 +107,8 @@ def compare_file(fresh_path, baseline_dir, tol):
             (name, base_smoke, fresh_smoke))
         return 0, problems
 
-    bvals, fvals = stable_values(base), stable_values(fresh)
+    bvals, bfloors = stable_values(base)
+    fvals, ffloors = stable_values(fresh)
     n = 0
     for path, bval in sorted(bvals.items()):
         if path not in fvals:
@@ -103,6 +120,17 @@ def compare_file(fresh_path, baseline_dir, tol):
             problems.append(
                 "%s: %s = %s, baseline %s (tolerance %g)" %
                 (name, path, fvals[path], bval, tol))
+    for path, bval in sorted(bfloors.items()):
+        if path not in ffloors:
+            problems.append("%s: %s missing from fresh run" %
+                            (name, path))
+            continue
+        n += 1
+        if ffloors[path] < bval * floor:
+            problems.append(
+                "%s: %s = %s, below floor %g of baseline %s — "
+                "vector engine silently regressed to scalar?" %
+                (name, path, ffloors[path], floor, bval))
     return n, problems
 
 
@@ -117,6 +145,9 @@ def main(argv):
                         "bench", "baselines"))
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="relative tolerance (default 0.05)")
+    ap.add_argument("--speedup-floor", type=float, default=0.5,
+                    help="one-sided floor for speedup gauges: fresh "
+                         "must be >= floor * baseline (default 0.5)")
     ap.add_argument("--check", action="store_true",
                     help="report only; always exit 0 on mismatches")
     args = ap.parse_args(argv)
@@ -125,7 +156,8 @@ def main(argv):
     for path in args.fresh:
         try:
             n, problems = compare_file(path, args.baseline_dir,
-                                       args.tolerance)
+                                       args.tolerance,
+                                       args.speedup_floor)
         except (OSError, ValueError) as e:
             print("bench_compare: cannot read %s: %s" % (path, e),
                   file=sys.stderr)

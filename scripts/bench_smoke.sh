@@ -82,6 +82,32 @@ if [ "$found" -eq 0 ]; then
     exit 1
 fi
 
+# ------------------------------------- packed scalar-fallback smoke
+# QAC_NO_AVX2=1 must drop every vector sweep engine (DESIGN.md §13):
+# rerun the kernel bench that way and check it both survives and
+# actually reports the scalar engine — a fallback that silently keeps
+# the vector path would make the env knob a no-op.
+if [ -x "$bench_dir/bench_ising_kernel" ]; then
+    # Subdirectory so the rerun's JSON artifact does not clobber the
+    # vector-engine one diffed against the baselines below.
+    mkdir -p scalar_fallback && cd scalar_fallback || exit 2
+    if ! QAC_BENCH_SMOKE=1 QAC_NO_AVX2=1 "$bench_dir/bench_ising_kernel" \
+            --benchmark_filter='NONE' >scalar_fallback.out 2>&1; then
+        echo "FAIL bench_ising_kernel: QAC_NO_AVX2=1 rerun exited" \
+             "nonzero; output:" >&2
+        cat scalar_fallback.out >&2
+        failed=1
+    elif ! grep -q 'scalar engine' scalar_fallback.out; then
+        echo "FAIL bench_ising_kernel: QAC_NO_AVX2=1 rerun did not" \
+             "report the scalar packed-sweep engine" >&2
+        grep 'engine' scalar_fallback.out >&2
+        failed=1
+    else
+        echo "ok   bench_ising_kernel (QAC_NO_AVX2=1 scalar fallback)"
+    fi
+    cd "$scratch" || exit 2
+fi
+
 # Informational drift report against committed baselines.  Structural
 # regressions are caught loudly here but do not fail the smoke: the
 # baselines pin trajectories, and updating them is a deliberate act.

@@ -2,15 +2,19 @@
 # AddressSanitizer verify configuration: proves the global stats
 # registry (and the tools driving it) leak- and race-clean.  Builds the
 # stats/CLI test targets with -DQAC_SANITIZE=address and runs the
-# stats-labelled tests plus the CLI smoke suite under ASan.
+# stats-labelled tests plus the CLI smoke suite under ASan.  The
+# packed-labelled suite rides along: the multi-spin kernel's delta
+# planes and masked vector stores (DESIGN.md §13) are exactly the kind
+# of indexed hot-loop code ASan pays for.
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=build-asan
 
 cmake -B "$BUILD" -S . -DQAC_SANITIZE=address >/dev/null
-cmake --build "$BUILD" -j --target stats_test cli_test qacc qma
+cmake --build "$BUILD" -j --target stats_test cli_test packed_test \
+    qacc qma
 cd "$BUILD"
-ctest -L stats --output-on-failure
+ctest -L 'stats|packed' --output-on-failure
 ctest -R cli_test --output-on-failure
 echo "asan verify ok"

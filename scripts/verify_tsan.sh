@@ -2,14 +2,16 @@
 # ThreadSanitizer verify configuration: proves the exec scheduler and
 # every parallelized sampler race-clean.  Builds the parallel/anneal
 # test targets with -DQAC_SANITIZE=thread and runs the parallel- and
-# anneal-labelled suites under TSan.
+# anneal-labelled suites under TSan, plus the packed suite — packed
+# passes are scheduled across threads like scalar reads, so the lane
+# state must stay thread-confined.
 set -eu
 
 cd "$(dirname "$0")/.."
 BUILD=build-tsan
 
 cmake -B "$BUILD" -S . -DQAC_SANITIZE=thread >/dev/null
-cmake --build "$BUILD" -j --target parallel_test anneal_test
+cmake --build "$BUILD" -j --target parallel_test anneal_test packed_test
 cd "$BUILD"
-ctest -L 'parallel|anneal' --output-on-failure
+ctest -L 'parallel|anneal|packed' --output-on-failure
 echo "tsan verify ok"

@@ -60,6 +60,21 @@ recordKernelStats(const char *solver, uint64_t flips,
     }
 }
 
+/**
+ * Lane accounting for the packed multi-spin kernel (DESIGN.md §13).
+ * anneal.kernel.flips stays a per-replica count (the samplers popcount
+ * accept masks into it); these gauges record the packing shape:
+ * lanes per pass and how many packed passes covered the reads.
+ */
+inline void
+recordPackedStats(uint32_t lanes, uint64_t packed_passes)
+{
+    if (!stats::Registry::global().enabled())
+        return;
+    stats::gauge("anneal.kernel.lanes", lanes);
+    stats::count("anneal.kernel.packed_passes", packed_passes);
+}
+
 } // namespace qac::anneal::detail
 
 #endif // QAC_ANNEAL_ANNEAL_STATS_H

@@ -1,0 +1,59 @@
+#include "qac/anneal/packed_sweep.h"
+
+#include "qac/anneal/metropolis.h"
+#include "qac/util/cpu.h"
+
+namespace qac::anneal {
+
+uint64_t
+packedSweepScalar(ising::PackedState &state, LaneRngs &rngs,
+                  double beta, double thresh)
+{
+    const uint32_t n = static_cast<uint32_t>(state.model().numVars());
+    const double *min_delta = state.minDelta();
+    const double *delta = state.deltaPlane();
+    uint64_t drew = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        // One compare retires all 64 lanes while every delta at i sits
+        // at or above the draw threshold — the usual case once the
+        // schedule cools.
+        if (min_delta[i] >= thresh)
+            continue;
+        const uint64_t mask = state.candidateMask(i, thresh);
+        if (mask == 0)
+            continue;
+        drew |= mask;
+        const double *di = delta + size_t{i} * ising::PackedState::kLanes;
+        uint64_t accept = 0;
+        for (uint64_t m = mask; m != 0; m &= m - 1) {
+            const unsigned l =
+                static_cast<unsigned>(__builtin_ctzll(m));
+            const double u = rngs.uniform(l);
+            accept |= uint64_t{metropolisAcceptU(u, beta * di[l])} << l;
+        }
+        if (accept != 0)
+            state.applyFlips(i, accept);
+    }
+    return drew;
+}
+
+PackedSweepFn
+selectPackedSweep()
+{
+    if (packedSweepAvx512Compiled() && util::avx512Supported())
+        return &packedSweepAvx512;
+    if (packedSweepAvx2Compiled() && util::avx2Supported())
+        return &packedSweepAvx2;
+    return &packedSweepScalar;
+}
+
+const char *
+packedSweepEngineName()
+{
+    const PackedSweepFn fn = selectPackedSweep();
+    if (fn == &packedSweepAvx512)
+        return "avx512";
+    return fn == &packedSweepAvx2 ? "avx2" : "scalar";
+}
+
+} // namespace qac::anneal

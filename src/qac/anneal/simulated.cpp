@@ -7,8 +7,11 @@
 #include "qac/anneal/anneal_stats.h"
 #include "qac/anneal/descent.h"
 #include "qac/anneal/metropolis.h"
+#include "qac/anneal/packed_sweep.h"
 #include "qac/anneal/parallel_reads.h"
+#include "qac/exec/exec.h"
 #include "qac/ising/compiled.h"
+#include "qac/ising/packed.h"
 #include "qac/stats/trace.h"
 #include "qac/telemetry/telemetry.h"
 #include "qac/util/logging.h"
@@ -23,6 +26,111 @@ namespace {
  * paying for the exp() call.
  */
 constexpr double kMaxExpArg = 40.0;
+
+/**
+ * Multi-spin-coded SA (DESIGN.md §13): reads run 64 to a packed pass,
+ * and packed passes — not individual reads — are the work items the
+ * thread pool schedules.  Lane l of pass p is read p*64+l and draws
+ * from Rng::streamAt(seed, p*64+l) exactly as the scalar path does,
+ * so the merged SampleSet and any telemetry are bitwise-identical to
+ * the scalar kernel's at every thread count.
+ */
+SampleSet
+samplePackedReads(const SimulatedAnnealer::Params &params,
+                  const ising::CompiledModel &kernel,
+                  const std::vector<double> &betas, bool monotone,
+                  telemetry::RunTrace *trun,
+                  std::atomic<uint64_t> &flips)
+{
+    constexpr uint32_t kLanes = ising::PackedState::kLanes;
+    const uint32_t n = static_cast<uint32_t>(kernel.numVars());
+    const uint32_t sweeps = static_cast<uint32_t>(betas.size());
+    const uint32_t passes = (params.num_reads + kLanes - 1) / kLanes;
+    const PackedSweepFn sweep_fn = selectPackedSweep();
+
+    std::vector<SampleSet> parts(passes);
+    exec::parallelFor(passes, params.threads, [&](size_t p) {
+        const uint32_t base = static_cast<uint32_t>(p) * kLanes;
+        const uint32_t nlanes =
+            std::min<uint32_t>(kLanes, params.num_reads - base);
+
+        ising::PackedState state(kernel);
+        LaneRngs rngs;
+        for (uint32_t l = 0; l < nlanes; ++l) {
+            Rng rng = Rng::streamAt(params.seed, base + l);
+            ising::SpinVector spins(n);
+            for (auto &s : spins)
+                s = rng.spin();
+            state.resetLane(l, spins);
+            rngs.set(l, rng);
+        }
+
+        telemetry::ReadRecorder *rec[kLanes] = {};
+        bool any_rec = false;
+        for (uint32_t l = 0; l < nlanes; ++l) {
+            rec[l] = trun ? trun->recorder(base + l) : nullptr;
+            any_rec |= rec[l] != nullptr;
+        }
+
+        // Per-lane freeze-out, mirroring the scalar sweep loop: a
+        // live lane that drew nothing in a monotone-schedule sweep is
+        // frozen — its deltas all sit at or above a threshold that
+        // only shrinks, so it can never draw again and is recorded
+        // through its freezing sweep only.
+        uint64_t live = state.activeMask();
+        uint32_t sweeps_done[kLanes];
+        std::fill(sweeps_done, sweeps_done + kLanes, sweeps);
+        for (uint32_t s = 0; s < sweeps; ++s) {
+            const double beta = betas[s];
+            const double thresh = kMaxExpArg / beta;
+            const uint64_t drew = sweep_fn(state, rngs, beta, thresh);
+            if (any_rec) {
+                for (uint64_t m = live; m != 0; m &= m - 1) {
+                    const unsigned l = static_cast<unsigned>(
+                        __builtin_ctzll(m));
+                    if (rec[l] && rec[l]->want(s))
+                        rec[l]->record(s, state.laneEnergy(l), beta,
+                                       state.flips(l),
+                                       uint64_t{s + 1} * n);
+                }
+            }
+            if (monotone) {
+                for (uint64_t m = live & ~drew; m != 0; m &= m - 1)
+                    sweeps_done[__builtin_ctzll(m)] = s + 1;
+                live &= drew;
+                if (live == 0)
+                    break;
+            }
+        }
+
+        SampleSet &part = parts[p];
+        for (uint32_t l = 0; l < nlanes; ++l) {
+            // Hand the lane to a scalar walker for the polish and the
+            // final report.  The maintained deltas are adopted, not
+            // recomputed, so the descent sees the exact values the
+            // scalar path's walker would carry here.
+            ising::LocalFieldState walker(kernel);
+            walker.adopt(state.laneSpins(l), state.laneDeltas(l),
+                         state.flips(l));
+            if (params.greedy_polish)
+                greedyDescent(walker);
+            const double e = kernel.energy(walker.spins());
+            stats::record("anneal.sa.energy", e);
+            flips.fetch_add(walker.flips(),
+                            std::memory_order_relaxed);
+            if (rec[l])
+                rec[l]->finish(e, sweeps_done[l], walker.flips(),
+                               uint64_t{sweeps_done[l]} * n);
+            part.add(walker.spins(), e);
+        }
+    });
+
+    SampleSet out;
+    for (auto &part : parts)
+        out.merge(std::move(part));
+    out.finalize();
+    return out;
+}
 
 } // namespace
 
@@ -100,6 +208,28 @@ SimulatedAnnealer::sample(const ising::IsingModel &model) const
     telemetry::RunTrace *trun =
         telemetry::Collector::global().beginRun("sa",
                                                 params_.num_reads);
+
+    // Multi-spin coding pays once enough reads share a packed pass;
+    // below that the scalar per-read kernel wins.  The two paths are
+    // bitwise-identical by contract, so this is purely a perf choice.
+    const bool use_packed =
+        params_.packed == PackedMode::On ||
+        (params_.packed == PackedMode::Auto && params_.num_reads >= 8);
+    if (use_packed) {
+        const bool monotone = ratio >= 1.0;
+        out = samplePackedReads(params_, kernel, betas, monotone, trun,
+                                flips);
+        const uint64_t elapsed = stats::Trace::nowNs() - t0;
+        detail::recordSampleStats(
+            "sa", out, uint64_t{sweeps} * params_.num_reads, elapsed);
+        detail::recordKernelStats(
+            "sa", flips.load(std::memory_order_relaxed), elapsed);
+        detail::recordPackedStats(
+            ising::PackedState::kLanes,
+            (params_.num_reads + ising::PackedState::kLanes - 1) /
+                ising::PackedState::kLanes);
+        return out;
+    }
 
     out = detail::sampleReads(
         params_.num_reads, params_.threads,

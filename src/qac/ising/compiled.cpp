@@ -101,6 +101,21 @@ LocalFieldState::reset(const SpinVector &spins)
 }
 
 void
+LocalFieldState::adopt(SpinVector spins, std::vector<double> deltas,
+                       uint64_t flips)
+{
+    if (spins.size() != model_->numVars() ||
+        deltas.size() != model_->numVars())
+        panic("LocalFieldState::adopt: %zu spins / %zu deltas for %zu "
+              "variables",
+              spins.size(), deltas.size(), model_->numVars());
+    spins_ = std::move(spins);
+    delta_ = std::move(deltas);
+    flips_ = flips;
+    energy_fresh_ = false;
+}
+
+void
 LocalFieldState::recomputeEnergy() const
 {
     // H = sum_i s_i (h_i + f_i) / 2 with s_i f_i = -delta_i / 2 (the

@@ -108,6 +108,17 @@ class LocalFieldState
     /** Adopt @p spins: recompute all deltas and the energy (O(n+m)). */
     void reset(const SpinVector &spins);
 
+    /**
+     * Adopt an externally maintained (spins, deltas, flips) snapshot —
+     * the hand-off from a packed-kernel lane (DESIGN.md §13).  Unlike
+     * reset(), the deltas are taken verbatim rather than recomputed:
+     * the packed kernel maintains them by the exact arithmetic flip()
+     * uses, and a from-scratch recomputation could differ in the last
+     * ulp, which the descent polish threshold would then see.
+     */
+    void adopt(SpinVector spins, std::vector<double> deltas,
+               uint64_t flips);
+
     const SpinVector &spins() const { return spins_; }
     Spin spin(uint32_t i) const { return spins_[i]; }
 

@@ -1,0 +1,128 @@
+#include "qac/ising/packed.h"
+
+#include <limits>
+
+#include "qac/util/logging.h"
+
+namespace qac::ising {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+PackedState::PackedState(const CompiledModel &model)
+    : model_(&model), delta_(model.numVars() * kLanes, kInf),
+      min_delta_(model.numVars(), -kInf), bits_(model.numVars(), 0),
+      flips_(kLanes, 0)
+{
+}
+
+void
+PackedState::resetLane(uint32_t lane, const SpinVector &spins)
+{
+    if (lane >= kLanes)
+        panic("PackedState::resetLane: lane %u out of range", lane);
+    if (spins.size() != model_->numVars())
+        panic("PackedState::resetLane: %zu spins for %zu variables",
+              spins.size(), model_->numVars());
+    const uint64_t bit = uint64_t{1} << lane;
+    for (uint32_t i = 0; i < spins.size(); ++i) {
+        if (spins[i] < 0)
+            bits_[i] |= bit;
+        else
+            bits_[i] &= ~bit;
+        // Exactly LocalFieldState::reset's expression per lane.
+        delta_[size_t{i} * kLanes + lane] =
+            -2.0 * spins[i] * model_->localField(spins, i);
+        min_delta_[i] = -kInf;
+    }
+    flips_[lane] = 0;
+    active_ |= bit;
+}
+
+uint64_t
+PackedState::candidateMask(uint32_t i, double thresh)
+{
+    const double *di = delta_.data() + size_t{i} * kLanes;
+    uint64_t mask = 0;
+    double mn = kInf;
+    for (uint32_t l = 0; l < kLanes; ++l) {
+        const double d = di[l];
+        mask |= uint64_t{d < thresh} << l;
+        mn = d < mn ? d : mn;
+    }
+    // The min is exact until some lane's delta at i changes, and every
+    // mutation path (applyFlips at i or at a neighbor) re-dirties it.
+    min_delta_[i] = mn;
+    return mask;
+}
+
+void
+PackedState::applyFlips(uint32_t i, uint64_t accept)
+{
+    double *di = delta_.data() + size_t{i} * kLanes;
+    for (uint64_t m = accept; m != 0; m &= m - 1) {
+        const unsigned l = static_cast<unsigned>(__builtin_ctzll(m));
+        di[l] = -di[l];
+        ++flips_[l];
+    }
+    const uint64_t bits_new = (bits_[i] ^= accept);
+
+    const uint32_t *nbr = model_->neighbors().data();
+    const double *w = model_->weights().data();
+    const uint32_t *row = model_->rowOffsets().data();
+    const uint32_t end = row[i + 1];
+    for (uint32_t k = row[i]; k < end; ++k) {
+        const uint32_t j = nbr[k];
+        // Per lane the scalar flip adds c*w*s_j with c = -4 s_new, i.e.
+        // -4w when the new spin equals the neighbor's and +4w when it
+        // differs; both scalings are exact, so the sums below are
+        // bitwise LocalFieldState::flip per lane (signed zeros
+        // included: the sign of the product is the XOR of the signs
+        // either way).
+        const double w4 = -4.0 * w[k];
+        const uint64_t same = ~(bits_new ^ bits_[j]);
+        double *dj = delta_.data() + size_t{j} * kLanes;
+        for (uint64_t m = accept; m != 0; m &= m - 1) {
+            const unsigned l = static_cast<unsigned>(__builtin_ctzll(m));
+            dj[l] += ((same >> l) & 1) ? w4 : -w4;
+        }
+        min_delta_[j] = -kInf;
+    }
+    min_delta_[i] = -kInf;
+}
+
+SpinVector
+PackedState::laneSpins(uint32_t lane) const
+{
+    SpinVector spins(model_->numVars());
+    for (uint32_t i = 0; i < spins.size(); ++i)
+        spins[i] = spin(i, lane);
+    return spins;
+}
+
+std::vector<double>
+PackedState::laneDeltas(uint32_t lane) const
+{
+    std::vector<double> out(model_->numVars());
+    for (uint32_t i = 0; i < out.size(); ++i)
+        out[i] = delta_[size_t{i} * kLanes + lane];
+    return out;
+}
+
+double
+PackedState::laneEnergy(uint32_t lane) const
+{
+    // Mirrors LocalFieldState::recomputeEnergy term for term.
+    double e = 0.0;
+    for (uint32_t i = 0; i < bits_.size(); ++i) {
+        const double s = (bits_[i] >> lane) & 1 ? -1.0 : 1.0;
+        e += 0.5 * s * model_->linear(i) -
+             0.25 * delta_[size_t{i} * kLanes + lane];
+    }
+    return e;
+}
+
+} // namespace qac::ising

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Bit-packed 64-replica Ising state (multi-spin coding, DESIGN.md §13).
+ *
+ * LocalFieldState anneals one walker; at Chimera scale the sweep loop
+ * is then bound by per-proposal bookkeeping, and `num_reads`
+ * independent reads repeat it from scratch.  PackedState runs 64
+ * replicas ("lanes") of the same CompiledModel side by side:
+ *
+ *   - spin i of all 64 lanes lives in one `uint64_t` word
+ *     (bit l set  ⇔  lane l has spin −1), so applying a set of
+ *     accepted flips is a single XOR per variable;
+ *   - the maintained flip deltas delta_{i,l} = −2 s_{i,l} f_{i,l}
+ *     form a lane-major plane (`delta[i*64 + l]`), so one pass over a
+ *     CSR row repairs all flipped lanes' neighborhoods together;
+ *   - a per-variable min-over-lanes summary lets a sweep skip a
+ *     variable with one compare once every lane's delta sits above the
+ *     Metropolis draw threshold — the dominant state late in a cooling
+ *     schedule.
+ *
+ * Determinism contract: lane l of a packed pass over reads
+ * [base, base+64) reproduces, bit for bit, what a scalar
+ * LocalFieldState walker for read base+l produces.  Every
+ * parity-critical expression here mirrors its LocalFieldState
+ * counterpart exactly (same operations, same order, same IEEE
+ * grouping); the class is deliberately scalar C++ — the vectorized
+ * sweep engines in qac/anneal operate on the raw planes it exposes
+ * and are separately held to the same contract.
+ */
+
+#ifndef QAC_ISING_PACKED_H
+#define QAC_ISING_PACKED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "qac/ising/compiled.h"
+#include "qac/ising/solution.h"
+
+namespace qac::ising {
+
+class PackedState
+{
+  public:
+    /** Replica lanes per packed pass: the width of a uint64_t. */
+    static constexpr uint32_t kLanes = 64;
+
+    /** All lanes start inactive; resetLane() brings them live. */
+    explicit PackedState(const CompiledModel &model);
+
+    const CompiledModel &model() const { return *model_; }
+
+    /**
+     * Adopt @p spins for lane @p lane and recompute its deltas —
+     * the lane-wise mirror of LocalFieldState::reset.  Marks the lane
+     * active and zeroes its flip counter.
+     */
+    void resetLane(uint32_t lane, const SpinVector &spins);
+
+    /** Lanes brought live by resetLane (bit l ⇔ lane l active).
+     *  Inactive lanes keep +inf deltas and so never propose. */
+    uint64_t activeMask() const { return active_; }
+
+    /**
+     * Candidate lanes for flipping variable @p i: bit l set when
+     * delta_{i,l} < thresh — exactly the lanes whose scalar walker
+     * would consume a uniform here.  Also refreshes the min-delta
+     * summary for @p i as a side effect.
+     */
+    uint64_t candidateMask(uint32_t i, double thresh);
+
+    /**
+     * Apply the flip of variable @p i in every lane of @p accept:
+     * negate those lanes' own deltas, XOR the spin word, and repair
+     * each neighbor's delta plane in CSR row order.  Per lane this is
+     * arithmetic-identical to LocalFieldState::flip.  Dirties the
+     * min-delta summaries of @p i and its neighbors.
+     */
+    void applyFlips(uint32_t i, uint64_t accept);
+
+    /** Accepted flips in lane @p lane since its resetLane. */
+    uint64_t flips(uint32_t lane) const { return flips_[lane]; }
+
+    Spin
+    spin(uint32_t i, uint32_t lane) const
+    {
+        return (bits_[i] >> lane) & 1 ? Spin{-1} : Spin{1};
+    }
+
+    /** Lane @p lane's full spin vector (unpacked copy). */
+    SpinVector laneSpins(uint32_t lane) const;
+
+    /** Lane @p lane's maintained deltas (copy, LocalFieldState order). */
+    std::vector<double> laneDeltas(uint32_t lane) const;
+
+    /**
+     * Lane energy from the maintained deltas — the same
+     * H = Σ_i (½ s_i h_i − ¼ delta_i) accumulation, in the same order,
+     * as LocalFieldState::energy.
+     */
+    double laneEnergy(uint32_t lane) const;
+
+    // ------------------------------------------------------------------
+    // Raw planes for the sweep engines (qac/anneal/packed_sweep*).
+    // Layouts: delta is lane-major ([i*kLanes + l]); bits is one word
+    // per variable; minDelta holds the exact min over lanes of a
+    // variable's deltas, or -inf meaning "dirty, rescan".
+    // ------------------------------------------------------------------
+    double *deltaPlane() { return delta_.data(); }
+    const double *deltaPlane() const { return delta_.data(); }
+    uint64_t *spinBits() { return bits_.data(); }
+    const uint64_t *spinBits() const { return bits_.data(); }
+    double *minDelta() { return min_delta_.data(); }
+    uint64_t *laneFlipCounters() { return flips_.data(); }
+
+  private:
+    const CompiledModel *model_;
+    std::vector<double> delta_;     ///< [n * kLanes], lane-major
+    std::vector<double> min_delta_; ///< [n], -inf = dirty
+    std::vector<uint64_t> bits_;    ///< [n], bit l set = lane l spin -1
+    std::vector<uint64_t> flips_;   ///< [kLanes]
+    uint64_t active_ = 0;
+};
+
+} // namespace qac::ising
+
+#endif // QAC_ISING_PACKED_H

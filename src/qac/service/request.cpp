@@ -106,6 +106,8 @@ serializeRequest(const SampleRequest &req)
     w.u8(req.want_telemetry ? 1 : 0);
     w.u32(req.telemetry_stride);
     w.u32(req.telemetry_capacity);
+    // Appended after PR 8; absent in older payloads (parsed as Auto).
+    w.u8(static_cast<uint8_t>(req.common.packed));
     return w.take();
 }
 
@@ -136,6 +138,15 @@ parseRequest(std::string_view bytes, SampleRequest &out,
     req.want_telemetry = r.u8() != 0;
     req.telemetry_stride = r.u32();
     req.telemetry_capacity = r.u32();
+    if (r.remaining()) { // appended after PR 8; older payloads stop here
+        const uint8_t packed = r.u8();
+        if (packed > 2) {
+            if (error)
+                *error = "malformed request: packed mode";
+            return false;
+        }
+        req.common.packed = static_cast<anneal::PackedMode>(packed);
+    }
     if (!r.ok() || r.remaining() != 0) {
         if (error)
             *error = "malformed request payload";

@@ -1,0 +1,58 @@
+#include "qac/util/cpu.h"
+
+#include <cstdlib>
+
+namespace qac::util {
+
+namespace {
+
+bool
+envSet(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && v[0] != '\0';
+}
+
+bool
+probeAvx2()
+{
+    if (envSet("QAC_NO_AVX2"))
+        return false;
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+probeAvx512()
+{
+    // QAC_NO_AVX2 collapses the whole vector ladder to scalar.
+    if (envSet("QAC_NO_AVX512") || envSet("QAC_NO_AVX2"))
+        return false;
+#if defined(__x86_64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512dq") != 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+bool
+avx2Supported()
+{
+    static const bool supported = probeAvx2();
+    return supported;
+}
+
+bool
+avx512Supported()
+{
+    static const bool supported = probeAvx512();
+    return supported;
+}
+
+} // namespace qac::util

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Runtime CPU-feature detection for the SIMD kernel dispatch.
+ *
+ * The packed Ising kernel (DESIGN.md §13) ships AVX-512 and AVX2
+ * sweep engines behind the QAC_ENABLE_AVX512 / QAC_ENABLE_AVX2 build
+ * options; whether an engine may actually run is a host property,
+ * probed here once.  Environment overrides (any non-empty value)
+ * force a lower rung of the dispatch ladder on capable hosts — the
+ * switches the smoke scripts use to prove every engine produces
+ * bit-identical results:
+ *
+ *   QAC_NO_AVX512  drop to the AVX2 engine
+ *   QAC_NO_AVX2    drop all vector engines (scalar fallback)
+ */
+
+#ifndef QAC_UTIL_CPU_H
+#define QAC_UTIL_CPU_H
+
+namespace qac::util {
+
+/**
+ * True when the host CPU executes AVX2 and the QAC_NO_AVX2 override
+ * is unset.  Probed once (thread-safe); the override is read at first
+ * call, so set it before any sampling.
+ */
+bool avx2Supported();
+
+/**
+ * True when the host CPU executes AVX-512 (F + DQ, what the packed
+ * engine uses) and neither QAC_NO_AVX512 nor QAC_NO_AVX2 is set —
+ * QAC_NO_AVX2 disables the whole vector ladder so one switch reaches
+ * the scalar engine.
+ */
+bool avx512Supported();
+
+} // namespace qac::util
+
+#endif // QAC_UTIL_CPU_H

@@ -10,6 +10,7 @@
 #ifndef QAC_UTIL_RNG_H
 #define QAC_UTIL_RNG_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -85,6 +86,17 @@ class Rng
 
     /** Derive an independent child generator (for parallel streams). */
     Rng fork();
+
+    /**
+     * Raw xoshiro256** state words.  Exposed so lane-parallel kernels
+     * can transpose many generators into structure-of-arrays form and
+     * step them in lockstep while reproducing each stream bit for bit.
+     */
+    std::array<uint64_t, 4>
+    state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
 
     /**
      * Counter-based stream derivation: the @p index-th independent

@@ -21,6 +21,7 @@
 #include "qac/anneal/sampleset.h"
 #include "qac/ising/compiled.h"
 #include "qac/ising/model.h"
+#include "qac/telemetry/telemetry.h"
 #include "qac/util/rng.h"
 
 namespace {
@@ -294,6 +295,107 @@ INSTANTIATE_TEST_SUITE_P(AllKernelSamplers, KernelSampler,
                          [](const auto &info) {
                              return std::string(info.param);
                          });
+
+// --------------------------------------------- packed-lane parity
+//
+// The multi-spin kernel (DESIGN.md §13) must be invisible in results:
+// a packed SA run is required to be bitwise-identical — SampleSet and
+// telemetry JSONL — to the scalar per-read kernel, at any thread
+// count, for full and ragged lane occupancy.
+
+anneal::SampleSet
+runSa(const ising::IsingModel &m, uint32_t reads, uint32_t threads,
+      anneal::PackedMode packed, uint64_t seed = 9)
+{
+    anneal::SamplerOpts o;
+    o.common.num_reads = reads;
+    o.common.seed = seed;
+    o.common.threads = threads;
+    o.common.packed = packed;
+    o.sweeps = 48;
+    auto sampler = anneal::makeSampler("sa", o);
+    return sampler->sample(m);
+}
+
+TEST(PackedLaneParity, FullPassMatchesScalarReads)
+{
+    // 64 reads = exactly one packed pass.
+    ising::IsingModel m = randomSparseModel(61, 40, 6);
+    anneal::SampleSet scalar =
+        runSa(m, 64, 1, anneal::PackedMode::Off);
+    for (uint32_t threads : {1u, 8u}) {
+        anneal::SampleSet packed =
+            runSa(m, 64, threads, anneal::PackedMode::On);
+        ASSERT_FALSE(packed.empty());
+        expectIdentical(scalar, packed);
+    }
+}
+
+TEST(PackedLaneParity, RaggedTailMatchesScalarReads)
+{
+    // num_reads % 64 != 0: the last pass runs with inactive lanes.
+    ising::IsingModel m = randomSparseModel(67, 36, 6);
+    for (uint32_t reads : {3u, 70u, 129u}) {
+        anneal::SampleSet scalar =
+            runSa(m, reads, 1, anneal::PackedMode::Off);
+        for (uint32_t threads : {1u, 8u}) {
+            anneal::SampleSet packed =
+                runSa(m, reads, threads, anneal::PackedMode::On);
+            ASSERT_EQ(packed.totalReads(), reads);
+            expectIdentical(scalar, packed);
+        }
+    }
+}
+
+TEST(PackedLaneParity, MaskedLaneEnergiesAreExact)
+{
+    // Ragged pass: every reported energy must still be the exact
+    // H(sigma) of the reported spins — inactive lanes must not bleed
+    // into live lanes' planes.
+    ising::IsingModel m = randomSparseModel(71, 32, 6);
+    ising::CompiledModel kernel(m);
+    anneal::SampleSet packed =
+        runSa(m, 13, 1, anneal::PackedMode::On);
+    ASSERT_EQ(packed.totalReads(), 13u);
+    for (const auto &s : packed.samples()) {
+        // Bitwise against the kernel's own fold (the sampler's
+        // reporting path), NEAR against the model's canonical fold.
+        EXPECT_EQ(s.energy, kernel.energy(s.spins));
+        EXPECT_NEAR(s.energy, m.energy(s.spins), 1e-9);
+    }
+}
+
+TEST(PackedLaneParity, TelemetryJsonlByteIdentical)
+{
+    using telemetry::Collector;
+    ising::IsingModel m = randomSparseModel(73, 30, 6);
+
+    auto capture = [&](uint32_t reads, uint32_t threads,
+                       anneal::PackedMode packed) {
+        Collector::global().clear();
+        telemetry::Config cfg;
+        cfg.stride = 4;
+        cfg.capacity = 16;
+        Collector::global().configure(cfg);
+        Collector::global().setEnabled(true);
+        runSa(m, reads, threads, packed);
+        std::string jsonl = Collector::global().toJsonl();
+        Collector::global().setEnabled(false);
+        Collector::global().clear();
+        return jsonl;
+    };
+
+    for (uint32_t reads : {64u, 70u}) {
+        const std::string scalar =
+            capture(reads, 1, anneal::PackedMode::Off);
+        ASSERT_FALSE(scalar.empty());
+        for (uint32_t threads : {1u, 8u}) {
+            EXPECT_EQ(scalar,
+                      capture(reads, threads, anneal::PackedMode::On))
+                << "reads " << reads << " threads " << threads;
+        }
+    }
+}
 
 // ------------------------------------------ thread-safe adjacency
 
