@@ -59,7 +59,7 @@ core::CompileOptions
 chimeraOptions(const std::string &cache_dir)
 {
     core::CompileOptions opts;
-    opts.top = "mult";
+    opts.verilogOpts().top = "mult";
     opts.target = core::Target::Chimera;
     opts.chimera_size = benchstats::smoke() ? 8 : 16;
     opts.cache.enabled = !cache_dir.empty();

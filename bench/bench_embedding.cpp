@@ -106,7 +106,7 @@ printChainStrengthAblation()
     std::printf("--- ablation: chain strength vs physical-run "
                 "quality (map coloring, C16) ---\n");
     core::CompileOptions opts;
-    opts.top = "australia";
+    opts.verilogOpts().top = "australia";
     opts.target = core::Target::Chimera;
     auto compiled = core::compile(kAustralia, opts);
     const auto &logical = compiled.assembled.model;

@@ -35,13 +35,13 @@ void
 printFigure2And3()
 {
     core::CompileOptions opts;
-    opts.top = "mux_add_sub";
+    opts.verilogOpts().top = "mux_add_sub";
     auto r = core::compile(kFig2, opts);
 
     std::printf("--- Figure 2/3: end-to-end transformation ---\n");
     std::printf("stage sizes: %zu lines Verilog -> %zu lines EDIF -> "
                 "%zu lines QMASM\n",
-                r.stats.verilog_lines, r.stats.edif_lines,
+                r.stats.source_lines, r.stats.edif_lines,
                 r.stats.qmasm_lines);
     std::printf("circuit: %zu gates; gate census:", r.stats.gates);
     for (const char *name : {"NOT", "AND", "OR", "NAND", "NOR", "XOR",
@@ -96,9 +96,9 @@ printTechmapAblation()
           Config{"+ NAND/NOR/XNOR", true, false},
           Config{"+ AOI/OAI cells", true, true}}) {
         core::CompileOptions opts;
-        opts.top = "mux_add_sub";
-        opts.techmap.fuse_inverters = cfg.fuse;
-        opts.techmap.use_complex_cells = cfg.complex_cells;
+        opts.verilogOpts().top = "mux_add_sub";
+        opts.verilogOpts().techmap.fuse_inverters = cfg.fuse;
+        opts.verilogOpts().techmap.use_complex_cells = cfg.complex_cells;
         auto r = core::compile(kFig2, opts);
         std::printf("%-22s %8zu %8zu %8zu\n", cfg.name, r.stats.gates,
                     r.stats.logical_vars, r.stats.logical_terms);
@@ -110,7 +110,7 @@ void
 BM_CompileFig2(benchmark::State &state)
 {
     core::CompileOptions opts;
-    opts.top = "mux_add_sub";
+    opts.verilogOpts().top = "mux_add_sub";
     for (auto _ : state)
         benchmark::DoNotOptimize(core::compile(kFig2, opts));
 }
@@ -120,7 +120,7 @@ void
 BM_CompileFig2ToChimera(benchmark::State &state)
 {
     core::CompileOptions opts;
-    opts.top = "mux_add_sub";
+    opts.verilogOpts().top = "mux_add_sub";
     opts.target = core::Target::Chimera;
     opts.chimera_size = 4;
     for (auto _ : state)

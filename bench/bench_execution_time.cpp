@@ -75,7 +75,7 @@ printExecutionTimeTable()
 
     // Annealer side: compile once, run many anneals, count solutions.
     core::CompileOptions opts;
-    opts.top = "australia";
+    opts.verilogOpts().top = "australia";
     core::Executable prog(core::compile(kAustralia, opts));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;
@@ -144,7 +144,7 @@ printThreadScalingTable()
                 "identical");
 
     core::CompileOptions opts;
-    opts.top = "australia";
+    opts.verilogOpts().top = "australia";
     core::Executable prog(core::compile(kAustralia, opts));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;
@@ -186,7 +186,7 @@ void
 BM_AnnealerPerRead(benchmark::State &state)
 {
     core::CompileOptions opts;
-    opts.top = "australia";
+    opts.verilogOpts().top = "australia";
     core::Executable prog(core::compile(kAustralia, opts));
     prog.pinDirective("valid := true");
     core::Executable::RunOptions ro;

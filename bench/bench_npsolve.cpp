@@ -53,7 +53,7 @@ core::Executable
 makeCircsat()
 {
     core::CompileOptions opts;
-    opts.top = "circsat";
+    opts.verilogOpts().top = "circsat";
     core::Executable prog(core::compile(kCircsat, opts));
     prog.pinDirective("y := true");
     return prog;
@@ -63,7 +63,7 @@ core::Executable
 makeFactor()
 {
     core::CompileOptions opts;
-    opts.top = "mult";
+    opts.verilogOpts().top = "mult";
     core::Executable prog(core::compile(kMult, opts));
     prog.pinDirective("C[7:0] := 10001111"); // 143
     return prog;

@@ -44,8 +44,8 @@ printQubitToll()
                             : std::vector<size_t>{1, 2, 3, 4, 6, 8};
     for (size_t steps : depths) {
         core::CompileOptions opts;
-        opts.top = "count";
-        opts.unroll_steps = steps;
+        opts.verilogOpts().top = "count";
+        opts.verilogOpts().unroll_steps = steps;
         // Smoke skips the C16 embeddings: the qubit-count
         // column is the slow part and the compile path is
         // what the sanity pass needs to cover.
@@ -73,8 +73,8 @@ void
 BM_UnrollAndCompile(benchmark::State &state)
 {
     core::CompileOptions opts;
-    opts.top = "count";
-    opts.unroll_steps = static_cast<size_t>(state.range(0));
+    opts.verilogOpts().top = "count";
+    opts.verilogOpts().unroll_steps = static_cast<size_t>(state.range(0));
     for (auto _ : state)
         benchmark::DoNotOptimize(core::compile(kCount, opts));
     state.SetLabel(qac::format("steps=%lld",

@@ -60,7 +60,7 @@ core::CompileResult
 compileMult()
 {
     core::CompileOptions opts;
-    opts.top = "mult";
+    opts.verilogOpts().top = "mult";
     return core::compile(multiplierSource(benchstats::smoke() ? 2 : 3),
                          opts);
 }

@@ -80,13 +80,13 @@ void
 printStaticProperties()
 {
     core::CompileOptions opts;
-    opts.top = "australia";
+    opts.verilogOpts().top = "australia";
     auto r = core::compile(kAustralia, opts);
 
     std::printf("--- Section 6.1: static properties of Listing 7 ---\n");
     std::printf("%-28s %10s %10s\n", "metric", "QAC", "paper");
     std::printf("%-28s %10zu %10s\n", "Verilog lines",
-                r.stats.verilog_lines, "6");
+                r.stats.source_lines, "6");
     std::printf("%-28s %10zu %10s\n", "EDIF lines", r.stats.edif_lines,
                 "123");
     std::printf("%-28s %10zu %10s\n", "QMASM lines (main)",
@@ -171,7 +171,7 @@ void
 BM_CompileAustralia(benchmark::State &state)
 {
     core::CompileOptions opts;
-    opts.top = "australia";
+    opts.verilogOpts().top = "australia";
     for (auto _ : state)
         benchmark::DoNotOptimize(core::compile(kAustralia, opts));
 }
@@ -181,7 +181,7 @@ void
 BM_EmbedAustralia(benchmark::State &state)
 {
     core::CompileOptions opts;
-    opts.top = "australia";
+    opts.verilogOpts().top = "australia";
     auto r = core::compile(kAustralia, opts);
     auto hw = chimera::chimeraGraph(16);
     std::vector<std::pair<uint32_t, uint32_t>> edges;

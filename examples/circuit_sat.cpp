@@ -40,7 +40,7 @@ main()
     using namespace qac;
 
     core::CompileOptions opts;
-    opts.top = "circsat";
+    opts.verilogOpts().top = "circsat";
     core::Executable prog(core::compile(kCircsat, opts));
 
     // Run backward: pin the output to true and anneal.

@@ -42,8 +42,8 @@ main()
 
     const size_t steps = 4;
     core::CompileOptions opts;
-    opts.top = "count";
-    opts.unroll_steps = steps;
+    opts.verilogOpts().top = "count";
+    opts.verilogOpts().unroll_steps = steps;
     core::CompileResult compiled = core::compile(kCount, opts);
 
     std::printf("counter unrolled for %zu steps: %zu gates, "

@@ -31,7 +31,7 @@ main()
     using namespace qac;
 
     core::CompileOptions opts;
-    opts.top = "mult";
+    opts.verilogOpts().top = "mult";
     core::Executable prog(core::compile(kMult, opts));
 
     core::Executable::RunOptions ro;

@@ -54,14 +54,14 @@ main()
     // Compile for the D-Wave 2000Q target: the minor embedding onto the
     // C16 Chimera graph happens at compile time (Section 4.4).
     core::CompileOptions opts;
-    opts.top = "australia";
+    opts.verilogOpts().top = "australia";
     opts.target = core::Target::Chimera;
     opts.chimera_size = 16;
     core::CompileResult compiled = core::compile(kAustralia, opts);
 
     std::printf("static properties (paper Section 6.1):\n");
     std::printf("  Verilog lines:     %zu\n",
-                compiled.stats.verilog_lines);
+                compiled.stats.source_lines);
     std::printf("  EDIF lines:        %zu\n", compiled.stats.edif_lines);
     std::printf("  QMASM lines:       %zu (+ %zu stdcell)\n",
                 compiled.stats.qmasm_lines,

@@ -31,11 +31,11 @@ main()
 
     // 1. Compile Verilog -> netlist -> EDIF -> QMASM -> Ising model.
     core::CompileOptions opts;
-    opts.top = "mux_add_sub";
+    opts.verilogOpts().top = "mux_add_sub";
     core::CompileResult compiled = core::compile(kSource, opts);
 
     std::printf("compiled %zu lines of Verilog into:\n",
-                compiled.stats.verilog_lines);
+                compiled.stats.source_lines);
     std::printf("  %5zu lines of EDIF\n", compiled.stats.edif_lines);
     std::printf("  %5zu lines of QMASM (+ %zu-line stdcell library)\n",
                 compiled.stats.qmasm_lines,

@@ -58,7 +58,7 @@ main()
     using namespace qac;
 
     core::CompileOptions opts;
-    opts.top = "subset_sum";
+    opts.verilogOpts().top = "subset_sum";
     core::CompileResult compiled = core::compile(kSubsetSum, opts);
     std::printf("subset-sum verifier: %zu gates, %zu logical "
                 "variables\n\n",

@@ -5,7 +5,9 @@
 # stats-labelled tests plus the CLI smoke suite under ASan.  The
 # packed-labelled suite rides along: the multi-spin kernel's delta
 # planes and masked vector stores (DESIGN.md §13) are exactly the kind
-# of indexed hot-loop code ASan pays for.
+# of indexed hot-loop code ASan pays for.  So does the sat-labelled
+# suite: the DIMACS parser and clause-gadget lowering are classic
+# indexed-buffer parsing code.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,8 +15,8 @@ BUILD=build-asan
 
 cmake -B "$BUILD" -S . -DQAC_SANITIZE=address >/dev/null
 cmake --build "$BUILD" -j --target stats_test cli_test packed_test \
-    qacc qma
+    dimacs_test qacc qma qsat
 cd "$BUILD"
-ctest -L 'stats|packed' --output-on-failure
+ctest -L 'stats|packed|sat' --output-on-failure
 ctest -R cli_test --output-on-failure
 echo "asan verify ok"

@@ -11,7 +11,8 @@ cd "$(dirname "$0")/.."
 BUILD=build-tsan
 
 cmake -B "$BUILD" -S . -DQAC_SANITIZE=thread >/dev/null
-cmake --build "$BUILD" -j --target parallel_test anneal_test packed_test
+cmake --build "$BUILD" -j --target parallel_test anneal_test \
+    packed_test dimacs_test
 cd "$BUILD"
-ctest -L 'parallel|anneal|packed' --output-on-failure
+ctest -L 'parallel|anneal|packed|sat' --output-on-failure
 echo "tsan verify ok"

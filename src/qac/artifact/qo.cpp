@@ -315,15 +315,71 @@ readEmbedded(Reader &r)
     return em;
 }
 
+// --------------------------------------------------------- dimacs decode
+
+void
+writeDecode(Writer &w, const dimacs::DecodeInfo &d)
+{
+    w.u32(d.num_vars);
+    w.u8(d.weighted ? 1 : 0);
+    w.u64(d.top_weight);
+    w.f64(d.hard_weight);
+    w.f64(d.energy_offset);
+    w.u32(d.num_ancillas);
+    w.u32(d.shared_ancillas);
+    w.u64(d.clauses.size());
+    for (const auto &cl : d.clauses) {
+        w.u64(cl.weight);
+        w.u8(cl.hard ? 1 : 0);
+        w.u64(cl.lits.size());
+        for (int32_t lit : cl.lits)
+            w.u32(static_cast<uint32_t>(lit)); // two's complement
+    }
+}
+
+dimacs::DecodeInfo
+readDecode(Reader &r)
+{
+    dimacs::DecodeInfo d;
+    d.num_vars = r.u32();
+    d.weighted = r.u8() != 0;
+    d.top_weight = r.u64();
+    d.hard_weight = r.f64();
+    d.energy_offset = r.f64();
+    d.num_ancillas = r.u32();
+    d.shared_ancillas = r.u32();
+    uint64_t nclauses = r.u64();
+    for (uint64_t i = 0; i < nclauses && r.ok(); ++i) {
+        dimacs::Clause cl;
+        cl.weight = r.u64();
+        cl.hard = r.u8() != 0;
+        uint64_t nlits = r.u64();
+        if (nlits * 4 > r.remaining()) {
+            while (r.ok())
+                r.u64();
+            break;
+        }
+        cl.lits.reserve(static_cast<size_t>(nlits));
+        for (uint64_t k = 0; k < nlits && r.ok(); ++k)
+            cl.lits.push_back(static_cast<int32_t>(r.u32()));
+        d.clauses.push_back(std::move(cl));
+    }
+    return d;
+}
+
 } // namespace
 
 std::string
 serializeQo(const core::CompileResult &result)
 {
     Writer w;
+    w.str(result.frontend);
     w.str(result.edif_text);
     writeProgram(w, result.qmasm_program);
     writeAssembled(w, result.assembled);
+    w.u8(result.dimacs_decode ? 1 : 0);
+    if (result.dimacs_decode)
+        writeDecode(w, *result.dimacs_decode);
     w.u8(result.hardware ? 1 : 0);
     if (result.hardware)
         writeHardware(w, *result.hardware);
@@ -334,7 +390,7 @@ serializeQo(const core::CompileResult &result)
     if (result.embedded)
         writeEmbedded(w, *result.embedded);
     const auto &s = result.stats;
-    for (size_t v : {s.verilog_lines, s.edif_lines, s.qmasm_lines,
+    for (size_t v : {s.source_lines, s.edif_lines, s.qmasm_lines,
                      s.stdcell_lines, s.gates, s.logical_vars,
                      s.logical_terms, s.physical_qubits,
                      s.physical_terms, s.max_chain_length})
@@ -351,9 +407,13 @@ deserializeQo(std::string_view bytes, std::string *error)
 
     core::CompileResult res;
     Reader r(*payload);
+    res.frontend = r.str();
     res.edif_text = r.str();
     res.qmasm_program = readProgram(r);
     res.assembled = readAssembled(r);
+    if (r.u8()) {
+        res.dimacs_decode = readDecode(r);
+    }
     if (r.u8()) {
         res.hardware = readHardware(r);
     }
@@ -366,7 +426,7 @@ deserializeQo(std::string_view bytes, std::string *error)
         res.embedded = readEmbedded(r);
     }
     auto &s = res.stats;
-    for (size_t *v : {&s.verilog_lines, &s.edif_lines, &s.qmasm_lines,
+    for (size_t *v : {&s.source_lines, &s.edif_lines, &s.qmasm_lines,
                       &s.stdcell_lines, &s.gates, &s.logical_vars,
                       &s.logical_terms, &s.physical_qubits,
                       &s.physical_terms, &s.max_chain_length})
@@ -379,14 +439,17 @@ deserializeQo(std::string_view bytes, std::string *error)
 
     // The netlist is not serialized: compile() itself materializes it
     // by re-reading the EDIF it just emitted, so reconstructing from
-    // the stored text reproduces the original exactly.
-    try {
-        res.netlist = edif::readEdif(res.edif_text);
-    } catch (const FatalError &e) {
-        if (error)
-            *error = format("embedded EDIF does not parse: %s",
-                            e.what());
-        return std::nullopt;
+    // the stored text reproduces the original exactly.  Netlist-less
+    // frontends (DIMACS) store no EDIF and keep an empty netlist.
+    if (!res.edif_text.empty()) {
+        try {
+            res.netlist = edif::readEdif(res.edif_text);
+        } catch (const FatalError &e) {
+            if (error)
+                *error = format("embedded EDIF does not parse: %s",
+                                e.what());
+            return std::nullopt;
+        }
     }
     return res;
 }

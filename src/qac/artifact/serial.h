@@ -27,8 +27,12 @@ namespace qac::artifact {
  * Version of every artifact byte format (.qo objects and cache
  * entries).  Bump on any layout *or semantic* change — it is part of
  * the cache key, so stale entries from older toolchains never load.
+ *
+ * v2 (PR 9): .qo records the producing frontend key and optional
+ * DIMACS decode metadata (clause list + variable<->spin map) so
+ * executors can print model lines without the original source.
  */
-constexpr uint32_t kArtifactFormatVersion = 1;
+constexpr uint32_t kArtifactFormatVersion = 2;
 
 /** Append-only little-endian byte sink. */
 class Writer

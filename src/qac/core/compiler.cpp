@@ -1,111 +1,38 @@
 #include "qac/core/compiler.h"
 
-#include "qac/cells/gate.h"
-#include "qac/edif/reader.h"
-#include "qac/edif/writer.h"
-#include "qac/netlist/opt.h"
-#include "qac/qmasm/stdcell_lib.h"
+#include "qac/core/frontend.h"
 #include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 #include "qac/util/strings.h"
 
 namespace qac::core {
 
-namespace {
-
-// Cell-type histogram of the final mapped netlist (the paper's Table 5
-// mix), published under netlist.cells.<NAME>.
-void
-recordCellHistogram(const netlist::Netlist &nl)
-{
-    if (!stats::Registry::global().enabled())
-        return;
-    size_t hist[cells::kNumGateTypes] = {};
-    for (const auto &g : nl.gates())
-        ++hist[static_cast<size_t>(g.type)];
-    for (size_t t = 0; t < cells::kNumGateTypes; ++t) {
-        if (hist[t] == 0)
-            continue;
-        stats::gauge(std::string("netlist.cells.") +
-                         cells::gateInfo(static_cast<cells::GateType>(t)).name,
-                     hist[t]);
-    }
-}
-
-} // namespace
-
 CompileResult
-compile(const std::string &verilog_source, const CompileOptions &opts)
+compile(const std::string &source, const CompileOptions &opts)
 {
     stats::ScopedTimer total_timer("compile.total");
 
     CompileResult res;
-    res.stats.verilog_lines = countLines(verilog_source);
+    res.stats.source_lines = countLines(source);
 
-    // 1. Synthesis (the Yosys step).
-    verilog::SynthOptions sopts;
-    sopts.top_params = opts.top_params;
-    netlist::Netlist nl;
+    // 1. The language-specific half: parse + lower via the registered
+    // frontend (synthesis/EDIF for Verilog, penalty gadgets for
+    // DIMACS).
+    std::unique_ptr<Frontend> fe = makeFrontend(opts.frontend);
+    res.frontend = fe->name();
     {
-        stats::ScopedTimer t("compile.synth");
-        nl = verilog::synthesizeSource(verilog_source, opts.top, sopts);
+        FrontendOutput out = fe->parse(source, opts);
+        res.netlist = std::move(out.netlist);
+        res.edif_text = std::move(out.edif_text);
+        res.qmasm_program = std::move(out.program);
+        res.dimacs_decode = std::move(out.dimacs_decode);
+        res.stats.qmasm_lines = out.qmasm_lines;
+        res.stats.stdcell_lines = out.stdcell_lines;
     }
+    res.stats.edif_lines =
+        res.edif_text.empty() ? 0 : countLines(res.edif_text);
 
-    // 2. Sequential unrolling (Section 4.3.3).
-    if (nl.isSequential()) {
-        if (opts.unroll_steps == 0)
-            fatal("module '%s' is sequential; set unroll_steps",
-                  opts.top.c_str());
-        stats::ScopedTimer t("compile.unroll");
-        nl = netlist::unrollSequential(nl, opts.unroll_steps,
-                                       opts.unroll);
-    }
-
-    // 3. ABC-style optimization and technology mapping.
-    if (opts.optimize) {
-        stats::ScopedTimer t("compile.opt");
-        netlist::optimize(nl);
-    }
-    if (opts.do_techmap) {
-        {
-            stats::ScopedTimer t("compile.techmap");
-            netlist::techMap(nl, opts.techmap);
-        }
-        if (opts.optimize) {
-            stats::ScopedTimer t("compile.opt");
-            netlist::optimize(nl);
-        }
-    }
-
-    // 4. EDIF emission and re-ingestion: the pipeline genuinely passes
-    // through the interchange format, as the paper's does.
-    {
-        stats::ScopedTimer t("compile.edif_write");
-        res.edif_text = edif::writeEdif(nl);
-    }
-    res.stats.edif_lines = countLines(res.edif_text);
-    {
-        stats::ScopedTimer t("compile.edif_read");
-        res.netlist = edif::readEdif(res.edif_text);
-    }
-    recordCellHistogram(res.netlist);
-
-    // 5. edif2qmasm.
-    {
-        stats::ScopedTimer t("compile.edif2qmasm");
-        res.qmasm_program = qmasm::netlistToQmasm(res.netlist);
-    }
-    {
-        // Count the main program without the standard-cell macros, the
-        // way Section 6.1 reports "736 lines of QMASM (excluding the
-        // 232 lines in the standard-cell library)".
-        qmasm::Program main_only;
-        main_only.statements = res.qmasm_program.statements;
-        res.stats.qmasm_lines = main_only.lineCount();
-        res.stats.stdcell_lines = countLines(qmasm::stdcellText());
-    }
-
-    // 6. Assembly to the logical Ising model.
+    // 2. Assembly to the logical Ising model.
     {
         stats::ScopedTimer t("compile.assemble");
         res.assembled = qmasm::assemble(res.qmasm_program, opts.assemble);
@@ -114,7 +41,7 @@ compile(const std::string &verilog_source, const CompileOptions &opts)
     res.stats.logical_vars = res.assembled.model.numVars();
     res.stats.logical_terms = res.assembled.model.numTerms();
 
-    // 7. Minor embedding for hardware targets (Section 4.4).  The
+    // 3. Minor embedding for hardware targets (Section 4.4).  The
     // minorminer stage is memoized through the artifact cache: a warm
     // compile loads the chain map by content address and skips the
     // embedder (and its compile.embed timer) entirely.

@@ -1,12 +1,19 @@
 /**
  * @file
- * The end-to-end compiler driver (paper, Section 4): Verilog ->
- * gate netlist (synthesis + ABC-style optimization + tech mapping) ->
- * EDIF -> QMASM -> logical Ising model -> (optionally) minor-embedded
- * physical Ising model for a Chimera-topology annealer.
+ * The end-to-end compiler driver (paper, Section 4): source language
+ * -> lowered logical model -> (optionally) minor-embedded physical
+ * Ising model for a Chimera-topology annealer.
+ *
+ * The language-specific half of the pipeline lives behind the
+ * core::Frontend registry (frontend.h): Verilog runs synthesis ->
+ * optimization -> tech mapping -> EDIF -> QMASM, DIMACS runs clause
+ * parsing -> penalty-gadget lowering.  Everything below the lowered
+ * QMASM program — assembly, embedding, caching, execution — is shared
+ * by every frontend, so any source language compiles to the same .qo
+ * artifacts and is served by qmad unchanged.
  *
  * Every intermediate artifact is retained on the result so the paper's
- * Section 6.1 static-properties experiment (lines of Verilog / EDIF /
+ * Section 6.1 static-properties experiment (lines of source / EDIF /
  * QMASM, logical variables, physical qubits, term counts) reads
  * directly off one compile() call.
  */
@@ -16,17 +23,16 @@
 
 #include <optional>
 #include <string>
+#include <variant>
 
 #include "qac/artifact/cache.h"
 #include "qac/chimera/chimera.h"
+#include "qac/dimacs/lower.h"
 #include "qac/embed/embed_model.h"
 #include "qac/embed/minorminer.h"
 #include "qac/netlist/netlist.h"
-#include "qac/netlist/techmap.h"
-#include "qac/netlist/unroll.h"
 #include "qac/qmasm/assemble.h"
-#include "qac/qmasm/edif2qmasm.h"
-#include "qac/verilog/synth.h"
+#include "qac/verilog/frontend.h"
 
 namespace qac::core {
 
@@ -36,19 +42,59 @@ enum class Target {
     Chimera, ///< minor-embed onto a Chimera graph (the D-Wave 2000Q)
 };
 
+/**
+ * Compile options: a frontend key plus that frontend's options
+ * (the language-specific half), then the frontend-neutral pipeline
+ * options shared by every source language.
+ */
 struct CompileOptions
 {
-    std::string top;                 ///< top module name
-    verilog::ParamEnv top_params;    ///< parameter overrides
+    /** Registered frontend key ("verilog", "dimacs", ...). */
+    std::string frontend = "verilog";
 
-    /** Time steps for sequential designs (Section 4.3.3); 0 means the
-     *  design must be purely combinational. */
-    size_t unroll_steps = 0;
-    netlist::UnrollOptions unroll;
+    /** Options for the selected frontend.  Use verilogOpts() /
+     *  dimacsOpts() instead of touching the variant directly: the
+     *  mutable accessors also select the matching frontend key. */
+    std::variant<verilog::FrontendOptions, dimacs::FrontendOptions>
+        frontend_opts;
 
-    bool optimize = true;
-    bool do_techmap = true;
-    netlist::TechMapOptions techmap;
+    verilog::FrontendOptions &
+    verilogOpts()
+    {
+        frontend = "verilog";
+        if (!std::holds_alternative<verilog::FrontendOptions>(
+                frontend_opts))
+            frontend_opts = verilog::FrontendOptions{};
+        return std::get<verilog::FrontendOptions>(frontend_opts);
+    }
+
+    dimacs::FrontendOptions &
+    dimacsOpts()
+    {
+        frontend = "dimacs";
+        if (!std::holds_alternative<dimacs::FrontendOptions>(
+                frontend_opts))
+            frontend_opts = dimacs::FrontendOptions{};
+        return std::get<dimacs::FrontendOptions>(frontend_opts);
+    }
+
+    const verilog::FrontendOptions &
+    verilogOpts() const
+    {
+        static const verilog::FrontendOptions defaults;
+        auto *p = std::get_if<verilog::FrontendOptions>(&frontend_opts);
+        return p ? *p : defaults;
+    }
+
+    const dimacs::FrontendOptions &
+    dimacsOpts() const
+    {
+        static const dimacs::FrontendOptions defaults;
+        auto *p = std::get_if<dimacs::FrontendOptions>(&frontend_opts);
+        return p ? *p : defaults;
+    }
+
+    // ---- frontend-neutral options ----
 
     qmasm::AssembleOptions assemble;
 
@@ -76,10 +122,16 @@ struct CompileOptions
 /** All artifacts of one compilation. */
 struct CompileResult
 {
-    netlist::Netlist netlist;        ///< optimized, mapped, unrolled
-    std::string edif_text;
+    std::string frontend = "verilog"; ///< frontend that produced this
+
+    netlist::Netlist netlist;        ///< empty for netlist-less frontends
+    std::string edif_text;           ///< "" for netlist-less frontends
     qmasm::Program qmasm_program;
     qmasm::Assembled assembled;      ///< logical model + symbol table
+
+    /** DIMACS decode metadata (variable<->spin map, clause list);
+     *  travels through .qo so executors can report model lines. */
+    std::optional<dimacs::DecodeInfo> dimacs_decode;
 
     /** Populated for Target::Chimera. */
     std::optional<chimera::HardwareGraph> hardware;
@@ -88,7 +140,7 @@ struct CompileResult
 
     struct Stats
     {
-        size_t verilog_lines = 0;
+        size_t source_lines = 0;     ///< lines of frontend source
         size_t edif_lines = 0;
         size_t qmasm_lines = 0;      ///< main program, stdcell excluded
         size_t stdcell_lines = 0;
@@ -102,8 +154,12 @@ struct CompileResult
     Stats stats;
 };
 
-/** Compile Verilog source through the full pipeline. */
-CompileResult compile(const std::string &verilog_source,
+/**
+ * Compile source text through the full pipeline using the frontend
+ * named by opts.frontend.  Fatal (UnknownFrontendError) when no such
+ * frontend is registered.
+ */
+CompileResult compile(const std::string &source,
                       const CompileOptions &opts);
 
 } // namespace qac::core

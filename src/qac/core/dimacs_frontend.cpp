@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The DIMACS frontend adapter: strict CNF/WCNF parsing followed by
+ * clause -> penalty-gadget lowering (src/qac/dimacs).  Produces no
+ * netlist or EDIF — the lowered QMASM program plus DecodeInfo is the
+ * whole artifact — so downstream stages (assembly, embedding, .qo,
+ * qmad) run unchanged.
+ */
+
+#include "qac/core/frontend.h"
+
+#include "qac/stats/registry.h"
+
+namespace qac::core {
+
+namespace {
+
+class DimacsFrontend : public Frontend
+{
+  public:
+    std::string name() const override { return "dimacs"; }
+
+    FrontendOutput
+    parse(const std::string &source,
+          const CompileOptions &opts) const override
+    {
+        FrontendOutput out;
+        dimacs::Instance inst;
+        {
+            stats::ScopedTimer t("compile.parse_dimacs");
+            inst = dimacs::parseDimacs(source);
+        }
+        dimacs::Lowered lowered;
+        {
+            stats::ScopedTimer t("compile.lower_dimacs");
+            lowered = dimacs::lower(inst, opts.dimacsOpts());
+        }
+        out.program = std::move(lowered.program);
+        out.qmasm_lines = out.program.lineCount();
+        out.dimacs_decode = std::move(lowered.decode);
+
+        const auto &dec = *out.dimacs_decode;
+        stats::gauge("dimacs.vars", dec.num_vars);
+        stats::gauge("dimacs.clauses", dec.clauses.size());
+        stats::gauge("dimacs.ancillas", dec.num_ancillas);
+        stats::gauge("dimacs.shared_ancillas", dec.shared_ancillas);
+        return out;
+    }
+};
+
+} // namespace
+
+void
+registerDimacsFrontend()
+{
+    registerFrontend(
+        "dimacs", [] { return std::make_unique<DimacsFrontend>(); },
+        {"cnf", "wcnf"});
+}
+
+} // namespace qac::core

@@ -1,0 +1,119 @@
+#include "qac/core/frontend.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+
+namespace qac::core {
+
+// Built-in frontend registration hooks, defined in their adapter
+// translation units (verilog_frontend.cpp, dimacs_frontend.cpp).
+// Called lazily from the registry so a static-library link can never
+// drop the registrations.
+void registerVerilogFrontend();
+void registerDimacsFrontend();
+
+namespace {
+
+struct Registry
+{
+    std::map<std::string, FrontendBuilder> builders;
+    std::map<std::string, std::string> ext_to_name;
+};
+
+// Storage and lazy built-in registration are split so that
+// registerFrontend() (called from inside the call_once) reaches the
+// maps without re-entering the once_flag.
+Registry &
+storage()
+{
+    static Registry reg;
+    return reg;
+}
+
+Registry &
+registry()
+{
+    static std::once_flag builtins;
+    std::call_once(builtins, [] {
+        registerVerilogFrontend();
+        registerDimacsFrontend();
+    });
+    return storage();
+}
+
+} // namespace
+
+UnknownFrontendError::UnknownFrontendError(const std::string &key)
+    : FatalError("unknown frontend '" + key + "' (available: " +
+                 frontendNamesJoined() + ")")
+{}
+
+void
+registerFrontend(const std::string &name, FrontendBuilder builder,
+                 const std::vector<std::string> &extensions)
+{
+    Registry &reg = storage();
+    reg.builders[name] = std::move(builder);
+    for (const auto &ext : extensions)
+        reg.ext_to_name[ext] = name;
+}
+
+std::unique_ptr<Frontend>
+makeFrontend(const std::string &name)
+{
+    Registry &reg = registry();
+    auto it = reg.builders.find(name);
+    if (it == reg.builders.end())
+        throw UnknownFrontendError(name);
+    return it->second();
+}
+
+bool
+hasFrontend(const std::string &name)
+{
+    Registry &reg = registry();
+    return reg.builders.count(name) != 0;
+}
+
+std::vector<std::string>
+frontendNames()
+{
+    Registry &reg = registry();
+    std::vector<std::string> names;
+    names.reserve(reg.builders.size());
+    for (const auto &[name, builder] : reg.builders)
+        names.push_back(name);
+    return names;
+}
+
+std::string
+frontendNamesJoined()
+{
+    std::string joined;
+    for (const auto &name : frontendNames()) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += name;
+    }
+    return joined;
+}
+
+std::string
+frontendForPath(const std::string &path)
+{
+    auto dot = path.find_last_of('.');
+    auto slash = path.find_last_of("/\\");
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return "";
+    std::string ext = path.substr(dot + 1);
+    std::transform(ext.begin(), ext.end(), ext.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    Registry &reg = registry();
+    auto it = reg.ext_to_name.find(ext);
+    return it == reg.ext_to_name.end() ? "" : it->second;
+}
+
+} // namespace qac::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The frontend registry: string-keyed source-language frontends for
+ * core::compile(), mirroring the anneal::makeSampler solver registry.
+ *
+ * A Frontend owns the language-specific half of the pipeline: it
+ * parses source text and lowers it to the shared logical
+ * representation (a QMASM program, plus whatever the language needs
+ * to decode solutions back — netlist artifacts for Verilog, the
+ * variable<->spin map and clause list for DIMACS).  Everything below
+ * assembly is frontend-neutral.
+ *
+ * Built-in frontends ("verilog", "dimacs") self-register lazily on
+ * first registry access, so static-library link order can never drop
+ * them; external code can add more with registerFrontend().
+ */
+
+#ifndef QAC_CORE_FRONTEND_H
+#define QAC_CORE_FRONTEND_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qac/core/compiler.h"
+#include "qac/util/logging.h"
+
+namespace qac::core {
+
+/** What a frontend hands to the shared pipeline. */
+struct FrontendOutput
+{
+    /** The lowered symbolic program; assembled by core::compile(). */
+    qmasm::Program program;
+
+    /** Netlist artifacts (Verilog); empty for netlist-less frontends. */
+    netlist::Netlist netlist;
+    std::string edif_text;
+
+    /** Decode metadata for DIMACS-family frontends. */
+    std::optional<dimacs::DecodeInfo> dimacs_decode;
+
+    /** Extra stats the frontend wants on CompileResult::Stats. */
+    size_t qmasm_lines = 0;
+    size_t stdcell_lines = 0;
+};
+
+/** A source-language frontend. */
+class Frontend
+{
+  public:
+    virtual ~Frontend() = default;
+
+    /** The registry key this frontend was built under. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Parse and lower source text.  Frontend-specific options come
+     * from the matching CompileOptions accessor; fatal on malformed
+     * source.
+     */
+    virtual FrontendOutput parse(const std::string &source,
+                                 const CompileOptions &opts) const = 0;
+};
+
+/** Thrown (via fatal semantics) for an unregistered frontend key. */
+class UnknownFrontendError : public FatalError
+{
+  public:
+    explicit UnknownFrontendError(const std::string &key);
+};
+
+using FrontendBuilder = std::function<std::unique_ptr<Frontend>()>;
+
+/**
+ * Register a frontend under @p name, optionally claiming source-file
+ * extensions (without the dot: "v", "cnf") for frontendForPath().
+ * Re-registering a name replaces the builder.
+ */
+void registerFrontend(const std::string &name, FrontendBuilder builder,
+                      const std::vector<std::string> &extensions = {});
+
+/** Instantiate a registered frontend; throws UnknownFrontendError. */
+std::unique_ptr<Frontend> makeFrontend(const std::string &name);
+
+bool hasFrontend(const std::string &name);
+
+/** Registered keys, sorted. */
+std::vector<std::string> frontendNames();
+
+/** "dimacs, verilog" — for usage messages. */
+std::string frontendNamesJoined();
+
+/**
+ * The frontend key claiming @p path's extension (".v" -> "verilog",
+ * ".cnf"/".wcnf" -> "dimacs"), or "" when no registered frontend
+ * claims it.
+ */
+std::string frontendForPath(const std::string &path);
+
+} // namespace qac::core
+
+#endif // QAC_CORE_FRONTEND_H

@@ -57,8 +57,16 @@ parsePinDirective(const std::string &directive,
     }
 
     const netlist::Port *p = nl.findPort(port);
-    if (!p)
+    if (!p) {
+        // Netlist-less frontends (DIMACS) have no ports at all; there
+        // a rangeless directive pins the bare logical symbol.  With a
+        // real netlist an unknown port stays a hard error.
+        std::string rl = toLower(rhs);
+        if (nl.ports().empty() && msb < 0 &&
+            (rl == "true" || rl == "false" || rl == "0" || rl == "1"))
+            return {{port, rl == "true" || rl == "1"}};
         fatal("pin: no port named '%s'", port.c_str());
+    }
     if (msb < 0) {
         msb = static_cast<int>(p->bits.size()) - 1;
         lsb = 0;

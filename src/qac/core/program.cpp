@@ -8,6 +8,7 @@
 #include "qac/ising/compiled.h"
 #include "qac/embed/roof_duality.h"
 #include "qac/netlist/simulate.h"
+#include "qac/qmasm/edif2qmasm.h"
 #include "qac/stats/registry.h"
 #include "qac/stats/trace.h"
 #include "qac/telemetry/analyze.h"
@@ -251,6 +252,25 @@ Executable::run(const RunOptions &opts) const
             if (compiled_.assembled.symbolValue(full, pin.symbol) !=
                 pin.value)
                 ok = false;
+        }
+        if (compiled_.dimacs_decode) {
+            // DIMACS decode: reconstruct the model line and the
+            // clause-satisfaction account; validity means every hard
+            // clause holds (plus any pins, checked above).
+            const auto &dec = *compiled_.dimacs_decode;
+            auto boolOf = [&](uint32_t v) {
+                // Variables in no clause have no spin; report false.
+                const std::string sym = dimacs::varSymbol(v);
+                return compiled_.assembled.hasSymbol(sym) &&
+                       compiled_.assembled.symbolValue(full, sym);
+            };
+            dimacs::ClauseEval ev =
+                dimacs::evaluateClauses(dec, boolOf);
+            c.model_line = dimacs::modelLine(dec, boolOf);
+            c.clauses_satisfied = ev.clauses_satisfied;
+            c.clauses_total = ev.clauses_total;
+            c.weight_violated = ev.violated_weight;
+            ok = ok && ev.hardOk();
         }
         c.valid = ok;
         out.candidates.push_back(std::move(c));

@@ -1,0 +1,286 @@
+#include "qac/dimacs/dimacs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <sstream>
+
+#include "qac/util/logging.h"
+
+namespace qac::dimacs {
+
+namespace {
+
+/** Split a line into whitespace-separated tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok)
+        toks.push_back(tok);
+    return toks;
+}
+
+/** Strict unsigned parse; dies with the line number on garbage. */
+uint64_t
+parseU64(const std::string &tok, size_t lineno, const char *what)
+{
+    if (tok.empty() || !std::all_of(tok.begin(), tok.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c));
+        }))
+        fatal("dimacs:%zu: %s '%s' is not a non-negative integer",
+              lineno, what, tok.c_str());
+    uint64_t value = 0;
+    for (char c : tok) {
+        if (value > (UINT64_MAX - (c - '0')) / 10)
+            fatal("dimacs:%zu: %s '%s' overflows", lineno, what,
+                  tok.c_str());
+        value = value * 10 + (c - '0');
+    }
+    return value;
+}
+
+/** Strict signed parse for literals. */
+int64_t
+parseI64(const std::string &tok, size_t lineno)
+{
+    bool neg = !tok.empty() && tok[0] == '-';
+    const std::string digits = neg ? tok.substr(1) : tok;
+    uint64_t mag = parseU64(digits, lineno, "literal");
+    if (mag > static_cast<uint64_t>(INT32_MAX))
+        fatal("dimacs:%zu: literal '%s' out of range", lineno,
+              tok.c_str());
+    return neg ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+}
+
+} // namespace
+
+Instance
+parseDimacs(const std::string &text)
+{
+    Instance inst;
+    bool saw_header = false;
+    bool have_top = false;
+    size_t declared_clauses = 0;
+    // A clause may span lines; accumulate until its 0 terminator.
+    Clause pending;
+    bool pending_open = false;      // literals seen, no terminator yet
+    bool pending_has_weight = false; // wcnf weight token consumed
+
+    std::istringstream in(text);
+    std::string line;
+    size_t lineno = 0;
+    bool done = false; // saw the SATLIB '%' end marker
+    while (!done && std::getline(in, line)) {
+        ++lineno;
+        auto toks = tokenize(line);
+        if (toks.empty())
+            continue;
+        if (toks[0] == "%") {
+            done = true; // SATLIB end-of-instance marker
+            break;
+        }
+        if (line[line.find_first_not_of(" \t\r")] == 'c')
+            continue; // comment
+        if (toks[0] == "p") {
+            if (saw_header)
+                fatal("dimacs:%zu: duplicate 'p' line", lineno);
+            if (pending_open)
+                fatal("dimacs:%zu: 'p' line inside a clause", lineno);
+            if (toks.size() < 2)
+                fatal("dimacs:%zu: 'p' line missing format", lineno);
+            if (toks[1] == "cnf") {
+                if (toks.size() != 4)
+                    fatal("dimacs:%zu: expected 'p cnf <vars> "
+                          "<clauses>'", lineno);
+                inst.weighted = false;
+            } else if (toks[1] == "wcnf") {
+                if (toks.size() != 4 && toks.size() != 5)
+                    fatal("dimacs:%zu: expected 'p wcnf <vars> "
+                          "<clauses> [<top>]'", lineno);
+                inst.weighted = true;
+            } else {
+                fatal("dimacs:%zu: unknown format '%s' (expected cnf "
+                      "or wcnf)", lineno, toks[1].c_str());
+            }
+            uint64_t nvars =
+                parseU64(toks[2], lineno, "variable count");
+            if (nvars > static_cast<uint64_t>(INT32_MAX))
+                fatal("dimacs:%zu: variable count %" PRIu64
+                      " out of range", lineno, nvars);
+            inst.num_vars = static_cast<uint32_t>(nvars);
+            declared_clauses =
+                parseU64(toks[3], lineno, "clause count");
+            if (toks.size() == 5) {
+                inst.top_weight =
+                    parseU64(toks[4], lineno, "top weight");
+                if (inst.top_weight == 0)
+                    fatal("dimacs:%zu: top weight must be positive",
+                          lineno);
+                have_top = true;
+            }
+            saw_header = true;
+            continue;
+        }
+        if (!saw_header)
+            fatal("dimacs:%zu: clause before 'p' header line", lineno);
+
+        for (const auto &tok : toks) {
+            if (inst.weighted && !pending_open && !pending_has_weight) {
+                // First token of a wcnf clause is its weight.
+                pending.weight = parseU64(tok, lineno, "clause weight");
+                if (pending.weight == 0)
+                    fatal("dimacs:%zu: clause weight must be positive",
+                          lineno);
+                pending_has_weight = true;
+                pending_open = true;
+                continue;
+            }
+            int64_t lit = parseI64(tok, lineno);
+            if (lit == 0) {
+                // Terminator: close the clause.
+                if (pending.lits.empty())
+                    fatal("dimacs:%zu: empty clause", lineno);
+                pending.hard =
+                    !inst.weighted ||
+                    (have_top && pending.weight >= inst.top_weight);
+                inst.clauses.push_back(std::move(pending));
+                pending = Clause{};
+                pending_open = false;
+                pending_has_weight = false;
+                continue;
+            }
+            uint64_t var =
+                static_cast<uint64_t>(lit < 0 ? -lit : lit);
+            if (var > inst.num_vars)
+                fatal("dimacs:%zu: literal %" PRId64 " out of range "
+                      "(instance declares %u variables)",
+                      lineno, lit, inst.num_vars);
+            pending_open = true;
+            pending.lits.push_back(static_cast<int32_t>(lit));
+        }
+    }
+    if (!saw_header)
+        fatal("dimacs: missing 'p cnf'/'p wcnf' header line");
+    if (pending_open)
+        fatal("dimacs:%zu: last clause is missing its 0 terminator",
+              lineno);
+    if (inst.clauses.size() != declared_clauses)
+        fatal("dimacs: header declares %zu clauses but %zu found",
+              declared_clauses, inst.clauses.size());
+    return inst;
+}
+
+std::string
+varSymbol(uint32_t var)
+{
+    return "x" + std::to_string(var);
+}
+
+namespace {
+
+bool
+clauseSatisfied(const Clause &cl, const AssignmentFn &value)
+{
+    for (int32_t lit : cl.lits) {
+        uint32_t var = static_cast<uint32_t>(lit < 0 ? -lit : lit);
+        if (value(var) == (lit > 0))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+ClauseEval
+evaluateClauses(const DecodeInfo &info, const AssignmentFn &value)
+{
+    ClauseEval ev;
+    ev.clauses_total = info.clauses.size();
+    for (const auto &cl : info.clauses) {
+        if (clauseSatisfied(cl, value)) {
+            ++ev.clauses_satisfied;
+            continue;
+        }
+        if (cl.hard)
+            ++ev.hard_unsatisfied;
+        else
+            ev.violated_weight += static_cast<double>(cl.weight);
+    }
+    if (!info.weighted) // cnf: count unsatisfied (all-hard) clauses
+        ev.violated_weight =
+            static_cast<double>(ev.hard_unsatisfied);
+    return ev;
+}
+
+std::string
+modelLine(const DecodeInfo &info, const AssignmentFn &value)
+{
+    std::string line = "v";
+    for (uint32_t var = 1; var <= info.num_vars; ++var) {
+        line += ' ';
+        if (!value(var))
+            line += '-';
+        line += std::to_string(var);
+    }
+    line += " 0";
+    return line;
+}
+
+Optimum
+bruteForceOptimum(const Instance &inst, uint32_t max_vars)
+{
+    if (inst.num_vars > max_vars)
+        fatal("dimacs: brute-force oracle limited to %u variables "
+              "(instance has %u)", max_vars, inst.num_vars);
+
+    // Precompute positive/negative literal masks per clause.
+    struct Masks { uint64_t pos, neg; };
+    std::vector<Masks> masks(inst.clauses.size());
+    for (size_t i = 0; i < inst.clauses.size(); ++i) {
+        uint64_t pos = 0, neg = 0;
+        for (int32_t lit : inst.clauses[i].lits) {
+            uint32_t var = static_cast<uint32_t>(lit < 0 ? -lit : lit);
+            if (lit > 0)
+                pos |= uint64_t(1) << (var - 1);
+            else
+                neg |= uint64_t(1) << (var - 1);
+        }
+        masks[i] = {pos, neg};
+    }
+
+    Optimum best;
+    best.hard_unsatisfied = UINT64_MAX;
+    const uint64_t limit = uint64_t(1) << inst.num_vars;
+    for (uint64_t assign = 0; assign < limit; ++assign) {
+        uint64_t hard_bad = 0;
+        double soft_bad = 0;
+        for (size_t i = 0; i < inst.clauses.size(); ++i) {
+            bool sat = (assign & masks[i].pos) != 0 ||
+                       (~assign & masks[i].neg) != 0;
+            if (sat)
+                continue;
+            if (inst.clauses[i].hard)
+                ++hard_bad;
+            else
+                soft_bad +=
+                    static_cast<double>(inst.clauses[i].weight);
+        }
+        if (!inst.weighted)
+            soft_bad = static_cast<double>(hard_bad);
+        if (hard_bad < best.hard_unsatisfied ||
+            (hard_bad == best.hard_unsatisfied &&
+             soft_bad < best.violated_weight)) {
+            best.hard_unsatisfied = hard_bad;
+            best.violated_weight = soft_bad;
+            best.assignment.assign(inst.num_vars, false);
+            for (uint32_t v = 0; v < inst.num_vars; ++v)
+                best.assignment[v] = (assign >> v) & 1;
+        }
+    }
+    return best;
+}
+
+} // namespace qac::dimacs

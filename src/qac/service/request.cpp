@@ -65,6 +65,10 @@ runLocal(const core::Executable &exe, const SampleRequest &req)
         out.occurrences = c.occurrences;
         out.valid = c.valid;
         out.chain_breaks = c.chain_breaks;
+        out.model_line = std::move(c.model_line);
+        out.clauses_satisfied = c.clauses_satisfied;
+        out.clauses_total = c.clauses_total;
+        out.weight_violated = c.weight_violated;
         res.candidates.push_back(std::move(out));
     }
 
@@ -179,6 +183,11 @@ serializeResult(const SampleResult &res)
         w.u32(c.occurrences);
         w.u8(c.valid ? 1 : 0);
         w.u64(c.chain_breaks);
+        // Decode block (PR 9): empty/zero outside DIMACS runs.
+        w.str(c.model_line);
+        w.u64(c.clauses_satisfied);
+        w.u64(c.clauses_total);
+        w.f64(c.weight_violated);
     }
     w.str(res.manifest_json);
     return w.take();
@@ -221,6 +230,10 @@ parseResult(std::string_view bytes, SampleResult &out,
         c.occurrences = r.u32();
         c.valid = r.u8() != 0;
         c.chain_breaks = r.u64();
+        c.model_line = r.str();
+        c.clauses_satisfied = r.u64();
+        c.clauses_total = r.u64();
+        c.weight_violated = r.f64();
         res.candidates.push_back(std::move(c));
     }
     res.manifest_json = r.str();
@@ -261,9 +274,23 @@ printReport(std::FILE *out, const SampleResult &res, int verbosity)
     for (const auto *c : valid) {
         std::fprintf(out, "solution (energy %.4f, %u reads):\n",
                      c->energy, c->occurrences);
-        for (const auto &[sym, value] : c->values)
-            std::fprintf(out, "  %s = %d\n", sym.c_str(),
-                         static_cast<int>(value));
+        if (!c->model_line.empty()) {
+            // DIMACS decode: the model line plus the satisfaction
+            // account replaces the per-symbol dump.
+            std::fprintf(out, "  %s\n", c->model_line.c_str());
+            std::fprintf(out,
+                         "  c satisfied %llu/%llu clauses, violated "
+                         "weight %g\n",
+                         static_cast<unsigned long long>(
+                             c->clauses_satisfied),
+                         static_cast<unsigned long long>(
+                             c->clauses_total),
+                         c->weight_violated);
+        } else {
+            for (const auto &[sym, value] : c->values)
+                std::fprintf(out, "  %s = %d\n", sym.c_str(),
+                             static_cast<int>(value));
+        }
         if (++shown >= 3 && verbosity < 2) {
             std::fprintf(out, "  ... (%zu more valid solutions)\n",
                          valid.size() - shown);

@@ -119,8 +119,16 @@ struct SampleResult
         std::map<std::string, bool> values; ///< visible symbols
         double energy = 0.0;
         uint32_t occurrences = 0;
-        bool valid = false; ///< all gate asserts + pins hold
+        bool valid = false; ///< all gate asserts + pins hold;
+                            ///< DIMACS: all hard clauses satisfied
         uint64_t chain_breaks = 0;
+
+        /** DIMACS decode (empty/zero for other frontends): the
+         *  "v ... 0" model line and clause-satisfaction account. */
+        std::string model_line;
+        uint64_t clauses_satisfied = 0;
+        uint64_t clauses_total = 0;
+        double weight_violated = 0.0;
     };
 
     std::vector<Candidate> candidates; ///< unique, best-energy first

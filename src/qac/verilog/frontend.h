@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Per-frontend compile options for the Verilog frontend: everything
+ * that only means something when the source language is Verilog
+ * (module selection, sequential unrolling, netlist optimization and
+ * technology mapping).  Lives in the CompileOptions frontend-options
+ * variant; the frontend-neutral fields stay on CompileOptions itself.
+ */
+
+#ifndef QAC_VERILOG_FRONTEND_H
+#define QAC_VERILOG_FRONTEND_H
+
+#include <string>
+
+#include "qac/netlist/techmap.h"
+#include "qac/netlist/unroll.h"
+#include "qac/verilog/elaborate.h"
+
+namespace qac::verilog {
+
+struct FrontendOptions
+{
+    std::string top;      ///< top module name
+    ParamEnv top_params;  ///< parameter overrides
+
+    /** Time steps for sequential designs (Section 4.3.3); 0 means the
+     *  design must be purely combinational. */
+    size_t unroll_steps = 0;
+    netlist::UnrollOptions unroll;
+
+    bool optimize = true;
+    bool do_techmap = true;
+    netlist::TechMapOptions techmap;
+};
+
+} // namespace qac::verilog
+
+#endif // QAC_VERILOG_FRONTEND_H

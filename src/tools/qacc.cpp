@@ -36,6 +36,7 @@
 #include "qac/anneal/sampler.h"
 #include "qac/artifact/qo.h"
 #include "qac/core/compiler.h"
+#include "qac/core/frontend.h"
 #include "qac/core/program.h"
 #include "qac/exec/exec.h"
 #include "qac/qmasm/formats.h"
@@ -51,6 +52,7 @@ using namespace qac;
 struct Args
 {
     std::string input;
+    std::string lang; ///< frontend key; "" = infer from extension
     std::string top;
     size_t unroll = 0;
     bool chimera = false;
@@ -71,8 +73,11 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <design.v> [--top <module>] [options]\n"
-        "  --top <module>        top module (inferred if unique)\n"
+        "usage: %s <design.v|design.cnf|design.wcnf> [options]\n"
+        "  --lang <frontend>     source language (%s); inferred from\n"
+        "                        the file extension when omitted\n"
+        "  --top <module>        top module (verilog; inferred if "
+        "unique)\n"
         "  --unroll <N>          unroll sequential logic for N steps\n"
         "  --target chimera      minor-embed onto a C16 Chimera graph\n"
         "  --chimera-size <M>    use a C_M graph (default 16)\n"
@@ -87,7 +92,8 @@ usage(const char *argv0)
         "  --pin \"SYM := VAL\"    bind ports (repeatable; qmasm syntax)\n"
         "  --solver %s\n"
         "%s%s",
-        argv0, anneal::samplerNamesJoined().c_str(),
+        argv0, core::frontendNamesJoined().c_str(),
+        anneal::samplerNamesJoined().c_str(),
         tools::paramsUsage(), tools::commonUsage());
     std::exit(2);
 }
@@ -107,7 +113,9 @@ parseArgs(int argc, char **argv)
             continue;
         if (tools::parseParamFlag(args.req, argc, argv, i))
             continue;
-        if (a == "--top")
+        if (a == "--lang")
+            args.lang = need(i);
+        else if (a == "--top")
             args.top = need(i);
         else if (a == "--unroll")
             args.unroll = static_cast<size_t>(
@@ -170,10 +178,34 @@ inferTop(const std::string &source)
     return d.modules.front().name;
 }
 
+/** Resolve the frontend key: --lang, else the file extension. */
+std::string
+resolveLang(const Args &args)
+{
+    if (!args.lang.empty()) {
+        if (!core::hasFrontend(args.lang))
+            fatal("unknown language '%s' (available: %s)",
+                  args.lang.c_str(),
+                  core::frontendNamesJoined().c_str());
+        return args.lang;
+    }
+    std::string lang = core::frontendForPath(args.input);
+    if (lang.empty())
+        fatal("cannot infer a source language from '%s': no "
+              "registered frontend claims its extension (use "
+              "--lang <%s>)",
+              args.input.c_str(),
+              core::frontendNamesJoined().c_str());
+    return lang;
+}
+
 int
 runQacc(Args &args, const char *argv0)
 {
     const bool chatty = args.common.verbosity > 0;
+
+    const std::string lang = resolveLang(args);
+    args.common.manifest.param("lang", lang);
 
     std::ifstream in(args.input);
     if (!in)
@@ -181,14 +213,22 @@ runQacc(Args &args, const char *argv0)
     std::stringstream ss;
     ss << in.rdbuf();
 
-    if (args.top.empty()) {
-        args.top = inferTop(ss.str());
-        args.common.manifest.param("top", args.top);
-    }
-
     core::CompileOptions opts;
-    opts.top = args.top;
-    opts.unroll_steps = args.unroll;
+    if (lang == "verilog") {
+        if (args.top.empty()) {
+            args.top = inferTop(ss.str());
+            args.common.manifest.param("top", args.top);
+        }
+        auto &vo = opts.verilogOpts();
+        vo.top = args.top;
+        vo.unroll_steps = args.unroll;
+    } else {
+        opts.frontend = lang;
+        if (!args.top.empty())
+            fatal("--top only applies to the verilog frontend");
+        if (args.unroll != 0)
+            fatal("--unroll only applies to the verilog frontend");
+    }
     opts.threads = args.common.threads;
     opts.cache.enabled = !args.common.no_cache;
     opts.cache.dir = args.common.cache_dir;
@@ -206,10 +246,18 @@ runQacc(Args &args, const char *argv0)
             artifact::qoDigestHex(artifact::serializeQo(compiled));
 
     if (chatty) {
-        std::printf("%s: %zu gates, %zu logical variables, %zu terms",
-                    args.top.c_str(), compiled.stats.gates,
-                    compiled.stats.logical_vars,
-                    compiled.stats.logical_terms);
+        const std::string &unit =
+            lang == "verilog" ? args.top : args.input;
+        if (lang == "verilog")
+            std::printf("%s: %zu gates, %zu logical variables, "
+                        "%zu terms",
+                        unit.c_str(), compiled.stats.gates,
+                        compiled.stats.logical_vars,
+                        compiled.stats.logical_terms);
+        else
+            std::printf("%s: %zu logical variables, %zu terms",
+                        unit.c_str(), compiled.stats.logical_vars,
+                        compiled.stats.logical_terms);
         if (args.chimera)
             std::printf(", %zu physical qubits (max chain %zu)",
                         compiled.stats.physical_qubits,
@@ -225,8 +273,12 @@ runQacc(Args &args, const char *argv0)
         if (chatty)
             std::printf("wrote %s\n", args.emit_qo.c_str());
     }
-    if (!args.emit_edif.empty())
+    if (!args.emit_edif.empty()) {
+        if (compiled.edif_text.empty())
+            fatal("--emit-edif: the '%s' frontend produces no EDIF "
+                  "netlist", lang.c_str());
         writeFile(args.emit_edif, compiled.edif_text);
+    }
     if (!args.emit_qmasm.empty())
         writeFile(args.emit_qmasm,
                   compiled.qmasm_program.toString());

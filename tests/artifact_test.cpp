@@ -54,7 +54,7 @@ core::CompileResult
 compileMult(bool chimera, const std::string &cache_dir = "")
 {
     core::CompileOptions opts;
-    opts.top = "mult";
+    opts.verilogOpts().top = "mult";
     opts.cache.enabled = !cache_dir.empty();
     opts.cache.dir = cache_dir;
     if (chimera) {

@@ -271,6 +271,147 @@ TEST(Qma, BadInputFails)
     EXPECT_NE(out.find("qma:"), std::string::npos);
 }
 
+// ------------------------------------------------- dimacs frontend
+
+// Unit clauses force the unique model x1=F, x2=T, x3=F.
+const char *kCnf = "c crafted: unique model -1 2 -3\n"
+                   "p cnf 3 5\n"
+                   "1 2 0\n"
+                   "-1 0\n"
+                   "2 3 0\n"
+                   "-3 0\n"
+                   "2 0\n";
+
+// Hard exactly-one over (x1,x2); softs pull both ways; optimum
+// keeps x1 (w3) and x3 (w4), giving up x2 (w2).
+const char *kWcnf = "p wcnf 3 5 10\n"
+                    "10 1 2 0\n"
+                    "10 -1 -2 0\n"
+                    "3 1 0\n"
+                    "2 2 0\n"
+                    "4 3 0\n";
+
+TEST(Qsat, SolvesCraftedCnf)
+{
+    std::string f = writeTemp("cli_sat.cnf", kCnf);
+    auto [code, out] =
+        run(std::string(QSAT_PATH) + " " + f + " --solver exact");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("s SATISFIABLE\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("v -1 2 -3 0\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("satisfied 5/5"), std::string::npos) << out;
+    EXPECT_EQ(out.find("\no "), std::string::npos) << out; // cnf: no o line
+}
+
+TEST(Qsat, WeightedOptimumAndQuiet)
+{
+    std::string f = writeTemp("cli_sat.wcnf", kWcnf);
+    auto [code, out] =
+        run(std::string(QSAT_PATH) + " " + f + " --solver exact");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("o 2\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("s SATISFIABLE\n"), std::string::npos) << out;
+    EXPECT_NE(out.find("v 1 -2 3 0\n"), std::string::npos) << out;
+
+    // --quiet drops the c comments but keeps the o/s/v verdict.
+    auto [qcode, qout] = run(std::string(QSAT_PATH) + " " + f +
+                             " --quiet --solver exact");
+    EXPECT_EQ(qcode, 0) << qout;
+    EXPECT_EQ(qout, "o 2\ns SATISFIABLE\nv 1 -2 3 0\n") << qout;
+}
+
+TEST(Qsat, BadUsageAndMissingFileFail)
+{
+    auto [c1, o1] = run(std::string(QSAT_PATH));
+    EXPECT_EQ(c1, 2);
+    EXPECT_NE(o1.find("usage"), std::string::npos) << o1;
+    auto [c2, o2] = run(std::string(QSAT_PATH) + " /nonexistent.cnf");
+    EXPECT_EQ(c2, 2);
+    EXPECT_NE(o2.find("qsat:"), std::string::npos) << o2;
+}
+
+TEST(Qacc, DimacsAutoDetectedFromExtension)
+{
+    std::string f = writeTemp("cli_auto.cnf", kCnf);
+    auto [code, out] = run(std::string(QACC_PATH) + " " + f +
+                           " --run --solver exact");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("logical variables"), std::string::npos) << out;
+    EXPECT_NE(out.find("v -1 2 -3 0"), std::string::npos) << out;
+    EXPECT_NE(out.find("satisfied 5/5 clauses"), std::string::npos)
+        << out;
+}
+
+TEST(Qacc, LangFlagOverridesUnknownExtension)
+{
+    std::string f = writeTemp("cli_lang.txt", kCnf);
+    auto [code, out] = run(std::string(QACC_PATH) + " " + f +
+                           " --lang dimacs --run --solver exact");
+    EXPECT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("v -1 2 -3 0"), std::string::npos) << out;
+}
+
+TEST(Qacc, UnknownExtensionFailsCleanly)
+{
+    std::string f = writeTemp("cli_noext.txt", kCnf);
+    auto [code, out] = run(std::string(QACC_PATH) + " " + f);
+    EXPECT_EQ(code, 2);
+    EXPECT_NE(out.find("cannot infer a source language"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("--lang"), std::string::npos) << out;
+}
+
+TEST(Qsat, QoDecodeMatchesEverywhere)
+{
+    // The acceptance criterion: the same .qo produces the identical
+    // decoded model line via qsat, `qma run`, and a qmad daemon.
+    std::string f = writeTemp("cli_sat_qo.cnf", kCnf);
+    std::string qo = std::string(::testing::TempDir()) + "cli_sat.qo";
+    auto [ccode, cout_] = run(std::string(QSAT_PATH) + " " + f +
+                              " --solver exact -o " + qo);
+    ASSERT_EQ(ccode, 0) << cout_;
+    EXPECT_NE(cout_.find("v -1 2 -3 0"), std::string::npos) << cout_;
+
+    const std::string runflags = " --solver exact --reads 32 --seed 7";
+    auto [lcode, lout] =
+        run(std::string(QMA_PATH) + " run " + qo + runflags);
+    EXPECT_EQ(lcode, 0) << lout;
+    EXPECT_NE(lout.find("v -1 2 -3 0"), std::string::npos) << lout;
+    EXPECT_NE(lout.find("satisfied 5/5 clauses"), std::string::npos)
+        << lout;
+
+    std::string sock =
+        std::string(::testing::TempDir()) + "cli_sat.sock";
+    ::unlink(sock.c_str());
+    FILE *daemon = popen(("echo $$; exec " + std::string(QMAD_PATH) +
+                          " --socket " + sock + " " + qo + " 2>&1")
+                             .c_str(),
+                         "r");
+    ASSERT_NE(daemon, nullptr);
+    std::array<char, 4096> buf;
+    ASSERT_NE(fgets(buf.data(), buf.size(), daemon), nullptr);
+    pid_t pid = static_cast<pid_t>(std::stol(buf.data()));
+    bool up = false;
+    for (int i = 0; i < 500 && !up; ++i) {
+        up = ::access(sock.c_str(), F_OK) == 0;
+        if (!up)
+            ::usleep(10000);
+    }
+    ASSERT_TRUE(up) << "qmad never created " << sock;
+
+    auto [rcode, rout] = run(std::string(QMA_PATH) + " client " +
+                             sock + " " + qo + runflags);
+    EXPECT_EQ(rcode, 0) << rout;
+    EXPECT_EQ(lout, rout); // byte-identical, model lines included
+
+    ::kill(pid, SIGTERM);
+    while (fgets(buf.data(), buf.size(), daemon))
+        ;
+    pclose(daemon);
+    ::unlink(sock.c_str());
+}
+
 // ------------------------------------------------- artifact subsystem
 
 /** The run report from "reads:" onward (drops tool-specific headers). */

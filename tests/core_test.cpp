@@ -47,15 +47,15 @@ CompileResult
 compileMux()
 {
     CompileOptions co;
-    co.top = "mux_add_sub";
+    co.verilogOpts().top = "mux_add_sub";
     return compile(kMux, co);
 }
 
 TEST(Compile, StatsArePopulated)
 {
     auto r = compileMux();
-    EXPECT_GT(r.stats.verilog_lines, 0u);
-    EXPECT_GT(r.stats.edif_lines, r.stats.verilog_lines);
+    EXPECT_GT(r.stats.source_lines, 0u);
+    EXPECT_GT(r.stats.edif_lines, r.stats.source_lines);
     EXPECT_GT(r.stats.qmasm_lines, 0u);
     EXPECT_GT(r.stats.stdcell_lines, 0u);
     EXPECT_GT(r.stats.gates, 0u);
@@ -67,9 +67,9 @@ TEST(Compile, StatsArePopulated)
 TEST(Compile, SequentialNeedsUnrollSteps)
 {
     CompileOptions co;
-    co.top = "count";
+    co.verilogOpts().top = "count";
     EXPECT_THROW(compile(kCount, co), FatalError);
-    co.unroll_steps = 2;
+    co.verilogOpts().unroll_steps = 2;
     auto r = compile(kCount, co);
     EXPECT_FALSE(r.netlist.isSequential());
     EXPECT_NE(r.netlist.findPort("out@0"), nullptr);
@@ -79,7 +79,7 @@ TEST(Compile, SequentialNeedsUnrollSteps)
 TEST(Compile, ChimeraTargetEmbeds)
 {
     CompileOptions co;
-    co.top = "mux_add_sub";
+    co.verilogOpts().top = "mux_add_sub";
     co.target = Target::Chimera;
     co.chimera_size = 4;
     auto r = compile(kMux, co);
@@ -144,7 +144,7 @@ TEST(Executable, ForwardRunMatchesSimulation)
 TEST(Executable, BackwardRunFactorsTinyProduct)
 {
     CompileOptions co;
-    co.top = "mult2";
+    co.verilogOpts().top = "mult2";
     Executable ex(compile(kMult2, co));
     ex.pinPort("C", 6); // 2*3 or 3*2
     Executable::RunOptions ro;
@@ -164,7 +164,7 @@ TEST(Executable, DivisionByPinning)
 {
     // Section 5.3: "or even divide" — pin C and A, solve for B.
     CompileOptions co;
-    co.top = "mult2";
+    co.verilogOpts().top = "mult2";
     Executable ex(compile(kMult2, co));
     ex.pinPort("C", 6);
     ex.pinPort("A", 3);
@@ -181,7 +181,7 @@ TEST(Executable, UnsatisfiablePinsYieldNoValidCandidate)
     // 5 is prime and not representable as a 2-bit x 2-bit product
     // other than 1*5/5*1, which needs 3 bits -> no witness.
     CompileOptions co;
-    co.top = "mult2";
+    co.verilogOpts().top = "mult2";
     Executable ex(compile(kMult2, co));
     ex.pinPort("C", 5);
     ex.pinPort("A", 2); // 2*B == 5 impossible
@@ -236,7 +236,7 @@ TEST(Executable, SimulatedAnnealingPath)
 TEST(Executable, PhysicalRunOnChimera)
 {
     CompileOptions co;
-    co.top = "mux_add_sub";
+    co.verilogOpts().top = "mux_add_sub";
     co.target = Target::Chimera;
     co.chimera_size = 4;
     Executable ex(compile(kMux, co));
@@ -258,8 +258,8 @@ TEST(Executable, SequentialBackwardRun)
     // Compile the counter for 2 steps and ask: starting from state 0,
     // which inputs leave the counter at 2?  Answer: inc on both steps.
     CompileOptions co;
-    co.top = "count";
-    co.unroll_steps = 2;
+    co.verilogOpts().top = "count";
+    co.verilogOpts().unroll_steps = 2;
     Executable ex(compile(kCount, co));
     ex.pinPort("var@0", 0);
     ex.pinPort("var@2", 2);

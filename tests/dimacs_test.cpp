@@ -1,0 +1,500 @@
+/**
+ * @file
+ * DIMACS frontend tests: strict parser edge cases, penalty-gadget
+ * lowering checked against brute-force enumeration through the exact
+ * sampler, ancilla sharing, decode metadata (model lines and clause
+ * accounting), .qo round-trips, and the frontend registry itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qac/anneal/exact.h"
+#include "qac/artifact/qo.h"
+#include "qac/core/compiler.h"
+#include "qac/core/frontend.h"
+#include "qac/core/program.h"
+#include "qac/dimacs/dimacs.h"
+#include "qac/dimacs/lower.h"
+#include "qac/util/logging.h"
+
+namespace qac {
+namespace {
+
+// ------------------------------------------------------------ parser
+
+TEST(DimacsParse, CommentsBlanksAndMultiLineClauses)
+{
+    dimacs::Instance inst = dimacs::parseDimacs(
+        "c a comment\n"
+        "\n"
+        "   \t\n"
+        "p cnf 4 3\n"
+        "c mid-stream comment\n"
+        "1 -2 0\n"
+        "3\n"
+        "4 0\n"          // clause split across lines
+        "-1 -3 -4 0\n");
+    EXPECT_EQ(inst.num_vars, 4u);
+    EXPECT_FALSE(inst.weighted);
+    ASSERT_EQ(inst.clauses.size(), 3u);
+    EXPECT_EQ(inst.clauses[0].lits, (std::vector<int32_t>{1, -2}));
+    EXPECT_EQ(inst.clauses[1].lits, (std::vector<int32_t>{3, 4}));
+    EXPECT_EQ(inst.clauses[2].lits, (std::vector<int32_t>{-1, -3, -4}));
+    for (const auto &cl : inst.clauses) {
+        EXPECT_TRUE(cl.hard);
+        EXPECT_EQ(cl.weight, 1u);
+    }
+}
+
+TEST(DimacsParse, SatlibPercentTerminatorIgnoresTail)
+{
+    dimacs::Instance inst = dimacs::parseDimacs("p cnf 2 1\n"
+                                                "1 2 0\n"
+                                                "%\n"
+                                                "0\n"
+                                                "garbage after end\n");
+    EXPECT_EQ(inst.clauses.size(), 1u);
+}
+
+TEST(DimacsParse, WcnfTopWeightSplitsHardFromSoft)
+{
+    dimacs::Instance inst = dimacs::parseDimacs("p wcnf 3 3 10\n"
+                                                "10 1 2 0\n"
+                                                "11 -1 -2 0\n"
+                                                "4 3 0\n");
+    EXPECT_TRUE(inst.weighted);
+    EXPECT_EQ(inst.top_weight, 10u);
+    ASSERT_EQ(inst.clauses.size(), 3u);
+    EXPECT_TRUE(inst.clauses[0].hard);  // weight == top
+    EXPECT_TRUE(inst.clauses[1].hard);  // weight > top
+    EXPECT_FALSE(inst.clauses[2].hard); // weight < top
+    EXPECT_EQ(inst.clauses[2].weight, 4u);
+}
+
+TEST(DimacsParse, WcnfWithoutTopIsAllSoft)
+{
+    dimacs::Instance inst = dimacs::parseDimacs("p wcnf 2 2\n"
+                                                "5 1 0\n"
+                                                "7 -1 2 0\n");
+    EXPECT_TRUE(inst.weighted);
+    EXPECT_EQ(inst.top_weight, 0u);
+    EXPECT_FALSE(inst.clauses[0].hard);
+    EXPECT_FALSE(inst.clauses[1].hard);
+}
+
+TEST(DimacsParse, MalformedInputsFailWithLineNumbers)
+{
+    struct Case
+    {
+        const char *text;
+        const char *expect; ///< substring of the fatal message
+    };
+    const Case cases[] = {
+        {"1 2 0\n", "before 'p'"},                        // no p line
+        {"p cnf 2 1\np cnf 2 1\n1 2 0\n", "duplicate"},   // two p lines
+        {"p cnf bad 1\n1 0\n", "non-negative"},           // bad count
+        {"p cnf 2 1\n1 3 0\n", "out of range"},           // var > header
+        {"p cnf 2 1\n1 0 2 0\n", "declares"},             // extra clause
+        {"p cnf 2 1\n1 2\n", "terminator"},               // missing 0
+        {"p cnf 2 2\n1 0\n", "declares"},                 // too few
+        {"p cnf 2 1\n0\n", "empty clause"},               // no literals
+        {"p wcnf 2 1 5\n0 1 2 0\n", "weight"},            // zero weight
+        {"p cnf 2 1\n99999999999 0\n", "out of range"},   // overflow
+    };
+    for (const auto &c : cases) {
+        try {
+            dimacs::parseDimacs(c.text);
+            FAIL() << "no fatal for:\n" << c.text;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("dimacs"),
+                      std::string::npos)
+                << c.text << " -> " << e.what();
+            EXPECT_NE(std::string(e.what()).find(c.expect),
+                      std::string::npos)
+                << c.text << " -> " << e.what();
+        }
+    }
+}
+
+// -------------------------------------------- lowering vs brute force
+
+/**
+ * Compile @p text through the dimacs frontend, enumerate the lowered
+ * Hamiltonian's exact ground states, and require every one of them to
+ * decode to a brute-force optimum of the instance (and the ground
+ * energy to equal the optimal penalty).
+ */
+void
+checkExactOracle(const std::string &text,
+                 const dimacs::FrontendOptions &fo = {})
+{
+    dimacs::Instance inst = dimacs::parseDimacs(text);
+    dimacs::Optimum opt = dimacs::bruteForceOptimum(inst);
+
+    core::CompileOptions co;
+    co.dimacsOpts() = fo;
+    core::CompileResult res = core::compile(text, co);
+    ASSERT_TRUE(res.dimacs_decode);
+    const dimacs::DecodeInfo &dec = *res.dimacs_decode;
+
+    anneal::ExactSolver solver;
+    anneal::ExactResult er = solver.solve(res.assembled.model);
+
+    // penalty(sigma) = H(sigma) + offset; at an optimum the penalty is
+    // the optimal violated weight (hard violations scaled up).
+    const double expect_penalty = dec.weighted
+        ? opt.violated_weight +
+            static_cast<double>(opt.hard_unsatisfied) * dec.hard_weight
+        : static_cast<double>(opt.hard_unsatisfied) * dec.hard_weight;
+    EXPECT_NEAR(er.min_energy + dec.energy_offset, expect_penalty, 1e-6)
+        << text;
+
+    ASSERT_FALSE(er.ground_states.empty()) << text;
+    for (const auto &gs : er.ground_states) {
+        auto boolOf = [&](uint32_t v) {
+            const std::string sym = dimacs::varSymbol(v);
+            return res.assembled.hasSymbol(sym) &&
+                res.assembled.symbolValue(gs, sym);
+        };
+        dimacs::ClauseEval ev = dimacs::evaluateClauses(dec, boolOf);
+        EXPECT_EQ(ev.hard_unsatisfied, opt.hard_unsatisfied) << text;
+        EXPECT_NEAR(ev.violated_weight, opt.violated_weight, 1e-9)
+            << text;
+        EXPECT_EQ(ev.clauses_total, dec.clauses.size()) << text;
+    }
+}
+
+TEST(DimacsLower, SatisfiableCnfGroundStatesAreModels)
+{
+    checkExactOracle("p cnf 4 6\n"
+                     "1 2 0\n"
+                     "-1 3 0\n"
+                     "-2 -3 4 0\n"
+                     "1 -4 0\n"
+                     "2 3 4 0\n"
+                     "-1 -2 0\n");
+}
+
+TEST(DimacsLower, UnsatisfiableCnfGroundStatesAreMaxSat)
+{
+    // All four clauses over two vars: any assignment violates exactly
+    // one, and the lowered ground states sit exactly one unit above a
+    // hypothetical all-satisfied energy.
+    checkExactOracle("p cnf 2 4\n"
+                     "1 2 0\n"
+                     "1 -2 0\n"
+                     "-1 2 0\n"
+                     "-1 -2 0\n");
+}
+
+TEST(DimacsLower, WideClausesThroughTseitinChain)
+{
+    checkExactOracle("p cnf 6 4\n"
+                     "1 2 3 4 5 6 0\n"
+                     "-1 -2 -3 -4 0\n"
+                     "1 2 3 -5 0\n"
+                     "-6 -5 -4 0\n");
+}
+
+TEST(DimacsLower, WeightedOptimumMatchesEnumeration)
+{
+    // Hard exactly-one core plus conflicting soft units: the optimum
+    // must trade the cheapest soft clause away.
+    checkExactOracle("p wcnf 3 5 10\n"
+                     "10 1 2 0\n"
+                     "10 -1 -2 0\n"
+                     "3 1 0\n"
+                     "2 2 0\n"
+                     "4 3 0\n");
+}
+
+TEST(DimacsLower, AllSoftWcnfMatchesEnumeration)
+{
+    checkExactOracle("p wcnf 3 4\n"
+                     "2 1 2 0\n"
+                     "3 -1 -2 0\n"
+                     "1 -2 3 0\n"
+                     "5 -3 0\n");
+}
+
+TEST(DimacsLower, UnitAndPairClausesNeedNoAncillas)
+{
+    auto lowered = dimacs::lower(dimacs::parseDimacs("p cnf 2 2\n"
+                                                     "1 0\n"
+                                                     "-1 2 0\n"));
+    EXPECT_EQ(lowered.decode.num_ancillas, 0u);
+    EXPECT_EQ(lowered.decode.shared_ancillas, 0u);
+}
+
+TEST(DimacsLower, AncillaSharingAcrossCommonPrefixes)
+{
+    // Three wide clauses sharing the (1,2) leading pair: with sharing
+    // the OR ancilla d = x1|x2 is built once and reused.
+    const char *text = "p cnf 5 3\n"
+                       "1 2 3 0\n"
+                       "1 2 4 0\n"
+                       "2 1 5 0\n"; // same pair after canonical sort
+    dimacs::Instance inst = dimacs::parseDimacs(text);
+
+    dimacs::FrontendOptions shared;
+    auto with = dimacs::lower(inst, shared);
+    EXPECT_EQ(with.decode.num_ancillas, 1u);
+    EXPECT_EQ(with.decode.shared_ancillas, 2u);
+
+    dimacs::FrontendOptions isolated;
+    isolated.share_ancillas = false;
+    auto without = dimacs::lower(inst, isolated);
+    EXPECT_EQ(without.decode.num_ancillas, 3u);
+    EXPECT_EQ(without.decode.shared_ancillas, 0u);
+
+    // Sharing must not change the semantics.
+    checkExactOracle(text, shared);
+    checkExactOracle(text, isolated);
+}
+
+// ---------------------------------------------------- decode metadata
+
+TEST(DimacsDecode, ModelLineAndClauseAccounting)
+{
+    dimacs::Instance inst = dimacs::parseDimacs("p cnf 3 2\n"
+                                                "1 -2 0\n"
+                                                "2 3 0\n");
+    auto lowered = dimacs::lower(inst);
+    auto value = [](uint32_t v) { return v != 2; }; // x1=T x2=F x3=T
+    EXPECT_EQ(dimacs::modelLine(lowered.decode, value), "v 1 -2 3 0");
+    dimacs::ClauseEval ev =
+        dimacs::evaluateClauses(lowered.decode, value);
+    EXPECT_EQ(ev.clauses_satisfied, 2u);
+    EXPECT_EQ(ev.clauses_total, 2u);
+    EXPECT_TRUE(ev.hardOk());
+
+    auto bad = [](uint32_t v) { return v == 2; }; // x1=F x2=T x3=F
+    dimacs::ClauseEval evb = dimacs::evaluateClauses(lowered.decode, bad);
+    EXPECT_EQ(evb.clauses_satisfied, 1u);
+    EXPECT_EQ(evb.hard_unsatisfied, 1u);
+    EXPECT_FALSE(evb.hardOk());
+    EXPECT_EQ(dimacs::modelLine(lowered.decode, bad), "v -1 2 -3 0");
+}
+
+TEST(DimacsDecode, ExecutableRunDecodesAndValidates)
+{
+    const char *text = "p cnf 3 5\n"
+                       "1 2 0\n"
+                       "-1 0\n"
+                       "2 3 0\n"
+                       "-3 0\n"
+                       "2 0\n"; // unique model: -1 2 -3
+    core::CompileOptions co;
+    co.frontend = "dimacs";
+    core::Executable ex(core::compile(text, co));
+    core::Executable::RunOptions ro;
+    ro.solver = "exact";
+    auto rr = ex.run(ro);
+    ASSERT_TRUE(rr.hasValid());
+    const auto &best = rr.bestValid();
+    EXPECT_EQ(best.model_line, "v -1 2 -3 0");
+    EXPECT_EQ(best.clauses_satisfied, 5u);
+    EXPECT_EQ(best.clauses_total, 5u);
+    EXPECT_EQ(best.weight_violated, 0.0);
+}
+
+TEST(DimacsDecode, PinnedVariableForcesBranch)
+{
+    // x1 free either way; pinning it picks the branch and decode
+    // reflects it.
+    const char *text = "p cnf 2 1\n"
+                       "1 2 0\n";
+    core::CompileOptions co;
+    co.frontend = "dimacs";
+    core::Executable ex(core::compile(text, co));
+    ex.pinDirective("x1 := 0");
+    ex.pinDirective("x2 := 1");
+    core::Executable::RunOptions ro;
+    ro.solver = "exact";
+    auto rr = ex.run(ro);
+    ASSERT_TRUE(rr.hasValid());
+    EXPECT_EQ(rr.bestValid().model_line, "v -1 2 0");
+}
+
+TEST(DimacsDecode, QoRoundTripPreservesDecodeInfo)
+{
+    const char *text = "p wcnf 4 4 9\n"
+                       "9 1 2 3 0\n"
+                       "9 -1 -2 0\n"
+                       "3 4 0\n"
+                       "2 -4 -3 0\n";
+    core::CompileOptions co;
+    co.frontend = "dimacs";
+    core::CompileResult res = core::compile(text, co);
+
+    std::string bytes = artifact::serializeQo(res);
+    std::string err;
+    auto back = artifact::deserializeQo(bytes, &err);
+    ASSERT_TRUE(back) << err;
+    EXPECT_EQ(artifact::serializeQo(*back), bytes);
+
+    EXPECT_EQ(back->frontend, "dimacs");
+    ASSERT_TRUE(back->dimacs_decode);
+    const auto &a = *res.dimacs_decode;
+    const auto &b = *back->dimacs_decode;
+    EXPECT_EQ(b.num_vars, a.num_vars);
+    EXPECT_EQ(b.weighted, a.weighted);
+    EXPECT_EQ(b.top_weight, a.top_weight);
+    EXPECT_EQ(b.hard_weight, a.hard_weight);
+    EXPECT_EQ(b.energy_offset, a.energy_offset);
+    EXPECT_EQ(b.num_ancillas, a.num_ancillas);
+    EXPECT_EQ(b.shared_ancillas, a.shared_ancillas);
+    ASSERT_EQ(b.clauses.size(), a.clauses.size());
+    for (size_t i = 0; i < a.clauses.size(); ++i) {
+        EXPECT_EQ(b.clauses[i].lits, a.clauses[i].lits);
+        EXPECT_EQ(b.clauses[i].weight, a.clauses[i].weight);
+        EXPECT_EQ(b.clauses[i].hard, a.clauses[i].hard);
+    }
+
+    // The reloaded executable decodes identically.
+    core::Executable ea(std::move(res));
+    core::Executable eb(std::move(*back));
+    core::Executable::RunOptions ro;
+    ro.solver = "exact";
+    auto ra = ea.run(ro);
+    auto rb = eb.run(ro);
+    ASSERT_TRUE(ra.hasValid());
+    ASSERT_TRUE(rb.hasValid());
+    EXPECT_EQ(ra.bestValid().model_line, rb.bestValid().model_line);
+}
+
+TEST(DimacsDecode, ThreadCountInvariant)
+{
+    const char *text = "p cnf 5 6\n"
+                       "1 2 3 0\n"
+                       "-1 4 0\n"
+                       "-2 -4 5 0\n"
+                       "3 -5 0\n"
+                       "-3 1 0\n"
+                       "2 -1 -5 0\n";
+    core::CompileOptions co;
+    co.frontend = "dimacs";
+    core::Executable ex(core::compile(text, co));
+    core::Executable::RunOptions r1;
+    r1.common.num_reads = 80;
+    r1.sweeps = 128;
+    r1.common.seed = 42;
+    r1.common.threads = 1;
+    core::Executable::RunOptions rn = r1;
+    rn.common.threads = 8;
+    auto a = ex.run(r1);
+    auto b = ex.run(rn);
+    ASSERT_EQ(a.candidates.size(), b.candidates.size());
+    for (size_t i = 0; i < a.candidates.size(); ++i) {
+        EXPECT_EQ(a.candidates[i].model_line,
+                  b.candidates[i].model_line);
+        EXPECT_EQ(a.candidates[i].energy, b.candidates[i].energy);
+        EXPECT_EQ(a.candidates[i].occurrences,
+                  b.candidates[i].occurrences);
+    }
+}
+
+// ----------------------------------------------------------- oracle
+
+TEST(DimacsOracle, BruteForceRespectsHardDominance)
+{
+    // Hard clauses unsatisfiable together with a tempting soft clause:
+    // the optimum still minimizes hard violations first.
+    dimacs::Instance inst = dimacs::parseDimacs("p wcnf 1 3 100\n"
+                                                "100 1 0\n"
+                                                "100 -1 0\n"
+                                                "50 1 0\n");
+    dimacs::Optimum opt = dimacs::bruteForceOptimum(inst);
+    EXPECT_EQ(opt.hard_unsatisfied, 1u);
+    ASSERT_EQ(opt.assignment.size(), 1u);
+    // Tie on hard violations is broken by soft weight: x1 = true keeps
+    // the 50-weight clause satisfied.
+    EXPECT_TRUE(opt.assignment[0]);
+    EXPECT_EQ(opt.violated_weight, 0.0);
+}
+
+TEST(DimacsOracle, RefusesOversizedInstances)
+{
+    dimacs::Instance inst;
+    inst.num_vars = 27;
+    EXPECT_THROW(dimacs::bruteForceOptimum(inst, 26), FatalError);
+}
+
+// --------------------------------------------------------- registry
+
+TEST(FrontendRegistry, BuiltinsRegisteredAndSorted)
+{
+    EXPECT_TRUE(core::hasFrontend("verilog"));
+    EXPECT_TRUE(core::hasFrontend("dimacs"));
+    EXPECT_FALSE(core::hasFrontend("cobol"));
+    auto names = core::frontendNames();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    EXPECT_NE(core::frontendNamesJoined().find("dimacs"),
+              std::string::npos);
+}
+
+TEST(FrontendRegistry, ExtensionMapping)
+{
+    EXPECT_EQ(core::frontendForPath("a/b/design.v"), "verilog");
+    EXPECT_EQ(core::frontendForPath("inst.cnf"), "dimacs");
+    EXPECT_EQ(core::frontendForPath("inst.wcnf"), "dimacs");
+    EXPECT_EQ(core::frontendForPath("INST.CNF"), "dimacs"); // casefold
+    EXPECT_EQ(core::frontendForPath("notes.txt"), "");
+    EXPECT_EQ(core::frontendForPath("noext"), "");
+    EXPECT_EQ(core::frontendForPath("dir.v/noext"), "");
+}
+
+TEST(FrontendRegistry, UnknownKeyThrowsTypedError)
+{
+    try {
+        core::makeFrontend("cobol");
+        FAIL() << "no error for unknown frontend";
+    } catch (const core::UnknownFrontendError &e) {
+        // The message lists the registered choices, makeSampler-style.
+        EXPECT_NE(std::string(e.what()).find("dimacs"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("verilog"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FrontendRegistry, CustomFrontendRegistersAndClaims)
+{
+    class EchoFrontend : public core::Frontend
+    {
+      public:
+        std::string name() const override { return "echo"; }
+        core::FrontendOutput
+        parse(const std::string &source,
+              const core::CompileOptions &) const override
+        {
+            core::FrontendOutput out;
+            qmasm::Statement st;
+            st.kind = qmasm::Statement::Kind::Weight;
+            st.sym1 = source.empty() ? "empty" : source;
+            st.value = -1.0;
+            out.program.statements.push_back(std::move(st));
+            return out;
+        }
+    };
+    core::registerFrontend(
+        "echo", [] { return std::make_unique<EchoFrontend>(); },
+        {"echo"});
+    EXPECT_TRUE(core::hasFrontend("echo"));
+    EXPECT_EQ(core::frontendForPath("x.echo"), "echo");
+    auto fe = core::makeFrontend("echo");
+    EXPECT_EQ(fe->name(), "echo");
+
+    core::CompileOptions co;
+    co.frontend = "echo";
+    core::CompileResult res = core::compile("spin", co);
+    EXPECT_EQ(res.frontend, "echo");
+    EXPECT_TRUE(res.assembled.hasSymbol("spin"));
+}
+
+} // namespace
+} // namespace qac

@@ -64,7 +64,7 @@ TEST(Paper, CircsatBackwardFindsTheWitness)
     // Section 5.2: pinning y true must recover a=1, b=1, c=0 (the
     // unique satisfying assignment of the CLRS circuit).
     CompileOptions co;
-    co.top = "circsat";
+    co.verilogOpts().top = "circsat";
     Executable ex(compile(kCircsat, co));
     ex.pinDirective("y := true");
     Executable::RunOptions ro;
@@ -84,7 +84,7 @@ TEST(Paper, CircsatBackwardFindsTheWitness)
 TEST(Paper, CircsatForwardAgreesWithTruthTable)
 {
     CompileOptions co;
-    co.top = "circsat";
+    co.verilogOpts().top = "circsat";
     Executable ex(compile(kCircsat, co));
     for (uint64_t v = 0; v < 8; ++v) {
         auto out = ex.evaluate(
@@ -98,7 +98,7 @@ TEST(Paper, FactoringRecoversBothOrders)
 {
     // Section 5.3: pin C = 143 and recover {11, 13} and {13, 11}.
     CompileOptions co;
-    co.top = "mult";
+    co.verilogOpts().top = "mult";
     Executable ex(compile(kMult, co));
     ex.pinDirective("C[7:0] := 10001111"); // 143
     Executable::RunOptions ro;
@@ -121,7 +121,7 @@ TEST(Paper, MultiplierRunsForwardToo)
 {
     // "The same code can be used to multiply two numbers."
     CompileOptions co;
-    co.top = "mult";
+    co.verilogOpts().top = "mult";
     Executable ex(compile(kMult, co));
     ex.pinDirective("A[3:0] := 1101"); // 13
     ex.pinDirective("B[3:0] := 1011"); // 11
@@ -137,7 +137,7 @@ TEST(Paper, MapColoringProducesValidColorings)
 {
     // Section 5.4: pin valid = true and read a 4-coloring.
     CompileOptions co;
-    co.top = "australia";
+    co.verilogOpts().top = "australia";
     Executable ex(compile(kAustralia, co));
     ex.pinDirective("valid := true");
     Executable::RunOptions ro;
@@ -173,10 +173,10 @@ TEST(Paper, MapColoringStaticShape)
     // Section 6.1's orderings: 6 lines of Verilog < EDIF < both
     // dwarfed by blowup factors; 70-something logical variables.
     CompileOptions co;
-    co.top = "australia";
+    co.verilogOpts().top = "australia";
     auto r = compile(kAustralia, co);
-    EXPECT_LE(r.stats.verilog_lines, 8u);
-    EXPECT_GT(r.stats.edif_lines, r.stats.verilog_lines * 10);
+    EXPECT_LE(r.stats.source_lines, 8u);
+    EXPECT_GT(r.stats.edif_lines, r.stats.source_lines * 10);
     EXPECT_GT(r.stats.qmasm_lines, 50u);
     EXPECT_GE(r.stats.logical_vars, 50u);
     EXPECT_LE(r.stats.logical_vars, 100u);
@@ -187,7 +187,7 @@ TEST(Paper, Figure2RelationIsExactlyTheGroundStateSet)
     // Figure 2(b): "H is minimized exactly when s, a, b, and c
     // correspond to a valid relation of inputs and outputs."
     CompileOptions co;
-    co.top = "m";
+    co.verilogOpts().top = "m";
     auto r = compile(
         "module m (s, a, b, c); input s, a, b; output [1:0] c; "
         "assign c = s ? a+b : a-b; endmodule",
@@ -244,7 +244,7 @@ TEST(Pipeline, RandomCircuitsGroundStatesAreRelations)
                           "input a, b, c, d; output y; assign y = " +
             expr + "; endmodule";
         CompileOptions co;
-        co.top = "r";
+        co.verilogOpts().top = "r";
         auto r = compile(src, co);
         if (r.assembled.model.numVars() > 22)
             continue; // keep exact enumeration fast

@@ -10,12 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "qac/anneal/exact.h"
 #include "qac/artifact/qo.h"
 #include "qac/core/compiler.h"
 #include "qac/core/program.h"
+#include "qac/dimacs/dimacs.h"
 #include "qac/netlist/simulate.h"
 #include "qac/util/logging.h"
+#include "qac/verilog/synth.h"
 #include "qac/util/rng.h"
 
 namespace qac::core {
@@ -71,7 +75,7 @@ void
 checkForwardEquivalence(const std::string &src)
 {
     CompileOptions co;
-    co.top = "fuzz";
+    co.verilogOpts().top = "fuzz";
     Executable ex(compile(src, co));
     netlist::Simulator sim(ex.compiled().netlist);
     for (uint64_t v = 0; v < 32; ++v) {
@@ -113,7 +117,7 @@ TEST_P(FuzzSeed, QoRoundTripIsCanonicalAndRunsIdentically)
     Rng rng(GetParam());
     std::string src = randomCombinationalModule(rng);
     CompileOptions co;
-    co.top = "fuzz";
+    co.verilogOpts().top = "fuzz";
     CompileResult compiled = compile(src, co);
     CompileResult copy = compiled;
 
@@ -169,8 +173,8 @@ TEST(PipelineFuzz, SequentialUnrollEquivalence)
 
         const size_t T = 2;
         CompileOptions co;
-        co.top = "seq";
-        co.unroll_steps = T;
+        co.verilogOpts().top = "seq";
+        co.verilogOpts().unroll_steps = T;
         Executable ex(compile(src, co));
 
         // Reference: simulate the sequential netlist directly.
@@ -225,6 +229,77 @@ TEST(PipelineFuzz, SequentialUnrollEquivalence)
     }
 }
 
+/** Random 3-CNF text (clauses of 1-3 distinct literals, mostly 3). */
+std::string
+randomCnf(Rng &rng, uint32_t nv, uint32_t nc)
+{
+    std::string text = format("p cnf %u %u\n", nv, nc);
+    for (uint32_t c = 0; c < nc; ++c) {
+        uint32_t width = rng.below(8) == 0
+            ? 1 + static_cast<uint32_t>(rng.below(2))
+            : 3;
+        std::set<uint32_t> vars;
+        while (vars.size() < width && vars.size() < nv)
+            vars.insert(1 + static_cast<uint32_t>(rng.below(nv)));
+        for (uint32_t v : vars)
+            text += format("%s%u ", rng.below(2) ? "-" : "", v);
+        text += "0\n";
+    }
+    return text;
+}
+
+TEST(PipelineFuzz, RandomThreeCnfMatchesBruteForce)
+{
+    // Random 3-CNF through the dimacs frontend: every exact ground
+    // state of the lowered Hamiltonian must decode to a brute-force
+    // MaxSAT optimum, the ground energy must equal the optimal
+    // penalty, and the .qo round-trip must stay canonical.
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        Rng rng(seed * 1000003);
+        // Small enough that variables + chain ancillas (one per
+        // 3-clause, minus sharing) keep the exact enumeration around
+        // 2^21 states at worst.
+        uint32_t nv = 5 + static_cast<uint32_t>(rng.below(3));
+        uint32_t nc = nv + static_cast<uint32_t>(rng.below(nv + 1));
+        std::string text = randomCnf(rng, nv, nc);
+
+        dimacs::Instance inst = dimacs::parseDimacs(text);
+        dimacs::Optimum opt = dimacs::bruteForceOptimum(inst);
+
+        CompileOptions co;
+        co.frontend = "dimacs";
+        CompileResult res = compile(text, co);
+        ASSERT_TRUE(res.dimacs_decode) << text;
+        const dimacs::DecodeInfo &dec = *res.dimacs_decode;
+
+        std::string bytes = artifact::serializeQo(res);
+        std::string err;
+        auto reloaded = artifact::deserializeQo(bytes, &err);
+        ASSERT_TRUE(reloaded) << text << "\n" << err;
+        EXPECT_EQ(artifact::serializeQo(*reloaded), bytes) << text;
+
+        anneal::ExactSolver solver;
+        auto er = solver.solve(res.assembled.model);
+        EXPECT_NEAR(er.min_energy + dec.energy_offset,
+                    static_cast<double>(opt.hard_unsatisfied) *
+                        dec.hard_weight,
+                    1e-6)
+            << text;
+        ASSERT_FALSE(er.ground_states.empty()) << text;
+        for (const auto &gs : er.ground_states) {
+            auto boolOf = [&](uint32_t v) {
+                const std::string sym = dimacs::varSymbol(v);
+                return res.assembled.hasSymbol(sym) &&
+                    res.assembled.symbolValue(gs, sym);
+            };
+            dimacs::ClauseEval ev =
+                dimacs::evaluateClauses(dec, boolOf);
+            EXPECT_EQ(ev.hard_unsatisfied, opt.hard_unsatisfied)
+                << text;
+        }
+    }
+}
+
 TEST(PipelineFuzz, TechmapConfigurationsAgree)
 {
     // The compiled relation must be identical (as a relation) whether
@@ -233,10 +308,10 @@ TEST(PipelineFuzz, TechmapConfigurationsAgree)
     for (int trial = 0; trial < 4; ++trial) {
         std::string src = randomCombinationalModule(rng);
         CompileOptions with;
-        with.top = "fuzz";
+        with.verilogOpts().top = "fuzz";
         CompileOptions without = with;
-        without.techmap.use_complex_cells = false;
-        without.techmap.fuse_inverters = false;
+        without.verilogOpts().techmap.use_complex_cells = false;
+        without.verilogOpts().techmap.fuse_inverters = false;
 
         Executable ea(compile(src, with));
         Executable eb(compile(src, without));

@@ -60,7 +60,7 @@ core::CompileResult
 compileSource(const char *src, const char *top)
 {
     core::CompileOptions co;
-    co.top = top;
+    co.verilogOpts().top = top;
     return core::compile(src, co);
 }
 
