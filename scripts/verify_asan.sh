@@ -7,7 +7,9 @@
 # planes and masked vector stores (DESIGN.md §13) are exactly the kind
 # of indexed hot-loop code ASan pays for.  So does the sat-labelled
 # suite: the DIMACS parser and clause-gadget lowering are classic
-# indexed-buffer parsing code.
+# indexed-buffer parsing code, and the sim-labelled suite: the event
+# simulator's fanout/pending index arrays and the VCD writer are more
+# of the same (DESIGN.md §15).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,8 +17,8 @@ BUILD=build-asan
 
 cmake -B "$BUILD" -S . -DQAC_SANITIZE=address >/dev/null
 cmake --build "$BUILD" -j --target stats_test cli_test packed_test \
-    dimacs_test qacc qma qsat
+    dimacs_test sim_test qacc qma qsat
 cd "$BUILD"
-ctest -L 'stats|packed|sat' --output-on-failure
+ctest -L 'stats|packed|sat|sim' --output-on-failure
 ctest -R cli_test --output-on-failure
 echo "asan verify ok"

@@ -4,7 +4,9 @@
 # test targets with -DQAC_SANITIZE=thread and runs the parallel- and
 # anneal-labelled suites under TSan, plus the packed suite — packed
 # passes are scheduled across threads like scalar reads, so the lane
-# state must stay thread-confined.
+# state must stay thread-confined.  The sim suite rides along for the
+# differential oracle: diffCheck drives the exact solver's sharded
+# enumeration, so its result merging runs under TSan too.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,7 +14,7 @@ BUILD=build-tsan
 
 cmake -B "$BUILD" -S . -DQAC_SANITIZE=thread >/dev/null
 cmake --build "$BUILD" -j --target parallel_test anneal_test \
-    packed_test dimacs_test
+    packed_test dimacs_test sim_test
 cd "$BUILD"
-ctest -L 'parallel|anneal|packed|sat' --output-on-failure
+ctest -L 'parallel|anneal|packed|sat|sim' --output-on-failure
 echo "tsan verify ok"

@@ -1,5 +1,6 @@
 #include "qac/anneal/exact.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -31,15 +32,73 @@ struct ShardResult
     bool truncated = false;
 };
 
+/**
+ * Connected components of the coupling graph, each listed in
+ * ascending variable order; the components themselves are ordered by
+ * their smallest variable.  Deterministic, so the composed
+ * ground-state list below is too.
+ */
+std::vector<std::vector<uint32_t>>
+couplingComponents(const ising::IsingModel &model)
+{
+    const size_t n = model.numVars();
+    std::vector<std::vector<uint32_t>> adj(n);
+    for (const auto &t : model.quadraticTerms()) {
+        adj[t.i].push_back(t.j);
+        adj[t.j].push_back(t.i);
+    }
+    std::vector<std::vector<uint32_t>> comps;
+    std::vector<bool> seen(n, false);
+    std::vector<uint32_t> stack;
+    for (uint32_t v = 0; v < n; ++v) {
+        if (seen[v])
+            continue;
+        std::vector<uint32_t> comp;
+        seen[v] = true;
+        stack.push_back(v);
+        while (!stack.empty()) {
+            uint32_t u = stack.back();
+            stack.pop_back();
+            comp.push_back(u);
+            for (uint32_t w : adj[u])
+                if (!seen[w]) {
+                    seen[w] = true;
+                    stack.push_back(w);
+                }
+        }
+        std::sort(comp.begin(), comp.end());
+        comps.push_back(std::move(comp));
+    }
+    return comps;
+}
+
+/** The sub-model induced by @p vars (ascending original ids). */
+ising::IsingModel
+inducedModel(const ising::IsingModel &model,
+             const std::vector<uint32_t> &vars)
+{
+    std::vector<uint32_t> to_local(model.numVars(), UINT32_MAX);
+    for (uint32_t k = 0; k < vars.size(); ++k)
+        to_local[vars[k]] = k;
+    ising::IsingModel sub;
+    sub.resize(vars.size());
+    for (uint32_t k = 0; k < vars.size(); ++k) {
+        double h = model.linear(vars[k]);
+        if (h != 0.0)
+            sub.addLinear(k, h);
+    }
+    for (const auto &t : model.quadraticTerms())
+        if (to_local[t.i] != UINT32_MAX)
+            sub.addQuadratic(to_local[t.i], to_local[t.j], t.value);
+    return sub;
+}
+
 } // namespace
 
 ExactResult
 ExactSolver::solve(const ising::IsingModel &model) const
 {
     const size_t n = model.numVars();
-    if (n > params_.max_vars)
-        fatal("ExactSolver: %zu variables exceeds the limit of %zu", n,
-              params_.max_vars);
 
     ExactResult res;
     if (n == 0) {
@@ -47,6 +106,21 @@ ExactSolver::solve(const ising::IsingModel &model) const
         res.ground_states.emplace_back();
         return res;
     }
+
+    // The 2^n wall applies per *connected component*, not per model:
+    // energies are additive across components, so each is enumerated
+    // independently and the ground-state sets composed.  This is what
+    // lets the differential oracle enumerate a fully-pinned circuit
+    // whose residual gadget clusters are small even when their union
+    // is far beyond max_vars.
+    std::vector<std::vector<uint32_t>> comps =
+        couplingComponents(model);
+    if (comps.size() > 1)
+        return solveComposed(model, comps);
+
+    if (n > params_.max_vars)
+        fatal("ExactSolver: %zu variables exceeds the limit of %zu", n,
+              params_.max_vars);
 
     // CSR walk: flipDelta is O(degree) over flat arrays, shared
     // read-only by every shard.
@@ -125,6 +199,45 @@ ExactSolver::solve(const ising::IsingModel &model) const
 
     stats::count("anneal.exact.states", total);
     stats::count("anneal.exact.ground_states", res.ground_states.size());
+    return res;
+}
+
+ExactResult
+ExactSolver::solveComposed(
+    const ising::IsingModel &model,
+    const std::vector<std::vector<uint32_t>> &comps) const
+{
+    // Seed with one empty template assignment, then take the cross
+    // product of each component's ground-state set (energies add,
+    // states are independent).  Components and their states arrive in
+    // deterministic order, so the composed list is deterministic too.
+    ExactResult res;
+    res.min_energy = 0.0;
+    res.ground_states.emplace_back(model.numVars(), ising::Spin{-1});
+    for (const auto &comp : comps) {
+        ExactResult part = solve(inducedModel(model, comp));
+        res.min_energy += part.min_energy;
+        if (part.truncated)
+            res.truncated = true;
+        const size_t cap = params_.max_ground_states;
+        std::vector<ising::SpinVector> combined;
+        bool full = false;
+        for (size_t a = 0; a < res.ground_states.size() && !full; ++a) {
+            for (const auto &gs : part.ground_states) {
+                if (combined.size() == cap) {
+                    res.truncated = true;
+                    full = true;
+                    break;
+                }
+                ising::SpinVector s = res.ground_states[a];
+                for (size_t k = 0; k < comp.size(); ++k)
+                    s[comp[k]] = gs[k];
+                combined.push_back(std::move(s));
+            }
+        }
+        res.ground_states = std::move(combined);
+    }
+    stats::count("anneal.exact.composed");
     return res;
 }
 

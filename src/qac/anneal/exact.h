@@ -40,7 +40,13 @@ class ExactSolver : public Sampler
     ExactSolver() = default;
     explicit ExactSolver(Params params) : params_(params) {}
 
-    /** Enumerate all 2^n assignments. Fatal when n > max_vars. */
+    /**
+     * Enumerate all assignments.  The coupling graph is split into
+     * connected components, each enumerated independently (energies
+     * are additive) and the ground-state sets composed, so max_vars
+     * bounds the largest *component*, not the whole model.  Fatal
+     * when a component exceeds max_vars.
+     */
     ExactResult solve(const ising::IsingModel &model) const;
 
     /** Global minimum energy only. */
@@ -50,6 +56,11 @@ class ExactSolver : public Sampler
     SampleSet sample(const ising::IsingModel &model) const override;
 
   private:
+    ExactResult
+    solveComposed(const ising::IsingModel &model,
+                  const std::vector<std::vector<uint32_t>> &comps)
+        const;
+
     Params params_{};
 };
 

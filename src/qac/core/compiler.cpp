@@ -1,6 +1,7 @@
 #include "qac/core/compiler.h"
 
 #include "qac/core/frontend.h"
+#include "qac/sim/xlint.h"
 #include "qac/stats/registry.h"
 #include "qac/util/logging.h"
 #include "qac/util/strings.h"
@@ -31,6 +32,16 @@ compile(const std::string &source, const CompileOptions &opts)
     }
     res.stats.edif_lines =
         res.edif_text.empty() ? 0 : countLines(res.edif_text);
+
+    // 1b. X-propagation lint (DESIGN.md §15): a net the simulator
+    // cannot resolve even with every input driven and every flop reset
+    // is underconstrained in the Hamiltonian too — its variable floats
+    // and the ground state picks an arbitrary value.  Flag it now,
+    // at compile time, instead of shipping a silently-wrong model.
+    if (!res.netlist.ports().empty()) {
+        stats::ScopedTimer t("compile.xlint");
+        sim::xLint(res.netlist, /*warn_offenders=*/true);
+    }
 
     // 2. Assembly to the logical Ising model.
     {

@@ -6,11 +6,14 @@
 
 namespace qac::netlist {
 
+using sim::Logic;
+
 Simulator::Simulator(const Netlist &nl)
-    : nl_(nl), values_(nl.numNets(), false),
-      dff_state_(nl.numGates(), false)
+    : nl_(nl), values_(nl.numNets(), Logic::X),
+      dff_state_(nl.numGates(), Logic::X)
 {
-    values_[kConst1] = true;
+    values_[kConst0] = Logic::L0;
+    values_[kConst1] = Logic::L1;
     buildTopoOrder();
     eval();
 }
@@ -72,7 +75,7 @@ Simulator::setInput(const std::string &name, uint64_t value)
 {
     const Port &p = port(name, PortDir::Input);
     for (size_t i = 0; i < p.bits.size(); ++i)
-        values_[p.bits[i]] = (value >> i) & 1;
+        values_[p.bits[i]] = sim::fromBool((value >> i) & 1);
 }
 
 void
@@ -84,7 +87,7 @@ Simulator::setInputBits(const std::string &name,
         fatal("port '%s' is %zu bits wide, got %zu", name.c_str(),
               p.bits.size(), bits.size());
     for (size_t i = 0; i < p.bits.size(); ++i)
-        values_[p.bits[i]] = bits[i];
+        values_[p.bits[i]] = sim::fromBool(bits[i]);
 }
 
 void
@@ -95,15 +98,14 @@ Simulator::eval()
     for (size_t gi = 0; gi < gates.size(); ++gi)
         if (cells::gateInfo(gates[gi].type).sequential)
             values_[gates[gi].output] = dff_state_[gi];
-    values_[kConst0] = false;
-    values_[kConst1] = true;
+    values_[kConst0] = Logic::L0;
+    values_[kConst1] = Logic::L1;
     for (size_t gi : topo_) {
         const Gate &g = gates[gi];
-        uint32_t bits = 0;
+        Logic in[4]; // max cell arity (AOI4/OAI4)
         for (size_t k = 0; k < g.inputs.size(); ++k)
-            if (values_[g.inputs[k]])
-                bits |= (1u << k);
-        values_[g.output] = cells::evalGate(g.type, bits);
+            in[k] = values_[g.inputs[k]];
+        values_[g.output] = sim::evalGate4(g.type, in);
     }
 }
 
@@ -120,8 +122,20 @@ Simulator::step()
 void
 Simulator::reset()
 {
-    dff_state_.assign(dff_state_.size(), false);
+    dff_state_.assign(dff_state_.size(), Logic::L0);
     eval();
+}
+
+bool
+Simulator::requireKnown(NetId id) const
+{
+    Logic v = values_[id];
+    if (!sim::isKnown(v))
+        fatal("net '%s' in '%s' is %c — unset input or uninitialized "
+              "flop upstream (setInput/reset before reading)",
+              nl_.netName(id).c_str(), nl_.name().c_str(),
+              sim::logicChar(v));
+    return sim::toBool(v);
 }
 
 uint64_t
@@ -134,7 +148,7 @@ Simulator::output(const std::string &name) const
         fatal("port '%s' too wide for integer read", name.c_str());
     uint64_t v = 0;
     for (size_t i = 0; i < p->bits.size(); ++i)
-        if (values_[p->bits[i]])
+        if (requireKnown(p->bits[i]))
             v |= (uint64_t{1} << i);
     return v;
 }
@@ -147,8 +161,20 @@ Simulator::outputBits(const std::string &name) const
         fatal("no port named '%s'", name.c_str());
     std::vector<bool> bits(p->bits.size());
     for (size_t i = 0; i < p->bits.size(); ++i)
-        bits[i] = values_[p->bits[i]];
+        bits[i] = requireKnown(p->bits[i]);
     return bits;
+}
+
+bool
+Simulator::portKnown(const std::string &name) const
+{
+    const Port *p = nl_.findPort(name);
+    if (!p)
+        fatal("no port named '%s'", name.c_str());
+    for (NetId n : p->bits)
+        if (!sim::isKnown(values_[n]))
+            return false;
+    return true;
 }
 
 const Port &

@@ -7,6 +7,13 @@
  * programs forward on classical hardware (Section 5.2: "we can easily
  * check a result by running the code forward"), and (3) inside tests to
  * cross-check Ising ground states against circuit behaviour.
+ *
+ * Values are four-state (sim::Logic).  Input-port nets start X and
+ * flip-flops power up X, so reading an output that depends on an input
+ * the caller never set — or on an un-reset flop — is a hard error
+ * instead of a silent 0.  The gate semantics are the shared 4-state
+ * tables in qac/sim/logic.h (the event-driven simulator evaluates
+ * through the exact same functions).
  */
 
 #ifndef QAC_NETLIST_SIMULATE_H
@@ -17,10 +24,11 @@
 #include <vector>
 
 #include "qac/netlist/netlist.h"
+#include "qac/sim/logic.h"
 
 namespace qac::netlist {
 
-/** Two-valued simulator over one Netlist. */
+/** Four-valued levelized simulator over one Netlist. */
 class Simulator
 {
   public:
@@ -42,20 +50,36 @@ class Simulator
     /** Reset all DFF state to 0 and re-eval(). */
     void reset();
 
-    /** Read an output (or any) port as an integer (width <= 64). */
+    /**
+     * Read an output (or any) port as an integer (width <= 64).
+     * Fatal if any bit is X/Z — an unset input or uninitialized flop
+     * upstream; call setInput / reset first.
+     */
     uint64_t output(const std::string &port) const;
 
     std::vector<bool> outputBits(const std::string &port) const;
 
-    bool netValue(NetId id) const { return values_[id]; }
+    /** True when every bit of @p port is 0/1. */
+    bool portKnown(const std::string &port) const;
+
+    /** Two-valued net read; fatal when the net is X/Z. */
+    bool
+    netValue(NetId id) const
+    {
+        return requireKnown(id);
+    }
+
+    /** Four-valued net read (never fatal). */
+    sim::Logic netLogic(NetId id) const { return values_[id]; }
 
   private:
     const Netlist &nl_;
-    std::vector<bool> values_;        ///< per-net current value
-    std::vector<bool> dff_state_;     ///< per-gate state (DFFs only)
+    std::vector<sim::Logic> values_;  ///< per-net current value
+    std::vector<sim::Logic> dff_state_; ///< per-gate state (DFFs only)
     std::vector<size_t> topo_;        ///< combinational gates, levelized
 
     void buildTopoOrder();
+    bool requireKnown(NetId id) const;
     const Port &port(const std::string &name, PortDir dir) const;
 };
 

@@ -13,6 +13,47 @@ namespace {
 
 using netlist::NetId;
 
+/**
+ * Endpoint symbols per net plus the instance name of every gate.
+ * This is the single home of the lowering's naming scheme: port-bit
+ * symbols first (preferred chain anchors), then "$gN.<pin>" instance
+ * pins with N counting non-BUF gates in netlist order.  BUF cells
+ * contribute no pins (they lower to a bare chain) but both their nets
+ * are forced to exist.
+ */
+struct EndpointMap
+{
+    std::map<NetId, std::vector<std::string>> by_net;
+    std::vector<std::string> inst_names; ///< per gate; "" for BUF
+};
+
+EndpointMap
+netEndpoints(const netlist::Netlist &nl)
+{
+    EndpointMap m;
+    m.inst_names.resize(nl.numGates());
+    for (const auto &p : nl.ports())
+        for (size_t i = 0; i < p.bits.size(); ++i)
+            m.by_net[p.bits[i]].push_back(portBitSymbol(p, i));
+    size_t used = 0;
+    for (size_t gi = 0; gi < nl.numGates(); ++gi) {
+        const auto &g = nl.gates()[gi];
+        const auto &info = cells::gateInfo(g.type);
+        if (g.type == cells::GateType::BUF) {
+            m.by_net[g.inputs[0]];
+            m.by_net[g.output];
+            continue;
+        }
+        std::string inst = format("$g%zu", used++);
+        for (size_t k = 0; k < g.inputs.size(); ++k)
+            m.by_net[g.inputs[k]].push_back(inst + "." +
+                                            info.inputs[k]);
+        m.by_net[g.output].push_back(inst + "." + info.output);
+        m.inst_names[gi] = std::move(inst);
+    }
+    return m;
+}
+
 } // namespace
 
 std::string
@@ -39,32 +80,18 @@ netlistToQmasm(const netlist::Netlist &nl, const Edif2QmasmOptions &opts)
         prog.statements.push_back(std::move(c));
     }
 
-    // Endpoint symbols per net: instance pins and port-bit names.
-    std::map<NetId, std::vector<std::string>> endpoints;
-    // Port symbols first so they become the preferred chain anchors.
-    for (const auto &p : nl.ports())
-        for (size_t i = 0; i < p.bits.size(); ++i)
-            endpoints[p.bits[i]].push_back(portBitSymbol(p, i));
-
-    size_t used = 0;
+    // Endpoint symbols per net (shared with symbolNets so the naming
+    // scheme the verification oracle joins on cannot drift).
+    EndpointMap em = netEndpoints(nl);
+    auto &endpoints = em.by_net;
     for (size_t gi = 0; gi < nl.numGates(); ++gi) {
-        const auto &g = nl.gates()[gi];
-        const auto &info = cells::gateInfo(g.type);
-        if (g.type == cells::GateType::BUF) {
-            // A buffer is a bare wire: chain its two nets directly.
-            endpoints[g.inputs[0]];
-            endpoints[g.output];
-            continue;
-        }
-        std::string inst = format("$g%zu", used++);
+        if (em.inst_names[gi].empty())
+            continue; // BUF: a bare wire, chained below
         Statement st;
         st.kind = Statement::Kind::UseMacro;
-        st.sym1 = info.name;
-        st.sym2 = inst;
+        st.sym1 = cells::gateInfo(nl.gates()[gi].type).name;
+        st.sym2 = em.inst_names[gi];
         prog.statements.push_back(std::move(st));
-        for (size_t k = 0; k < g.inputs.size(); ++k)
-            endpoints[g.inputs[k]].push_back(inst + "." + info.inputs[k]);
-        endpoints[g.output].push_back(inst + "." + info.output);
     }
 
     // Buffers: alias their input and output nets by making the nets
@@ -123,6 +150,17 @@ netlistToQmasm(const netlist::Netlist &nl, const Edif2QmasmOptions &opts)
     }
 
     return prog;
+}
+
+std::map<std::string, netlist::NetId>
+symbolNets(const netlist::Netlist &nl)
+{
+    std::map<std::string, NetId> out;
+    EndpointMap em = netEndpoints(nl);
+    for (const auto &[net, syms] : em.by_net)
+        for (const auto &sym : syms)
+            out.emplace(sym, net);
+    return out;
 }
 
 Program

@@ -14,6 +14,7 @@
 #ifndef QAC_QMASM_EDIF2QMASM_H
 #define QAC_QMASM_EDIF2QMASM_H
 
+#include <map>
 #include <string>
 
 #include "qac/netlist/netlist.h"
@@ -39,6 +40,17 @@ Program edifToQmasm(const std::string &edif_text,
 
 /** Symbol naming for a port bit ("c[1]"; scalar ports keep their name). */
 std::string portBitSymbol(const netlist::Port &port, size_t bit);
+
+/**
+ * Every symbol netlistToQmasm names, mapped to the net it lives on:
+ * port-bit symbols plus gate instance pins ("$g0.A").  The instance
+ * numbering is exactly the one netlistToQmasm emits (BUF cells are
+ * skipped), so simulated net values can be joined against the
+ * assembled program's symbol table — the simulation subsystem checks
+ * `!assert` statements against traces through this map.
+ */
+std::map<std::string, netlist::NetId>
+symbolNets(const netlist::Netlist &nl);
 
 } // namespace qac::qmasm
 

@@ -1,0 +1,71 @@
+#include "qac/sim/assert_check.h"
+
+#include <algorithm>
+
+#include "qac/qmasm/edif2qmasm.h"
+#include "qac/util/logging.h"
+
+namespace qac::sim {
+
+namespace {
+
+constexpr size_t kMaxOffenders = 16;
+
+void
+addOffender(std::vector<std::string> &offenders, std::string text)
+{
+    if (offenders.size() >= kMaxOffenders)
+        return;
+    if (std::find(offenders.begin(), offenders.end(), text) !=
+        offenders.end())
+        return;
+    offenders.push_back(std::move(text));
+}
+
+} // namespace
+
+void
+AssertTraceResult::merge(const AssertTraceResult &other)
+{
+    checked += other.checked;
+    failed += other.failed;
+    indeterminate += other.indeterminate;
+    for (const auto &o : other.offenders)
+        addOffender(offenders, o);
+}
+
+AssertTraceResult
+checkAssertsOnState(const qmasm::Assembled &assembled,
+                    const EventSimulator &sim)
+{
+    AssertTraceResult res;
+    if (assembled.asserts.empty())
+        return res;
+
+    // Known net values keyed by every symbol the lowering named.
+    // Unknown nets are deliberately left out: an assert touching one
+    // trips evalAssertExpr's unknown-symbol fatal, which we classify
+    // as indeterminate rather than letting X decay to a boolean.
+    std::map<std::string, bool> values;
+    for (const auto &[sym, net] : qmasm::symbolNets(sim.netlist())) {
+        Logic v = sim.value(net);
+        if (isKnown(v))
+            values[sym] = toBool(v);
+    }
+
+    for (const auto &expr : assembled.asserts) {
+        ++res.checked;
+        try {
+            if (!qmasm::evalAssertExpr(expr, values)) {
+                ++res.failed;
+                addOffender(res.offenders, "FAIL " + expr);
+            }
+        } catch (const FatalError &) {
+            ++res.indeterminate;
+            addOffender(res.offenders, "X    " + expr);
+        }
+    }
+    return res;
+}
+
+} // namespace qac::sim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * QMASM `!assert` checking against simulated traces.
+ *
+ * The annealer path only checks asserts on *returned samples* — a
+ * wrong gadget whose ground state happens to dodge the sampled
+ * assignments goes unnoticed.  Here the same assert expressions are
+ * evaluated against the event-driven simulator's net values instead:
+ * the join between assembled symbols ("$g3.Y", "C[2]") and netlist
+ * nets comes from qmasm::symbolNets, so every assert the stdcell
+ * library plants is checked against the classical semantics of the
+ * circuit, not against whatever the annealer returned.
+ */
+
+#ifndef QAC_SIM_ASSERT_CHECK_H
+#define QAC_SIM_ASSERT_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "qac/qmasm/assemble.h"
+#include "qac/sim/event_sim.h"
+
+namespace qac::sim {
+
+struct AssertTraceResult
+{
+    size_t checked = 0;
+    size_t failed = 0;
+    /** Asserts referencing an X/Z net (cannot be decided). */
+    size_t indeterminate = 0;
+    /** The failing/indeterminate expressions (deduplicated, capped). */
+    std::vector<std::string> offenders;
+
+    bool ok() const { return failed == 0 && indeterminate == 0; }
+    void merge(const AssertTraceResult &other);
+};
+
+/**
+ * Evaluate every assert of @p assembled against the simulator's
+ * current state.  @p sim must simulate the same netlist the program
+ * was lowered from.  An assert whose symbols include an unknown net
+ * value counts as indeterminate, never as a silent pass.
+ */
+AssertTraceResult
+checkAssertsOnState(const qmasm::Assembled &assembled,
+                    const EventSimulator &sim);
+
+} // namespace qac::sim
+
+#endif // QAC_SIM_ASSERT_CHECK_H

@@ -1,0 +1,228 @@
+#include "qac/sim/event_sim.h"
+
+#include <algorithm>
+
+#include "qac/stats/registry.h"
+#include "qac/util/logging.h"
+
+namespace qac::sim {
+
+EventSimulator::EventSimulator(const netlist::Netlist &nl)
+    : nl_(nl), values_(nl.numNets(), Logic::Z),
+      dff_state_(nl.numGates(), Logic::X), fanout_(nl.numNets()),
+      in_pending_(nl.numGates(), 0)
+{
+    values_[netlist::kConst0] = Logic::L0;
+    values_[netlist::kConst1] = Logic::L1;
+    // Input-port nets are externally driven: they start X (present
+    // but unknown) rather than Z (undriven), so the lint can tell
+    // "caller never set this" from "nothing drives this".
+    for (const auto &p : nl.ports())
+        if (p.dir == netlist::PortDir::Input)
+            for (netlist::NetId n : p.bits)
+                values_[n] = Logic::X;
+    const auto &gates = nl.gates();
+    for (uint32_t gi = 0; gi < gates.size(); ++gi) {
+        for (netlist::NetId in : gates[gi].inputs)
+            fanout_[in].push_back(gi);
+        // Driven nets lose their Z default; flop outputs publish X
+        // state below, combinational outputs get evaluated at time 0.
+        values_[gates[gi].output] = Logic::X;
+    }
+    for (uint32_t gi = 0; gi < gates.size(); ++gi) {
+        if (cells::gateInfo(gates[gi].type).sequential)
+            values_[gates[gi].output] = dff_state_[gi];
+        else
+            schedule(gi);
+    }
+    settle();
+}
+
+void
+EventSimulator::schedule(uint32_t gate)
+{
+    if (in_pending_[gate])
+        return;
+    in_pending_[gate] = 1;
+    pending_.push_back(gate);
+}
+
+void
+EventSimulator::setNet(netlist::NetId net, Logic v)
+{
+    if (values_[net] == v)
+        return;
+    values_[net] = v;
+    ++changes_;
+    if (tracing_)
+        trace_.push_back({time_, net, v});
+    for (uint32_t gi : fanout_[net])
+        if (!cells::gateInfo(nl_.gates()[gi].type).sequential)
+            schedule(gi);
+}
+
+void
+EventSimulator::settle()
+{
+    const auto &gates = nl_.gates();
+    // A delta cycle evaluates the pending set in ascending gate index;
+    // changes produced feed the next delta.  An acyclic netlist
+    // settles within its logic depth; anything still toggling after
+    // numGates + 1 deltas must sit on a combinational cycle.
+    const size_t max_deltas = gates.size() + 1;
+    std::vector<uint32_t> wave;
+    Logic in_vals[4];
+    for (size_t delta = 0; !pending_.empty(); ++delta) {
+        if (delta >= max_deltas)
+            fatal("netlist '%s' does not settle (combinational "
+                  "cycle?)", nl_.name().c_str());
+        wave.clear();
+        std::swap(wave, pending_);
+        std::sort(wave.begin(), wave.end());
+        for (uint32_t gi : wave)
+            in_pending_[gi] = 0;
+        for (uint32_t gi : wave) {
+            const netlist::Gate &g = gates[gi];
+            for (size_t k = 0; k < g.inputs.size(); ++k)
+                in_vals[k] = values_[g.inputs[k]];
+            ++events_;
+            setNet(g.output, evalGate4(g.type, in_vals));
+        }
+    }
+}
+
+void
+EventSimulator::setInput(const std::string &name, uint64_t value)
+{
+    const netlist::Port &p = inPort(name);
+    for (size_t i = 0; i < p.bits.size(); ++i)
+        setNet(p.bits[i], fromBool((value >> i) & 1));
+}
+
+void
+EventSimulator::setInputLogic(const std::string &name,
+                              const std::vector<Logic> &bits)
+{
+    const netlist::Port &p = inPort(name);
+    if (bits.size() != p.bits.size())
+        fatal("port '%s' is %zu bits wide, got %zu", name.c_str(),
+              p.bits.size(), bits.size());
+    for (size_t i = 0; i < p.bits.size(); ++i)
+        setNet(p.bits[i], bits[i]);
+}
+
+void
+EventSimulator::setInputAll(const std::string &name, Logic v)
+{
+    const netlist::Port &p = inPort(name);
+    for (netlist::NetId n : p.bits)
+        setNet(n, v);
+}
+
+void
+EventSimulator::eval()
+{
+    ++time_;
+    settle();
+}
+
+void
+EventSimulator::step()
+{
+    ++time_;
+    const auto &gates = nl_.gates();
+    // Sample every D first (nonblocking semantics), then publish.
+    std::vector<std::pair<uint32_t, Logic>> next;
+    for (uint32_t gi = 0; gi < gates.size(); ++gi)
+        if (cells::gateInfo(gates[gi].type).sequential)
+            next.emplace_back(gi, drive(values_[gates[gi].inputs[0]]));
+    for (const auto &[gi, d] : next) {
+        dff_state_[gi] = d;
+        setNet(gates[gi].output, d);
+    }
+    settle();
+}
+
+void
+EventSimulator::reset(Logic v)
+{
+    ++time_;
+    const auto &gates = nl_.gates();
+    for (uint32_t gi = 0; gi < gates.size(); ++gi) {
+        if (!cells::gateInfo(gates[gi].type).sequential)
+            continue;
+        dff_state_[gi] = v;
+        setNet(gates[gi].output, v);
+    }
+    settle();
+}
+
+std::vector<Logic>
+EventSimulator::portLogic(const std::string &name) const
+{
+    const netlist::Port &p = anyPort(name);
+    std::vector<Logic> bits(p.bits.size());
+    for (size_t i = 0; i < p.bits.size(); ++i)
+        bits[i] = values_[p.bits[i]];
+    return bits;
+}
+
+uint64_t
+EventSimulator::output(const std::string &name) const
+{
+    const netlist::Port &p = anyPort(name);
+    if (p.bits.size() > 64)
+        fatal("port '%s' too wide for integer read", name.c_str());
+    uint64_t v = 0;
+    for (size_t i = 0; i < p.bits.size(); ++i) {
+        Logic b = values_[p.bits[i]];
+        if (!isKnown(b))
+            fatal("port '%s' bit %zu is %c (unset input or "
+                  "uninitialized flop upstream)",
+                  name.c_str(), i, logicChar(b));
+        if (toBool(b))
+            v |= uint64_t{1} << i;
+    }
+    return v;
+}
+
+bool
+EventSimulator::portKnown(const std::string &name) const
+{
+    const netlist::Port &p = anyPort(name);
+    for (netlist::NetId n : p.bits)
+        if (!isKnown(values_[n]))
+            return false;
+    return true;
+}
+
+void
+EventSimulator::enableTrace()
+{
+    if (tracing_)
+        return;
+    tracing_ = true;
+    // Snapshot the current state so a VCD dump starts fully defined.
+    for (netlist::NetId n = 0; n < values_.size(); ++n)
+        trace_.push_back({time_, n, values_[n]});
+}
+
+const netlist::Port &
+EventSimulator::inPort(const std::string &name) const
+{
+    const netlist::Port &p = anyPort(name);
+    if (p.dir != netlist::PortDir::Input)
+        fatal("port '%s' is not an input", name.c_str());
+    return p;
+}
+
+const netlist::Port &
+EventSimulator::anyPort(const std::string &name) const
+{
+    const netlist::Port *p = nl_.findPort(name);
+    if (!p)
+        fatal("no port named '%s'", name.c_str());
+    return *p;
+}
+
+} // namespace qac::sim

@@ -1,0 +1,72 @@
+#include "qac/sim/vcd.h"
+
+#include <fstream>
+#include <map>
+
+#include "qac/util/logging.h"
+
+namespace qac::sim {
+
+namespace {
+
+/** Base-94 VCD identifier for net @p id ("!", "\"", ..., "!!", ...). */
+std::string
+vcdId(uint32_t id)
+{
+    std::string s;
+    do {
+        s += static_cast<char>('!' + id % 94);
+        id /= 94;
+    } while (id != 0);
+    return s;
+}
+
+} // namespace
+
+std::string
+toVcd(const EventSimulator &sim)
+{
+    const netlist::Netlist &nl = sim.netlist();
+    std::string out;
+    // No $date/$version headers: the dump must be a pure function of
+    // the trace so golden tests can compare bytes.
+    out += "$timescale 1ns $end\n";
+    out += "$scope module " + nl.name() + " $end\n";
+    for (netlist::NetId n = 0; n < nl.numNets(); ++n)
+        out += "$var wire 1 " + vcdId(n) + " " + nl.netName(n) +
+               " $end\n";
+    out += "$upscope $end\n$enddefinitions $end\n";
+
+    // Group changes by timestamp; within one timestamp the last write
+    // to a net wins and nets emit in id order.
+    std::map<uint64_t, std::map<netlist::NetId, Logic>> by_time;
+    for (const Change &c : sim.trace())
+        by_time[c.time][c.net] = c.value;
+    bool first = true;
+    for (const auto &[t, nets] : by_time) {
+        out += format("#%llu\n", static_cast<unsigned long long>(t));
+        if (first)
+            out += "$dumpvars\n";
+        for (const auto &[n, v] : nets) {
+            out += logicChar(v);
+            out += vcdId(n);
+            out += '\n';
+        }
+        if (first) {
+            out += "$end\n";
+            first = false;
+        }
+    }
+    return out;
+}
+
+void
+writeVcdFile(const std::string &path, const EventSimulator &sim)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+    f << toVcd(sim);
+}
+
+} // namespace qac::sim

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * VCD (IEEE 1364 value-change dump) export of a captured simulation
+ * trace.  Every net of the netlist becomes a scalar wire in one
+ * module scope; identifiers are the printable-ASCII base-94 codes the
+ * format prescribes.  Output is a pure function of the trace, so
+ * golden-file tests can diff it byte-for-byte.
+ */
+
+#ifndef QAC_SIM_VCD_H
+#define QAC_SIM_VCD_H
+
+#include <string>
+
+#include "qac/sim/event_sim.h"
+
+namespace qac::sim {
+
+/**
+ * Render the simulator's captured trace (enableTrace() must have been
+ * on) as VCD text.  Timestamps are the simulator's now() ticks.
+ */
+std::string toVcd(const EventSimulator &sim);
+
+/** Write toVcd(sim) to @p path.  Fatal when the file cannot open. */
+void writeVcdFile(const std::string &path, const EventSimulator &sim);
+
+} // namespace qac::sim
+
+#endif // QAC_SIM_VCD_H

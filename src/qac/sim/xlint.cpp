@@ -1,0 +1,84 @@
+#include "qac/sim/xlint.h"
+
+#include "qac/sim/event_sim.h"
+#include "qac/stats/registry.h"
+#include "qac/util/logging.h"
+
+namespace qac::sim {
+
+size_t
+XLintReport::numRead() const
+{
+    size_t n = 0;
+    for (const auto &o : offenders)
+        if (o.read)
+            ++n;
+    return n;
+}
+
+XLintReport
+xLint(const netlist::Netlist &nl, bool warn_offenders)
+{
+    XLintReport report;
+    report.nets_checked = nl.numNets();
+    if (nl.numNets() == 0)
+        return report;
+
+    EventSimulator sim(nl);
+    for (const auto &p : nl.ports())
+        if (p.dir == netlist::PortDir::Input)
+            sim.setInputAll(p.name, Logic::L0);
+    sim.reset(Logic::L0);
+
+    // Which nets are read at all (gate inputs or output-port bits)?
+    // An unread X net is dead weight; a read one corrupts results.
+    std::vector<uint8_t> read(nl.numNets(), 0);
+    for (const auto &g : nl.gates())
+        for (netlist::NetId in : g.inputs)
+            read[in] = 1;
+    for (const auto &p : nl.ports())
+        if (p.dir == netlist::PortDir::Output)
+            for (netlist::NetId n : p.bits)
+                read[n] = 1;
+
+    size_t x_read = 0, z_total = 0;
+    for (netlist::NetId n = 0; n < nl.numNets(); ++n) {
+        Logic v = sim.value(n);
+        if (isKnown(v))
+            continue;
+        XLintReport::Offender o;
+        o.net = n;
+        o.name = nl.netName(n);
+        o.undriven = (v == Logic::Z);
+        o.read = read[n] != 0;
+        if (o.undriven)
+            ++z_total;
+        if (o.read)
+            ++x_read;
+        report.offenders.push_back(std::move(o));
+    }
+    stats::gauge("qac.sim.x_nets", x_read);
+    stats::gauge("qac.sim.z_nets", z_total);
+
+    if (warn_offenders && !report.offenders.empty()) {
+        constexpr size_t kMaxWarn = 8;
+        size_t shown = 0;
+        for (const auto &o : report.offenders) {
+            if (!o.read)
+                continue;
+            if (shown++ >= kMaxWarn)
+                break;
+            warn("x-lint: net '%s' in '%s' is %s and feeds %s; its "
+                 "Hamiltonian variable is unconstrained",
+                 o.name.c_str(), nl.name().c_str(),
+                 o.undriven ? "undriven" : "never resolved (X)",
+                 o.read ? "live logic" : "nothing");
+        }
+        if (report.numRead() > kMaxWarn)
+            warn("x-lint: %zu further unresolved net(s) suppressed",
+                 report.numRead() - kMaxWarn);
+    }
+    return report;
+}
+
+} // namespace qac::sim

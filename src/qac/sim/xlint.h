@@ -1,0 +1,56 @@
+/**
+ * @file
+ * X-propagation lint: find nets that stay unknown even when every
+ * input is driven and every flop is reset.
+ *
+ * Such nets are floating or underconstrained — nothing in the design
+ * ever determines them — and the QMASM lowering turns them into free
+ * Hamiltonian variables whose ground-state value is arbitrary: a
+ * silently-wrong compile.  core::compile runs this lint on every
+ * netlist frontend and reports offenders as structured warnings plus
+ * the qac.sim.x_nets / qac.sim.z_nets stats.
+ */
+
+#ifndef QAC_SIM_XLINT_H
+#define QAC_SIM_XLINT_H
+
+#include <string>
+#include <vector>
+
+#include "qac/netlist/netlist.h"
+
+namespace qac::sim {
+
+struct XLintReport
+{
+    /** One offender: the net and why it is unresolved. */
+    struct Offender
+    {
+        netlist::NetId net;
+        std::string name;
+        bool undriven;  ///< true: no driver at all (Z); false: X
+        bool read;      ///< feeds a gate input or an output port bit
+    };
+
+    std::vector<Offender> offenders;
+    size_t nets_checked = 0;
+
+    bool clean() const { return offenders.empty(); }
+    /** Offenders that actually influence the design (read == true). */
+    size_t numRead() const;
+};
+
+/**
+ * Drive every input port to 0, reset every flop to 0, settle, and
+ * report each net still X or Z.  Records qac.sim.x_nets (offenders
+ * feeding logic or outputs) and qac.sim.z_nets (fully dangling) and,
+ * when @p warn_offenders is set, emits one structured warn() per
+ * offending net (capped) so compiles flag underconstrained
+ * Hamiltonians instead of silently emitting them.
+ */
+XLintReport xLint(const netlist::Netlist &nl,
+                  bool warn_offenders = false);
+
+} // namespace qac::sim
+
+#endif // QAC_SIM_XLINT_H

@@ -40,6 +40,7 @@
 #include "qac/core/program.h"
 #include "qac/exec/exec.h"
 #include "qac/qmasm/formats.h"
+#include "qac/sim/diff_check.h"
 #include "qac/util/logging.h"
 #include "qac/util/strings.h"
 #include "qac/verilog/parser.h"
@@ -58,6 +59,7 @@ struct Args
     bool chimera = false;
     uint32_t chimera_size = 16;
     bool run = false;
+    bool verify = false;
     bool physical = false;
     std::vector<std::string> pins;
     /** Unified solver parameters (service layer): the same struct a
@@ -88,6 +90,10 @@ usage(const char *argv0)
         "  --emit-minizinc <f>   write a MiniZinc model\n"
         "  --emit-qubo <file>    write a qbsolv .qubo file\n"
         "  --run                 anneal and report solutions\n"
+        "  --verify              differential check: event-simulate "
+        "the design\n"
+        "                        and compare against the exact ground "
+        "states\n"
         "  --physical            sample the embedded physical model\n"
         "  --pin \"SYM := VAL\"    bind ports (repeatable; qmasm syntax)\n"
         "  --solver %s\n"
@@ -140,6 +146,8 @@ parseArgs(int argc, char **argv)
             args.emit_qubo = need(i);
         else if (a == "--run")
             args.run = true;
+        else if (a == "--verify")
+            args.verify = true;
         else if (a == "--physical")
             args.physical = true;
         else if (a == "--pin")
@@ -289,6 +297,31 @@ runQacc(Args &args, const char *argv0)
         writeFile(args.emit_qubo,
                   qmasm::toQuboFile(ising::QuboModel::fromIsing(
                       compiled.assembled.model)));
+
+    if (args.verify) {
+        if (compiled.netlist.ports().empty())
+            fatal("--verify requires a netlist frontend; '%s' "
+                  "produces none", lang.c_str());
+        sim::DiffCheckOptions vopts;
+        vopts.threads = args.common.threads;
+        // Independently derived reference: same synthesis and
+        // unrolling, but optimization and techmapping disabled, so
+        // those stages are cross-checked instead of assumed correct.
+        core::CompileResult reference;
+        if (lang == "verilog") {
+            core::CompileOptions ropts = opts;
+            ropts.target = core::Target::Logical;
+            auto &rvo = ropts.verilogOpts();
+            rvo.optimize = false;
+            rvo.do_techmap = false;
+            reference = core::compile(ss.str(), ropts);
+            vopts.reference = &reference.netlist;
+        }
+        sim::DiffReport report = sim::diffCheck(compiled, vopts);
+        std::fputs(report.describe().c_str(), stdout);
+        if (!report.ok())
+            return 1;
+    }
 
     if (!args.run)
         return 0;

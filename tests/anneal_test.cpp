@@ -74,13 +74,44 @@ TEST(Exact, MatchesBruteForce)
     }
 }
 
-TEST(Exact, VarLimitEnforced)
+TEST(Exact, VarLimitEnforcedPerComponent)
 {
+    // The 2^n wall applies to the largest *connected component*: a
+    // 5-variable coupled chain trips a max_vars of 4...
     ExactSolver::Params p;
     p.max_vars = 4;
-    IsingModel m(5);
-    m.addLinear(0, 1);
-    EXPECT_THROW(ExactSolver(p).solve(m), FatalError);
+    IsingModel chain(5);
+    for (uint32_t i = 0; i + 1 < 5; ++i)
+        chain.addQuadratic(i, i + 1, -1.0);
+    EXPECT_THROW(ExactSolver(p).solve(chain), FatalError);
+
+    // ...but five uncoupled variables do not.
+    IsingModel loose(5);
+    for (uint32_t i = 0; i < 5; ++i)
+        loose.addLinear(i, 1.0);
+    auto res = ExactSolver(p).solve(loose);
+    EXPECT_DOUBLE_EQ(res.min_energy, -5.0);
+    ASSERT_EQ(res.ground_states.size(), 1u);
+    for (auto s : res.ground_states[0])
+        EXPECT_EQ(s, -1);
+}
+
+TEST(Exact, ComponentDecompositionMatchesDense)
+{
+    // Two coupled blocks with no cross terms: the composed result must
+    // equal the dense enumeration, including the full ground-state
+    // set (here 2 x 2 degenerate ferromagnetic pairs).
+    IsingModel m(4);
+    m.addQuadratic(0, 1, -1.0);
+    m.addQuadratic(2, 3, -1.0);
+    auto res = ExactSolver().solve(m);
+    EXPECT_DOUBLE_EQ(res.min_energy, -2.0);
+    EXPECT_EQ(res.ground_states.size(), 4u);
+    for (const auto &gs : res.ground_states) {
+        EXPECT_EQ(gs[0], gs[1]);
+        EXPECT_EQ(gs[2], gs[3]);
+        EXPECT_NEAR(m.energy(gs), -2.0, 1e-12);
+    }
 }
 
 TEST(Exact, EmptyModel)
